@@ -1,0 +1,141 @@
+//===- bench/bench_solver.cpp ---------------------------------------------===//
+//
+// Micro-benchmarks of the first-order solver layers (google-benchmark):
+// simplification, simplification memo, syntactic SAT, Z3 round-trips and
+// the result cache. These support the timing claims of Tables 1/2 —
+// solver work dominates symbolic execution time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gil/parser.h"
+#include "solver/simplifier.h"
+#include "solver/solver.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gillian;
+
+namespace {
+
+Expr parse(const char *S) {
+  Result<Expr> R = parseGilExpr(S);
+  if (!R)
+    std::abort();
+  return *R;
+}
+
+PathCondition typicalPc() {
+  PathCondition PC;
+  PC.add(parse("typeof(#x) == ^Int"));
+  PC.add(parse("typeof(#y) == ^Int"));
+  PC.add(parse("0 <= #x"));
+  PC.add(parse("#x < 32"));
+  PC.add(parse("#y == #x + 1"));
+  PC.add(parse("!(#y == 7)"));
+  return PC;
+}
+
+} // namespace
+
+static void BM_SimplifyOffsetChain(benchmark::State &State) {
+  TypeEnv Env;
+  Env.assign(InternedString::get("#p"), GilType::Int);
+  Expr E = parse("((((#p + 8) + 8) + 16) + 8) == 48");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(simplify(E, &Env));
+}
+BENCHMARK(BM_SimplifyOffsetChain);
+
+static void BM_SimplifyCachedHit(benchmark::State &State) {
+  TypeEnv Env;
+  Env.assign(InternedString::get("#p"), GilType::Int);
+  Expr E = parse("((((#p + 8) + 8) + 16) + 8) == 48");
+  simplifyCached(E, &Env); // warm
+  for (auto _ : State)
+    benchmark::DoNotOptimize(simplifyCached(E, &Env));
+}
+BENCHMARK(BM_SimplifyCachedHit);
+
+static void BM_SimplifyListDecomposition(benchmark::State &State) {
+  Expr E = parse("[$a, #x + 4] == [$a, 12]");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(simplify(E));
+}
+BENCHMARK(BM_SimplifyListDecomposition);
+
+static void BM_SyntacticSatTypical(benchmark::State &State) {
+  PathCondition PC = typicalPc();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(checkSatSyntactic(PC));
+}
+BENCHMARK(BM_SyntacticSatTypical);
+
+static void BM_SyntacticUnsatConflict(benchmark::State &State) {
+  PathCondition PC = typicalPc();
+  PC.add(parse("#x == 40"));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(checkSatSyntactic(PC));
+}
+BENCHMARK(BM_SyntacticUnsatConflict);
+
+static void BM_SolverCachedQuery(benchmark::State &State) {
+  Solver S;
+  PathCondition PC = typicalPc();
+  S.checkSat(PC); // warm the cache
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.checkSat(PC));
+}
+BENCHMARK(BM_SolverCachedQuery);
+
+static void BM_SolverUncachedSyntactic(benchmark::State &State) {
+  SolverOptions Opts;
+  Opts.UseCache = false;
+  Opts.UseZ3 = false;
+  Solver S(Opts);
+  PathCondition PC = typicalPc();
+  PC.add(parse("#x == 40")); // syntactic UNSAT
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.checkSat(PC));
+}
+BENCHMARK(BM_SolverUncachedSyntactic);
+
+static void BM_Z3RoundTrip(benchmark::State &State) {
+  SolverOptions Opts;
+  Opts.UseCache = false;
+  Opts.UseSyntactic = false; // force the SMT layer
+  Solver S(Opts);
+  PathCondition PC;
+  PC.add(parse("typeof(#x) == ^Int"));
+  PC.add(parse("typeof(#y) == ^Int"));
+  PC.add(parse("#x + #y == 10"));
+  PC.add(parse("#x - #y == 4"));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.checkSat(PC));
+}
+BENCHMARK(BM_Z3RoundTrip);
+
+static void BM_VerifiedModelExtraction(benchmark::State &State) {
+  Solver S;
+  PathCondition PC = typicalPc();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.verifiedModel(PC));
+}
+BENCHMARK(BM_VerifiedModelExtraction);
+
+static void BM_PathConditionGrowth(benchmark::State &State) {
+  // Cost of building the long conjunct chains loops produce.
+  std::vector<Expr> Conjs;
+  for (int I = 0; I < 64; ++I)
+    Conjs.push_back(parse(("#i" + std::to_string(I) + " < " +
+                           std::to_string(I + 100))
+                              .c_str()));
+  for (auto _ : State) {
+    PathCondition PC;
+    for (const Expr &C : Conjs)
+      PC.add(C);
+    benchmark::DoNotOptimize(PC.size());
+  }
+}
+BENCHMARK(BM_PathConditionGrowth);
+
+BENCHMARK_MAIN();

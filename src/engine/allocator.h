@@ -1,0 +1,142 @@
+//===- engine/allocator.h - Built-in fresh-value allocators ----*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Gillian's built-in allocators (Def 2.2). An allocation record ξ keeps
+/// per-site counters; alloc(j) at site j yields a deterministic fresh name
+/// `$u_<j>_<k>` (uninterpreted symbols) or `#i_<j>_<k>` (interpreted
+/// symbols, i.e. fresh logical variables).
+///
+/// Determinism is the implementation of the paper's allocator-restriction
+/// story (Def 3.3 / Def 3.8): the concrete replay of a symbolic trace uses
+/// the *same* site-indexed naming, so the uninterpreted symbols allocated
+/// concretely coincide with the symbolic ones, and interpreted symbols are
+/// resolved through a value script populated from the model ε (the
+/// allocator analogue of strengthening an initial state with the final
+/// path condition).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_ENGINE_ALLOCATOR_H
+#define GILLIAN_ENGINE_ALLOCATOR_H
+
+#include "gil/expr.h"
+#include "gil/value.h"
+#include "support/cow_map.h"
+
+#include <map>
+#include <string>
+
+namespace gillian {
+
+/// Shared per-site counter record (the |AL| of Def 2.2).
+class AllocRecord {
+public:
+  /// Next index at site \p Site, advancing the record.
+  uint32_t next(uint32_t Site) {
+    const uint32_t *C = Counters.lookup(Site);
+    uint32_t K = C ? *C : 0;
+    Counters.set(Site, K + 1);
+    return K;
+  }
+
+  uint32_t countAt(uint32_t Site) const {
+    const uint32_t *C = Counters.lookup(Site);
+    return C ? *C : 0;
+  }
+
+  /// Allocator restriction (Def 3.3): strengthen this record with the
+  /// information of \p Other by taking per-site maxima. Monotonic w.r.t.
+  /// allocation, idempotent, right-commutative (Def 3.1).
+  void restrictWith(const AllocRecord &Other) {
+    for (const auto &[Site, K] : Other.Counters)
+      if (countAt(Site) < K)
+        Counters.set(Site, K);
+  }
+
+  /// The ⊑ pre-order induced by restriction: this record knows at least as
+  /// much as \p Other (pointwise >= counters).
+  bool refines(const AllocRecord &Other) const {
+    for (const auto &[Site, K] : Other.Counters)
+      if (countAt(Site) < K)
+        return false;
+    return true;
+  }
+
+  friend bool operator==(const AllocRecord &A, const AllocRecord &B) {
+    // Compare modulo zero entries.
+    return A.refines(B) && B.refines(A);
+  }
+
+  /// Per-site counters (site -> number of allocations); used by the
+  /// soundness replay harness to enumerate the interpreted symbols a
+  /// symbolic trace allocated.
+  const CowMap<uint32_t, uint32_t> &sites() const { return Counters; }
+
+private:
+  CowMap<uint32_t, uint32_t> Counters;
+};
+
+/// Deterministic fresh-name builders shared by both allocators.
+inline std::string uSymName(uint32_t Site, uint32_t K) {
+  return "$u_" + std::to_string(Site) + "_" + std::to_string(K);
+}
+inline std::string iSymName(uint32_t Site, uint32_t K) {
+  return "#i_" + std::to_string(Site) + "_" + std::to_string(K);
+}
+
+/// The symbolic allocator: uSym picks a fresh uninterpreted symbol, iSym a
+/// fresh logical variable (§2.3 [uSym/iSym]).
+class SymbolicAllocator {
+public:
+  Value allocUSym(uint32_t Site) {
+    return Value::symV(uSymName(Site, Rec.next(Site)));
+  }
+  Expr allocISym(uint32_t Site) {
+    return Expr::lvar(iSymName(Site, Rec.next(Site)));
+  }
+
+  AllocRecord &record() { return Rec; }
+  const AllocRecord &record() const { return Rec; }
+
+private:
+  AllocRecord Rec;
+};
+
+/// The concrete allocator: uSym picks the same deterministic fresh symbol
+/// as the symbolic allocator; iSym picks an "arbitrary value" — by default
+/// Int 0, overridable per (site, index) through a script so that replay
+/// tests can direct concrete runs with model values.
+class ConcreteAllocator {
+public:
+  Value allocUSym(uint32_t Site) {
+    return Value::symV(uSymName(Site, Rec.next(Site)));
+  }
+
+  Value allocISym(uint32_t Site) {
+    uint32_t K = Rec.next(Site);
+    auto It = Script.find({Site, K});
+    if (It != Script.end())
+      return It->second;
+    return Value::intV(0);
+  }
+
+  /// Directs the (Site, K)-th interpreted allocation to return \p V.
+  void scriptISym(uint32_t Site, uint32_t K, Value V) {
+    Script[{Site, K}] = std::move(V);
+  }
+
+  AllocRecord &record() { return Rec; }
+  const AllocRecord &record() const { return Rec; }
+
+private:
+  AllocRecord Rec;
+  std::map<std::pair<uint32_t, uint32_t>, Value> Script;
+};
+
+} // namespace gillian
+
+#endif // GILLIAN_ENGINE_ALLOCATOR_H

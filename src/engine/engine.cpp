@@ -1,0 +1,15 @@
+//===- engine/engine.cpp --------------------------------------------------===//
+
+#include "engine/interpreter.h"
+
+using namespace gillian;
+
+std::string_view gillian::outcomeKindName(OutcomeKind K) {
+  switch (K) {
+  case OutcomeKind::Return: return "return";
+  case OutcomeKind::Error: return "error";
+  case OutcomeKind::Vanish: return "vanish";
+  case OutcomeKind::Bound: return "bound";
+  }
+  return "<bad-outcome>";
+}

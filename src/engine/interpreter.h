@@ -1,0 +1,377 @@
+//===- engine/interpreter.h - The GIL interpreter (Fig. 1) -----*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GIL semantics of Fig. 1, written once and instantiated both
+/// concretely (ConcreteState<M>) and symbolically (SymbolicState<M>) —
+/// the template parameter is the paper's state-model parameter S, and the
+/// rules below are the transition rules p ⊢ ⟨σ, cs, i⟩ ⇝ ⟨σ', cs', j⟩^o.
+///
+/// Exploration is a depth-first worklist over configurations; branch
+/// points (conditional gotos with both sides feasible, branching memory
+/// actions) push extra configurations. Loops unroll up to a per-frame
+/// back-jump bound; paths cut by a budget finish with the Bound outcome so
+/// the caveat surfaces in results ("bounded verification", §1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_ENGINE_INTERPRETER_H
+#define GILLIAN_ENGINE_INTERPRETER_H
+
+#include "engine/options.h"
+#include "engine/state.h"
+#include "engine/stats.h"
+#include "gil/prog.h"
+
+#include <string>
+#include <vector>
+
+namespace gillian {
+
+/// Def 2.1's requirement that GIL states expose the proper actions: the
+/// exact interface the interpreter consumes.
+template <typename St>
+concept StateModel =
+    std::copyable<St> && requires(St S, const St CS, const Expr &E,
+                                  InternedString X,
+                                  typename St::ValueT V, uint32_t Site) {
+      typename St::ValueT;
+      typename St::StoreT;
+      { CS.evalExpr(E) } -> std::same_as<Result<typename St::ValueT>>;
+      { S.setVar(X, V) };
+      { CS.getStore() } -> std::same_as<typename St::StoreT>;
+      { S.setStore(CS.getStore()) };
+      {
+        CS.assumeValue(V)
+      } -> std::same_as<Result<std::optional<St>>>;
+      { S.allocUSym(Site) } -> std::same_as<typename St::ValueT>;
+      { S.allocISym(Site) } -> std::same_as<typename St::ValueT>;
+      {
+        CS.execAction(X, V)
+      } -> std::same_as<Result<std::vector<StateBranch<St>>>>;
+      {
+        CS.asProcId(V)
+      } -> std::same_as<std::optional<InternedString>>;
+      { St::errorValue(std::string()) } -> std::same_as<typename St::ValueT>;
+    };
+
+/// Terminal outcomes o ∈ O (§2.1), extended with the bounded-exploration
+/// outcome so budget cuts are never silently conflated with success.
+enum class OutcomeKind : uint8_t {
+  Return, ///< N(v): top-level return
+  Error,  ///< E(v): fail command, memory fault, or runtime type error
+  Vanish, ///< silent path cut (assume-false)
+  Bound,  ///< path cut by the loop/step budget
+};
+
+std::string_view outcomeKindName(OutcomeKind K);
+
+/// A finished path: its outcome, outcome value, and final state (which,
+/// symbolically, carries the final path condition used for counter-models
+/// and for the §3 restriction-based replay).
+template <StateModel St> struct TraceResult {
+  OutcomeKind Kind;
+  typename St::ValueT Val;
+  St Final;
+};
+
+/// An inner stack frame ⟨f, x, ρ, i⟩ (§2.1 call stacks).
+template <StateModel St> struct Frame {
+  InternedString ProcName;
+  InternedString RetVar;
+  typename St::StoreT SavedStore;
+  size_t RetIdx;
+  uint32_t SavedBackjumps; ///< caller's loop budget, restored on return
+};
+
+template <StateModel St> class Interpreter {
+public:
+  Interpreter(const Prog &P, const EngineOptions &Opts, ExecStats &Stats)
+      : P(P), Opts(Opts), Stats(Stats) {}
+
+  /// Runs procedure \p Entry with argument \p Arg from state \p Init,
+  /// exploring all paths. Err(...) reports engine-level misuse (unknown
+  /// entry procedure); program-level failures are Error outcomes.
+  Result<std::vector<TraceResult<St>>>
+  run(InternedString Entry, typename St::ValueT Arg, St Init) {
+    const Proc *Main = P.find(Entry);
+    if (!Main)
+      return Err("unknown entry procedure '" + std::string(Entry.str()) +
+                 "'");
+    typename St::StoreT Store;
+    Store.set(Main->Param, std::move(Arg));
+    Init.setStore(std::move(Store));
+
+    std::vector<TraceResult<St>> Results;
+    std::vector<Config> Work;
+    Work.push_back(Config{std::move(Init), {}, Entry, 0, 0});
+    uint64_t Steps = 0;
+
+    while (!Work.empty()) {
+      if ((Opts.MaxSteps && Steps >= Opts.MaxSteps) ||
+          (Opts.MaxPaths && Results.size() >= Opts.MaxPaths)) {
+        // Out of budget: remaining configurations become Bound outcomes.
+        for (Config &C : Work) {
+          ++Stats.PathsBounded;
+          Results.push_back({OutcomeKind::Bound,
+                             St::errorValue("step budget exhausted"),
+                             std::move(C.State)});
+        }
+        break;
+      }
+      Config C = std::move(Work.back());
+      Work.pop_back();
+      ++Steps;
+      step(std::move(C), Work, Results);
+    }
+    return Results;
+  }
+
+private:
+  struct Config {
+    St State;
+    std::vector<Frame<St>> Stack;
+    InternedString CurProc;
+    size_t I;
+    uint32_t Backjumps;
+  };
+
+  void finish(std::vector<TraceResult<St>> &Results, OutcomeKind K,
+              typename St::ValueT V, St S) {
+    switch (K) {
+    case OutcomeKind::Return: ++Stats.PathsFinished; break;
+    case OutcomeKind::Error: ++Stats.PathsErrored; break;
+    case OutcomeKind::Vanish: ++Stats.PathsVanished; break;
+    case OutcomeKind::Bound: ++Stats.PathsBounded; break;
+    }
+    Results.push_back({K, std::move(V), std::move(S)});
+  }
+
+  void fail(std::vector<TraceResult<St>> &Results, Config C,
+            const std::string &Msg) {
+    finish(Results, OutcomeKind::Error, St::errorValue(Msg),
+           std::move(C.State));
+  }
+
+  void step(Config C, std::vector<Config> &Work,
+            std::vector<TraceResult<St>> &Results) {
+    const Proc *Cur = P.find(C.CurProc);
+    assert(Cur && "current procedure disappeared");
+    if (C.I >= Cur->Body.size()) {
+      fail(Results, std::move(C),
+           "control fell off the end of procedure '" +
+               std::string(C.CurProc.str()) + "'");
+      return;
+    }
+    const Cmd &Command = Cur->Body[C.I];
+    ++Stats.CmdsExecuted;
+
+    switch (Command.Kind) {
+    case CmdKind::Assign: {
+      // [Assignment]: σ.(setVar_x ∘ eval_e)
+      Result<typename St::ValueT> V = C.State.evalExpr(Command.E);
+      if (!V) {
+        fail(Results, std::move(C), V.error());
+        return;
+      }
+      C.State.setVar(Command.X, V.take());
+      ++C.I;
+      Work.push_back(std::move(C));
+      return;
+    }
+
+    case CmdKind::IfGoto: {
+      // [IfGoto-True] / [IfGoto-False]: branch on assume(e) / assume(¬e).
+      Result<typename St::ValueT> CondT = C.State.evalExpr(Command.E);
+      if (!CondT) {
+        fail(Results, std::move(C), CondT.error());
+        return;
+      }
+      Result<typename St::ValueT> CondF =
+          C.State.evalExpr(Expr::notE(Command.E));
+
+      Result<std::optional<St>> TrueSt = C.State.assumeValue(*CondT);
+      if (!TrueSt) {
+        fail(Results, std::move(C), TrueSt.error());
+        return;
+      }
+      std::optional<St> FalseSt;
+      if (CondF) {
+        Result<std::optional<St>> FS = C.State.assumeValue(*CondF);
+        if (FS)
+          FalseSt = std::move(*FS);
+        // An error evaluating ¬e after e evaluated cleanly cannot happen
+        // (Not of a Bool); a failed assume is simply an infeasible branch.
+      }
+
+      bool TookBoth = TrueSt->has_value() && FalseSt.has_value();
+      if (TookBoth)
+        ++Stats.Branches;
+
+      if (FalseSt.has_value()) {
+        Config FC = C;
+        FC.State = std::move(*FalseSt);
+        ++FC.I;
+        Work.push_back(std::move(FC));
+      }
+      if (TrueSt->has_value()) {
+        bool Backjump = Command.Target <= C.I;
+        if (Backjump && ++C.Backjumps > Opts.LoopBound) {
+          finish(Results, OutcomeKind::Bound,
+                 St::errorValue("loop bound reached"), std::move(C.State));
+          return;
+        }
+        C.State = std::move(**TrueSt);
+        C.I = Command.Target;
+        Work.push_back(std::move(C));
+      }
+      return;
+    }
+
+    case CmdKind::Call: {
+      // [Call]: resolve callee, push frame, enter with store [y -> v].
+      ++Stats.ProcCalls;
+      Result<typename St::ValueT> Callee = C.State.evalExpr(Command.E);
+      if (!Callee) {
+        fail(Results, std::move(C), Callee.error());
+        return;
+      }
+      Result<typename St::ValueT> Arg = C.State.evalExpr(Command.Arg);
+      if (!Arg) {
+        fail(Results, std::move(C), Arg.error());
+        return;
+      }
+      std::optional<InternedString> F = C.State.asProcId(*Callee);
+      if (!F) {
+        fail(Results, std::move(C), "call target is not a procedure");
+        return;
+      }
+      const Proc *PP = P.find(*F);
+      if (!PP) {
+        fail(Results, std::move(C),
+             "call to unknown procedure '" + std::string(F->str()) + "'");
+        return;
+      }
+      if (C.Stack.size() >= Opts.MaxCallDepth) {
+        finish(Results, OutcomeKind::Bound,
+               St::errorValue("call depth bound reached"),
+               std::move(C.State));
+        return;
+      }
+      // The frame records the *caller's* procedure, store, resume index
+      // and loop budget, all restored on return.
+      C.Stack.push_back(Frame<St>{C.CurProc, Command.X, C.State.getStore(),
+                                  C.I + 1, C.Backjumps});
+      typename St::StoreT Store;
+      Store.set(PP->Param, Arg.take());
+      C.State.setStore(std::move(Store));
+      C.CurProc = *F;
+      C.I = 0;
+      C.Backjumps = 0;
+      Work.push_back(std::move(C));
+      return;
+    }
+
+    case CmdKind::Return: {
+      Result<typename St::ValueT> V = C.State.evalExpr(Command.E);
+      if (!V) {
+        fail(Results, std::move(C), V.error());
+        return;
+      }
+      if (C.Stack.empty()) {
+        // [Top Return]: N(v).
+        finish(Results, OutcomeKind::Return, V.take(), std::move(C.State));
+        return;
+      }
+      // [Return]: restore caller store, bind the return variable.
+      Frame<St> F = std::move(C.Stack.back());
+      C.Stack.pop_back();
+      C.State.setStore(std::move(F.SavedStore));
+      C.State.setVar(F.RetVar, V.take());
+      C.CurProc = F.ProcName;
+      C.I = F.RetIdx;
+      C.Backjumps = F.SavedBackjumps;
+      Work.push_back(std::move(C));
+      return;
+    }
+
+    case CmdKind::Fail: {
+      // [Fail]: E(v).
+      Result<typename St::ValueT> V = C.State.evalExpr(Command.E);
+      if (!V) {
+        fail(Results, std::move(C), V.error());
+        return;
+      }
+      finish(Results, OutcomeKind::Error, V.take(), std::move(C.State));
+      return;
+    }
+
+    case CmdKind::Vanish:
+      finish(Results, OutcomeKind::Vanish, St::errorValue("vanish"),
+             std::move(C.State));
+      return;
+
+    case CmdKind::Action: {
+      // [Action]: σ.(setVar_x ∘ α ∘ eval_e).
+      ++Stats.ActionCalls;
+      Result<typename St::ValueT> Arg = C.State.evalExpr(Command.E);
+      if (!Arg) {
+        fail(Results, std::move(C), Arg.error());
+        return;
+      }
+      Result<std::vector<StateBranch<St>>> Branches =
+          C.State.execAction(Command.Action, *Arg);
+      if (!Branches) {
+        fail(Results, std::move(C), Branches.error());
+        return;
+      }
+      if (Branches->size() > 1)
+        Stats.Branches += Branches->size() - 1;
+      for (StateBranch<St> &B : *Branches) {
+        if (B.IsError) {
+          finish(Results, OutcomeKind::Error, std::move(B.Ret),
+                 std::move(B.State));
+          continue;
+        }
+        Config NC = C;
+        NC.State = std::move(B.State);
+        NC.State.setVar(Command.X, std::move(B.Ret));
+        ++NC.I;
+        Work.push_back(std::move(NC));
+      }
+      return;
+    }
+
+    case CmdKind::USym: {
+      // [uSym]: fresh uninterpreted symbol from the built-in allocator.
+      typename St::ValueT V = C.State.allocUSym(Command.Site);
+      C.State.setVar(Command.X, std::move(V));
+      ++C.I;
+      Work.push_back(std::move(C));
+      return;
+    }
+
+    case CmdKind::ISym: {
+      // [iSym]: fresh interpreted symbol (logical variable / scripted
+      // value).
+      typename St::ValueT V = C.State.allocISym(Command.Site);
+      C.State.setVar(Command.X, std::move(V));
+      ++C.I;
+      Work.push_back(std::move(C));
+      return;
+    }
+    }
+    fail(Results, std::move(C), "unknown command kind");
+  }
+
+  const Prog &P;
+  const EngineOptions &Opts;
+  ExecStats &Stats;
+};
+
+} // namespace gillian
+
+#endif // GILLIAN_ENGINE_INTERPRETER_H

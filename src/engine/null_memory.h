@@ -1,0 +1,44 @@
+//===- engine/null_memory.h - The trivial memory model ---------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The empty instantiation: a memory model with no actions. Useful for
+/// executing pure GIL programs (no memory interaction) and as the smallest
+/// possible example of the MemoryModel interfaces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_ENGINE_NULL_MEMORY_H
+#define GILLIAN_ENGINE_NULL_MEMORY_H
+
+#include "engine/state.h"
+
+namespace gillian {
+
+struct NullCMem {
+  Result<Value> execAction(InternedString Act, const Value &) {
+    return Err("the null memory model has no action '" +
+               std::string(Act.str()) + "'");
+  }
+  friend bool operator==(const NullCMem &, const NullCMem &) { return true; }
+};
+
+struct NullSMem {
+  Result<std::vector<SymActionBranch<NullSMem>>>
+  execAction(InternedString Act, const Expr &, const PathCondition &,
+             Solver &) const {
+    return Err("the null memory model has no action '" +
+               std::string(Act.str()) + "'");
+  }
+  friend bool operator==(const NullSMem &, const NullSMem &) { return true; }
+};
+
+static_assert(ConcreteMemoryModel<NullCMem>);
+static_assert(SymbolicMemoryModel<NullSMem>);
+
+} // namespace gillian
+
+#endif // GILLIAN_ENGINE_NULL_MEMORY_H

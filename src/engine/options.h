@@ -1,0 +1,59 @@
+//===- engine/options.h - Engine configuration -----------------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Knobs for the symbolic execution engine. The defaults correspond to the
+/// paper's Gillian configuration; legacyJaVerT2() reconstructs the
+/// JaVerT 2.0 baseline of Table 1 (no expression simplification, no solver
+/// result caching — the two engine improvements §4.1 credits for the ~2x
+/// speedup).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_ENGINE_OPTIONS_H
+#define GILLIAN_ENGINE_OPTIONS_H
+
+#include "solver/solver.h"
+
+#include <cstdint>
+
+namespace gillian {
+
+struct EngineOptions {
+  /// Simplify store expressions and path-condition conjuncts as they are
+  /// built (§2.3 [EvalExpr]).
+  bool UseSimplifier = true;
+  /// Use the process-wide simplification memo.
+  bool UseSimplifierCache = true;
+
+  SolverOptions Solver;
+
+  /// Bound on back-jumps (loop iterations) per path — the paper's
+  /// "unrolling loops up to a bound".
+  uint32_t LoopBound = 32;
+  /// Global step budget per symbolic run (0 = unlimited).
+  uint64_t MaxSteps = 50'000'000;
+  /// Bound on explored paths per run (0 = unlimited).
+  uint64_t MaxPaths = 0;
+  /// Call-stack depth bound.
+  uint32_t MaxCallDepth = 256;
+
+  /// The JaVerT 2.0 baseline: basic simplification stays (every symbolic
+  /// engine folds constants), but the Gillian improvements §4.1 credits
+  /// for the ~2x speedup are off — the simplification memo, solver result
+  /// caching, and the cheap syntactic solver layer (every undecided query
+  /// goes straight to the SMT solver).
+  static EngineOptions legacyJaVerT2() {
+    EngineOptions O;
+    O.UseSimplifierCache = false;
+    O.Solver = SolverOptions::legacyJaVerT2();
+    return O;
+  }
+};
+
+} // namespace gillian
+
+#endif // GILLIAN_ENGINE_OPTIONS_H

@@ -1,0 +1,45 @@
+//===- engine/stats.h - Execution statistics -------------------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters reported by the evaluation harness. "GIL commands" is the
+/// metric of Tables 1 and 2 in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_ENGINE_STATS_H
+#define GILLIAN_ENGINE_STATS_H
+
+#include <cstdint>
+
+namespace gillian {
+
+struct ExecStats {
+  uint64_t CmdsExecuted = 0; ///< GIL commands (the Tables 1/2 metric)
+  uint64_t Branches = 0;     ///< points where execution split
+  uint64_t PathsFinished = 0;
+  uint64_t PathsVanished = 0;
+  uint64_t PathsErrored = 0;
+  uint64_t PathsBounded = 0; ///< cut by loop/step budgets
+  uint64_t ActionCalls = 0;
+  uint64_t ProcCalls = 0;
+
+  ExecStats &operator+=(const ExecStats &O) {
+    CmdsExecuted += O.CmdsExecuted;
+    Branches += O.Branches;
+    PathsFinished += O.PathsFinished;
+    PathsVanished += O.PathsVanished;
+    PathsErrored += O.PathsErrored;
+    PathsBounded += O.PathsBounded;
+    ActionCalls += O.ActionCalls;
+    ProcCalls += O.ProcCalls;
+    return *this;
+  }
+};
+
+} // namespace gillian
+
+#endif // GILLIAN_ENGINE_STATS_H

@@ -1,0 +1,241 @@
+//===- gil/value.cpp ------------------------------------------------------===//
+
+#include "gil/value.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+
+using namespace gillian;
+
+std::string_view gillian::typeName(GilType T) {
+  switch (T) {
+  case GilType::Int: return "Int";
+  case GilType::Num: return "Num";
+  case GilType::Str: return "Str";
+  case GilType::Bool: return "Bool";
+  case GilType::Sym: return "Sym";
+  case GilType::Type: return "Type";
+  case GilType::Proc: return "Proc";
+  case GilType::List: return "List";
+  }
+  return "<bad-type>";
+}
+
+Value Value::intV(int64_t I) {
+  Value V;
+  V.Kind = GilType::Int;
+  V.Payload.I = I;
+  return V;
+}
+
+Value Value::numV(double D) {
+  Value V;
+  V.Kind = GilType::Num;
+  V.Payload.D = D;
+  return V;
+}
+
+Value Value::strV(InternedString S) {
+  Value V;
+  V.Kind = GilType::Str;
+  V.Payload.S = S.id();
+  return V;
+}
+
+Value Value::strV(std::string_view S) { return strV(InternedString::get(S)); }
+
+Value Value::boolV(bool B) {
+  Value V;
+  V.Kind = GilType::Bool;
+  V.Payload.B = B;
+  return V;
+}
+
+Value Value::symV(InternedString Name) {
+  Value V;
+  V.Kind = GilType::Sym;
+  V.Payload.S = Name.id();
+  return V;
+}
+
+Value Value::symV(std::string_view Name) {
+  return symV(InternedString::get(Name));
+}
+
+Value Value::typeV(GilType T) {
+  Value V;
+  V.Kind = GilType::Type;
+  V.Payload.T = static_cast<uint8_t>(T);
+  return V;
+}
+
+Value Value::procV(InternedString F) {
+  Value V;
+  V.Kind = GilType::Proc;
+  V.Payload.S = F.id();
+  return V;
+}
+
+Value Value::procV(std::string_view F) { return procV(InternedString::get(F)); }
+
+Value Value::listV(std::vector<Value> Elems) {
+  Value V;
+  V.Kind = GilType::List;
+  V.Payload.I = 0;
+  V.List = std::make_shared<const std::vector<Value>>(std::move(Elems));
+  return V;
+}
+
+bool gillian::operator==(const Value &A, const Value &B) {
+  if (A.Kind != B.Kind)
+    return false;
+  switch (A.Kind) {
+  case GilType::Int: return A.Payload.I == B.Payload.I;
+  case GilType::Num:
+    // Bitwise identity, not IEEE ==: GIL equality is structural, so
+    // NaN == NaN holds and the simplifier's Eq(e,e) -> true rule is sound.
+    return std::memcmp(&A.Payload.D, &B.Payload.D, sizeof(double)) == 0;
+  case GilType::Bool: return A.Payload.B == B.Payload.B;
+  case GilType::Str:
+  case GilType::Sym:
+  case GilType::Proc: return A.Payload.S == B.Payload.S;
+  case GilType::Type: return A.Payload.T == B.Payload.T;
+  case GilType::List:
+    return A.List == B.List || *A.List == *B.List;
+  }
+  return false;
+}
+
+bool gillian::operator<(const Value &A, const Value &B) {
+  if (A.Kind != B.Kind)
+    return static_cast<uint8_t>(A.Kind) < static_cast<uint8_t>(B.Kind);
+  switch (A.Kind) {
+  case GilType::Int: return A.Payload.I < B.Payload.I;
+  case GilType::Num: {
+    // Total order via bit patterns (consistent with bitwise equality).
+    uint64_t X, Y;
+    std::memcpy(&X, &A.Payload.D, sizeof(double));
+    std::memcpy(&Y, &B.Payload.D, sizeof(double));
+    return X < Y;
+  }
+  case GilType::Bool: return A.Payload.B < B.Payload.B;
+  case GilType::Str:
+  case GilType::Sym:
+  case GilType::Proc: return A.Payload.S < B.Payload.S;
+  case GilType::Type: return A.Payload.T < B.Payload.T;
+  case GilType::List: {
+    const auto &LA = *A.List, &LB = *B.List;
+    size_t N = std::min(LA.size(), LB.size());
+    for (size_t I = 0; I < N; ++I) {
+      if (LA[I] < LB[I])
+        return true;
+      if (LB[I] < LA[I])
+        return false;
+    }
+    return LA.size() < LB.size();
+  }
+  }
+  return false;
+}
+
+size_t Value::hash() const {
+  auto Mix = [](size_t H, size_t X) {
+    return (H ^ X) * 0x9E3779B97F4A7C15ull + 0x632BE59BD9B4E019ull;
+  };
+  size_t H = static_cast<size_t>(Kind);
+  switch (Kind) {
+  case GilType::Int: return Mix(H, std::hash<int64_t>()(Payload.I));
+  case GilType::Num: return Mix(H, std::hash<double>()(Payload.D));
+  case GilType::Bool: return Mix(H, Payload.B ? 2 : 1);
+  case GilType::Str:
+  case GilType::Sym:
+  case GilType::Proc: return Mix(H, Payload.S);
+  case GilType::Type: return Mix(H, Payload.T);
+  case GilType::List:
+    for (const Value &E : *List)
+      H = Mix(H, E.hash());
+    return Mix(H, List->size());
+  }
+  return H;
+}
+
+/// Formats a double so it round-trips and stays distinguishable from an
+/// integer literal (always contains '.' or an exponent).
+static std::string formatNum(double D) {
+  if (std::isnan(D))
+    return "nan";
+  if (std::isinf(D))
+    return D > 0 ? "inf" : "-inf";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+  std::string S(Buf);
+  if (S.find('.') == std::string::npos && S.find('e') == std::string::npos &&
+      S.find("inf") == std::string::npos && S.find("nan") == std::string::npos)
+    S += ".0";
+  // Prefer the shortest representation that round-trips.
+  for (int Prec = 1; Prec < 17; ++Prec) {
+    std::snprintf(Buf, sizeof(Buf), "%.*g", Prec, D);
+    if (std::strtod(Buf, nullptr) == D) {
+      S = Buf;
+      if (S.find('.') == std::string::npos && S.find('e') == std::string::npos)
+        S += ".0";
+      break;
+    }
+  }
+  return S;
+}
+
+static void escapeInto(std::string &Out, std::string_view S) {
+  Out.push_back('"');
+  for (char C : S) {
+    switch (C) {
+    case '\n': Out += "\\n"; break;
+    case '\t': Out += "\\t"; break;
+    case '\r': Out += "\\r"; break;
+    case '\0': Out += "\\0"; break;
+    case '\\': Out += "\\\\"; break;
+    case '"': Out += "\\\""; break;
+    default: Out.push_back(C); break;
+    }
+  }
+  Out.push_back('"');
+}
+
+std::string Value::toString() const {
+  switch (Kind) {
+  case GilType::Int:
+    return std::to_string(Payload.I);
+  case GilType::Num:
+    return formatNum(Payload.D);
+  case GilType::Bool:
+    return Payload.B ? "true" : "false";
+  case GilType::Str: {
+    std::string Out;
+    escapeInto(Out, asStr().str());
+    return Out;
+  }
+  case GilType::Sym:
+    return std::string(asSym().str());
+  case GilType::Proc:
+    return "&" + std::string(asProc().str());
+  case GilType::Type:
+    return "^" + std::string(typeName(asType()));
+  case GilType::List: {
+    std::string Out = "[";
+    bool First = true;
+    for (const Value &E : *List) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += E.toString();
+    }
+    Out += "]";
+    return Out;
+  }
+  }
+  return "<bad-value>";
+}

@@ -1,0 +1,162 @@
+//===- gil/value.h - GIL values (§2.1) -------------------------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GIL values, following §2.1 of the paper:
+///
+///   v ∈ V ≜ n ∈ N | s ∈ S | b ∈ B | ς ∈ U | τ ∈ T | f ∈ F | list of v
+///
+/// We split the paper's "numbers" into Int (exact 64-bit integers, used by
+/// the MC instantiation's byte-level memory) and Num (IEEE doubles, used by
+/// MJS), as in the released Gillian implementation. Uninterpreted symbols
+/// (ς ∈ U) represent allocation-unique constituents such as object
+/// locations and instantiation-specific constants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_GIL_VALUE_H
+#define GILLIAN_GIL_VALUE_H
+
+#include "support/interner.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gillian {
+
+/// The GIL type universe (the paper's τ ∈ T). These are first-class values
+/// (returned by the typeOf operator) as well as classifiers.
+enum class GilType : uint8_t {
+  Int,
+  Num,
+  Str,
+  Bool,
+  Sym,
+  Type,
+  Proc,
+  List,
+};
+
+/// Returns the textual name of \p T ("Int", "Num", ...).
+std::string_view typeName(GilType T);
+
+/// An immutable GIL value. Lists share storage, so copies are cheap.
+class Value {
+public:
+  /// Default-constructs the integer 0 (a valid value; Value has no "empty"
+  /// state).
+  Value() : Kind(GilType::Int) { Payload.I = 0; }
+
+  static Value intV(int64_t I);
+  static Value numV(double D);
+  static Value strV(std::string_view S);
+  static Value strV(InternedString S);
+  static Value boolV(bool B);
+  /// Uninterpreted symbol ς, identified by an interned name (e.g. "$l_3").
+  static Value symV(InternedString Name);
+  static Value symV(std::string_view Name);
+  static Value typeV(GilType T);
+  static Value procV(InternedString F);
+  static Value procV(std::string_view F);
+  static Value listV(std::vector<Value> Elems);
+
+  GilType type() const { return Kind; }
+  bool isInt() const { return Kind == GilType::Int; }
+  bool isNum() const { return Kind == GilType::Num; }
+  bool isStr() const { return Kind == GilType::Str; }
+  bool isBool() const { return Kind == GilType::Bool; }
+  bool isSym() const { return Kind == GilType::Sym; }
+  bool isType() const { return Kind == GilType::Type; }
+  bool isProc() const { return Kind == GilType::Proc; }
+  bool isList() const { return Kind == GilType::List; }
+  /// True for Int and Num alike.
+  bool isNumeric() const { return isInt() || isNum(); }
+
+  int64_t asInt() const {
+    assert(isInt() && "not an Int value");
+    return Payload.I;
+  }
+  double asNum() const {
+    assert(isNum() && "not a Num value");
+    return Payload.D;
+  }
+  /// Numeric value widened to double (valid for Int and Num).
+  double asDouble() const {
+    assert(isNumeric() && "not a numeric value");
+    return isInt() ? static_cast<double>(Payload.I) : Payload.D;
+  }
+  bool asBool() const {
+    assert(isBool() && "not a Bool value");
+    return Payload.B;
+  }
+  InternedString asStr() const {
+    assert(isStr() && "not a Str value");
+    return InternedString::fromRaw(Payload.S);
+  }
+  InternedString asSym() const {
+    assert(isSym() && "not a Sym value");
+    return InternedString::fromRaw(Payload.S);
+  }
+  GilType asType() const {
+    assert(isType() && "not a Type value");
+    return static_cast<GilType>(Payload.T);
+  }
+  InternedString asProc() const {
+    assert(isProc() && "not a Proc value");
+    return InternedString::fromRaw(Payload.S);
+  }
+  const std::vector<Value> &asList() const {
+    assert(isList() && "not a List value");
+    return *List;
+  }
+
+  /// Structural equality across all kinds.
+  friend bool operator==(const Value &A, const Value &B);
+  friend bool operator!=(const Value &A, const Value &B) { return !(A == B); }
+
+  /// An arbitrary-but-total order (kind-major), so values can key ordered
+  /// maps. Not the GIL '<' operator — see evalBinOp.
+  friend bool operator<(const Value &A, const Value &B);
+  // (namespace-scope declarations below keep the out-of-line definitions
+  // attached to these friends)
+
+  size_t hash() const;
+
+  /// Renders the value in textual-GIL syntax (round-trips through the GIL
+  /// parser).
+  std::string toString() const;
+
+private:
+  // Interned strings are stored by raw id; InternedString(Payload.S) is
+  // reconstructed in the accessors.
+  friend class ValueBuilderAccess;
+
+  GilType Kind;
+  union {
+    int64_t I;
+    double D;
+    bool B;
+    uint32_t S; ///< interned id for Str / Sym / Proc
+    uint8_t T;  ///< GilType for Type values
+  } Payload;
+  std::shared_ptr<const std::vector<Value>> List;
+};
+
+bool operator==(const Value &A, const Value &B);
+bool operator<(const Value &A, const Value &B);
+
+} // namespace gillian
+
+template <> struct std::hash<gillian::Value> {
+  size_t operator()(const gillian::Value &V) const noexcept {
+    return V.hash();
+  }
+};
+
+#endif // GILLIAN_GIL_VALUE_H

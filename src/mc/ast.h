@@ -1,0 +1,124 @@
+//===- mc/ast.h - MC, the Gillian-C target language -------------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MC is the C-like language of our Gillian-C reproduction (§4.2):
+/// statically typed, with structs, typed pointers, heap allocation and
+/// pointer arithmetic, compiled through a C#minor-style lowering onto the
+/// CompCert-style memory model. Example:
+///
+///   struct Node { val: i64; next: ptr<Node>; }
+///   fn push(head: ptr<Node>, v: i64) -> ptr<Node> {
+///     var n: ptr<Node> = alloc(Node, 1);
+///     n->val = v;
+///     n->next = head;
+///     return n;
+///   }
+///
+/// Builtins: alloc(T, n), free(p), memcpy(d, s, bytes), memset(p, b,
+/// bytes), sizeof(T), symb_i64(), symb_f64(), assume(e), assert(e);
+/// function-style casts i8(e) / i32(e) / i64(e) / f64(e).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_MC_AST_H
+#define GILLIAN_MC_AST_H
+
+#include "mc/types.h"
+
+#include <memory>
+#include <vector>
+
+namespace gillian::mc {
+
+enum class CExprKind : uint8_t {
+  IntLit,
+  FloatLit,
+  Null,
+  Var,
+  Unary,  ///< - !
+  Binary, ///< + - * / % == != < <= > >= && ||
+  Field,  ///< base->name
+  Index,  ///< base[idx]
+  Call,   ///< f(args), including builtins and casts
+  SizeOf, ///< sizeof(T)
+  Alloc,  ///< alloc(T, count)
+};
+
+enum class CUnOp : uint8_t { Neg, Not };
+enum class CBinOp : uint8_t {
+  Add, Sub, Mul, Div, Mod,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  And, Or,
+};
+
+struct CExpr;
+using CExprPtr = std::shared_ptr<CExpr>;
+
+struct CExpr {
+  CExprKind Kind;
+  int64_t IntVal = 0;
+  double FloatVal = 0;
+  std::string Name;        ///< Var / Field name / Call callee
+  CUnOp UOp = CUnOp::Neg;
+  CBinOp BOp = CBinOp::Add;
+  CExprPtr Lhs, Rhs;       ///< operands / Field base / Index base+idx
+  std::vector<CExprPtr> Args;
+  McType Type;             ///< SizeOf / Alloc element type
+  int Line = 0;
+};
+
+enum class CStmtKind : uint8_t {
+  VarDecl,  ///< var x: T = e;
+  Assign,   ///< x = e;
+  FieldSet, ///< base->f = e;
+  IndexSet, ///< base[i] = e;
+  ExprStmt, ///< e;  (calls, free, memcpy, ...)
+  If,
+  While,
+  For,
+  Return,
+  Assume,
+  Assert,
+};
+
+struct CStmt {
+  CStmtKind Kind;
+  std::string Name;    ///< VarDecl/Assign target; FieldSet field
+  McType DeclType;     ///< VarDecl
+  CExprPtr E;          ///< value / condition / return
+  CExprPtr Base, Idx;  ///< FieldSet/IndexSet
+  std::vector<CStmt> Then, Else, Init, Step;
+  int Line = 0;
+};
+
+struct CFunc {
+  std::string Name;
+  std::vector<std::pair<std::string, McType>> Params;
+  McType RetType;
+  std::vector<CStmt> Body;
+};
+
+struct CStructDecl {
+  std::string Name;
+  std::vector<std::pair<std::string, McType>> Fields;
+};
+
+struct CProgram {
+  std::vector<CStructDecl> Structs;
+  std::vector<CFunc> Funcs;
+
+  const CFunc *find(std::string_view Name) const {
+    for (const CFunc &F : Funcs)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+} // namespace gillian::mc
+
+#endif // GILLIAN_MC_AST_H

@@ -1,0 +1,41 @@
+//===- mc/compiler.h - MC -> GIL compiler ----------------------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MC-to-GIL compiler (the Gillian-C compiler of §4.2): a typed,
+/// C#minor-style lowering. Control flow compiles trivially to GIL gotos;
+/// memory management is restated in terms of the identified actions of
+/// the C memory model (field/index accesses become chunked load/store;
+/// allocation pairs the GIL uSym allocator with the alloc action; pointer
+/// comparisons go through comparePtr so undefined behaviour is caught).
+/// Like C#minor, the only deviation from source semantics is a fixed
+/// (left-to-right) argument evaluation order.
+///
+/// Pointers are GIL lists [block, offset]; pointer arithmetic scales by
+/// the pointee size at compile time. Integer division/modulo emit
+/// explicit zero-divisor guards — C undefined behaviour becomes explicit
+/// control flow, exactly as the paper's approach requires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_MC_COMPILER_H
+#define GILLIAN_MC_COMPILER_H
+
+#include "gil/prog.h"
+#include "mc/ast.h"
+#include "support/result.h"
+
+namespace gillian::mc {
+
+/// Compiles \p P (type errors are compile errors).
+Result<Prog> compileMc(const CProgram &P);
+
+/// Parses and compiles in one step.
+Result<Prog> compileMcSource(std::string_view Source);
+
+} // namespace gillian::mc
+
+#endif // GILLIAN_MC_COMPILER_H

@@ -1,0 +1,175 @@
+//===- mc/memory.h - MC memories (CompCert-style, §4.2) --------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C memory models of §4.2, built from the paper's description of the
+/// CompCert memory (and CompCertS for the symbolic side):
+///
+///  * memory = separated blocks; each block an array of byte-sized memory
+///    values with a permission per byte;
+///  * pointers are block-offset pairs — GIL lists [block, offset] with the
+///    block an uninterpreted symbol;
+///  * a memory value is a byte, the special `undefined` (uninitialised
+///    memory), or a fragment [v, k, n] denoting the k-th of n bytes of a
+///    value (CompCertS-style symbolic memory values — concrete integers
+///    and floats encode to real bytes, symbolic scalars and pointers to
+///    fragments);
+///  * load/store take a chunk [sz, al, kind] and perform the SLoad checks:
+///    liveness, bounds, alignment, permission, then byte decoding.
+///
+/// Undefined behaviour — out-of-bounds access, use-after-free, double
+/// free, uninitialised reads, unaligned access, insufficient permissions,
+/// relational comparison of pointers into different blocks, any comparison
+/// with a dangling pointer — surfaces as memory-fault branches, which is
+/// how the §4.2 Collections-C findings are detected.
+///
+/// Actions: alloc, free, load, store, memcpy, memset, blockSize, dropPerm,
+/// comparePtr, validPtr (a 10-action core of CompCert's sixteen; the
+/// omitted ones concern the global environment and concurrency, which GIL
+/// does not model — see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_MC_MEMORY_H
+#define GILLIAN_MC_MEMORY_H
+
+#include "engine/state.h"
+#include "mc/types.h"
+#include "solver/model.h"
+#include "support/cow_map.h"
+
+#include <memory>
+
+namespace gillian::mc {
+
+// Action names.
+InternedString actAlloc();
+InternedString actFree();
+InternedString actLoad();
+InternedString actStore();
+InternedString actMemcpy();
+InternedString actMemset();
+InternedString actBlockSize();
+InternedString actDropPerm();
+InternedString actComparePtr();
+InternedString actValidPtr();
+
+/// Permissions, as integers in ascending permissiveness (§4.2).
+enum class Perm : uint8_t { None = 0, Readable = 1, Writable = 2 };
+
+/// The null pointer: [$null, 0].
+Value nullPtr();
+Expr nullPtrE();
+
+/// Builds a chunk descriptor value [sz, al, kind] for action arguments.
+Value chunkValue(const Chunk &C);
+
+//===----------------------------------------------------------------------===//
+// Concrete memory
+//===----------------------------------------------------------------------===//
+
+/// One byte of concrete memory.
+struct CMemVal {
+  enum Kind : uint8_t { Undef, Byte, Frag } K = Undef;
+  uint8_t B = 0;       ///< Byte payload
+  Value FragVal;       ///< Frag: the carried value
+  ChunkKind FragKind = ChunkKind::Int;
+  uint8_t FragIdx = 0; ///< k
+  uint8_t FragLen = 0; ///< n
+};
+
+struct CBlock {
+  int64_t Size = 0;
+  std::vector<CMemVal> Bytes;
+  std::vector<uint8_t> Perms;
+  bool Freed = false;
+};
+
+class McCMem {
+public:
+  Result<Value> execAction(InternedString Act, const Value &Arg);
+
+  const CBlock *findBlock(InternedString B) const {
+    const std::shared_ptr<const CBlock> *P = Blocks.lookup(B);
+    return P ? P->get() : nullptr;
+  }
+  /// Registers a block (used by tests and memory interpretation).
+  void putBlock(InternedString B, CBlock Blk) {
+    Blocks.set(B, std::make_shared<const CBlock>(std::move(Blk)));
+  }
+
+  std::string toString() const;
+
+private:
+  Result<Value> doLoad(const Value &ChunkV, const Value &B, const Value &Off);
+  Result<Value> doStore(const Value &ChunkV, const Value &B,
+                        const Value &Off, const Value &V);
+  Result<Value> doComparePtr(const Value &Op, const Value &P1,
+                             const Value &P2);
+
+  CowMap<InternedString, std::shared_ptr<const CBlock>> Blocks;
+};
+
+//===----------------------------------------------------------------------===//
+// Symbolic memory
+//===----------------------------------------------------------------------===//
+
+/// One byte of symbolic memory: a concrete byte, or the k-th fragment of
+/// a symbolic value [e, k, n] (CompCertS representation).
+struct SMemVal {
+  enum Kind : uint8_t { Byte, Frag } K = Byte;
+  uint8_t B = 0;
+  Expr FragVal;
+  ChunkKind FragKind = ChunkKind::Int;
+  uint8_t FragIdx = 0;
+  uint8_t FragLen = 0;
+};
+
+struct SBlock {
+  int64_t Size = 0; ///< block sizes are concrete (alloc of symbolic size is
+                    ///< out of scope, as in the paper's "Current
+                    ///< Limitations")
+  CowMap<int64_t, SMemVal> Bytes; ///< sparse; absent = uninitialised
+  CowMap<int64_t, uint8_t> PermOverrides; ///< absent = Writable
+  bool Freed = false;
+};
+
+class McSMem {
+public:
+  Result<std::vector<SymActionBranch<McSMem>>>
+  execAction(InternedString Act, const Expr &Arg, const PathCondition &PC,
+             Solver &S) const;
+
+  const SBlock *findBlock(const Expr &B) const {
+    const std::shared_ptr<const SBlock> *P = Blocks.lookup(B);
+    return P ? P->get() : nullptr;
+  }
+  void putBlock(const Expr &B, SBlock Blk) {
+    Blocks.set(B, std::make_shared<const SBlock>(std::move(Blk)));
+  }
+  const CowMap<Expr, std::shared_ptr<const SBlock>, ExprOrdering> &
+  blocks() const {
+    return Blocks;
+  }
+
+  std::string toString() const;
+
+private:
+  struct ActionCtx;
+
+  CowMap<Expr, std::shared_ptr<const SBlock>, ExprOrdering> Blocks;
+};
+
+static_assert(ConcreteMemoryModel<McCMem>);
+static_assert(SymbolicMemoryModel<McSMem>);
+
+/// Memory interpretation I_C (Def 3.7 instance): evaluates block names and
+/// stored fragments under ε.
+Result<McCMem> interpretMemory(const Model &Eps, const McSMem &SMem);
+
+} // namespace gillian::mc
+
+#endif // GILLIAN_MC_MEMORY_H

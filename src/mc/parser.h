@@ -1,0 +1,26 @@
+//===- mc/parser.h - MC parser ---------------------------------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for MC's concrete syntax (see ast.h for the grammar by example).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_MC_PARSER_H
+#define GILLIAN_MC_PARSER_H
+
+#include "mc/ast.h"
+#include "support/result.h"
+
+#include <string_view>
+
+namespace gillian::mc {
+
+Result<CProgram> parseMc(std::string_view Source);
+
+} // namespace gillian::mc
+
+#endif // GILLIAN_MC_PARSER_H

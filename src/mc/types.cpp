@@ -1,0 +1,65 @@
+//===- mc/types.cpp -------------------------------------------------------===//
+
+#include "mc/types.h"
+
+using namespace gillian;
+using namespace gillian::mc;
+
+std::string McType::toString() const {
+  if (IsStruct)
+    return std::string(StructName.str());
+  switch (Kind) {
+  case ScalarKind::I8: return "i8";
+  case ScalarKind::I32: return "i32";
+  case ScalarKind::I64: return "i64";
+  case ScalarKind::F64: return "f64";
+  case ScalarKind::Ptr:
+    return Pointee ? "ptr<" + Pointee->toString() + ">" : "ptr";
+  }
+  return "<bad-type>";
+}
+
+Result<int64_t> LayoutTable::sizeOf(const McType &T) const {
+  if (!T.isStruct())
+    return scalarSize(T.scalarKind());
+  const StructLayout *L = find(T.structName());
+  if (!L)
+    return Err("unknown struct '" + std::string(T.structName().str()) + "'");
+  return L->Size;
+}
+
+Result<int64_t> LayoutTable::alignOf(const McType &T) const {
+  if (!T.isStruct())
+    return scalarAlign(T.scalarKind());
+  const StructLayout *L = find(T.structName());
+  if (!L)
+    return Err("unknown struct '" + std::string(T.structName().str()) + "'");
+  return L->Align;
+}
+
+Result<bool> LayoutTable::add(
+    InternedString Name,
+    const std::vector<std::pair<InternedString, McType>> &Fs) {
+  StructLayout L;
+  L.Name = Name;
+  int64_t Off = 0, MaxAlign = 1;
+  for (const auto &[FName, FType] : Fs) {
+    Result<int64_t> Sz = sizeOf(FType);
+    Result<int64_t> Al = alignOf(FType);
+    if (!Sz)
+      return Err("struct " + std::string(Name.str()) + ", field " +
+                 std::string(FName.str()) + ": " + Sz.error());
+    if (!Al)
+      return Err(Al.error());
+    Off = (Off + *Al - 1) / *Al * *Al; // align up
+    L.Fields.push_back({FName, FType, Off});
+    Off += *Sz;
+    MaxAlign = std::max(MaxAlign, *Al);
+  }
+  L.Align = MaxAlign;
+  L.Size = (Off + MaxAlign - 1) / MaxAlign * MaxAlign;
+  if (L.Size == 0)
+    L.Size = MaxAlign; // empty structs still occupy space
+  Layouts[Name] = std::move(L);
+  return true;
+}

@@ -1,0 +1,164 @@
+//===- mc/types.h - MC types, layout and chunks ----------------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type system of MC, our C-like language (§4.2), and its data
+/// layout. Scalar types are i8/i32/i64/f64 plus typed pointers ptr<T>;
+/// aggregates are named structs (always manipulated through pointers, as
+/// in Collections-C). Layout follows the usual C rules: fields aligned to
+/// their natural alignment, struct size padded to the max alignment.
+///
+/// Memory chunks (the [sz, al, kind] triples of the paper's SLoad rule)
+/// describe how a scalar is read from / written to the byte-level memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_MC_TYPES_H
+#define GILLIAN_MC_TYPES_H
+
+#include "support/interner.h"
+#include "support/result.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gillian::mc {
+
+enum class ScalarKind : uint8_t { I8, I32, I64, F64, Ptr };
+
+/// An MC type: a scalar (possibly a typed pointer) or a named struct.
+class McType {
+public:
+  McType() : Kind(ScalarKind::I64), IsStruct(false) {}
+
+  static McType scalar(ScalarKind K) {
+    McType T;
+    T.Kind = K;
+    return T;
+  }
+  static McType pointer(McType Pointee) {
+    McType T;
+    T.Kind = ScalarKind::Ptr;
+    T.Pointee = std::make_shared<McType>(std::move(Pointee));
+    return T;
+  }
+  static McType structT(InternedString Name) {
+    McType T;
+    T.IsStruct = true;
+    T.StructName = Name;
+    return T;
+  }
+
+  bool isStruct() const { return IsStruct; }
+  bool isPtr() const { return !IsStruct && Kind == ScalarKind::Ptr; }
+  bool isInt() const {
+    return !IsStruct && (Kind == ScalarKind::I8 || Kind == ScalarKind::I32 ||
+                         Kind == ScalarKind::I64);
+  }
+  bool isFloat() const { return !IsStruct && Kind == ScalarKind::F64; }
+  ScalarKind scalarKind() const { return Kind; }
+  InternedString structName() const { return StructName; }
+  /// Pointee type; untyped (null) for raw pointers.
+  const McType *pointee() const { return Pointee.get(); }
+
+  bool operator==(const McType &O) const {
+    if (IsStruct != O.IsStruct)
+      return false;
+    if (IsStruct)
+      return StructName == O.StructName;
+    if (Kind != O.Kind)
+      return false;
+    if (Kind != ScalarKind::Ptr)
+      return true;
+    if (!Pointee || !O.Pointee)
+      return !Pointee && !O.Pointee;
+    return *Pointee == *O.Pointee;
+  }
+  bool operator!=(const McType &O) const { return !(*this == O); }
+
+  std::string toString() const;
+
+private:
+  ScalarKind Kind;
+  bool IsStruct = false;
+  InternedString StructName;
+  std::shared_ptr<McType> Pointee;
+};
+
+/// One field of a struct, after layout.
+struct FieldLayout {
+  InternedString Name;
+  McType Type;
+  int64_t Offset;
+};
+
+struct StructLayout {
+  InternedString Name;
+  std::vector<FieldLayout> Fields;
+  int64_t Size;
+  int64_t Align;
+
+  const FieldLayout *field(InternedString N) const {
+    for (const FieldLayout &F : Fields)
+      if (F.Name == N)
+        return &F;
+    return nullptr;
+  }
+};
+
+/// All struct layouts of one program.
+class LayoutTable {
+public:
+  /// Computes and registers the layout of a struct; fails on unknown
+  /// field types or non-scalar fields of unregistered structs.
+  Result<bool> add(InternedString Name,
+                   const std::vector<std::pair<InternedString, McType>> &Fs);
+
+  const StructLayout *find(InternedString Name) const {
+    auto It = Layouts.find(Name);
+    return It == Layouts.end() ? nullptr : &It->second;
+  }
+
+  /// Size of \p T in bytes (structs by layout; scalars naturally).
+  Result<int64_t> sizeOf(const McType &T) const;
+  /// Natural alignment of \p T.
+  Result<int64_t> alignOf(const McType &T) const;
+
+private:
+  std::map<InternedString, StructLayout> Layouts;
+};
+
+/// A memory chunk [sz, al, kind] (paper §4.2). Kind distinguishes how the
+/// bytes decode: as a (sign-extended) integer, a float, or a pointer.
+enum class ChunkKind : uint8_t { Int, Float, Ptr };
+
+struct Chunk {
+  int64_t Size;
+  int64_t Align;
+  ChunkKind Kind;
+
+  static Chunk forScalar(ScalarKind K) {
+    switch (K) {
+    case ScalarKind::I8: return {1, 1, ChunkKind::Int};
+    case ScalarKind::I32: return {4, 4, ChunkKind::Int};
+    case ScalarKind::I64: return {8, 8, ChunkKind::Int};
+    case ScalarKind::F64: return {8, 8, ChunkKind::Float};
+    case ScalarKind::Ptr: return {8, 8, ChunkKind::Ptr};
+    }
+    return {8, 8, ChunkKind::Int};
+  }
+};
+
+/// Scalar sizes/alignments shared with the layout engine.
+inline int64_t scalarSize(ScalarKind K) { return Chunk::forScalar(K).Size; }
+inline int64_t scalarAlign(ScalarKind K) { return Chunk::forScalar(K).Align; }
+
+} // namespace gillian::mc
+
+#endif // GILLIAN_MC_TYPES_H

@@ -1,0 +1,121 @@
+//===- mjs/ast.h - MJS, the Gillian-JS target language ---------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MJS is the JavaScript-like language of our Gillian-JS reproduction
+/// (§4.1). It has the memory-model shape that makes JS interesting for
+/// Gillian — dynamic objects, *computed* property names, property
+/// deletion, object metadata — together with dynamic typing, JS-style
+/// truthiness and coercing `+`. Numbers are IEEE doubles (GIL Num);
+/// `undefined` and `null` are the uninterpreted symbols $undefined and
+/// $null, exactly as the paper describes instantiation-specific constants.
+///
+/// Deliberate restrictions (documented in DESIGN.md): no closures or
+/// `this` — the Buckets-style library is written in function style — and
+/// `==` is strict (===).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_MJS_AST_H
+#define GILLIAN_MJS_AST_H
+
+#include "support/interner.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gillian::mjs {
+
+enum class JsExprKind : uint8_t {
+  Num,      ///< numeric literal (double)
+  Str,      ///< string literal
+  Bool,     ///< true / false
+  Undefined,///< undefined
+  Null,     ///< null
+  Var,      ///< identifier
+  Unary,    ///< ! - typeof
+  Binary,   ///< + - * / % == != === !== < <= > >= && ||
+  Member,   ///< o.p (static) and o[e] (computed)
+  Call,     ///< f(e...)
+  Object,   ///< { p: e, ... }
+  Array,    ///< [e, ...]
+};
+
+enum class JsUnOp : uint8_t { Not, Neg, TypeOf };
+
+enum class JsBinOp : uint8_t {
+  Add, Sub, Mul, Div, Mod,
+  Eq, Ne,          ///< strict, like === / !==
+  Lt, Le, Gt, Ge,
+  And, Or,         ///< short-circuiting on truthiness
+};
+
+struct JsExpr;
+using JsExprPtr = std::shared_ptr<JsExpr>;
+
+struct JsExpr {
+  JsExprKind Kind;
+  double NumVal = 0;
+  std::string StrVal;       ///< Str literal / Var name / static member name
+  bool BoolVal = false;
+  JsUnOp UOp = JsUnOp::Not;
+  JsBinOp BOp = JsBinOp::Add;
+  JsExprPtr Lhs, Rhs;       ///< Unary child in Lhs; Member base in Lhs,
+                            ///< computed index in Rhs (null when static)
+  std::string Callee;       ///< Call
+  std::vector<JsExprPtr> Args; ///< Call args / Array elements
+  std::vector<std::pair<std::string, JsExprPtr>> Props; ///< Object literal
+  int Line = 0;
+};
+
+enum class JsStmtKind : uint8_t {
+  VarDecl,   ///< var x = e;
+  Assign,    ///< x = e;
+  MemberSet, ///< o.p = e;  /  o[i] = e;
+  Delete,    ///< delete o.p;  /  delete o[i];
+  ExprStmt,  ///< e;  (for call side effects)
+  If,
+  While,
+  For,       ///< for (init; cond; step) { ... }
+  Return,
+  Assume,    ///< Assume(e);
+  Assert,    ///< Assert(e);
+  SymbInput, ///< var x = symb_number() / symb_string() / symb_bool() /
+             ///< symb_any();
+};
+
+struct JsStmt {
+  JsStmtKind Kind;
+  std::string Name;       ///< VarDecl/Assign/SymbInput target
+  JsExprPtr E;            ///< main expression / condition
+  JsExprPtr Obj, Idx, Val;///< MemberSet / Delete parts (Idx null = static,
+                          ///< with Name holding the property)
+  std::vector<JsStmt> Then, Else, Init, Step;
+  std::string SymbKind;   ///< "number" / "string" / "bool" / "any"
+  int Line = 0;
+};
+
+struct JsFunc {
+  std::string Name;
+  std::vector<std::string> Params;
+  std::vector<JsStmt> Body;
+};
+
+struct JsProgram {
+  std::vector<JsFunc> Funcs;
+
+  const JsFunc *find(std::string_view Name) const {
+    for (const JsFunc &F : Funcs)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+} // namespace gillian::mjs
+
+#endif // GILLIAN_MJS_AST_H

@@ -1,0 +1,40 @@
+//===- mjs/compiler.h - MJS -> GIL compiler --------------------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MJS-to-GIL compiler (the Gillian-JS compiler of §4.1). Memory
+/// operations compile to the eight-action JS memory model, the control
+/// flow of MJS compiles trivially to GIL gotos, and the dynamic semantics
+/// (truthiness, coercing `+`, typeof, property keys) compile to calls into
+/// the GIL runtime library — the paper's "trusted compiler preserving the
+/// TL memory model and semantics" discipline.
+///
+/// Expressions are linearised (A-normal form): member accesses, calls and
+/// literals that need heap allocation compile to temporaries; pure
+/// arithmetic stays expression-level, preceded by compiler-emitted type
+/// guards that the type-aware simplifier folds away whenever the path
+/// condition pins operand types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_MJS_COMPILER_H
+#define GILLIAN_MJS_COMPILER_H
+
+#include "gil/prog.h"
+#include "mjs/ast.h"
+#include "support/result.h"
+
+namespace gillian::mjs {
+
+/// Compiles \p P and links the MJS runtime into the result.
+Result<Prog> compileMjs(const JsProgram &P);
+
+/// Parses and compiles in one step.
+Result<Prog> compileMjsSource(std::string_view Source);
+
+} // namespace gillian::mjs
+
+#endif // GILLIAN_MJS_COMPILER_H

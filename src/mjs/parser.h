@@ -1,0 +1,45 @@
+//===- mjs/parser.h - MJS parser -------------------------------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete syntax for MJS (JavaScript-flavoured):
+///
+///   function ll_add(lst, v) {
+///     var node = { value: v, next: null };
+///     if (lst.head === null) { lst.head = node; }
+///     else {
+///       var cur = lst.head;
+///       while (cur.next !== null) { cur = cur.next; }
+///       cur.next = node;
+///     }
+///     lst.size = lst.size + 1;
+///     return lst;
+///   }
+///
+///   function test_ll_add() {
+///     var v = symb_number();
+///     var lst = ll_new();
+///     ll_add(lst, v);
+///     Assert(ll_get(lst, 0) === v);
+///   }
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_MJS_PARSER_H
+#define GILLIAN_MJS_PARSER_H
+
+#include "mjs/ast.h"
+#include "support/result.h"
+
+#include <string_view>
+
+namespace gillian::mjs {
+
+Result<JsProgram> parseMjs(std::string_view Source);
+
+} // namespace gillian::mjs
+
+#endif // GILLIAN_MJS_PARSER_H

@@ -1,0 +1,79 @@
+//===- mjs/runtime.cpp ----------------------------------------------------===//
+
+#include "mjs/runtime.h"
+
+#include "gil/parser.h"
+
+#include <cassert>
+
+using namespace gillian;
+using namespace gillian::mjs;
+
+namespace {
+
+/// The runtime, in textual GIL. Labels are verified by the parser.
+constexpr std::string_view RuntimeGil = R"(
+// JS truthiness: false, +-0, NaN, "", undefined and null are falsy.
+proc __mjs_truthy(v) {
+  0: ifgoto (typeof(v) == ^Bool) 5;
+  1: ifgoto (typeof(v) == ^Num) 6;
+  2: ifgoto (typeof(v) == ^Str) 7;
+  3: ifgoto (v == $undefined || v == $null) 8;
+  4: return true;
+  5: return v;
+  6: return !(v == 0.0 || v == -0.0 || v == nan);
+  7: return !(slen(v) == 0);
+  8: return false;
+}
+
+// JS `+`: numeric addition or string concatenation; anything else is a
+// TypeError in MJS (stricter than ES5's ToPrimitive cascade).
+proc __mjs_add(args) {
+  0: a := l_nth(args, 0);
+  1: b := l_nth(args, 1);
+  2: ifgoto (typeof(a) == ^Num && typeof(b) == ^Num) 5;
+  3: ifgoto (typeof(a) == ^Str && typeof(b) == ^Str) 6;
+  4: fail "TypeError: + requires two numbers or two strings";
+  5: return a + b;
+  6: return a @+ b;
+}
+
+// JS typeof (objects, including null, answer "object").
+proc __mjs_typeof(v) {
+  0: ifgoto (typeof(v) == ^Num) 5;
+  1: ifgoto (typeof(v) == ^Str) 6;
+  2: ifgoto (typeof(v) == ^Bool) 7;
+  3: ifgoto (v == $undefined) 8;
+  4: return "object";
+  5: return "number";
+  6: return "string";
+  7: return "boolean";
+  8: return "undefined";
+}
+
+// Property-key conversion: strings pass through, numbers render JS-style
+// ("0", not "0.0"); anything else is a TypeError in MJS.
+proc __mjs_topropname(v) {
+  0: ifgoto (typeof(v) == ^Str) 4;
+  1: ifgoto (typeof(v) == ^Num) 3;
+  2: fail "TypeError: invalid property key";
+  3: return num_to_str(v);
+  4: return v;
+}
+)";
+
+} // namespace
+
+std::string_view gillian::mjs::runtimeSource() { return RuntimeGil; }
+
+void gillian::mjs::linkRuntime(Prog &P) {
+  static const Prog *Runtime = [] {
+    Result<Prog> R = parseGilProg(RuntimeGil);
+    assert(R.ok() && "MJS runtime failed to parse");
+    if (!R.ok())
+      return new Prog();
+    return new Prog(R.take());
+  }();
+  for (const auto &[Name, Proc] : Runtime->procs())
+    P.add(Proc);
+}

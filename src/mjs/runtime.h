@@ -1,0 +1,36 @@
+//===- mjs/runtime.h - MJS GIL runtime library ------------------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MJS runtime: GIL procedures implementing the dynamically-typed
+/// corners of the language — truthiness, coercing `+`, `typeof`, and
+/// property-key conversion. They are written in *textual GIL* (see
+/// runtime.cpp) and linked into every compiled MJS program, mirroring how
+/// Gillian-JS compiles the ES5 internal functions to GIL (§4.1).
+///
+/// The type-dispatch branches inside these procedures fold away statically
+/// whenever the engine's path condition determines operand types, so
+/// well-typed code pays no branching cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_MJS_RUNTIME_H
+#define GILLIAN_MJS_RUNTIME_H
+
+#include "gil/prog.h"
+
+namespace gillian::mjs {
+
+/// Textual-GIL source of the runtime (parsed and cached on first use).
+std::string_view runtimeSource();
+
+/// Adds the runtime procedures to \p P. Asserts on internal parse errors
+/// (the runtime is a compiled-in constant, validated by tests).
+void linkRuntime(Prog &P);
+
+} // namespace gillian::mjs
+
+#endif // GILLIAN_MJS_RUNTIME_H

@@ -1,0 +1,36 @@
+//===- solver/model.cpp ---------------------------------------------------===//
+
+#include "solver/model.h"
+
+using namespace gillian;
+
+Result<Value> Model::eval(const Expr &E) const {
+  Expr Subst = E.substLVars([this](InternedString X) -> Expr {
+    const Value *V = lookup(X);
+    return V ? Expr::lit(*V) : Expr();
+  });
+  return Subst.evalClosed();
+}
+
+bool Model::satisfies(const PathCondition &PC) const {
+  if (PC.isTriviallyFalse())
+    return false;
+  for (const Expr &C : PC.conjuncts()) {
+    Result<Value> R = eval(C);
+    if (!R || !R->isBool() || !R->asBool())
+      return false;
+  }
+  return true;
+}
+
+std::string Model::toString() const {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[X, V] : Env) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += std::string(X.str()) + " -> " + V.toString();
+  }
+  return Out + "}";
+}

@@ -1,0 +1,56 @@
+//===- solver/model.h - Logical environments ε -----------------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Logical environments ε : X̂ ⇀ V (§3.2), mapping logical variables to
+/// concrete values. Models double as (a) the counter-models reported for
+/// failed assertions, and (b) the interpretation environments used by the
+/// §3 soundness machinery (memory interpretation functions I(ε, ·) and the
+/// restricted-soundness replay tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_SOLVER_MODEL_H
+#define GILLIAN_SOLVER_MODEL_H
+
+#include "gil/expr.h"
+#include "solver/path_condition.h"
+
+#include <map>
+#include <optional>
+
+namespace gillian {
+
+/// A logical environment ε. Total on the variables it binds; evaluation
+/// under a model fails on unbound logical variables.
+class Model {
+public:
+  void bind(InternedString LVar, Value V) { Env[LVar] = std::move(V); }
+  const Value *lookup(InternedString LVar) const {
+    auto It = Env.find(LVar);
+    return It == Env.end() ? nullptr : &It->second;
+  }
+  const std::map<InternedString, Value> &bindings() const { return Env; }
+  bool empty() const { return Env.empty(); }
+
+  /// JêKε: substitutes bound logical variables and evaluates. Fails if the
+  /// expression still contains free variables or faults.
+  Result<Value> eval(const Expr &E) const;
+
+  /// True iff every conjunct of \p PC evaluates to `true` under this
+  /// model. This is the no-false-positives gate: a bug report is only
+  /// emitted when its counter-model passes this check.
+  bool satisfies(const PathCondition &PC) const;
+
+  std::string toString() const;
+
+private:
+  std::map<InternedString, Value> Env;
+};
+
+} // namespace gillian
+
+#endif // GILLIAN_SOLVER_MODEL_H

@@ -1,0 +1,80 @@
+//===- solver/path_condition.cpp ------------------------------------------===//
+
+#include "solver/path_condition.h"
+
+#include <algorithm>
+
+using namespace gillian;
+
+void PathCondition::add(const Expr &E) {
+  if (TriviallyFalse || !E || E.isTrue())
+    return;
+  if (E.isFalse()) {
+    TriviallyFalse = true;
+    Conjuncts.clear();
+    Hash = 0;
+    return;
+  }
+  if (E.kind() == ExprKind::BinOp && E.binOpKind() == BinOpKind::And) {
+    add(E.child(0));
+    add(E.child(1));
+    return;
+  }
+  if (std::find(Conjuncts.begin(), Conjuncts.end(), E) != Conjuncts.end())
+    return;
+  Conjuncts.push_back(E);
+  Hash = (Hash ^ E.hash()) * 0x9E3779B97F4A7C15ull;
+}
+
+void PathCondition::addAll(const PathCondition &Other) {
+  if (Other.TriviallyFalse) {
+    TriviallyFalse = true;
+    Conjuncts.clear();
+    Hash = 0;
+    return;
+  }
+  for (const Expr &E : Other.Conjuncts)
+    add(E);
+}
+
+Expr PathCondition::asExpr() const {
+  if (TriviallyFalse)
+    return Expr::boolE(false);
+  Expr Out = Expr::boolE(true);
+  bool First = true;
+  for (const Expr &E : Conjuncts) {
+    Out = First ? E : Expr::andE(Out, E);
+    First = false;
+  }
+  return Out;
+}
+
+bool PathCondition::contains(const PathCondition &Other) const {
+  if (TriviallyFalse)
+    return true; // false entails everything
+  if (Other.TriviallyFalse)
+    return false;
+  for (const Expr &E : Other.Conjuncts)
+    if (std::find(Conjuncts.begin(), Conjuncts.end(), E) == Conjuncts.end())
+      return false;
+  return true;
+}
+
+std::string PathCondition::toString() const {
+  if (TriviallyFalse)
+    return "false";
+  if (Conjuncts.empty())
+    return "true";
+  std::string Out;
+  for (size_t I = 0, N = Conjuncts.size(); I != N; ++I) {
+    if (I)
+      Out += " /\\ ";
+    Out += Conjuncts[I].toString();
+  }
+  return Out;
+}
+
+void PathCondition::collectLVars(std::set<InternedString> &Out) const {
+  for (const Expr &E : Conjuncts)
+    E.collectLVars(Out);
+}

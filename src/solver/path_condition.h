@@ -1,0 +1,81 @@
+//===- solver/path_condition.h - Path conditions π ∈ Π ---------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Path conditions (§2.3): boolean logical expressions that bookkeep the
+/// constraints on logical variables that led execution to the current
+/// symbolic state. Stored as a deduplicated conjunct list; conjunctions
+/// are flattened on insertion and a literal `false` collapses the whole
+/// condition.
+///
+/// Path conditions are the classical instance of the paper's *restriction*
+/// concept (§3.1): restricting a state by another strengthens its path
+/// condition (see SymbolicState::restrict).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_SOLVER_PATH_CONDITION_H
+#define GILLIAN_SOLVER_PATH_CONDITION_H
+
+#include "gil/expr.h"
+
+#include <vector>
+
+namespace gillian {
+
+class PathCondition {
+public:
+  /// The trivially-true path condition.
+  PathCondition() = default;
+
+  /// Conjoins \p E (already simplified by the caller or not — literal
+  /// `true` is dropped, conjunctions are flattened, duplicates skipped).
+  void add(const Expr &E);
+
+  /// Conjoins every conjunct of \p Other (the π ∧ π' of Def 2.6 and the
+  /// restriction operator of §3.1).
+  void addAll(const PathCondition &Other);
+
+  /// True when a literal `false` has been added: the condition is known
+  /// unsatisfiable without consulting a solver.
+  bool isTriviallyFalse() const { return TriviallyFalse; }
+
+  const std::vector<Expr> &conjuncts() const { return Conjuncts; }
+  size_t size() const { return Conjuncts.size(); }
+  bool empty() const { return Conjuncts.empty() && !TriviallyFalse; }
+
+  /// Single conjunction expression (for printing / Z3 round-trips).
+  Expr asExpr() const;
+
+  /// Structural containment: every conjunct of \p Other appears here.
+  /// This is the ⊑ pre-order induced by path-condition restriction.
+  bool contains(const PathCondition &Other) const;
+
+  size_t hash() const { return Hash; }
+  friend bool operator==(const PathCondition &A, const PathCondition &B) {
+    return A.TriviallyFalse == B.TriviallyFalse && A.Conjuncts == B.Conjuncts;
+  }
+
+  std::string toString() const;
+
+  /// Adds all logical variables mentioned by any conjunct.
+  void collectLVars(std::set<InternedString> &Out) const;
+
+private:
+  std::vector<Expr> Conjuncts;
+  bool TriviallyFalse = false;
+  size_t Hash = 0x243F6A8885A308D3ull;
+};
+
+} // namespace gillian
+
+template <> struct std::hash<gillian::PathCondition> {
+  size_t operator()(const gillian::PathCondition &P) const noexcept {
+    return P.hash();
+  }
+};
+
+#endif // GILLIAN_SOLVER_PATH_CONDITION_H

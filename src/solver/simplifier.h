@@ -1,0 +1,57 @@
+//===- solver/simplifier.h - Algebraic simplification ----------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The first-order simplifier the paper refers to in §2.3 ("Gillian's
+/// first-order solver applies a number of algebraic identities to simplify
+/// the resulting expression"). It constant-folds through the *same*
+/// concrete operator semantics the interpreter uses, and applies algebraic
+/// identities that are sound for GIL's dynamically typed values (identities
+/// that depend on types, such as e*0 = 0, fire only when the operand type
+/// is statically known).
+///
+/// The simplifier is one of the engine improvements the paper credits for
+/// Gillian-JS being ~2x faster than JaVerT 2.0; it can be disabled through
+/// EngineOptions to reconstruct the baseline (see bench/ablation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_SOLVER_SIMPLIFIER_H
+#define GILLIAN_SOLVER_SIMPLIFIER_H
+
+#include "gil/expr.h"
+#include "solver/type_infer.h"
+
+namespace gillian {
+
+/// Simplifies \p E bottom-up. Idempotent; never changes the meaning of the
+/// expression (including its error behaviour being preserved *or refined*:
+/// an expression that would fault concretely is never simplified into one
+/// that succeeds with a different value, though a faulting expression may
+/// remain unsimplified).
+///
+/// \p Env supplies logical-variable types (harvested from the path
+/// condition); type-guarded identities such as (#p + 8) + 8 -> #p + 16
+/// only fire when the operand types are known.
+Expr simplify(const Expr &E, const TypeEnv *Env = nullptr);
+
+/// simplify() with a process-wide memo cache keyed by (environment hash,
+/// expression). The cache makes repeated path-condition simplification
+/// cheap; it can be bypassed (for the JaVerT-2.0-style ablation) by
+/// calling simplify().
+Expr simplifyCached(const Expr &E, const TypeEnv *Env = nullptr);
+
+/// Number of hits/misses of the simplifyCached memo (for bench reporting).
+struct SimplifyCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+SimplifyCacheStats simplifyCacheStats();
+void resetSimplifyCache();
+
+} // namespace gillian
+
+#endif // GILLIAN_SOLVER_SIMPLIFIER_H

@@ -1,0 +1,99 @@
+//===- solver/solver.cpp --------------------------------------------------===//
+
+#include "solver/solver.h"
+
+#include "solver/z3_backend.h"
+
+using namespace gillian;
+
+SatResult Solver::checkSat(const PathCondition &PC) {
+  ++Stats.Queries;
+  if (PC.isTriviallyFalse()) {
+    ++Stats.TrivialAnswers;
+    ++Stats.Unsat;
+    return SatResult::Unsat;
+  }
+  if (PC.empty()) {
+    ++Stats.TrivialAnswers;
+    ++Stats.Sat;
+    return SatResult::Sat;
+  }
+
+  if (Opts.UseCache) {
+    auto It = Cache.find(PC);
+    if (It != Cache.end()) {
+      ++Stats.CacheHits;
+      return It->second;
+    }
+  }
+
+  SatResult R = SatResult::Unknown;
+  if (Opts.UseSyntactic) {
+    R = checkSatSyntactic(PC);
+    if (R == SatResult::Unsat)
+      ++Stats.SyntacticUnsat;
+    // SAT certification without SMT: propose a candidate model from the
+    // syntactic analysis and verify it by evaluating every conjunct —
+    // sound by construction, and it short-circuits the Z3 round-trip on
+    // the common simple path conditions symbolic execution produces.
+    if (R == SatResult::Unknown) {
+      if (std::optional<Model> M = proposeModelSyntactic(PC)) {
+        ++Stats.ModelsProposed;
+        if (M->satisfies(PC)) {
+          ++Stats.ModelsVerified;
+          ++Stats.SyntacticSat;
+          R = SatResult::Sat;
+        }
+      }
+    }
+  }
+  if (R == SatResult::Unknown && Opts.UseZ3 && z3Available()) {
+    ++Stats.Z3Calls;
+    TypeEnv Types;
+    if (!inferTypes(PC.conjuncts(), Types)) {
+      R = SatResult::Unsat;
+    } else {
+      R = checkSatZ3(PC, Types, /*WantModel=*/false).Verdict;
+    }
+  }
+
+  switch (R) {
+  case SatResult::Sat: ++Stats.Sat; break;
+  case SatResult::Unsat: ++Stats.Unsat; break;
+  case SatResult::Unknown: ++Stats.Unknown; break;
+  }
+  if (Opts.UseCache)
+    Cache.emplace(PC, R);
+  return R;
+}
+
+std::optional<Model> Solver::verifiedModel(const PathCondition &PC) {
+  if (PC.isTriviallyFalse())
+    return std::nullopt;
+
+  // First try the cheap syntactic proposal.
+  if (Opts.UseSyntactic) {
+    if (auto M = proposeModelSyntactic(PC)) {
+      ++Stats.ModelsProposed;
+      if (M->satisfies(PC)) {
+        ++Stats.ModelsVerified;
+        return M;
+      }
+    }
+  }
+  if (Opts.UseZ3 && z3Available()) {
+    TypeEnv Types;
+    if (!inferTypes(PC.conjuncts(), Types))
+      return std::nullopt;
+    ++Stats.Z3Calls;
+    Z3Outcome Out = checkSatZ3(PC, Types, /*WantModel=*/true);
+    if (Out.CandidateModel) {
+      ++Stats.ModelsProposed;
+      if (Out.CandidateModel->satisfies(PC)) {
+        ++Stats.ModelsVerified;
+        return Out.CandidateModel;
+      }
+    }
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,568 @@
+//===- solver/syntactic.cpp -----------------------------------------------===//
+
+#include "solver/syntactic.h"
+
+#include <limits>
+#include <unordered_map>
+
+using namespace gillian;
+
+std::string_view gillian::satResultName(SatResult R) {
+  switch (R) {
+  case SatResult::Sat: return "sat";
+  case SatResult::Unsat: return "unsat";
+  case SatResult::Unknown: return "unknown";
+  }
+  return "<bad-sat-result>";
+}
+
+namespace {
+
+constexpr int64_t IntMin = std::numeric_limits<int64_t>::min();
+constexpr int64_t IntMax = std::numeric_limits<int64_t>::max();
+
+/// Equality classes over expressions (treated as opaque terms except for
+/// literals), plus per-class integer intervals and literal bindings.
+class Egraph {
+public:
+  /// Returns the node id for \p E, creating it on first sight.
+  int node(const Expr &E) {
+    auto It = Ids.find(E);
+    if (It != Ids.end())
+      return It->second;
+    int Id = static_cast<int>(Parent.size());
+    Ids.emplace(E, Id);
+    Parent.push_back(Id);
+    Lit.emplace_back();
+    Lo.push_back(IntMin);
+    Hi.push_back(IntMax);
+    Terms.push_back(E);
+    if (E.isLit())
+      Lit.back() = E.litValue();
+    return Id;
+  }
+
+  int find(int X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+
+  /// Merges two classes; returns false on literal conflict or interval
+  /// emptiness.
+  bool merge(int A, int B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return true;
+    Parent[B] = A;
+    if (Lit[A] && Lit[B] && !(*Lit[A] == *Lit[B]))
+      return false;
+    if (!Lit[A])
+      Lit[A] = Lit[B];
+    Lo[A] = std::max(Lo[A], Lo[B]);
+    Hi[A] = std::min(Hi[A], Hi[B]);
+    return checkClass(A);
+  }
+
+  /// Tightens the interval of \p X's class; returns false if it empties or
+  /// contradicts the class literal.
+  bool bound(int X, int64_t NewLo, int64_t NewHi) {
+    int R = find(X);
+    Lo[R] = std::max(Lo[R], NewLo);
+    Hi[R] = std::min(Hi[R], NewHi);
+    return checkClass(R);
+  }
+
+  const std::optional<Value> &litOf(int X) { return Lit[find(X)]; }
+  int64_t loOf(int X) { return Lo[find(X)]; }
+  int64_t hiOf(int X) { return Hi[find(X)]; }
+
+  const std::unordered_map<Expr, int> &ids() const { return Ids; }
+
+private:
+  bool checkClass(int R) {
+    if (Lo[R] > Hi[R])
+      return false;
+    if (Lit[R] && Lit[R]->isInt() &&
+        (Lit[R]->asInt() < Lo[R] || Lit[R]->asInt() > Hi[R]))
+      return false;
+    return true;
+  }
+
+  std::unordered_map<Expr, int> Ids;
+  std::vector<int> Parent;
+  std::vector<std::optional<Value>> Lit;
+  std::vector<int64_t> Lo, Hi;
+  std::vector<Expr> Terms;
+};
+
+/// Shared analysis driving both checkSatSyntactic and
+/// proposeModelSyntactic.
+struct Analysis {
+  Egraph G;
+  TypeEnv Types;
+  std::vector<std::pair<int, int>> Diseqs;
+  /// a <= b (or a < b when Strict) order facts between arbitrary terms,
+  /// feeding the order-cycle check (x <= y && y < x is unsatisfiable for
+  /// every GIL comparison domain).
+  struct OrderEdge {
+    int A, B;
+    bool Strict;
+    bool AntisymSafe; ///< a <= b <= a => a == b holds for this edge
+  };
+  std::vector<OrderEdge> Order;
+  /// Suggestion-only edges from negated Num comparisons: !(a <= b) hints
+  /// b < a for model proposal, but is NOT a sound deduction (NaN makes
+  /// both comparisons false), so these never feed the cycle check.
+  std::vector<OrderEdge> SuggestOrder;
+  bool Contradiction = false;
+
+  /// Decomposes e + c (Int) so interval facts about the base propagate.
+  static bool splitOffset(const Expr &E, Expr &Base, int64_t &Off) {
+    if (E.kind() == ExprKind::BinOp && E.binOpKind() == BinOpKind::Add &&
+        E.child(1).isLit() && E.child(1).litValue().isInt()) {
+      Base = E.child(0);
+      Off = E.child(1).litValue().asInt();
+      return true;
+    }
+    Base = E;
+    Off = 0;
+    return false;
+  }
+
+  void assumeTrue(const Expr &E) {
+    if (Contradiction || !E)
+      return;
+    if (E.isTrue())
+      return;
+    if (E.isFalse()) {
+      Contradiction = true;
+      return;
+    }
+    if (E.kind() == ExprKind::BinOp) {
+      BinOpKind Op = E.binOpKind();
+      const Expr &A = E.child(0), &B = E.child(1);
+      switch (Op) {
+      case BinOpKind::And:
+        assumeTrue(A);
+        assumeTrue(B);
+        return;
+      case BinOpKind::Eq: {
+        // Decompose (base + c) == d into interval facts too.
+        Expr BaseA, BaseB;
+        int64_t OffA, OffB;
+        bool ShiftA = splitOffset(A, BaseA, OffA);
+        (void)ShiftA;
+        bool ShiftB = splitOffset(B, BaseB, OffB);
+        (void)ShiftB;
+        if (OffA == 0 && OffB == 0) {
+          if (!G.merge(G.node(A), G.node(B)))
+            Contradiction = true;
+          return;
+        }
+        // base_a + off_a == lit  ->  base_a == lit - off_a
+        if (B.isLit() && B.litValue().isInt()) {
+          Expr Rhs = Expr::intE(B.litValue().asInt() - OffA);
+          if (!G.merge(G.node(BaseA), G.node(Rhs)))
+            Contradiction = true;
+          return;
+        }
+        if (!G.merge(G.node(A), G.node(B)))
+          Contradiction = true;
+        return;
+      }
+      case BinOpKind::Lt:
+      case BinOpKind::Le: {
+        int64_t Slack = Op == BinOpKind::Lt ? 1 : 0;
+        Expr BaseA, BaseB;
+        int64_t OffA, OffB;
+        splitOffset(A, BaseA, OffA);
+        splitOffset(B, BaseB, OffB);
+        // Integer interval reasoning is only sound for Int-typed bases: a
+        // Num variable strictly between two integers must not be refuted.
+        if (B.isLit() && B.litValue().isInt() &&
+            staticType(BaseA, Types) == GilType::Int) {
+          // base_a <= lit - off_a - slack
+          if (!G.bound(G.node(BaseA), IntMin,
+                       B.litValue().asInt() - OffA - Slack))
+            Contradiction = true;
+          return;
+        }
+        if (A.isLit() && A.litValue().isInt() &&
+            staticType(BaseB, Types) == GilType::Int) {
+          if (!G.bound(G.node(BaseB), A.litValue().asInt() - OffB + Slack,
+                       IntMax))
+            Contradiction = true;
+          return;
+        }
+        // var-to-var comparisons: record an order edge; cycles through a
+        // strict edge are contradictions (checked in run()). The edge is
+        // antisymmetry-safe (a <= b <= a implies a == b) only for Int and
+        // Str operands: structurally, Num has 0.0 <= -0.0 <= 0.0 with
+        // 0.0 != -0.0.
+        if (Op == BinOpKind::Lt && A == B) {
+          Contradiction = true;
+          return;
+        }
+        auto TA2 = staticType(A, Types), TB2 = staticType(B, Types);
+        bool Safe = (TA2 == GilType::Int && TB2 == GilType::Int) ||
+                    (TA2 == GilType::Str && TB2 == GilType::Str);
+        Order.push_back({G.node(A), G.node(B), Op == BinOpKind::Lt, Safe});
+        return;
+      }
+      default:
+        break;
+      }
+    }
+    if (E.kind() == ExprKind::UnOp && E.unOpKind() == UnOpKind::Not) {
+      const Expr &C = E.child(0);
+      if (C.kind() == ExprKind::BinOp && C.binOpKind() == BinOpKind::Eq) {
+        Diseqs.emplace_back(G.node(C.child(0)), G.node(C.child(1)));
+        return;
+      }
+      if (C.kind() == ExprKind::BinOp && (C.binOpKind() == BinOpKind::Lt ||
+                                          C.binOpKind() == BinOpKind::Le)) {
+        // !(a <= b) suggests b < a (and !(a < b) suggests b <= a) for the
+        // model proposer only.
+        SuggestOrder.push_back({G.node(C.child(1)), G.node(C.child(0)),
+                                C.binOpKind() == BinOpKind::Le, false});
+        // Still record the opaque boolean fact for congruence.
+      }
+      if (C.isLVar()) {
+        if (!G.merge(G.node(C), G.node(Expr::boolE(false))))
+          Contradiction = true;
+        return;
+      }
+      // Opaque negated fact: remember the term equals false.
+      if (!G.merge(G.node(C), G.node(Expr::boolE(false))))
+        Contradiction = true;
+      return;
+    }
+    if (E.isLVar()) {
+      if (!G.merge(G.node(E), G.node(Expr::boolE(true))))
+        Contradiction = true;
+      return;
+    }
+    // Opaque boolean term assumed true.
+    if (!G.merge(G.node(E), G.node(Expr::boolE(true))))
+      Contradiction = true;
+  }
+
+  /// Detects strict cycles in the <=-order graph over equality-class
+  /// representatives (plus implied edges between numeric literals): a
+  /// cycle containing a strict edge refutes the condition, and terms in a
+  /// pure <=-cycle are all equal (conflicting with recorded
+  /// disequalities or distinct literals).
+  void checkOrderCycles() {
+    if (Order.empty())
+      return;
+    // Collect participating representatives.
+    std::map<int, int> Idx; // representative -> dense index
+    auto denseOf = [&](int Node) {
+      int R = G.find(Node);
+      auto [It, _] = Idx.emplace(R, static_cast<int>(Idx.size()));
+      return It->second;
+    };
+    struct DenseEdge {
+      int A, B;
+      bool Strict;
+      bool Safe;
+    };
+    std::vector<DenseEdge> Edges;
+    for (const OrderEdge &E : Order)
+      Edges.push_back({denseOf(E.A), denseOf(E.B), E.Strict,
+                       E.AntisymSafe});
+    // Implied edges between numeric literal classes (safe only between
+    // Int literals, where structural equality matches numeric equality).
+    struct NumLit {
+      int Dense;
+      double D;
+      bool IsInt;
+    };
+    std::vector<NumLit> NumLits;
+    for (auto &[Rep, Dense] : Idx) {
+      const std::optional<Value> &L = G.litOf(Rep);
+      if (L && L->isNumeric())
+        NumLits.push_back({Dense, L->asDouble(), L->isInt()});
+    }
+    for (size_t I = 0; I != NumLits.size(); ++I)
+      for (size_t J = 0; J != NumLits.size(); ++J)
+        if (I != J && NumLits[I].D <= NumLits[J].D)
+          Edges.push_back({NumLits[I].Dense, NumLits[J].Dense,
+                           NumLits[I].D < NumLits[J].D,
+                           NumLits[I].IsInt && NumLits[J].IsInt});
+    size_t N = Idx.size();
+    // Floyd-Warshall-style closure on (reachable, strictly-reachable);
+    // N is small (terms mentioned in comparisons of one path condition).
+    if (N > 256)
+      return; // degrade gracefully on huge conditions
+    auto closure = [N](std::vector<uint8_t> &Reach) {
+      for (size_t K = 0; K < N; ++K)
+        for (size_t I = 0; I < N; ++I) {
+          uint8_t IK = Reach[I * N + K];
+          if (!IK)
+            continue;
+          for (size_t J = 0; J < N; ++J) {
+            uint8_t KJ = Reach[K * N + J];
+            if (!KJ)
+              continue;
+            uint8_t Via = std::max(IK, KJ) == 2 ? 2 : 1;
+            uint8_t &R = Reach[I * N + J];
+            if (Via > R)
+              R = Via;
+          }
+        }
+    };
+    std::vector<uint8_t> Reach(N * N, 0); // 1 = <=, 2 = < (all edges)
+    std::vector<uint8_t> Safe(N * N, 0);  // antisymmetry-safe edges only
+    for (const DenseEdge &E : Edges) {
+      uint8_t V = E.Strict ? 2 : 1;
+      size_t I = static_cast<size_t>(E.A) * N + E.B;
+      Reach[I] = std::max(Reach[I], V);
+      if (E.Safe)
+        Safe[I] = std::max(Safe[I], V);
+    }
+    closure(Reach);
+    closure(Safe);
+    for (size_t I = 0; I < N; ++I)
+      if (Reach[I * N + I] == 2) {
+        Contradiction = true; // a < a through the cycle
+        return;
+      }
+    // Pure <=-cycles equate their members: check diseqs and literals.
+    std::map<int, int> DenseOfRep;
+    for (auto &[Rep, Dense] : Idx)
+      DenseOfRep[Rep] = Dense;
+    for (auto [A, B] : Diseqs) {
+      auto IA = DenseOfRep.find(G.find(A));
+      auto IB = DenseOfRep.find(G.find(B));
+      if (IA == DenseOfRep.end() || IB == DenseOfRep.end())
+        continue;
+      size_t X = static_cast<size_t>(IA->second);
+      size_t Y = static_cast<size_t>(IB->second);
+      if (X != Y && Safe[X * N + Y] == 1 && Safe[Y * N + X] == 1) {
+        Contradiction = true; // a <= b <= a with a != b (Int/Str order)
+        return;
+      }
+    }
+  }
+
+  void run(const PathCondition &PC) {
+    if (PC.isTriviallyFalse()) {
+      Contradiction = true;
+      return;
+    }
+    if (!inferTypes(PC.conjuncts(), Types)) {
+      Contradiction = true;
+      return;
+    }
+    for (const Expr &C : PC.conjuncts()) {
+      assumeTrue(C);
+      if (Contradiction)
+        return;
+    }
+    checkOrderCycles();
+    if (Contradiction)
+      return;
+    // Disequality check after all merges.
+    for (auto [A, B] : Diseqs) {
+      if (G.find(A) == G.find(B)) {
+        Contradiction = true;
+        return;
+      }
+      const auto &LA = G.litOf(A);
+      const auto &LB = G.litOf(B);
+      if (LA && LB && *LA == *LB) {
+        Contradiction = true;
+        return;
+      }
+    }
+  }
+};
+
+} // namespace
+
+SatResult gillian::checkSatSyntactic(const PathCondition &PC) {
+  if (PC.empty())
+    return SatResult::Sat;
+  Analysis A;
+  A.run(PC);
+  if (A.Contradiction)
+    return SatResult::Unsat;
+  return SatResult::Unknown;
+}
+
+std::optional<Model> gillian::proposeModelSyntactic(const PathCondition &PC) {
+  Analysis A;
+  A.run(PC);
+  if (A.Contradiction)
+    return std::nullopt;
+
+  std::set<InternedString> LVars;
+  PC.collectLVars(LVars);
+
+  // Order-aware numeric suggestions: propagate lower bounds along the
+  // <=-graph (strict edges add 1) from literal anchors and unanchored
+  // sources, then upper bounds downwards. The result is a candidate that
+  // satisfies chains like a <= b < c without an SMT call; the caller
+  // verifies it by evaluation, so imperfect suggestions only cost a
+  // fallback.
+  std::map<int, double> Suggested; // representative -> value
+  std::vector<Analysis::OrderEdge> AllOrder = A.Order;
+  AllOrder.insert(AllOrder.end(), A.SuggestOrder.begin(),
+                  A.SuggestOrder.end());
+  if (!AllOrder.empty() && AllOrder.size() < 512) {
+    std::map<int, double> Low, High;
+    auto reps = [&](int N) { return A.G.find(N); };
+    std::set<int> Nodes;
+    for (const auto &E : AllOrder) {
+      Nodes.insert(reps(E.A));
+      Nodes.insert(reps(E.B));
+    }
+    for (int R : Nodes) {
+      const std::optional<Value> &L = A.G.litOf(R);
+      if (L && L->isNumeric()) {
+        Low[R] = L->asDouble();
+        High[R] = L->asDouble();
+      }
+    }
+    for (size_t Round = 0; Round <= Nodes.size(); ++Round) {
+      bool Changed = false;
+      for (const auto &E : AllOrder) {
+        int RA = reps(E.A), RB = reps(E.B);
+        double W = E.Strict ? 1.0 : 0.0;
+        auto LA = Low.find(RA);
+        if (LA != Low.end()) {
+          double Cand = LA->second + W;
+          auto [It, Ins] = Low.emplace(RB, Cand);
+          if (!Ins && Cand > It->second) {
+            It->second = Cand;
+            Changed = true;
+          } else if (Ins) {
+            Changed = true;
+          }
+        }
+        auto HB = High.find(RB);
+        if (HB != High.end()) {
+          double Cand = HB->second - W;
+          auto [It, Ins] = High.emplace(RA, Cand);
+          if (!Ins && Cand < It->second) {
+            It->second = Cand;
+            Changed = true;
+          } else if (Ins) {
+            Changed = true;
+          }
+        }
+      }
+      if (!Changed)
+        break;
+    }
+    for (int R : Nodes) {
+      auto L = Low.find(R), H = High.find(R);
+      if (L != Low.end() && H != High.end() && L->second > H->second)
+        continue; // inconsistent window; let verification/Z3 decide
+      if (L != Low.end())
+        Suggested[R] = L->second;
+      else if (H != High.end())
+        Suggested[R] = H->second;
+    }
+    // Seed unanchored order sources at 0 and re-run one lower-bound pass
+    // so fully-relative chains (a < b < c with no literals) get values.
+    bool Seeded = false;
+    for (int R : Nodes)
+      if (!Suggested.count(R)) {
+        Suggested[R] = 0;
+        Seeded = true;
+      }
+    if (Seeded) {
+      for (size_t Round = 0; Round <= Nodes.size(); ++Round) {
+        bool Changed = false;
+        for (const auto &E : AllOrder) {
+          int RA = reps(E.A), RB = reps(E.B);
+          double W = E.Strict ? 1.0 : 0.0;
+          auto IA = Suggested.find(RA), IB = Suggested.find(RB);
+          if (IA != Suggested.end() && IB != Suggested.end() &&
+              IB->second < IA->second + W) {
+            // Only lift nodes that are not literal-anchored.
+            const std::optional<Value> &L = A.G.litOf(RB);
+            if (!(L && L->isNumeric())) {
+              IB->second = IA->second + W;
+              Changed = true;
+            }
+          }
+        }
+        if (!Changed)
+          break;
+      }
+    }
+  }
+
+  Model M;
+  uint32_t FreshSym = 0;
+  // Distinct default integers per disequality-entangled class would need a
+  // real solver; pick class literals when available, else spread values by
+  // class id to make x != y defaults likely to verify.
+  for (InternedString X : LVars) {
+    Expr V = Expr::lvar(X);
+    auto It = A.G.ids().find(V);
+    std::optional<Value> Bound;
+    int64_t Lo = IntMin, Hi = IntMax, ClassId = 0;
+    if (It != A.G.ids().end()) {
+      int Id = It->second;
+      if (const auto &L = A.G.litOf(Id))
+        Bound = *L;
+      Lo = A.G.loOf(Id);
+      Hi = A.G.hiOf(Id);
+      ClassId = A.G.find(Id);
+    }
+    if (Bound) {
+      M.bind(X, *Bound);
+      continue;
+    }
+    GilType T = A.Types.lookup(X).value_or(GilType::Int);
+    auto Sug = Suggested.find(ClassId);
+    switch (T) {
+    case GilType::Int: {
+      int64_t Pick = 0;
+      if (Sug != Suggested.end())
+        Pick = static_cast<int64_t>(Sug->second);
+      if (Lo != IntMin && Lo > Pick)
+        Pick = Lo;
+      if (Hi != IntMax && Hi < Pick)
+        Pick = Hi;
+      // Spread untouched variables so simple disequalities hold.
+      if (Lo == IntMin && Hi == IntMax && Sug == Suggested.end())
+        Pick = ClassId;
+      M.bind(X, Value::intV(Pick));
+      break;
+    }
+    case GilType::Num:
+      M.bind(X, Sug != Suggested.end()
+                    ? Value::numV(Sug->second)
+                    : Value::numV(static_cast<double>(ClassId)));
+      break;
+    case GilType::Str:
+      M.bind(X, Value::strV("s" + std::to_string(ClassId)));
+      break;
+    case GilType::Bool:
+      M.bind(X, Value::boolV(true));
+      break;
+    case GilType::Sym:
+      M.bind(X, Value::symV("$model_" + std::to_string(FreshSym++)));
+      break;
+    case GilType::Type:
+      M.bind(X, Value::typeV(GilType::Int));
+      break;
+    case GilType::Proc:
+      M.bind(X, Value::procV("main"));
+      break;
+    case GilType::List:
+      M.bind(X, Value::listV({}));
+      break;
+    }
+  }
+  return M;
+}

@@ -1,0 +1,54 @@
+//===- solver/syntactic.h - Syntactic satisfiability core ------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cheap, sound-for-UNSAT satisfiability core that handles the bulk of
+/// the path conditions symbolic execution produces, without an SMT call:
+///
+///  * equality reasoning: union-find over logical variables, literals and
+///    opaque terms, with literal-conflict detection;
+///  * disequalities checked against the equality classes;
+///  * integer interval propagation for `x < c`-shaped conjuncts;
+///  * type conflicts via the shared type-inference pass.
+///
+/// It never answers Sat — only Unsat (proved) or Unknown — and can propose
+/// candidate models that the caller verifies by evaluation, so its answers
+/// are trustworthy even though it is incomplete.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_SOLVER_SYNTACTIC_H
+#define GILLIAN_SOLVER_SYNTACTIC_H
+
+#include "solver/model.h"
+#include "solver/path_condition.h"
+#include "solver/type_infer.h"
+
+#include <optional>
+
+namespace gillian {
+
+enum class SatResult : uint8_t {
+  Sat,
+  Unsat,
+  Unknown,
+};
+
+std::string_view satResultName(SatResult R);
+
+/// Checks \p PC syntactically. Returns Unsat only on a proof; Unknown
+/// otherwise (callers treat Unknown as possibly-Sat).
+SatResult checkSatSyntactic(const PathCondition &PC);
+
+/// Proposes a model for \p PC from the syntactic analysis (equality-class
+/// representatives, interval bounds, typed defaults). The result is only a
+/// *candidate*: callers must verify it with Model::satisfies before use.
+/// Returns nullopt when the analysis found a contradiction.
+std::optional<Model> proposeModelSyntactic(const PathCondition &PC);
+
+} // namespace gillian
+
+#endif // GILLIAN_SOLVER_SYNTACTIC_H

@@ -1,0 +1,297 @@
+//===- solver/type_infer.cpp ----------------------------------------------===//
+
+#include "solver/type_infer.h"
+
+using namespace gillian;
+
+std::optional<GilType> gillian::staticType(const Expr &E, const TypeEnv &Env) {
+  if (!E)
+    return std::nullopt;
+  switch (E.kind()) {
+  case ExprKind::Lit:
+    return E.litValue().type();
+  case ExprKind::PVar:
+    return std::nullopt; // program variables never appear in pure formulae
+  case ExprKind::LVar:
+    return Env.lookup(E.varName());
+  case ExprKind::List:
+    return GilType::List;
+  case ExprKind::UnOp:
+    switch (E.unOpKind()) {
+    case UnOpKind::Neg: {
+      auto T = staticType(E.child(0), Env);
+      if (T == GilType::Int || T == GilType::Num)
+        return T;
+      return std::nullopt;
+    }
+    case UnOpKind::Not:
+      return GilType::Bool;
+    case UnOpKind::BitNot:
+    case UnOpKind::ListLen:
+    case UnOpKind::StrLen:
+    case UnOpKind::ToInt:
+      return GilType::Int;
+    case UnOpKind::TypeOf:
+      return GilType::Type;
+    case UnOpKind::Head:
+      return std::nullopt;
+    case UnOpKind::Tail:
+      return GilType::List;
+    case UnOpKind::ToNum:
+    case UnOpKind::StrToNum:
+      return GilType::Num;
+    case UnOpKind::NumToStr:
+      return GilType::Str;
+    }
+    return std::nullopt;
+  case ExprKind::BinOp:
+    switch (E.binOpKind()) {
+    case BinOpKind::Add:
+    case BinOpKind::Sub:
+    case BinOpKind::Mul:
+    case BinOpKind::Div: {
+      auto A = staticType(E.child(0), Env);
+      auto B = staticType(E.child(1), Env);
+      if (A == GilType::Int && B == GilType::Int)
+        return GilType::Int;
+      if ((A == GilType::Num && B && (*B == GilType::Int || *B == GilType::Num)) ||
+          (B == GilType::Num && A && (*A == GilType::Int || *A == GilType::Num)))
+        return GilType::Num;
+      return std::nullopt;
+    }
+    case BinOpKind::Mod: {
+      auto A = staticType(E.child(0), Env);
+      auto B = staticType(E.child(1), Env);
+      if (A == GilType::Int && B == GilType::Int)
+        return GilType::Int;
+      if (A && B)
+        return GilType::Num;
+      return std::nullopt;
+    }
+    case BinOpKind::Eq:
+    case BinOpKind::Lt:
+    case BinOpKind::Le:
+    case BinOpKind::And:
+    case BinOpKind::Or:
+      return GilType::Bool;
+    case BinOpKind::StrCat:
+    case BinOpKind::StrNth:
+      return GilType::Str;
+    case BinOpKind::ListNth:
+      return std::nullopt;
+    case BinOpKind::ListConcat:
+    case BinOpKind::Cons:
+      return GilType::List;
+    case BinOpKind::BitAnd:
+    case BinOpKind::BitOr:
+    case BinOpKind::BitXor:
+    case BinOpKind::Shl:
+    case BinOpKind::Shr:
+      return GilType::Int;
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// If \p E is an LVar with unknown type, pins it to \p T. Returns false on
+/// conflict.
+bool pin(const Expr &E, GilType T, TypeEnv &Env, bool &Changed) {
+  if (!E.isLVar())
+    return true;
+  auto Old = Env.lookup(E.varName());
+  if (Old) {
+    return *Old == T;
+  }
+  Env.assign(E.varName(), T);
+  Changed = true;
+  return true;
+}
+
+/// Walks an expression that is assumed *true*, harvesting typing facts.
+/// Returns false when a definite conflict is found.
+bool harvestTruth(const Expr &E, TypeEnv &Env, bool &Changed);
+
+/// Harvests operand-type facts from any subexpression (regardless of the
+/// boolean polarity of the enclosing formula): operators constrain their
+/// operands wherever they appear.
+bool harvestOperands(const Expr &E, TypeEnv &Env, bool &Changed) {
+  if (!E)
+    return true;
+  if (E.kind() == ExprKind::UnOp) {
+    const Expr &C = E.child(0);
+    switch (E.unOpKind()) {
+    case UnOpKind::Not:
+      if (!pin(C, GilType::Bool, Env, Changed))
+        return false;
+      break;
+    case UnOpKind::BitNot:
+      if (!pin(C, GilType::Int, Env, Changed))
+        return false;
+      break;
+    case UnOpKind::StrLen:
+    case UnOpKind::StrToNum:
+      if (!pin(C, GilType::Str, Env, Changed))
+        return false;
+      break;
+    case UnOpKind::ListLen:
+    case UnOpKind::Head:
+    case UnOpKind::Tail:
+      if (!pin(C, GilType::List, Env, Changed))
+        return false;
+      break;
+    default:
+      break;
+    }
+  } else if (E.kind() == ExprKind::BinOp) {
+    const Expr &A = E.child(0), &B = E.child(1);
+    switch (E.binOpKind()) {
+    case BinOpKind::And:
+    case BinOpKind::Or:
+      if (!pin(A, GilType::Bool, Env, Changed) ||
+          !pin(B, GilType::Bool, Env, Changed))
+        return false;
+      break;
+    case BinOpKind::StrCat:
+      if (!pin(A, GilType::Str, Env, Changed) ||
+          !pin(B, GilType::Str, Env, Changed))
+        return false;
+      break;
+    case BinOpKind::StrNth:
+      if (!pin(A, GilType::Str, Env, Changed) ||
+          !pin(B, GilType::Int, Env, Changed))
+        return false;
+      break;
+    case BinOpKind::ListNth:
+      if (!pin(A, GilType::List, Env, Changed) ||
+          !pin(B, GilType::Int, Env, Changed))
+        return false;
+      break;
+    case BinOpKind::ListConcat:
+      if (!pin(A, GilType::List, Env, Changed) ||
+          !pin(B, GilType::List, Env, Changed))
+        return false;
+      break;
+    case BinOpKind::Cons:
+      if (!pin(B, GilType::List, Env, Changed))
+        return false;
+      break;
+    case BinOpKind::BitAnd:
+    case BinOpKind::BitOr:
+    case BinOpKind::BitXor:
+    case BinOpKind::Shl:
+    case BinOpKind::Shr:
+      if (!pin(A, GilType::Int, Env, Changed) ||
+          !pin(B, GilType::Int, Env, Changed))
+        return false;
+      break;
+    case BinOpKind::Mod: {
+      // Mod on Int when either side is known Int.
+      auto TA = staticType(A, Env), TB = staticType(B, Env);
+      if (TA == GilType::Int && !pin(B, GilType::Int, Env, Changed))
+        return false;
+      if (TB == GilType::Int && !pin(A, GilType::Int, Env, Changed))
+        return false;
+      break;
+    }
+    case BinOpKind::Add:
+    case BinOpKind::Sub:
+    case BinOpKind::Mul:
+    case BinOpKind::Div: {
+      // Arithmetic operands are numeric; propagate an Int/Num operand's
+      // type to an untyped LVar sibling only when the sibling's type is
+      // fully determined by the other side being Int (Int op T = Int
+      // requires T = Int for closed results... not in general; be
+      // conservative and propagate only Int <-> Int pairing through
+      // equalities, handled elsewhere).
+      auto TA = staticType(A, Env), TB = staticType(B, Env);
+      if (TA == GilType::Int && !TB && B.isLVar()) {
+        // Mixed Int/Num is legal; do not pin.
+      }
+      (void)TB;
+      break;
+    }
+    default:
+      break;
+    }
+  }
+  for (size_t I = 0, N = E.numChildren(); I != N; ++I)
+    if (!harvestOperands(E.child(I), Env, Changed))
+      return false;
+  return true;
+}
+
+bool harvestTruth(const Expr &E, TypeEnv &Env, bool &Changed) {
+  if (!E)
+    return true;
+  // A bare logical variable assumed true is a boolean.
+  if (E.isLVar())
+    return pin(E, GilType::Bool, Env, Changed);
+  if (E.kind() == ExprKind::BinOp) {
+    BinOpKind Op = E.binOpKind();
+    const Expr &A = E.child(0), &B = E.child(1);
+    if (Op == BinOpKind::And)
+      return harvestTruth(A, Env, Changed) && harvestTruth(B, Env, Changed);
+    if (Op == BinOpKind::Eq) {
+      // typeof(#x) == ^T
+      if (A.kind() == ExprKind::UnOp && A.unOpKind() == UnOpKind::TypeOf &&
+          A.child(0).isLVar() && B.isLit() && B.litValue().isType()) {
+        if (!pin(A.child(0), B.litValue().asType(), Env, Changed))
+          return false;
+      }
+      if (B.kind() == ExprKind::UnOp && B.unOpKind() == UnOpKind::TypeOf &&
+          B.child(0).isLVar() && A.isLit() && A.litValue().isType()) {
+        if (!pin(B.child(0), A.litValue().asType(), Env, Changed))
+          return false;
+      }
+      // #x == e with known-typed e (either direction).
+      auto TA = staticType(A, Env), TB = staticType(B, Env);
+      if (A.isLVar() && TB && !pin(A, *TB, Env, Changed))
+        return false;
+      if (B.isLVar() && TA && !pin(B, *TA, Env, Changed))
+        return false;
+      // Two known different types never compare equal.
+      if (TA && TB && *TA != *TB &&
+          !(((*TA == GilType::Int && *TB == GilType::Num) ||
+             (*TA == GilType::Num && *TB == GilType::Int))))
+        return false;
+      // Note: Int and Num are *also* never structurally equal in GIL
+      // (1 != 1.0), but the engine-facing languages insert coercions, so
+      // we refute those via the syntactic solver, not here.
+    }
+    if (Op == BinOpKind::Lt || Op == BinOpKind::Le) {
+      // Comparisons are numeric-or-string; propagate across sides.
+      auto TA = staticType(A, Env), TB = staticType(B, Env);
+      if (TA == GilType::Str && !pin(B, GilType::Str, Env, Changed))
+        return false;
+      if (TB == GilType::Str && !pin(A, GilType::Str, Env, Changed))
+        return false;
+    }
+  }
+  return harvestOperands(E, Env, Changed);
+}
+
+} // namespace
+
+void gillian::absorbConjunct(const Expr &Conjunct, TypeEnv &Env) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    (void)harvestTruth(Conjunct, Env, Changed);
+  }
+}
+
+bool gillian::inferTypes(const std::vector<Expr> &Conjuncts, TypeEnv &Env) {
+  bool Changed = true;
+  // Fixpoint; the lattice height is |LVars|, each iteration either pins a
+  // new variable or terminates.
+  while (Changed) {
+    Changed = false;
+    for (const Expr &C : Conjuncts)
+      if (!harvestTruth(C, Env, Changed))
+        return false;
+  }
+  return true;
+}

@@ -1,0 +1,89 @@
+//===- support/cow_map.h - Copy-on-write ordered map -----------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A copy-on-write wrapper over std::map. Symbolic execution branches
+/// duplicate whole states; CowMap makes those duplications O(1) by sharing
+/// the underlying map until one of the copies is written to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_SUPPORT_COW_MAP_H
+#define GILLIAN_SUPPORT_COW_MAP_H
+
+#include <cassert>
+#include <map>
+#include <memory>
+#include <utility>
+
+namespace gillian {
+
+/// Ordered map with O(1) copies and copy-on-write mutation.
+///
+/// Reads never copy. The first mutation after a copy clones the underlying
+/// std::map; subsequent mutations on the same (unshared) instance are as
+/// cheap as on a plain std::map.
+template <typename K, typename V, typename Cmp = std::less<K>> class CowMap {
+  using MapT = std::map<K, V, Cmp>;
+
+public:
+  using const_iterator = typename MapT::const_iterator;
+  using value_type = typename MapT::value_type;
+
+  CowMap() : Impl(std::make_shared<MapT>()) {}
+
+  /// Returns the value bound to \p Key, or null if absent. The pointer is
+  /// invalidated by any mutation of this map.
+  const V *lookup(const K &Key) const {
+    auto It = Impl->find(Key);
+    return It == Impl->end() ? nullptr : &It->second;
+  }
+
+  bool contains(const K &Key) const { return Impl->count(Key) != 0; }
+  size_t size() const { return Impl->size(); }
+  bool empty() const { return Impl->empty(); }
+
+  /// Binds \p Key to \p Val, overwriting any previous binding.
+  void set(const K &Key, V Val) {
+    detach();
+    (*Impl)[Key] = std::move(Val);
+  }
+
+  /// Removes the binding for \p Key if present; returns whether it was.
+  bool erase(const K &Key) {
+    if (!contains(Key))
+      return false;
+    detach();
+    Impl->erase(Key);
+    return true;
+  }
+
+  void clear() { Impl = std::make_shared<MapT>(); }
+
+  const_iterator begin() const { return Impl->begin(); }
+  const_iterator end() const { return Impl->end(); }
+
+  /// Structural equality (element-wise); fast path when storage is shared.
+  friend bool operator==(const CowMap &A, const CowMap &B) {
+    return A.Impl == B.Impl || *A.Impl == *B.Impl;
+  }
+
+  /// True if this instance currently shares storage with another copy.
+  /// Exposed for tests of the copy-on-write behaviour.
+  bool sharesStorage() const { return Impl.use_count() > 1; }
+
+private:
+  void detach() {
+    if (Impl.use_count() > 1)
+      Impl = std::make_shared<MapT>(*Impl);
+  }
+
+  std::shared_ptr<MapT> Impl;
+};
+
+} // namespace gillian
+
+#endif // GILLIAN_SUPPORT_COW_MAP_H

@@ -1,0 +1,30 @@
+//===- support/diagnostics.h - Parser diagnostics --------------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small helpers for formatting front-end diagnostics with source
+/// positions, shared by all parsers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_SUPPORT_DIAGNOSTICS_H
+#define GILLIAN_SUPPORT_DIAGNOSTICS_H
+
+#include "support/lexer.h"
+
+#include <string>
+
+namespace gillian {
+
+/// Formats "line L:C: Message" in the style shared by all front ends.
+std::string diagAt(int Line, int Col, const std::string &Message);
+
+/// Formats a diagnostic anchored at \p Tok, describing it when useful.
+std::string diagAtToken(const Token &Tok, const std::string &Message);
+
+} // namespace gillian
+
+#endif // GILLIAN_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,57 @@
+//===- support/interner.cpp ----------------------------------------------===//
+
+#include "support/interner.h"
+
+#include <cassert>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+using namespace gillian;
+
+namespace {
+
+/// Backing storage for the process-wide interner. A deque keeps string
+/// storage stable so returned string_views never dangle.
+struct InternerImpl {
+  std::mutex Mu;
+  std::deque<std::string> Storage;
+  std::unordered_map<std::string_view, uint32_t> Ids;
+
+  InternerImpl() {
+    Storage.emplace_back("");
+    Ids.emplace(Storage.back(), 0);
+  }
+
+  uint32_t intern(std::string_view S) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Ids.find(S);
+    if (It != Ids.end())
+      return It->second;
+    Storage.emplace_back(S);
+    uint32_t Id = static_cast<uint32_t>(Storage.size() - 1);
+    Ids.emplace(Storage.back(), Id);
+    return Id;
+  }
+
+  std::string_view spelling(uint32_t Id) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    assert(Id < Storage.size() && "invalid interned string id");
+    return Storage[Id];
+  }
+};
+
+InternerImpl &impl() {
+  static InternerImpl I;
+  return I;
+}
+
+} // namespace
+
+InternedString InternedString::get(std::string_view S) {
+  InternedString R;
+  R.Id = impl().intern(S);
+  return R;
+}
+
+std::string_view InternedString::str() const { return impl().spelling(Id); }

@@ -1,0 +1,72 @@
+//===- support/interner.h - Global string interning -----------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide string interner. GIL values, program variables, logical
+/// variables, procedure identifiers and action names are all interned so
+/// that the hot paths of the symbolic interpreter compare 32-bit ids
+/// instead of strings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_SUPPORT_INTERNER_H
+#define GILLIAN_SUPPORT_INTERNER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gillian {
+
+/// An interned string. Equality and hashing are O(1); the spelling can be
+/// recovered with str(). Id 0 is reserved for the empty string.
+class InternedString {
+public:
+  constexpr InternedString() : Id(0) {}
+
+  /// Interns \p S (thread-safe) and returns its handle.
+  static InternedString get(std::string_view S);
+
+  /// Returns the spelling of this interned string. The returned view is
+  /// valid for the lifetime of the process.
+  std::string_view str() const;
+
+  uint32_t id() const { return Id; }
+  bool empty() const { return Id == 0; }
+
+  /// Rebuilds a handle from a raw id previously obtained via id(). Only for
+  /// storage round-trips; the id must have come from this process.
+  static constexpr InternedString fromRaw(uint32_t Id) {
+    return InternedString(Id);
+  }
+
+  friend bool operator==(InternedString A, InternedString B) {
+    return A.Id == B.Id;
+  }
+  friend bool operator!=(InternedString A, InternedString B) {
+    return A.Id != B.Id;
+  }
+  /// Orders by id (interning order), not lexicographically. Use str() when
+  /// a stable human-facing order is needed.
+  friend bool operator<(InternedString A, InternedString B) {
+    return A.Id < B.Id;
+  }
+
+private:
+  explicit constexpr InternedString(uint32_t Id) : Id(Id) {}
+  uint32_t Id;
+};
+
+} // namespace gillian
+
+template <> struct std::hash<gillian::InternedString> {
+  size_t operator()(gillian::InternedString S) const noexcept {
+    // Fibonacci hashing of the dense id space.
+    return static_cast<size_t>(S.id()) * 0x9E3779B97F4A7C15ull;
+  }
+};
+
+#endif // GILLIAN_SUPPORT_INTERNER_H

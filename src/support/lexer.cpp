@@ -1,0 +1,213 @@
+//===- support/lexer.cpp -------------------------------------------------===//
+
+#include "support/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+using namespace gillian;
+
+namespace {
+
+/// Multi-character punctuators, longest first so maximal munch works by
+/// scanning this table in order.
+constexpr std::array<std::string_view, 23> MultiPuncts = {
+    "===", "!==", "@+", "^^", ":=", "==", "!=", "<=", ">=", "&&", "||",
+    "->",  "=>",  "++", "--", "<<", ">>", "::", "+=", "-=", "*=", "/=",
+    "%="};
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view Src) : Src(Src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Toks;
+    while (true) {
+      skipTrivia();
+      Token T = next();
+      bool Done = T.is(TokenKind::Eof) || T.is(TokenKind::Error);
+      Toks.push_back(std::move(T));
+      if (Done)
+        break;
+    }
+    return Toks;
+  }
+
+private:
+  std::string_view Src;
+  size_t Pos = 0;
+  int Line = 1, Col = 1;
+
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  void skipTrivia() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+          advance();
+        if (!atEnd()) {
+          advance();
+          advance();
+        }
+        continue;
+      }
+      break;
+    }
+  }
+
+  Token make(TokenKind K, std::string Text, int L, int C) {
+    Token T;
+    T.Kind = K;
+    T.Text = std::move(Text);
+    T.Line = L;
+    T.Col = C;
+    return T;
+  }
+
+  Token next() {
+    int L = Line, C = Col;
+    if (atEnd())
+      return make(TokenKind::Eof, "", L, C);
+
+    char Ch = peek();
+
+    if (std::isalpha(static_cast<unsigned char>(Ch)) || Ch == '_' ||
+        Ch == '$' || Ch == '#')
+      return lexIdent(L, C);
+    if (std::isdigit(static_cast<unsigned char>(Ch)))
+      return lexNumber(L, C);
+    if (Ch == '"')
+      return lexString(L, C);
+    return lexPunct(L, C);
+  }
+
+  Token lexIdent(int L, int C) {
+    size_t Start = Pos;
+    // '$' / '#' prefixes mark symbols and logical variables in textual GIL.
+    advance();
+    while (!atEnd()) {
+      char Ch = peek();
+      if (std::isalnum(static_cast<unsigned char>(Ch)) || Ch == '_' ||
+          Ch == '$')
+        advance();
+      else
+        break;
+    }
+    return make(TokenKind::Ident, std::string(Src.substr(Start, Pos - Start)),
+                L, C);
+  }
+
+  Token lexNumber(int L, int C) {
+    size_t Start = Pos;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+    bool IsFloat = false;
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      IsFloat = true;
+      advance();
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      size_t Save = Pos;
+      advance();
+      if (peek() == '+' || peek() == '-')
+        advance();
+      if (std::isdigit(static_cast<unsigned char>(peek()))) {
+        IsFloat = true;
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+          advance();
+      } else {
+        Pos = Save; // 'e' starts an identifier, not an exponent
+      }
+    }
+    std::string Spelling(Src.substr(Start, Pos - Start));
+    Token T = make(IsFloat ? TokenKind::Float : TokenKind::Int, Spelling, L, C);
+    if (IsFloat)
+      T.FloatVal = std::strtod(Spelling.c_str(), nullptr);
+    else
+      T.IntVal = std::strtoll(Spelling.c_str(), nullptr, 10);
+    return T;
+  }
+
+  Token lexString(int L, int C) {
+    advance(); // opening quote
+    std::string Value;
+    while (!atEnd() && peek() != '"') {
+      char Ch = advance();
+      if (Ch != '\\') {
+        Value.push_back(Ch);
+        continue;
+      }
+      if (atEnd())
+        break;
+      char Esc = advance();
+      switch (Esc) {
+      case 'n': Value.push_back('\n'); break;
+      case 't': Value.push_back('\t'); break;
+      case 'r': Value.push_back('\r'); break;
+      case '0': Value.push_back('\0'); break;
+      case '\\': Value.push_back('\\'); break;
+      case '"': Value.push_back('"'); break;
+      default:
+        return make(TokenKind::Error,
+                    std::string("unknown escape sequence '\\") + Esc + "'", L,
+                    C);
+      }
+    }
+    if (atEnd())
+      return make(TokenKind::Error, "unterminated string literal", L, C);
+    advance(); // closing quote
+    return make(TokenKind::String, std::move(Value), L, C);
+  }
+
+  Token lexPunct(int L, int C) {
+    std::string_view Rest = Src.substr(Pos);
+    for (std::string_view P : MultiPuncts) {
+      if (Rest.substr(0, P.size()) == P) {
+        for (size_t I = 0; I < P.size(); ++I)
+          advance();
+        return make(TokenKind::Punct, std::string(P), L, C);
+      }
+    }
+    char Ch = advance();
+    constexpr std::string_view Singles = "+-*/%<>=!&|(){}[],;:.?@~^";
+    if (Singles.find(Ch) != std::string_view::npos)
+      return make(TokenKind::Punct, std::string(1, Ch), L, C);
+    return make(TokenKind::Error,
+                std::string("unexpected character '") + Ch + "'", L, C);
+  }
+};
+
+} // namespace
+
+std::vector<Token> gillian::tokenize(std::string_view Source) {
+  return Lexer(Source).run();
+}

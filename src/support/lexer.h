@@ -1,0 +1,61 @@
+//===- support/lexer.h - Shared tokenizer ----------------------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A shared tokenizer used by all four front ends (textual GIL, While, MJS
+/// and MC). The token set is the union of what those grammars need;
+/// keywords are recognised by the individual parsers, not here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_SUPPORT_LEXER_H
+#define GILLIAN_SUPPORT_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gillian {
+
+enum class TokenKind {
+  Eof,
+  Ident,   ///< identifier, possibly prefixed with '$' (symbols) or '#' (lvars)
+  Int,     ///< integer literal
+  Float,   ///< floating-point literal (contains '.' or exponent)
+  String,  ///< double-quoted string literal (Text holds the decoded value)
+  Punct,   ///< operator / punctuation (Text holds the spelling)
+  Error,   ///< lexical error (Text holds the message)
+};
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;   ///< spelling (decoded for strings)
+  int64_t IntVal = 0; ///< value for Int tokens
+  double FloatVal = 0;///< value for Float tokens
+  int Line = 1;
+  int Col = 1;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isPunct(std::string_view P) const {
+    return Kind == TokenKind::Punct && Text == P;
+  }
+  bool isIdent(std::string_view S) const {
+    return Kind == TokenKind::Ident && Text == S;
+  }
+};
+
+/// Tokenizes \p Source in one pass.
+///
+/// Supports //-line and /*-block*/ comments, decimal integer and float
+/// literals, C-style string escapes, and maximal-munch multi-character
+/// punctuation (e.g. ":=", "==", "===", "<=", "&&", "->", "@+").
+/// Lexical errors become a single Error token at the failure position.
+std::vector<Token> tokenize(std::string_view Source);
+
+} // namespace gillian
+
+#endif // GILLIAN_SUPPORT_LEXER_H

@@ -1,0 +1,73 @@
+//===- support/result.h - Lightweight expected<T> --------------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Result<T>: a value or a string diagnostic. Used for fallible parsing,
+/// compilation and expression evaluation; the engine itself reports
+/// failures through GIL outcomes rather than through Result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_SUPPORT_RESULT_H
+#define GILLIAN_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gillian {
+
+/// A distinct wrapper so Result<std::string> stays unambiguous.
+struct Err {
+  std::string Message;
+  explicit Err(std::string Msg) : Message(std::move(Msg)) {}
+};
+
+/// A value of type T or an error message.
+template <typename T> class Result {
+public:
+  Result(T Val) : Val(std::move(Val)) {}
+  Result(Err E) : Error(std::move(E.Message)) {}
+
+  explicit operator bool() const { return Val.has_value(); }
+  bool ok() const { return Val.has_value(); }
+
+  T &operator*() {
+    assert(ok() && "dereferencing an error Result");
+    return *Val;
+  }
+  const T &operator*() const {
+    assert(ok() && "dereferencing an error Result");
+    return *Val;
+  }
+  T *operator->() {
+    assert(ok() && "dereferencing an error Result");
+    return &*Val;
+  }
+  const T *operator->() const {
+    assert(ok() && "dereferencing an error Result");
+    return &*Val;
+  }
+
+  const std::string &error() const {
+    assert(!ok() && "no error on a success Result");
+    return Error;
+  }
+
+  T take() {
+    assert(ok() && "taking from an error Result");
+    return std::move(*Val);
+  }
+
+private:
+  std::optional<T> Val;
+  std::string Error;
+};
+
+} // namespace gillian
+
+#endif // GILLIAN_SUPPORT_RESULT_H

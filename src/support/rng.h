@@ -1,0 +1,50 @@
+//===- support/rng.h - Deterministic RNG for tests -------------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (splitmix64) used by property-based tests and
+/// workload generators so runs are reproducible without seeding global
+/// state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_SUPPORT_RNG_H
+#define GILLIAN_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace gillian {
+
+/// splitmix64: tiny, fast, and statistically fine for test-case generation.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  bool flip() { return (next() & 1) != 0; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace gillian
+
+#endif // GILLIAN_SUPPORT_RNG_H

@@ -1,0 +1,365 @@
+//===- targets/buckets_mjs.cpp --------------------------------------------===//
+
+#include "targets/buckets_mjs.h"
+
+using namespace gillian::targets;
+
+namespace {
+
+/// The library. Function-style API (no closures/this in MJS); every
+/// structure is a plain object whose shape mirrors the Buckets.js
+/// implementation it stands in for.
+constexpr std::string_view Library = R"mjs(
+// ---------- arrays: utilities over JS arrays --------------------------
+function arr_new() { return [];
+}
+function arr_push(a, v) {
+  a[a.length] = v;
+  a.length = a.length + 1;
+  return a;
+}
+function arr_pop(a) {
+  if (a.length === 0) { return undefined; }
+  var v = a[a.length - 1];
+  delete a[a.length - 1];
+  a.length = a.length - 1;
+  return v;
+}
+function arr_indexOf(a, v) {
+  for (var i = 0; i < a.length; i = i + 1) {
+    if (a[i] === v) { return i; }
+  }
+  return -1;
+}
+function arr_contains(a, v) { return arr_indexOf(a, v) >= 0; }
+function arr_removeAt(a, idx) {
+  if (idx < 0 || idx >= a.length) { return false; }
+  for (var i = idx; i < a.length - 1; i = i + 1) { a[i] = a[i + 1]; }
+  delete a[a.length - 1];
+  a.length = a.length - 1;
+  return true;
+}
+function arr_remove(a, v) {
+  var i = arr_indexOf(a, v);
+  if (i < 0) { return false; }
+  return arr_removeAt(a, i);
+}
+function arr_reverse(a) {
+  var i = 0;
+  var j = a.length - 1;
+  while (i < j) {
+    var tmp = a[i];
+    a[i] = a[j];
+    a[j] = tmp;
+    i = i + 1;
+    j = j - 1;
+  }
+  return a;
+}
+function arr_equals(a, b) {
+  if (a.length !== b.length) { return false; }
+  for (var i = 0; i < a.length; i = i + 1) {
+    if (a[i] !== b[i]) { return false; }
+  }
+  return true;
+}
+
+// ---------- llist: singly-linked list ---------------------------------
+function ll_new() { return { head: null, tail: null, size: 0 }; }
+function ll_add(l, v) {
+  var node = { value: v, next: null };
+  if (l.head === null) { l.head = node; }
+  else { l.tail.next = node; }
+  l.tail = node;
+  l.size = l.size + 1;
+  return true;
+}
+function ll_addFirst(l, v) {
+  var node = { value: v, next: l.head };
+  l.head = node;
+  if (l.tail === null) { l.tail = node; }
+  l.size = l.size + 1;
+  return true;
+}
+function ll_get(l, idx) {
+  if (idx < 0 || idx >= l.size) { return undefined; }
+  var cur = l.head;
+  for (var i = 0; i < idx; i = i + 1) { cur = cur.next; }
+  return cur.value;
+}
+function ll_indexOf(l, v) {
+  var cur = l.head;
+  for (var i = 0; i < l.size; i = i + 1) {
+    if (cur.value === v) { return i; }
+    cur = cur.next;
+  }
+  return -1;
+}
+function ll_removeFirst(l) {
+  if (l.head === null) { return undefined; }
+  var v = l.head.value;
+  l.head = l.head.next;
+  if (l.head === null) { l.tail = null; }
+  l.size = l.size - 1;
+  return v;
+}
+function ll_toArray(l) {
+  var a = arr_new();
+  var cur = l.head;
+  while (cur !== null) {
+    arr_push(a, cur.value);
+    cur = cur.next;
+  }
+  return a;
+}
+
+// ---------- stack (llist-backed, LIFO at the head) ---------------------
+function st_new() { return { list: ll_new() }; }
+function st_push(s, v) { return ll_addFirst(s.list, v); }
+function st_pop(s) { return ll_removeFirst(s.list); }
+function st_peek(s) {
+  if (s.list.head === null) { return undefined; }
+  return s.list.head.value;
+}
+function st_size(s) { return s.list.size; }
+function st_isEmpty(s) { return s.list.size === 0; }
+
+// ---------- queue (llist-backed, FIFO) ---------------------------------
+function q_new() { return { list: ll_new() }; }
+function q_enqueue(q, v) { return ll_add(q.list, v); }
+function q_dequeue(q) { return ll_removeFirst(q.list); }
+function q_peek(q) {
+  if (q.list.head === null) { return undefined; }
+  return q.list.head.value;
+}
+function q_size(q) { return q.list.size; }
+function q_isEmpty(q) { return q.list.size === 0; }
+
+// ---------- dict: string/number-keyed table ----------------------------
+function d_new() { return { table: {}, keys: arr_new(), size: 0 }; }
+function d_set(d, k, v) {
+  if (d.table[k] === undefined) {
+    arr_push(d.keys, k);
+    d.size = d.size + 1;
+  }
+  d.table[k] = { value: v };
+  return v;
+}
+function d_get(d, k) {
+  var slot = d.table[k];
+  if (slot === undefined) { return undefined; }
+  return slot.value;
+}
+function d_contains(d, k) { return d.table[k] !== undefined; }
+function d_remove(d, k) {
+  if (d.table[k] === undefined) { return false; }
+  delete d.table[k];
+  arr_remove(d.keys, k);
+  d.size = d.size - 1;
+  return true;
+}
+function d_size(d) { return d.size; }
+
+// ---------- mdict: dictionary of value arrays ---------------------------
+function md_new() { return { dict: d_new() }; }
+function md_add(m, k, v) {
+  var vals = d_get(m.dict, k);
+  if (vals === undefined) {
+    vals = arr_new();
+    d_set(m.dict, k, vals);
+  }
+  arr_push(vals, v);
+  return true;
+}
+function md_get(m, k) {
+  var vals = d_get(m.dict, k);
+  if (vals === undefined) { return arr_new(); }
+  return vals;
+}
+function md_remove(m, k, v) {
+  var vals = d_get(m.dict, k);
+  if (vals === undefined) { return false; }
+  var ok = arr_remove(vals, v);
+  if (ok && vals.length === 0) { d_remove(m.dict, k); }
+  return ok;
+}
+function md_count(m, k) { return md_get(m, k).length; }
+
+// ---------- set (dict-backed) -------------------------------------------
+function set_new() { return { dict: d_new() }; }
+function set_add(s, v) {
+  if (d_contains(s.dict, v)) { return false; }
+  d_set(s.dict, v, v);
+  return true;
+}
+function set_contains(s, v) { return d_contains(s.dict, v); }
+function set_remove(s, v) { return d_remove(s.dict, v); }
+function set_size(s) { return d_size(s.dict); }
+function set_union(s, t) {
+  for (var i = 0; i < t.dict.keys.length; i = i + 1) {
+    set_add(s, d_get(t.dict, t.dict.keys[i]));
+  }
+  return s;
+}
+
+// ---------- bag: multiset with counts ------------------------------------
+function bag_new() { return { dict: d_new(), total: 0 }; }
+function bag_add(b, v) {
+  var c = d_get(b.dict, v);
+  if (c === undefined) { c = 0; }
+  d_set(b.dict, v, c + 1);
+  b.total = b.total + 1;
+  return true;
+}
+function bag_count(b, v) {
+  var c = d_get(b.dict, v);
+  if (c === undefined) { return 0; }
+  return c;
+}
+function bag_remove(b, v) {
+  var c = d_get(b.dict, v);
+  if (c === undefined) { return false; }
+  if (c === 1) { d_remove(b.dict, v); }
+  else { d_set(b.dict, v, c - 1); }
+  b.total = b.total - 1;
+  return true;
+}
+function bag_size(b) { return b.total; }
+
+// ---------- bst: binary search tree over numbers --------------------------
+function bst_new() { return { root: null, size: 0 }; }
+function bst_insert(t, k) {
+  var node = { key: k, left: null, right: null };
+  if (t.root === null) {
+    t.root = node;
+    t.size = t.size + 1;
+    return true;
+  }
+  var cur = t.root;
+  while (true) {
+    if (k === cur.key) { return false; }
+    if (k < cur.key) {
+      if (cur.left === null) { cur.left = node; t.size = t.size + 1; return true; }
+      cur = cur.left;
+    } else {
+      if (cur.right === null) { cur.right = node; t.size = t.size + 1; return true; }
+      cur = cur.right;
+    }
+  }
+}
+function bst_contains(t, k) {
+  var cur = t.root;
+  while (cur !== null) {
+    if (k === cur.key) { return true; }
+    if (k < cur.key) { cur = cur.left; } else { cur = cur.right; }
+  }
+  return false;
+}
+function bst_min(t) {
+  if (t.root === null) { return undefined; }
+  var cur = t.root;
+  while (cur.left !== null) { cur = cur.left; }
+  return cur.key;
+}
+function bst_max(t) {
+  if (t.root === null) { return undefined; }
+  var cur = t.root;
+  while (cur.right !== null) { cur = cur.right; }
+  return cur.key;
+}
+
+// ---------- heap: binary min-heap on an array ------------------------------
+function h_new() { return { data: arr_new() }; }
+function h_size(h) { return h.data.length; }
+function h_push(h, v) {
+  arr_push(h.data, v);
+  var i = h.data.length - 1;
+  while (i > 0) {
+    var parent = 0;
+    if (i % 2 === 0) { parent = (i - 2) / 2; } else { parent = (i - 1) / 2; }
+    if (h.data[parent] <= h.data[i]) { return true; }
+    var tmp = h.data[parent];
+    h.data[parent] = h.data[i];
+    h.data[i] = tmp;
+    i = parent;
+  }
+  return true;
+}
+function h_peek(h) {
+  if (h.data.length === 0) { return undefined; }
+  return h.data[0];
+}
+function h_pop(h) {
+  if (h.data.length === 0) { return undefined; }
+  var top = h.data[0];
+  var last = arr_pop(h.data);
+  if (h.data.length === 0) { return top; }
+  h.data[0] = last;
+  var i = 0;
+  while (true) {
+    var l = 2 * i + 1;
+    var r = 2 * i + 2;
+    var smallest = i;
+    if (l < h.data.length && h.data[l] < h.data[smallest]) { smallest = l; }
+    if (r < h.data.length && h.data[r] < h.data[smallest]) { smallest = r; }
+    if (smallest === i) { return top; }
+    var tmp = h.data[smallest];
+    h.data[smallest] = h.data[i];
+    h.data[i] = tmp;
+    i = smallest;
+  }
+}
+
+// ---------- pqueue: priority queue over the heap ----------------------------
+function pq_new() { return { heap: h_new(), vals: md_new() }; }
+function pq_enqueue(p, prio, v) {
+  // The heap orders priorities; a multi-dict maps each priority to its
+  // values (FIFO within one priority).
+  h_push(p.heap, prio);
+  md_add(p.vals, prio, v);
+  return true;
+}
+function pq_dequeue(p) {
+  if (h_size(p.heap) === 0) { return undefined; }
+  var prio = h_pop(p.heap);
+  var vals = md_get(p.vals, prio);
+  var v = vals[0];
+  md_remove(p.vals, prio, v);
+  return v;
+}
+function pq_size(p) { return h_size(p.heap); }
+)mjs";
+
+/// The two seeded defects (kept textually minimal so the diff against the
+/// healthy library is exactly the bug):
+///  1. ll_indexOf iterates `i <= l.size`, walking past the last node and
+///     dereferencing null.
+///  2. h_pop compares the *left* child when selecting the right one,
+///     breaking the heap property (wrong minimum surfaces).
+std::string makeBuggyLibrary() {
+  std::string S(Library);
+  // Bug 1: off-by-one in ll_indexOf.
+  std::string::size_type P =
+      S.find("for (var i = 0; i < l.size; i = i + 1) {\n    if (cur.value === v) { return i; }");
+  if (P != std::string::npos)
+    S.replace(P, std::string("for (var i = 0; i < l.size;").size(),
+              "for (var i = 0; i <= l.size;");
+  // Bug 2: wrong child comparison in h_pop's sift-down.
+  std::string Orig =
+      "if (r < h.data.length && h.data[r] < h.data[smallest]) { smallest = r; }";
+  std::string Bugged =
+      "if (r < h.data.length && h.data[l] < h.data[smallest]) { smallest = r; }";
+  P = S.find(Orig);
+  if (P != std::string::npos)
+    S.replace(P, Orig.size(), Bugged);
+  return S;
+}
+
+} // namespace
+
+std::string_view gillian::targets::bucketsLibrary() { return Library; }
+
+std::string_view gillian::targets::bucketsBuggyLibrary() {
+  static const std::string Buggy = makeBuggyLibrary();
+  return Buggy;
+}

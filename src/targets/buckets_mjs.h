@@ -1,0 +1,46 @@
+//===- targets/buckets_mjs.h - Buckets-style MJS library -------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §4.1 evaluation workload: a Buckets.js-style data-structure library
+/// written in MJS, with symbolic test suites mirroring the Table 1 rows
+/// (arrays, bag, bst, dict, heap, llist, multi-dict, priority queue,
+/// queue, set, stack). Each suite is self-contained: concatenate
+/// bucketsLibrary() with the suite source and run every `test_*`
+/// procedure symbolically.
+///
+/// bucketsBuggyLibrary() seeds the two defects our suites re-detect
+/// (§4.1 found two known bugs in Buckets.js): an off-by-one in the linked
+/// list's indexOf and a wrong-child comparison in the heap's sift-down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_TARGETS_BUCKETS_MJS_H
+#define GILLIAN_TARGETS_BUCKETS_MJS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gillian::targets {
+
+/// The full library (MJS source).
+std::string_view bucketsLibrary();
+
+/// The library with the two seeded §4.1-style defects.
+std::string_view bucketsBuggyLibrary();
+
+struct BucketsSuite {
+  std::string_view Name;   ///< Table 1 row name ("llist", "bst", ...)
+  std::string_view Source; ///< MJS source defining the test_* procedures
+};
+
+/// One suite per Table 1 row.
+const std::vector<BucketsSuite> &bucketsSuites();
+
+} // namespace gillian::targets
+
+#endif // GILLIAN_TARGETS_BUCKETS_MJS_H

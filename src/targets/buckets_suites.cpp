@@ -1,0 +1,602 @@
+//===- targets/buckets_suites.cpp -----------------------------------------===//
+//
+// Symbolic test suites for the Buckets-style library: one suite per
+// Table 1 row, with the same per-row test counts as the paper (74 total).
+// Every test takes symbolic inputs, so each exercises many execution
+// traces (the paper: "symbolic tests were purposefully written to cover
+// multiple execution traces").
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/buckets_mjs.h"
+
+using namespace gillian::targets;
+
+namespace {
+
+constexpr std::string_view ArraySuite = R"mjs(
+function test_push_grows() {
+  var v = symb_number();
+  var a = arr_new();
+  arr_push(a, v);
+  Assert(a.length === 1);
+  Assert(a[0] === v);
+}
+function test_push_pop_roundtrip() {
+  var v = symb_number();
+  var w = symb_number();
+  var a = arr_new();
+  arr_push(a, v); arr_push(a, w);
+  Assert(arr_pop(a) === w);
+  Assert(arr_pop(a) === v);
+  Assert(a.length === 0);
+}
+function test_pop_empty_is_undefined() {
+  var a = arr_new();
+  Assert(arr_pop(a) === undefined);
+}
+function test_indexof_finds_first() {
+  var v = symb_number();
+  var a = arr_new();
+  arr_push(a, v); arr_push(a, v);
+  Assert(arr_indexOf(a, v) === 0);
+}
+function test_indexof_missing() {
+  var v = symb_number();
+  var w = symb_number();
+  Assume(v !== w);
+  var a = arr_new();
+  arr_push(a, v);
+  Assert(arr_indexOf(a, w) === -1);
+}
+function test_contains_after_remove() {
+  var v = symb_number();
+  var w = symb_number();
+  Assume(v !== w);
+  var a = arr_new();
+  arr_push(a, v); arr_push(a, w);
+  Assert(arr_remove(a, v));
+  Assert(!arr_contains(a, v));
+  Assert(arr_contains(a, w));
+  Assert(a.length === 1);
+}
+function test_removeat_shifts() {
+  var a = arr_new();
+  arr_push(a, 1); arr_push(a, 2); arr_push(a, 3);
+  Assert(arr_removeAt(a, 1));
+  Assert(a[0] === 1);
+  Assert(a[1] === 3);
+  Assert(a.length === 2);
+}
+function test_reverse_involution() {
+  var v = symb_number();
+  var w = symb_number();
+  var a = arr_new();
+  arr_push(a, v); arr_push(a, w); arr_push(a, 3);
+  arr_reverse(a);
+  Assert(a[0] === 3);
+  Assert(a[2] === v);
+  arr_reverse(a);
+  Assert(a[0] === v);
+  Assert(a[1] === w);
+}
+function test_equals_structural() {
+  var v = symb_number();
+  var a = arr_new(); var b = arr_new();
+  arr_push(a, v); arr_push(b, v);
+  Assert(arr_equals(a, b));
+  arr_push(b, 0);
+  Assert(!arr_equals(a, b));
+}
+)mjs";
+
+constexpr std::string_view BagSuite = R"mjs(
+function test_bag_add_counts() {
+  var v = symb_number();
+  var b = bag_new();
+  bag_add(b, v); bag_add(b, v);
+  Assert(bag_count(b, v) === 2);
+  Assert(bag_size(b) === 2);
+}
+function test_bag_distinct_values() {
+  var v = symb_number(); var w = symb_number();
+  Assume(v !== w);
+  var b = bag_new();
+  bag_add(b, v); bag_add(b, w);
+  Assert(bag_count(b, v) === 1);
+  Assert(bag_count(b, w) === 1);
+}
+function test_bag_remove_decrements() {
+  var v = symb_number();
+  var b = bag_new();
+  bag_add(b, v); bag_add(b, v);
+  Assert(bag_remove(b, v));
+  Assert(bag_count(b, v) === 1);
+}
+function test_bag_remove_last_clears() {
+  var v = symb_number();
+  var b = bag_new();
+  bag_add(b, v);
+  bag_remove(b, v);
+  Assert(bag_count(b, v) === 0);
+  Assert(bag_size(b) === 0);
+}
+function test_bag_remove_missing_fails() {
+  var v = symb_number();
+  var b = bag_new();
+  Assert(!bag_remove(b, v));
+}
+function test_bag_count_missing_is_zero() {
+  var v = symb_number();
+  var b = bag_new();
+  Assert(bag_count(b, v) === 0);
+}
+function test_bag_aliasing_keys() {
+  // Two symbolic values that may or may not coincide: counts must agree
+  // with the equality world.
+  var v = symb_number(); var w = symb_number();
+  var b = bag_new();
+  bag_add(b, v); bag_add(b, w);
+  if (v === w) { Assert(bag_count(b, v) === 2); }
+  else { Assert(bag_count(b, v) === 1); }
+}
+)mjs";
+
+constexpr std::string_view BstSuite = R"mjs(
+function test_bst_insert_contains() {
+  var k = symb_number();
+  var t = bst_new();
+  Assert(bst_insert(t, k));
+  Assert(bst_contains(t, k));
+}
+function test_bst_missing_key() {
+  var k = symb_number(); var m = symb_number();
+  Assume(k !== m);
+  var t = bst_new();
+  bst_insert(t, k);
+  Assert(!bst_contains(t, m));
+}
+function test_bst_duplicate_insert_rejected() {
+  var k = symb_number();
+  var t = bst_new();
+  Assert(bst_insert(t, k));
+  Assert(!bst_insert(t, k));
+  Assert(t.size === 1);
+}
+function test_bst_orders_two_keys() {
+  var a = symb_number(); var b = symb_number();
+  Assume(a < b);
+  var t = bst_new();
+  bst_insert(t, b); bst_insert(t, a);
+  Assert(bst_min(t) === a);
+  Assert(bst_max(t) === b);
+}
+function test_bst_three_key_shape() {
+  var t = bst_new();
+  bst_insert(t, 2); bst_insert(t, 1); bst_insert(t, 3);
+  Assert(t.root.key === 2);
+  Assert(t.root.left.key === 1);
+  Assert(t.root.right.key === 3);
+}
+function test_bst_min_of_empty() {
+  var t = bst_new();
+  Assert(bst_min(t) === undefined);
+}
+function test_bst_symbolic_insert_order() {
+  var a = symb_number(); var b = symb_number(); var c = symb_number();
+  Assume(a !== b); Assume(b !== c); Assume(a !== c);
+  var t = bst_new();
+  bst_insert(t, a); bst_insert(t, b); bst_insert(t, c);
+  Assert(t.size === 3);
+  Assert(bst_contains(t, a));
+  Assert(bst_contains(t, b));
+  Assert(bst_contains(t, c));
+}
+function test_bst_min_le_max() {
+  var a = symb_number(); var b = symb_number();
+  var t = bst_new();
+  bst_insert(t, a); bst_insert(t, b);
+  Assert(bst_min(t) <= bst_max(t));
+}
+function test_bst_contains_on_path_only() {
+  var t = bst_new();
+  bst_insert(t, 10); bst_insert(t, 5); bst_insert(t, 15);
+  var k = symb_number();
+  Assume(k !== 10); Assume(k !== 5); Assume(k !== 15);
+  Assert(!bst_contains(t, k));
+}
+function test_bst_size_tracks_inserts() {
+  var a = symb_number(); var b = symb_number();
+  var t = bst_new();
+  bst_insert(t, a);
+  var ok = bst_insert(t, b);
+  if (a === b) { Assert(!ok); Assert(t.size === 1); }
+  else { Assert(ok); Assert(t.size === 2); }
+}
+function test_bst_left_chain() {
+  var t = bst_new();
+  bst_insert(t, 3); bst_insert(t, 2); bst_insert(t, 1);
+  Assert(t.root.left.left.key === 1);
+  Assert(bst_min(t) === 1);
+}
+)mjs";
+
+constexpr std::string_view DictSuite = R"mjs(
+function test_dict_set_get() {
+  var v = symb_number();
+  var d = d_new();
+  d_set(d, "k", v);
+  Assert(d_get(d, "k") === v);
+}
+function test_dict_get_missing() {
+  var d = d_new();
+  Assert(d_get(d, "nope") === undefined);
+}
+function test_dict_overwrite_keeps_size() {
+  var v = symb_number(); var w = symb_number();
+  var d = d_new();
+  d_set(d, "k", v);
+  d_set(d, "k", w);
+  Assert(d_get(d, "k") === w);
+  Assert(d_size(d) === 1);
+}
+function test_dict_symbolic_string_keys() {
+  var k = symb_string();
+  var d = d_new();
+  d_set(d, k, 1);
+  Assert(d_contains(d, k));
+  Assert(d_get(d, k) === 1);
+}
+function test_dict_remove() {
+  var v = symb_number();
+  var d = d_new();
+  d_set(d, "a", v);
+  d_set(d, "b", v);
+  Assert(d_remove(d, "a"));
+  Assert(!d_contains(d, "a"));
+  Assert(d_contains(d, "b"));
+  Assert(d_size(d) === 1);
+}
+function test_dict_remove_missing() {
+  var d = d_new();
+  Assert(!d_remove(d, "k"));
+}
+function test_dict_numeric_keys_coerce() {
+  var d = d_new();
+  d_set(d, 1, "one");
+  Assert(d_get(d, 1) === "one");
+  Assert(d_contains(d, 1));
+}
+)mjs";
+
+constexpr std::string_view HeapSuite = R"mjs(
+function test_heap_push_peek_min() {
+  var a = symb_number(); var b = symb_number();
+  var h = h_new();
+  h_push(h, a); h_push(h, b);
+  if (a <= b) { Assert(h_peek(h) === a); }
+  else { Assert(h_peek(h) === b); }
+}
+function test_heap_pop_sorted_three() {
+  var a = symb_number(); var b = symb_number(); var c = symb_number();
+  var h = h_new();
+  h_push(h, a); h_push(h, b); h_push(h, c);
+  var x = h_pop(h);
+  var y = h_pop(h);
+  var z = h_pop(h);
+  Assert(x <= y);
+  Assert(y <= z);
+  Assert(h_size(h) === 0);
+}
+function test_heap_pop_empty() {
+  var h = h_new();
+  Assert(h_pop(h) === undefined);
+}
+function test_heap_four_pop_order() {
+  // Four elements arranged so the post-pop sift-down must consult the
+  // *right* child (internal array [0, 2, v, 3] with v <= 1): the code
+  // path carrying the seeded comparison bug.
+  var v = symb_number();
+  Assume(0 <= v); Assume(v <= 1);
+  var h = h_new();
+  h_push(h, 0); h_push(h, 2); h_push(h, v); h_push(h, 3);
+  var x = h_pop(h);
+  var y = h_pop(h);
+  var z = h_pop(h);
+  var w = h_pop(h);
+  Assert(x <= y);
+  Assert(y <= z);
+  Assert(z <= w);
+}
+)mjs";
+
+constexpr std::string_view LlistSuite = R"mjs(
+function test_ll_add_get() {
+  var v = symb_number();
+  var l = ll_new();
+  ll_add(l, v);
+  Assert(ll_get(l, 0) === v);
+  Assert(l.size === 1);
+}
+function test_ll_order_preserved() {
+  var a = symb_number(); var b = symb_number();
+  var l = ll_new();
+  ll_add(l, a); ll_add(l, b);
+  Assert(ll_get(l, 0) === a);
+  Assert(ll_get(l, 1) === b);
+}
+function test_ll_addfirst_prepends() {
+  var a = symb_number(); var b = symb_number();
+  var l = ll_new();
+  ll_add(l, a);
+  ll_addFirst(l, b);
+  Assert(ll_get(l, 0) === b);
+  Assert(ll_get(l, 1) === a);
+}
+function test_ll_get_out_of_range() {
+  var l = ll_new();
+  ll_add(l, 1);
+  Assert(ll_get(l, 1) === undefined);
+  Assert(ll_get(l, -1) === undefined);
+}
+function test_ll_indexof_present() {
+  var a = symb_number(); var b = symb_number();
+  Assume(a !== b);
+  var l = ll_new();
+  ll_add(l, a); ll_add(l, b);
+  Assert(ll_indexOf(l, b) === 1);
+}
+function test_ll_indexof_absent() {
+  var a = symb_number(); var b = symb_number();
+  Assume(a !== b);
+  var l = ll_new();
+  ll_add(l, a);
+  Assert(ll_indexOf(l, b) === -1);
+}
+function test_ll_removefirst_fifo() {
+  var a = symb_number(); var b = symb_number();
+  var l = ll_new();
+  ll_add(l, a); ll_add(l, b);
+  Assert(ll_removeFirst(l) === a);
+  Assert(ll_removeFirst(l) === b);
+  Assert(ll_removeFirst(l) === undefined);
+}
+function test_ll_tail_consistency() {
+  var v = symb_number();
+  var l = ll_new();
+  ll_add(l, v);
+  ll_removeFirst(l);
+  Assert(l.tail === null);
+  ll_add(l, v);
+  Assert(l.tail.value === v);
+}
+function test_ll_toarray_roundtrip() {
+  var a = symb_number(); var b = symb_number();
+  var l = ll_new();
+  ll_add(l, a); ll_add(l, b);
+  var arr = ll_toArray(l);
+  Assert(arr.length === 2);
+  Assert(arr[0] === a);
+  Assert(arr[1] === b);
+}
+)mjs";
+
+constexpr std::string_view MdictSuite = R"mjs(
+function test_md_add_get() {
+  var v = symb_number();
+  var m = md_new();
+  md_add(m, "k", v);
+  var vals = md_get(m, "k");
+  Assert(vals.length === 1);
+  Assert(vals[0] === v);
+}
+function test_md_multiple_values_per_key() {
+  var v = symb_number(); var w = symb_number();
+  var m = md_new();
+  md_add(m, "k", v); md_add(m, "k", w);
+  Assert(md_count(m, "k") === 2);
+}
+function test_md_keys_are_independent() {
+  var v = symb_number();
+  var m = md_new();
+  md_add(m, "a", v);
+  Assert(md_count(m, "b") === 0);
+}
+function test_md_remove_value() {
+  var v = symb_number(); var w = symb_number();
+  Assume(v !== w);
+  var m = md_new();
+  md_add(m, "k", v); md_add(m, "k", w);
+  Assert(md_remove(m, "k", v));
+  Assert(md_count(m, "k") === 1);
+  Assert(md_get(m, "k")[0] === w);
+}
+function test_md_remove_last_clears_key() {
+  var v = symb_number();
+  var m = md_new();
+  md_add(m, "k", v);
+  Assert(md_remove(m, "k", v));
+  Assert(!d_contains(m.dict, "k"));
+}
+function test_md_remove_missing() {
+  var m = md_new();
+  Assert(!md_remove(m, "k", 1));
+}
+)mjs";
+
+constexpr std::string_view PqueueSuite = R"mjs(
+function test_pq_dequeue_min_priority() {
+  var p = pq_new();
+  pq_enqueue(p, 2, "two");
+  pq_enqueue(p, 1, "one");
+  Assert(pq_dequeue(p) === "one");
+  Assert(pq_dequeue(p) === "two");
+}
+function test_pq_symbolic_priorities() {
+  var a = symb_number(); var b = symb_number();
+  Assume(a !== b);
+  var p = pq_new();
+  pq_enqueue(p, a, "a");
+  pq_enqueue(p, b, "b");
+  var first = pq_dequeue(p);
+  if (a < b) { Assert(first === "a"); }
+  else { Assert(first === "b"); }
+}
+function test_pq_fifo_within_priority() {
+  var p = pq_new();
+  pq_enqueue(p, 1, "first");
+  pq_enqueue(p, 1, "second");
+  Assert(pq_dequeue(p) === "first");
+  Assert(pq_dequeue(p) === "second");
+}
+function test_pq_empty_dequeue() {
+  var p = pq_new();
+  Assert(pq_dequeue(p) === undefined);
+}
+function test_pq_size_tracks() {
+  var v = symb_number();
+  var p = pq_new();
+  pq_enqueue(p, v, "x");
+  Assert(pq_size(p) === 1);
+  pq_dequeue(p);
+  Assert(pq_size(p) === 0);
+}
+)mjs";
+
+constexpr std::string_view QueueSuite = R"mjs(
+function test_q_fifo() {
+  var a = symb_number(); var b = symb_number();
+  var q = q_new();
+  q_enqueue(q, a); q_enqueue(q, b);
+  Assert(q_dequeue(q) === a);
+  Assert(q_dequeue(q) === b);
+}
+function test_q_peek_nondestructive() {
+  var v = symb_number();
+  var q = q_new();
+  q_enqueue(q, v);
+  Assert(q_peek(q) === v);
+  Assert(q_size(q) === 1);
+}
+function test_q_empty_behaviour() {
+  var q = q_new();
+  Assert(q_isEmpty(q));
+  Assert(q_dequeue(q) === undefined);
+  Assert(q_peek(q) === undefined);
+}
+function test_q_interleaved_ops() {
+  var a = symb_number(); var b = symb_number(); var c = symb_number();
+  var q = q_new();
+  q_enqueue(q, a);
+  q_enqueue(q, b);
+  Assert(q_dequeue(q) === a);
+  q_enqueue(q, c);
+  Assert(q_dequeue(q) === b);
+  Assert(q_dequeue(q) === c);
+}
+function test_q_size_counts() {
+  var q = q_new();
+  q_enqueue(q, 1); q_enqueue(q, 2); q_enqueue(q, 3);
+  Assert(q_size(q) === 3);
+}
+function test_q_drain_then_reuse() {
+  var v = symb_number();
+  var q = q_new();
+  q_enqueue(q, 1);
+  q_dequeue(q);
+  Assert(q_isEmpty(q));
+  q_enqueue(q, v);
+  Assert(q_peek(q) === v);
+}
+)mjs";
+
+constexpr std::string_view SetSuite = R"mjs(
+function test_set_add_contains() {
+  var v = symb_number();
+  var s = set_new();
+  Assert(set_add(s, v));
+  Assert(set_contains(s, v));
+}
+function test_set_no_duplicates() {
+  var v = symb_number();
+  var s = set_new();
+  set_add(s, v);
+  Assert(!set_add(s, v));
+  Assert(set_size(s) === 1);
+}
+function test_set_remove() {
+  var v = symb_number();
+  var s = set_new();
+  set_add(s, v);
+  Assert(set_remove(s, v));
+  Assert(!set_contains(s, v));
+}
+function test_set_symbolic_membership() {
+  var v = symb_number(); var w = symb_number();
+  var s = set_new();
+  set_add(s, v);
+  if (v === w) { Assert(set_contains(s, w)); }
+  else { Assert(!set_contains(s, w)); }
+}
+function test_set_union_subsumes() {
+  var a = symb_number(); var b = symb_number();
+  Assume(a !== b);
+  var s = set_new(); var t = set_new();
+  set_add(s, a);
+  set_add(t, b);
+  set_union(s, t);
+  Assert(set_contains(s, a));
+  Assert(set_contains(s, b));
+  Assert(set_size(s) === 2);
+}
+function test_set_union_idempotent() {
+  var v = symb_number();
+  var s = set_new(); var t = set_new();
+  set_add(s, v); set_add(t, v);
+  set_union(s, t);
+  Assert(set_size(s) === 1);
+}
+)mjs";
+
+constexpr std::string_view StackSuite = R"mjs(
+function test_st_lifo() {
+  var a = symb_number(); var b = symb_number();
+  var s = st_new();
+  st_push(s, a); st_push(s, b);
+  Assert(st_pop(s) === b);
+  Assert(st_pop(s) === a);
+  Assert(st_isEmpty(s));
+}
+function test_st_peek_nondestructive() {
+  var v = symb_number();
+  var s = st_new();
+  st_push(s, v);
+  Assert(st_peek(s) === v);
+  Assert(st_size(s) === 1);
+}
+function test_st_empty() {
+  var s = st_new();
+  Assert(st_pop(s) === undefined);
+  Assert(st_peek(s) === undefined);
+}
+function test_st_push_pop_push() {
+  var a = symb_number(); var b = symb_number();
+  var s = st_new();
+  st_push(s, a);
+  Assert(st_pop(s) === a);
+  st_push(s, b);
+  Assert(st_peek(s) === b);
+}
+)mjs";
+
+} // namespace
+
+const std::vector<BucketsSuite> &gillian::targets::bucketsSuites() {
+  static const std::vector<BucketsSuite> Suites = {
+      {"array", ArraySuite},   {"bag", BagSuite},     {"bst", BstSuite},
+      {"dict", DictSuite},     {"heap", HeapSuite},   {"llist", LlistSuite},
+      {"mdict", MdictSuite},   {"pqueue", PqueueSuite},
+      {"queue", QueueSuite},   {"set", SetSuite},     {"stack", StackSuite},
+  };
+  return Suites;
+}

@@ -1,0 +1,436 @@
+//===- targets/collections_mc.cpp -----------------------------------------===//
+
+#include "targets/collections_mc.h"
+
+using namespace gillian::targets;
+
+namespace {
+
+/// The library. Structures hold i64 payloads; every structure is heap-
+/// allocated and manipulated through typed pointers, Collections-C style.
+constexpr std::string_view Library = R"mc(
+// ---------- array: dynamic array with capacity doubling ----------------
+struct Array { buffer: ptr<i64>; size: i64; capacity: i64; }
+
+fn arr_new(cap: i64) -> ptr<Array> {
+  var a: ptr<Array> = alloc(Array, 1);
+  a->buffer = alloc(i64, cap);
+  a->size = 0;
+  a->capacity = cap;
+  return a;
+}
+fn arr_expand(a: ptr<Array>) -> i64 {
+  var ncap: i64 = a->capacity * 2;
+  var nbuf: ptr<i64> = alloc(i64, ncap);
+  for (var i: i64 = 0; i < a->size; i = i + 1) { nbuf[i] = a->buffer[i]; }
+  free(a->buffer);
+  a->buffer = nbuf;
+  a->capacity = ncap;
+  return 0;
+}
+fn arr_add(a: ptr<Array>, v: i64) -> i64 {
+  if (a->size >= a->capacity) { arr_expand(a); }
+  a->buffer[a->size] = v;
+  a->size = a->size + 1;
+  return 0;
+}
+fn arr_get(a: ptr<Array>, idx: i64) -> i64 {
+  assert(0 <= idx && idx < a->size);
+  return a->buffer[idx];
+}
+fn arr_set(a: ptr<Array>, idx: i64, v: i64) -> i64 {
+  assert(0 <= idx && idx < a->size);
+  a->buffer[idx] = v;
+  return 0;
+}
+fn arr_remove_at(a: ptr<Array>, idx: i64) -> i64 {
+  assert(0 <= idx && idx < a->size);
+  var v: i64 = a->buffer[idx];
+  for (var i: i64 = idx; i < a->size - 1; i = i + 1) {
+    a->buffer[i] = a->buffer[i + 1];
+  }
+  a->size = a->size - 1;
+  return v;
+}
+fn arr_index_of(a: ptr<Array>, v: i64) -> i64 {
+  for (var i: i64 = 0; i < a->size; i = i + 1) {
+    if (a->buffer[i] == v) { return i; }
+  }
+  return -1;
+}
+fn arr_destroy(a: ptr<Array>) -> i64 {
+  free(a->buffer);
+  free(a);
+  return 0;
+}
+
+// ---------- list: doubly-linked with sentinel-free head/tail ------------
+struct LNode { val: i64; next: ptr<LNode>; prev: ptr<LNode>; }
+struct List { head: ptr<LNode>; tail: ptr<LNode>; size: i64; }
+
+fn list_new() -> ptr<List> {
+  var l: ptr<List> = alloc(List, 1);
+  l->head = null;
+  l->tail = null;
+  l->size = 0;
+  return l;
+}
+fn list_add_last(l: ptr<List>, v: i64) -> i64 {
+  var n: ptr<LNode> = alloc(LNode, 1);
+  n->val = v;
+  n->next = null;
+  n->prev = l->tail;
+  if (l->tail == null) { l->head = n; } else { l->tail->next = n; }
+  l->tail = n;
+  l->size = l->size + 1;
+  return 0;
+}
+fn list_add_first(l: ptr<List>, v: i64) -> i64 {
+  var n: ptr<LNode> = alloc(LNode, 1);
+  n->val = v;
+  n->prev = null;
+  n->next = l->head;
+  if (l->head == null) { l->tail = n; } else { l->head->prev = n; }
+  l->head = n;
+  l->size = l->size + 1;
+  return 0;
+}
+fn list_get(l: ptr<List>, idx: i64) -> i64 {
+  assert(0 <= idx && idx < l->size);
+  var cur: ptr<LNode> = l->head;
+  for (var i: i64 = 0; i < idx; i = i + 1) { cur = cur->next; }
+  return cur->val;
+}
+fn list_contains(l: ptr<List>, v: i64) -> i64 {
+  var cur: ptr<LNode> = l->head;
+  while (cur != null) {
+    if (cur->val == v) { return 1; }
+    cur = cur->next;
+  }
+  return 0;
+}
+fn list_remove_first(l: ptr<List>, out_ok: ptr<i64>) -> i64 {
+  if (l->head == null) { out_ok[0] = 0; return 0; }
+  var n: ptr<LNode> = l->head;
+  var v: i64 = n->val;
+  l->head = n->next;
+  if (l->head == null) { l->tail = null; } else { l->head->prev = null; }
+  free(n);
+  l->size = l->size - 1;
+  out_ok[0] = 1;
+  return v;
+}
+fn list_reverse(l: ptr<List>) -> i64 {
+  var cur: ptr<LNode> = l->head;
+  var tmp: ptr<LNode> = null;
+  while (cur != null) {
+    tmp = cur->prev;
+    cur->prev = cur->next;
+    cur->next = tmp;
+    cur = cur->prev;
+  }
+  tmp = l->head;
+  l->head = l->tail;
+  l->tail = tmp;
+  return 0;
+}
+
+// ---------- slist: singly-linked -----------------------------------------
+struct SNode { val: i64; next: ptr<SNode>; }
+struct SList { head: ptr<SNode>; size: i64; }
+
+fn sl_new() -> ptr<SList> {
+  var l: ptr<SList> = alloc(SList, 1);
+  l->head = null;
+  l->size = 0;
+  return l;
+}
+fn sl_push(l: ptr<SList>, v: i64) -> i64 {
+  var n: ptr<SNode> = alloc(SNode, 1);
+  n->val = v;
+  n->next = l->head;
+  l->head = n;
+  l->size = l->size + 1;
+  return 0;
+}
+fn sl_pop(l: ptr<SList>, out_ok: ptr<i64>) -> i64 {
+  if (l->head == null) { out_ok[0] = 0; return 0; }
+  var n: ptr<SNode> = l->head;
+  var v: i64 = n->val;
+  l->head = n->next;
+  free(n);
+  l->size = l->size - 1;
+  out_ok[0] = 1;
+  return v;
+}
+fn sl_get(l: ptr<SList>, idx: i64) -> i64 {
+  assert(0 <= idx && idx < l->size);
+  var cur: ptr<SNode> = l->head;
+  for (var i: i64 = 0; i < idx; i = i + 1) { cur = cur->next; }
+  return cur->val;
+}
+fn sl_index_of(l: ptr<SList>, v: i64) -> i64 {
+  var cur: ptr<SNode> = l->head;
+  var i: i64 = 0;
+  while (cur != null) {
+    if (cur->val == v) { return i; }
+    cur = cur->next;
+    i = i + 1;
+  }
+  return -1;
+}
+
+// ---------- rbuf: fixed-capacity ring buffer ------------------------------
+struct RBuf { data: ptr<i64>; cap: i64; head: i64; size: i64; }
+
+fn rb_new(cap: i64) -> ptr<RBuf> {
+  var r: ptr<RBuf> = alloc(RBuf, 1);
+  r->data = alloc(i64, cap);
+  r->cap = cap;
+  r->head = 0;
+  r->size = 0;
+  return r;
+}
+fn rb_enqueue(r: ptr<RBuf>, v: i64) -> i64 {
+  if (r->size == r->cap) { return 0; }  // full: drop
+  var tail: i64 = (r->head + r->size) % r->cap;
+  r->data[tail] = v;
+  r->size = r->size + 1;
+  return 1;
+}
+fn rb_dequeue(r: ptr<RBuf>, out_ok: ptr<i64>) -> i64 {
+  if (r->size == 0) { out_ok[0] = 0; return 0; }
+  var v: i64 = r->data[r->head];
+  r->head = (r->head + 1) % r->cap;
+  r->size = r->size - 1;
+  out_ok[0] = 1;
+  return v;
+}
+
+// ---------- deque: ring-buffer-backed double-ended queue ------------------
+struct Deque { data: ptr<i64>; cap: i64; head: i64; size: i64; }
+
+fn dq_new(cap: i64) -> ptr<Deque> {
+  var d: ptr<Deque> = alloc(Deque, 1);
+  d->data = alloc(i64, cap);
+  d->cap = cap;
+  d->head = 0;
+  d->size = 0;
+  return d;
+}
+fn dq_grow(d: ptr<Deque>) -> i64 {
+  var ncap: i64 = d->cap * 2;
+  var nbuf: ptr<i64> = alloc(i64, ncap);
+  for (var i: i64 = 0; i < d->size; i = i + 1) {
+    nbuf[i] = d->data[(d->head + i) % d->cap];
+  }
+  free(d->data);
+  d->data = nbuf;
+  d->cap = ncap;
+  d->head = 0;
+  return 0;
+}
+fn dq_add_last(d: ptr<Deque>, v: i64) -> i64 {
+  if (d->size == d->cap) { dq_grow(d); }
+  d->data[(d->head + d->size) % d->cap] = v;
+  d->size = d->size + 1;
+  return 0;
+}
+fn dq_add_first(d: ptr<Deque>, v: i64) -> i64 {
+  if (d->size == d->cap) { dq_grow(d); }
+  d->head = (d->head + d->cap - 1) % d->cap;
+  d->data[d->head] = v;
+  d->size = d->size + 1;
+  return 0;
+}
+fn dq_remove_first(d: ptr<Deque>, out_ok: ptr<i64>) -> i64 {
+  if (d->size == 0) { out_ok[0] = 0; return 0; }
+  var v: i64 = d->data[d->head];
+  d->head = (d->head + 1) % d->cap;
+  d->size = d->size - 1;
+  out_ok[0] = 1;
+  return v;
+}
+fn dq_remove_last(d: ptr<Deque>, out_ok: ptr<i64>) -> i64 {
+  if (d->size == 0) { out_ok[0] = 0; return 0; }
+  var v: i64 = d->data[(d->head + d->size - 1) % d->cap];
+  d->size = d->size - 1;
+  out_ok[0] = 1;
+  return v;
+}
+fn dq_clear(d: ptr<Deque>) -> i64 {
+  free(d->data);
+  d->data = alloc(i64, d->cap);
+  d->head = 0;
+  d->size = 0;
+  return 0;
+}
+
+// ---------- queue / stack: thin adapters -----------------------------------
+fn q_new() -> ptr<Deque> { return dq_new(4); }
+fn q_enqueue(q: ptr<Deque>, v: i64) -> i64 { return dq_add_last(q, v); }
+fn q_dequeue(q: ptr<Deque>, out_ok: ptr<i64>) -> i64 {
+  return dq_remove_first(q, out_ok);
+}
+
+fn st_new() -> ptr<Array> { return arr_new(4); }
+fn st_push(s: ptr<Array>, v: i64) -> i64 { return arr_add(s, v); }
+fn st_pop(s: ptr<Array>, out_ok: ptr<i64>) -> i64 {
+  if (s->size == 0) { out_ok[0] = 0; return 0; }
+  out_ok[0] = 1;
+  return arr_remove_at(s, s->size - 1);
+}
+
+// ---------- pqueue: binary min-heap on a dynamic array ----------------------
+fn pq_new() -> ptr<Array> { return arr_new(4); }
+fn pq_push(p: ptr<Array>, v: i64) -> i64 {
+  arr_add(p, v);
+  var i: i64 = p->size - 1;
+  while (i > 0) {
+    var parent: i64 = (i - 1) / 2;
+    if (p->buffer[parent] <= p->buffer[i]) { return 0; }
+    var tmp: i64 = p->buffer[parent];
+    p->buffer[parent] = p->buffer[i];
+    p->buffer[i] = tmp;
+    i = parent;
+  }
+  return 0;
+}
+fn pq_pop(p: ptr<Array>, out_ok: ptr<i64>) -> i64 {
+  if (p->size == 0) { out_ok[0] = 0; return 0; }
+  var top: i64 = p->buffer[0];
+  p->buffer[0] = p->buffer[p->size - 1];
+  p->size = p->size - 1;
+  var i: i64 = 0;
+  while (1) {
+    var l: i64 = 2 * i + 1;
+    var r: i64 = 2 * i + 2;
+    var m: i64 = i;
+    if (l < p->size && p->buffer[l] < p->buffer[m]) { m = l; }
+    if (r < p->size && p->buffer[r] < p->buffer[m]) { m = r; }
+    if (m == i) { out_ok[0] = 1; return top; }
+    var tmp: i64 = p->buffer[m];
+    p->buffer[m] = p->buffer[i];
+    p->buffer[i] = tmp;
+    i = m;
+  }
+  out_ok[0] = 1;
+  return top;
+}
+
+// ---------- treetbl: unbalanced BST map (key -> value) ----------------------
+struct TNode { key: i64; value: i64; left: ptr<TNode>; right: ptr<TNode>; }
+struct TreeTbl { root: ptr<TNode>; size: i64; }
+
+fn tt_new() -> ptr<TreeTbl> {
+  var t: ptr<TreeTbl> = alloc(TreeTbl, 1);
+  t->root = null;
+  t->size = 0;
+  return t;
+}
+fn tt_put(t: ptr<TreeTbl>, k: i64, v: i64) -> i64 {
+  var n: ptr<TNode> = alloc(TNode, 1);
+  n->key = k; n->value = v; n->left = null; n->right = null;
+  if (t->root == null) { t->root = n; t->size = 1; return 1; }
+  var cur: ptr<TNode> = t->root;
+  while (1) {
+    if (k == cur->key) { cur->value = v; free(n); return 0; }
+    if (k < cur->key) {
+      if (cur->left == null) { cur->left = n; t->size = t->size + 1; return 1; }
+      cur = cur->left;
+    } else {
+      if (cur->right == null) { cur->right = n; t->size = t->size + 1; return 1; }
+      cur = cur->right;
+    }
+  }
+  return 0;
+}
+fn tt_get(t: ptr<TreeTbl>, k: i64, out_ok: ptr<i64>) -> i64 {
+  var cur: ptr<TNode> = t->root;
+  while (cur != null) {
+    if (k == cur->key) { out_ok[0] = 1; return cur->value; }
+    if (k < cur->key) { cur = cur->left; } else { cur = cur->right; }
+  }
+  out_ok[0] = 0;
+  return 0;
+}
+fn tt_min_key(t: ptr<TreeTbl>, out_ok: ptr<i64>) -> i64 {
+  if (t->root == null) { out_ok[0] = 0; return 0; }
+  var cur: ptr<TNode> = t->root;
+  while (cur->left != null) { cur = cur->left; }
+  out_ok[0] = 1;
+  return cur->key;
+}
+
+// ---------- treeset: set on the treetbl --------------------------------------
+fn ts_new() -> ptr<TreeTbl> { return tt_new(); }
+fn ts_add(s: ptr<TreeTbl>, v: i64) -> i64 { return tt_put(s, v, 1); }
+fn ts_contains(s: ptr<TreeTbl>, v: i64) -> i64 {
+  var ok: ptr<i64> = alloc(i64, 1);
+  tt_get(s, v, ok);
+  var r: i64 = ok[0];
+  free(ok);
+  return r;
+}
+fn ts_size(s: ptr<TreeTbl>) -> i64 { return s->size; }
+)mc";
+
+/// Seeds four of the five §4.2 finding analogues (see header).
+std::string makeBuggyLibrary() {
+  std::string S(Library);
+
+  // Finding 1: off-by-one bounds check in the dynamic array — `>` lets
+  // size == capacity through, and the subsequent write lands one past the
+  // end of the buffer.
+  std::string Orig = "if (a->size >= a->capacity) { arr_expand(a); }";
+  std::string Bug = "if (a->size > a->capacity) { arr_expand(a); }";
+  auto P = S.find(Orig);
+  if (P != std::string::npos)
+    S.replace(P, Orig.size(), Bug);
+
+  // Finding 2: relational pointer comparison across objects in
+  // list_contains (a "cur < tail"-style loop condition, defined only
+  // within one object but nodes are separate allocations).
+  Orig = "fn list_contains(l: ptr<List>, v: i64) -> i64 {\n"
+         "  var cur: ptr<LNode> = l->head;\n"
+         "  while (cur != null) {";
+  Bug = "fn list_contains(l: ptr<List>, v: i64) -> i64 {\n"
+        "  var cur: ptr<LNode> = l->head;\n"
+        "  while (cur != null && !(l->tail < cur)) {";
+  P = S.find(Orig);
+  if (P != std::string::npos)
+    S.replace(P, Orig.size(), Bug);
+
+  // Finding 3: freed-pointer comparison in dq_clear — inspecting the old
+  // buffer pointer after free() is undefined.
+  Orig = "fn dq_clear(d: ptr<Deque>) -> i64 {\n"
+         "  free(d->data);\n"
+         "  d->data = alloc(i64, d->cap);";
+  Bug = "fn dq_clear(d: ptr<Deque>) -> i64 {\n"
+        "  var old: ptr<i64> = d->data;\n"
+        "  free(d->data);\n"
+        "  if (old == d->data) { d->head = 0; }\n"
+        "  d->data = alloc(i64, d->cap);";
+  P = S.find(Orig);
+  if (P != std::string::npos)
+    S.replace(P, Orig.size(), Bug);
+
+  // Finding 4: ring-buffer over-allocation (one element too many) —
+  // behaviourally benign, caught only by the capacity assertion.
+  Orig = "r->data = alloc(i64, cap);\n  r->cap = cap;";
+  Bug = "r->data = alloc(i64, cap + 1);\n  r->cap = cap;";
+  P = S.find(Orig);
+  if (P != std::string::npos)
+    S.replace(P, Orig.size(), Bug);
+
+  return S;
+}
+
+} // namespace
+
+std::string_view gillian::targets::collectionsLibrary() { return Library; }
+
+std::string_view gillian::targets::collectionsBuggyLibrary() {
+  static const std::string Buggy = makeBuggyLibrary();
+  return Buggy;
+}

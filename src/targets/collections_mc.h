@@ -1,0 +1,49 @@
+//===- targets/collections_mc.h - Collections-C-style MC library -*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §4.2 evaluation workload: a Collections-C-style data-structure
+/// library written in MC, with symbolic test suites mirroring the Table 2
+/// rows (array, deque, list, pqueue, queue, rbuf, slist, stack, treetbl,
+/// treeset). Elements are i64 payloads (Collections-C stores void*).
+///
+/// collectionsBuggyLibrary() seeds analogues of four of the five §4.2
+/// findings:
+///   1. an off-by-one buffer overflow in the dynamic array's bounds check;
+///   2. undefined behaviour from relational pointer comparison across
+///      objects in the list;
+///   3. a freed-pointer comparison in deque clearing;
+///   4. over-allocation in the ring buffer (benign for the operations,
+///      caught by a capacity assertion).
+/// Finding 5 (the weak string-hash) concerned the hashtable, which the
+/// paper's own solver could not test either — we follow it in omitting
+/// hashtable/hashset (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_TARGETS_COLLECTIONS_MC_H
+#define GILLIAN_TARGETS_COLLECTIONS_MC_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gillian::targets {
+
+std::string_view collectionsLibrary();
+std::string_view collectionsBuggyLibrary();
+
+struct CollectionsSuite {
+  std::string_view Name;
+  std::string_view Source;
+};
+
+/// One suite per Table 2 row.
+const std::vector<CollectionsSuite> &collectionsSuites();
+
+} // namespace gillian::targets
+
+#endif // GILLIAN_TARGETS_COLLECTIONS_MC_H

@@ -1,0 +1,83 @@
+//===- while_lang/ast.h - The While language (§2.2) ------------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's running example: a simple While language with static
+/// objects.
+///
+///   s ::= x := e | if (e) {s} else {s} | while (e) {s} | s; s
+///       | x := f(ē) | return e | assume e | assert e
+///       | x := {p: e, ...} | dispose e | x := e.p | e.p := e'
+///
+/// plus symbolic-input forms (x := fresh_int() etc.) that compile to the
+/// GIL iSym command with a typing assumption. Expressions are shared with
+/// GIL, as in the paper ("the semantics of expressions and the variable
+/// store coincide for While and GIL").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_WHILE_AST_H
+#define GILLIAN_WHILE_AST_H
+
+#include "gil/expr.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gillian::whilelang {
+
+enum class StmtKind : uint8_t {
+  Assign,  ///< x := e
+  If,      ///< if (e) { then } else { els }
+  While,   ///< while (e) { body }
+  Call,    ///< x := f(e1, ..., en)
+  Return,  ///< return e
+  Assume,  ///< assume (e)
+  Assert,  ///< assert (e)
+  New,     ///< x := { p1: e1, ..., pn: en }
+  Dispose, ///< dispose e
+  Lookup,  ///< x := e.p
+  Mutate,  ///< e.p := e'
+  Fresh,   ///< x := fresh_T()   (symbolic input)
+};
+
+struct Stmt {
+  StmtKind Kind;
+  InternedString X;        ///< target variable / callee name (Call)
+  InternedString Callee;   ///< Call only
+  InternedString Prop;     ///< Lookup/Mutate property name
+  Expr E;                  ///< main expression
+  Expr E2;                 ///< Mutate value
+  std::vector<Expr> Args;  ///< Call arguments
+  std::vector<std::pair<InternedString, Expr>> Props; ///< New
+  std::vector<Stmt> Then;  ///< If-then / While-body
+  std::vector<Stmt> Else;  ///< If-else
+  std::optional<GilType> FreshType; ///< Fresh: constraint type (nullopt = any)
+};
+
+struct FuncDecl {
+  InternedString Name;
+  std::vector<InternedString> Params;
+  std::vector<Stmt> Body;
+};
+
+struct Program {
+  std::vector<FuncDecl> Funcs;
+
+  const FuncDecl *find(std::string_view Name) const {
+    for (const FuncDecl &F : Funcs)
+      if (F.Name.str() == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+} // namespace gillian::whilelang
+
+#endif // GILLIAN_WHILE_AST_H

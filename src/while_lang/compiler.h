@@ -1,0 +1,40 @@
+//===- while_lang/compiler.h - While -> GIL (Fig. 2) -----------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The While-to-GIL compiler of §2.2 (Fig. 2). The action set is
+/// A_While = {lookup, mutate, dispose}; object creation uses the built-in
+/// allocator via the GIL uSym command, exactly as the [New] rule shows.
+/// Multi-parameter functions compile to single-parameter GIL procedures
+/// taking a list, with a destructuring prologue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_WHILE_COMPILER_H
+#define GILLIAN_WHILE_COMPILER_H
+
+#include "gil/prog.h"
+#include "support/result.h"
+#include "while_lang/ast.h"
+
+namespace gillian::whilelang {
+
+/// Action names of the While memory model.
+InternedString actLookup();
+InternedString actMutate();
+InternedString actDispose();
+
+/// Compiles a While program to GIL. Allocation sites are numbered per
+/// program, so uSym/iSym sites are stable across compilations of the same
+/// source (which the soundness replay tests rely on).
+Result<Prog> compileWhile(const Program &P);
+
+/// Parses and compiles in one step.
+Result<Prog> compileWhileSource(std::string_view Source);
+
+} // namespace gillian::whilelang
+
+#endif // GILLIAN_WHILE_COMPILER_H

@@ -1,0 +1,42 @@
+//===- while_lang/parser.h - While parser ----------------------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete syntax for the While language of §2.2:
+///
+///   function main() {
+///     x := fresh_int();
+///     assume (0 <= x && x < 10);
+///     o := { a: x, b: "hi" };
+///     y := o.a;          // property lookup
+///     o.b := y + 1;      // property mutation
+///     if (y < 5) { r := double(y); } else { r := y; }
+///     while (0 < r) { r := r - 1; }
+///     dispose o;
+///     assert (r == 0);
+///     return r;
+///   }
+///   function double(n) { return 2 * n; }   // sugar: expression body also ok
+///
+/// Expressions are the GIL expression grammar (shared parser).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_WHILE_PARSER_H
+#define GILLIAN_WHILE_PARSER_H
+
+#include "support/result.h"
+#include "while_lang/ast.h"
+
+#include <string_view>
+
+namespace gillian::whilelang {
+
+Result<Program> parseWhile(std::string_view Source);
+
+} // namespace gillian::whilelang
+
+#endif // GILLIAN_WHILE_PARSER_H

@@ -1,0 +1,100 @@
+//===- tests/engine/allocator_test.cpp ------------------------------------===//
+
+#include "engine/allocator.h"
+
+#include <gtest/gtest.h>
+
+using namespace gillian;
+
+TEST(Allocator, SiteIndexedFreshness) {
+  SymbolicAllocator A;
+  Value U0 = A.allocUSym(0);
+  Value U1 = A.allocUSym(0);
+  Value U2 = A.allocUSym(1);
+  EXPECT_NE(U0, U1);
+  EXPECT_NE(U0, U2);
+  EXPECT_EQ(U0.asSym().str(), "$u_0_0");
+  EXPECT_EQ(U1.asSym().str(), "$u_0_1");
+  EXPECT_EQ(U2.asSym().str(), "$u_1_0");
+}
+
+TEST(Allocator, ISymProducesLogicalVariables) {
+  SymbolicAllocator A;
+  Expr I = A.allocISym(3);
+  ASSERT_TRUE(I.isLVar());
+  EXPECT_EQ(I.varName().str(), "#i_3_0");
+}
+
+TEST(Allocator, ConcreteMatchesSymbolicNaming) {
+  // Allocator interpretation (Def 3.8): the concrete allocator's uSym
+  // picks exactly the symbol the symbolic allocator picks, so I(ε, ·) on
+  // locations is the identity on symbols.
+  SymbolicAllocator S;
+  ConcreteAllocator C;
+  for (uint32_t Site : {0u, 0u, 2u, 0u, 2u})
+    EXPECT_EQ(S.allocUSym(Site), C.allocUSym(Site));
+}
+
+TEST(Allocator, ScriptedISymDirectsConcreteRun) {
+  ConcreteAllocator C;
+  C.scriptISym(1, 0, Value::strV("directed"));
+  EXPECT_EQ(C.allocISym(1).asStr().str(), "directed");
+  // Unscripted allocations fall back to the arbitrary default.
+  EXPECT_EQ(C.allocISym(1), Value::intV(0));
+}
+
+TEST(AllocRecord, RestrictionAxioms) {
+  // Def 3.1: idempotence, right-commutativity, weakening — on allocation
+  // records with the per-site-max restriction.
+  AllocRecord A, B, C;
+  A.next(0);
+  B.next(0);
+  B.next(0);
+  C.next(1);
+
+  // Idempotence: x |x = x.
+  AllocRecord AA = A;
+  AA.restrictWith(A);
+  EXPECT_EQ(AA, A);
+
+  // Right commutativity: (x |y) |z = (x |z) |y.
+  AllocRecord X1 = A, X2 = A;
+  X1.restrictWith(B);
+  X1.restrictWith(C);
+  X2.restrictWith(C);
+  X2.restrictWith(B);
+  EXPECT_EQ(X1, X2);
+
+  // Weakening: x |y |z = x  =>  x |y = x.
+  AllocRecord Y = B; // B already dominates A
+  AllocRecord BA = B;
+  BA.restrictWith(A);
+  ASSERT_EQ(BA, B);
+  AllocRecord W = B;
+  W.restrictWith(A);
+  W.restrictWith(A);
+  EXPECT_EQ(W, B);
+  (void)Y;
+}
+
+TEST(AllocRecord, RestrictionMonotoneUnderAllocation) {
+  // Def 3.3: allocation only refines the record (ξ' ⊑ ξ).
+  AllocRecord R;
+  AllocRecord Before = R;
+  R.next(4);
+  EXPECT_TRUE(R.refines(Before));
+  EXPECT_FALSE(Before.refines(R));
+}
+
+TEST(AllocRecord, RefinesIsPreorder) {
+  AllocRecord A, B;
+  EXPECT_TRUE(A.refines(A));
+  A.next(0);
+  B.next(0);
+  B.next(1);
+  EXPECT_TRUE(B.refines(A));
+  AllocRecord C = B;
+  C.next(0);
+  EXPECT_TRUE(C.refines(B));
+  EXPECT_TRUE(C.refines(A)) << "transitivity";
+}

@@ -1,0 +1,94 @@
+//===- tests/gil/value_test.cpp -------------------------------------------===//
+
+#include "gil/value.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+using namespace gillian;
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_EQ(Value::intV(-3).asInt(), -3);
+  EXPECT_DOUBLE_EQ(Value::numV(2.5).asNum(), 2.5);
+  EXPECT_EQ(Value::strV("hi").asStr().str(), "hi");
+  EXPECT_TRUE(Value::boolV(true).asBool());
+  EXPECT_EQ(Value::symV("$loc").asSym().str(), "$loc");
+  EXPECT_EQ(Value::typeV(GilType::Str).asType(), GilType::Str);
+  EXPECT_EQ(Value::procV("main").asProc().str(), "main");
+  Value L = Value::listV({Value::intV(1), Value::strV("x")});
+  ASSERT_EQ(L.asList().size(), 2u);
+  EXPECT_EQ(L.asList()[0].asInt(), 1);
+}
+
+TEST(Value, StructuralEqualityDoesNotCoerce) {
+  // GIL equality is structural: 1 != 1.0, "1" != 1.
+  EXPECT_NE(Value::intV(1), Value::numV(1.0));
+  EXPECT_NE(Value::strV("1"), Value::intV(1));
+  EXPECT_NE(Value::boolV(true), Value::intV(1));
+  EXPECT_EQ(Value::intV(1), Value::intV(1));
+}
+
+TEST(Value, NanEqualsItselfStructurally) {
+  // Bitwise identity, required for the simplifier's Eq(e,e) -> true rule.
+  Value N = Value::numV(std::nan(""));
+  EXPECT_EQ(N, N);
+  EXPECT_EQ(N, Value::numV(std::nan("")));
+}
+
+TEST(Value, NegativeZeroDistinctFromPositiveZero) {
+  EXPECT_NE(Value::numV(-0.0), Value::numV(0.0));
+}
+
+TEST(Value, ListEqualityIsDeep) {
+  Value A = Value::listV({Value::intV(1), Value::listV({Value::strV("x")})});
+  Value B = Value::listV({Value::intV(1), Value::listV({Value::strV("x")})});
+  Value C = Value::listV({Value::intV(1), Value::listV({Value::strV("y")})});
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(A.hash(), B.hash());
+}
+
+TEST(Value, OrderingIsTotalOnMixedKinds) {
+  std::map<Value, int> M;
+  M[Value::intV(1)] = 1;
+  M[Value::numV(1.0)] = 2;
+  M[Value::strV("1")] = 3;
+  M[Value::boolV(true)] = 4;
+  M[Value::listV({Value::intV(1)})] = 5;
+  EXPECT_EQ(M.size(), 5u) << "distinct kinds must be distinct keys";
+  EXPECT_EQ(M[Value::intV(1)], 1);
+}
+
+TEST(Value, ToStringRendering) {
+  EXPECT_EQ(Value::intV(42).toString(), "42");
+  EXPECT_EQ(Value::numV(2.5).toString(), "2.5");
+  EXPECT_EQ(Value::numV(3.0).toString(), "3.0") << "Num stays visually a Num";
+  EXPECT_EQ(Value::boolV(false).toString(), "false");
+  EXPECT_EQ(Value::strV("a\"b").toString(), "\"a\\\"b\"");
+  EXPECT_EQ(Value::symV("$u_0_1").toString(), "$u_0_1");
+  EXPECT_EQ(Value::typeV(GilType::List).toString(), "^List");
+  EXPECT_EQ(Value::procV("f").toString(), "&f");
+  EXPECT_EQ(Value::listV({Value::intV(1), Value::intV(2)}).toString(),
+            "[1, 2]");
+}
+
+TEST(Value, NumFormattingRoundTrips) {
+  for (double D : {0.1, 1.0 / 3.0, 1e-17, 123456789.123456789, -2.5e300}) {
+    std::string S = Value::numV(D).toString();
+    EXPECT_EQ(std::strtod(S.c_str(), nullptr), D) << S;
+  }
+}
+
+TEST(Value, DefaultConstructedIsIntZero) {
+  Value V;
+  EXPECT_TRUE(V.isInt());
+  EXPECT_EQ(V.asInt(), 0);
+}
+
+TEST(Value, ListsShareStorageOnCopy) {
+  Value A = Value::listV({Value::intV(1), Value::intV(2), Value::intV(3)});
+  Value B = A;
+  EXPECT_EQ(&A.asList(), &B.asList()) << "copies must share list storage";
+}

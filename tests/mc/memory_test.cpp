@@ -1,0 +1,280 @@
+//===- tests/mc/memory_test.cpp -------------------------------------------===//
+//
+// Direct unit tests of the CompCert-style memory actions (§4.2): byte
+// encode/decode, chunk checks, permissions, fragments, pointer
+// comparison, and the I_C interpretation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mc/memory.h"
+
+#include <gtest/gtest.h>
+
+using namespace gillian;
+using namespace gillian::mc;
+
+namespace {
+
+Value args(std::initializer_list<Value> Vs) { return Value::listV(Vs); }
+Expr eargs(std::initializer_list<Expr> Es) { return Expr::list(Es); }
+
+Value blockSym(const char *N) { return Value::symV(N); }
+
+McCMem allocated(const char *B, int64_t Size) {
+  McCMem M;
+  EXPECT_TRUE(
+      M.execAction(actAlloc(), args({blockSym(B), Value::intV(Size)})).ok());
+  return M;
+}
+
+} // namespace
+
+TEST(McCMemT, IntStoreLoadAllChunkSizes) {
+  McCMem M = allocated("$b", 16);
+  for (auto [Sz, V] : {std::pair<int64_t, int64_t>{1, -5},
+                       {4, -70000},
+                       {8, (1ll << 40) + 3}}) {
+    Chunk C{Sz, Sz, ChunkKind::Int};
+    ASSERT_TRUE(M.execAction(actStore(),
+                             args({chunkValue(C), blockSym("$b"),
+                                   Value::intV(0), Value::intV(V)}))
+                    .ok());
+    Result<Value> R = M.execAction(
+        actLoad(), args({chunkValue(C), blockSym("$b"), Value::intV(0)}));
+    ASSERT_TRUE(R.ok()) << R.error();
+    EXPECT_EQ(R->asInt(), V) << "chunk size " << Sz;
+  }
+}
+
+TEST(McCMemT, NarrowStoreTruncates) {
+  McCMem M = allocated("$b", 8);
+  Chunk C{1, 1, ChunkKind::Int};
+  ASSERT_TRUE(M.execAction(actStore(),
+                           args({chunkValue(C), blockSym("$b"),
+                                 Value::intV(0), Value::intV(0x1FF)}))
+                  .ok());
+  Result<Value> R = M.execAction(
+      actLoad(), args({chunkValue(C), blockSym("$b"), Value::intV(0)}));
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R->asInt(), -1) << "0x1FF truncates to 0xFF = -1 signed";
+}
+
+TEST(McCMemT, ByteLevelAccessSeesScalarBytes) {
+  // Little-endian byte view of a stored i32 — the CompCert fine-grained
+  // access property.
+  McCMem M = allocated("$b", 8);
+  Chunk C4{4, 4, ChunkKind::Int};
+  ASSERT_TRUE(M.execAction(actStore(),
+                           args({chunkValue(C4), blockSym("$b"),
+                                 Value::intV(0), Value::intV(0x01020304)}))
+                  .ok());
+  Chunk C1{1, 1, ChunkKind::Int};
+  Result<Value> B0 = M.execAction(
+      actLoad(), args({chunkValue(C1), blockSym("$b"), Value::intV(0)}));
+  Result<Value> B3 = M.execAction(
+      actLoad(), args({chunkValue(C1), blockSym("$b"), Value::intV(3)}));
+  ASSERT_TRUE(B0.ok() && B3.ok());
+  EXPECT_EQ(B0->asInt(), 0x04);
+  EXPECT_EQ(B3->asInt(), 0x01);
+}
+
+TEST(McCMemT, PointersRoundTripAsFragments) {
+  McCMem M = allocated("$b", 16);
+  Chunk CP{8, 8, ChunkKind::Ptr};
+  Value P = Value::listV({blockSym("$other"), Value::intV(4)});
+  ASSERT_TRUE(M.execAction(actStore(), args({chunkValue(CP), blockSym("$b"),
+                                             Value::intV(8), P}))
+                  .ok());
+  Result<Value> R = M.execAction(
+      actLoad(), args({chunkValue(CP), blockSym("$b"), Value::intV(8)}));
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(*R, P);
+  // Reading pointer bytes as an integer is a type-confused load.
+  Chunk C8{8, 8, ChunkKind::Int};
+  EXPECT_FALSE(
+      M.execAction(actLoad(),
+                   args({chunkValue(C8), blockSym("$b"), Value::intV(8)}))
+          .ok());
+}
+
+TEST(McCMemT, TornReadDetected) {
+  McCMem M = allocated("$b", 16);
+  Chunk CP{8, 8, ChunkKind::Ptr};
+  Value P = Value::listV({blockSym("$x"), Value::intV(0)});
+  ASSERT_TRUE(M.execAction(actStore(), args({chunkValue(CP), blockSym("$b"),
+                                             Value::intV(0), P}))
+                  .ok());
+  // Overwrite the middle with a byte, then read the pointer back: torn.
+  Chunk C1{1, 1, ChunkKind::Int};
+  ASSERT_TRUE(M.execAction(actStore(),
+                           args({chunkValue(C1), blockSym("$b"),
+                                 Value::intV(3), Value::intV(0)}))
+                  .ok());
+  Result<Value> R = M.execAction(
+      actLoad(), args({chunkValue(CP), blockSym("$b"), Value::intV(0)}));
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("torn"), std::string::npos);
+}
+
+TEST(McCMemT, AlignmentEnforced) {
+  McCMem M = allocated("$b", 16);
+  Chunk C8{8, 8, ChunkKind::Int};
+  Result<Value> R =
+      M.execAction(actStore(), args({chunkValue(C8), blockSym("$b"),
+                                     Value::intV(4), Value::intV(1)}));
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("unaligned"), std::string::npos);
+}
+
+TEST(McCMemT, PermissionsGateAccess) {
+  McCMem M = allocated("$b", 8);
+  Chunk C8{8, 8, ChunkKind::Int};
+  ASSERT_TRUE(M.execAction(actStore(),
+                           args({chunkValue(C8), blockSym("$b"),
+                                 Value::intV(0), Value::intV(7)}))
+                  .ok());
+  // Drop to Readable: loads fine, stores fault.
+  ASSERT_TRUE(M.execAction(actDropPerm(),
+                           args({blockSym("$b"), Value::intV(0),
+                                 Value::intV(8),
+                                 Value::intV(static_cast<int64_t>(
+                                     Perm::Readable))}))
+                  .ok());
+  EXPECT_TRUE(M.execAction(actLoad(), args({chunkValue(C8), blockSym("$b"),
+                                            Value::intV(0)}))
+                  .ok());
+  EXPECT_FALSE(M.execAction(actStore(),
+                            args({chunkValue(C8), blockSym("$b"),
+                                  Value::intV(0), Value::intV(8)}))
+                   .ok());
+  // Drop to None: even loads fault. Permissions only decrease.
+  ASSERT_TRUE(M.execAction(actDropPerm(),
+                           args({blockSym("$b"), Value::intV(0),
+                                 Value::intV(8),
+                                 Value::intV(static_cast<int64_t>(
+                                     Perm::None))}))
+                  .ok());
+  EXPECT_FALSE(M.execAction(actLoad(), args({chunkValue(C8), blockSym("$b"),
+                                             Value::intV(0)}))
+                   .ok());
+}
+
+TEST(McCMemT, ValidPtrAndBlockSize) {
+  McCMem M = allocated("$b", 12);
+  EXPECT_EQ(*M.execAction(actBlockSize(), args({blockSym("$b")})),
+            Value::intV(12));
+  EXPECT_EQ(*M.execAction(actValidPtr(), args({blockSym("$b"),
+                                               Value::intV(4),
+                                               Value::intV(8)})),
+            Value::boolV(true));
+  EXPECT_EQ(*M.execAction(actValidPtr(), args({blockSym("$b"),
+                                               Value::intV(5),
+                                               Value::intV(8)})),
+            Value::boolV(false));
+}
+
+// --- Symbolic ---------------------------------------------------------------
+
+TEST(McSMemT, SymbolicStoreLoadFragmentRoundTrip) {
+  McSMem M;
+  Solver S;
+  PathCondition PC;
+  PC.add(Expr::hasType(Expr::lvar("#v"), GilType::Int));
+  Expr B = Expr::lit(Value::symV("$b"));
+  auto A = M.execAction(actAlloc(), eargs({B, Expr::intE(8)}), PC, S);
+  ASSERT_TRUE(A.ok());
+  const McSMem &M1 = (*A)[0].Mem;
+  Chunk C8{8, 8, ChunkKind::Int};
+  auto St = M1.execAction(actStore(),
+                          eargs({Expr::lit(chunkValue(C8)), B,
+                                 Expr::intE(0), Expr::lvar("#v")}),
+                          PC, S);
+  ASSERT_TRUE(St.ok());
+  ASSERT_EQ(St->size(), 1u);
+  auto Ld = (*St)[0].Mem.execAction(
+      actLoad(), eargs({Expr::lit(chunkValue(C8)), B, Expr::intE(0)}), PC,
+      S);
+  ASSERT_TRUE(Ld.ok());
+  ASSERT_EQ(Ld->size(), 1u);
+  EXPECT_EQ((*Ld)[0].Ret, Expr::lvar("#v"));
+}
+
+TEST(McSMemT, SymbolicOffsetBranchesOverCandidates) {
+  McSMem M;
+  Solver S;
+  PathCondition PC;
+  PC.add(Expr::hasType(Expr::lvar("#o"), GilType::Int));
+  Expr B = Expr::lit(Value::symV("$b"));
+  auto A = M.execAction(actAlloc(), eargs({B, Expr::intE(24)}), PC, S);
+  const McSMem &M1 = (*A)[0].Mem;
+  Chunk C8{8, 8, ChunkKind::Int};
+  // Initialise all three slots so every candidate decodes.
+  McSMem M2 = M1;
+  for (int I = 0; I < 3; ++I) {
+    auto St = M2.execAction(actStore(),
+                            eargs({Expr::lit(chunkValue(C8)), B,
+                                   Expr::intE(8 * I), Expr::intE(I)}),
+                            PC, S);
+    ASSERT_TRUE(St.ok());
+    M2 = (*St)[0].Mem;
+  }
+  auto Ld = M2.execAction(
+      actLoad(), eargs({Expr::lit(chunkValue(C8)), B, Expr::lvar("#o")}),
+      PC, S);
+  ASSERT_TRUE(Ld.ok());
+  int Successes = 0, Errors = 0;
+  for (auto &Br : *Ld)
+    Br.IsError ? ++Errors : ++Successes;
+  EXPECT_EQ(Successes, 3) << "one world per aligned in-bounds offset";
+  EXPECT_GE(Errors, 1) << "the out-of-bounds world";
+}
+
+TEST(McSMemT, RelationalCompareBranchesOnBlockEquality) {
+  McSMem M;
+  Solver S;
+  PathCondition PC;
+  Expr B = Expr::lit(Value::symV("$b"));
+  auto A = M.execAction(actAlloc(), eargs({B, Expr::intE(8)}), PC, S);
+  const McSMem &M1 = (*A)[0].Mem;
+  Expr P1 = Expr::list({B, Expr::intE(0)});
+  Expr P2 = Expr::list({B, Expr::intE(4)});
+  auto R = M1.execAction(actComparePtr(),
+                         eargs({Expr::strE("lt"), P1, P2}), PC, S);
+  ASSERT_TRUE(R.ok());
+  ASSERT_EQ(R->size(), 1u) << "same concrete block: no UB world";
+  EXPECT_FALSE((*R)[0].IsError);
+  EXPECT_TRUE((*R)[0].Ret.isTrue());
+}
+
+TEST(McSMemT, InterpretationEncodesFragmentsAsBytes) {
+  // A symbolic i64 fragment interprets to the same bytes a concrete store
+  // writes — the agreement the replay tests depend on.
+  McSMem SM;
+  SBlock B;
+  B.Size = 8;
+  Chunk C8{8, 8, ChunkKind::Int};
+  for (int64_t I = 0; I < 8; ++I) {
+    SMemVal V;
+    V.K = SMemVal::Frag;
+    V.FragVal = Expr::lvar("#v");
+    V.FragKind = ChunkKind::Int;
+    V.FragIdx = static_cast<uint8_t>(I);
+    V.FragLen = 8;
+    B.Bytes.set(I, V);
+  }
+  SM.putBlock(Expr::lit(Value::symV("$b")), std::move(B));
+  Model Eps;
+  Eps.bind(InternedString::get("#v"), Value::intV(0x0102030405060708));
+  Result<McCMem> CM = interpretMemory(Eps, SM);
+  ASSERT_TRUE(CM.ok()) << CM.error();
+  Result<Value> R = CM->execAction(
+      actLoad(), args({chunkValue(C8), blockSym("$b"), Value::intV(0)}));
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_EQ(R->asInt(), 0x0102030405060708);
+  // And the low byte reads as 0x08 (little-endian).
+  Chunk C1{1, 1, ChunkKind::Int};
+  EXPECT_EQ(CM->execAction(actLoad(), args({chunkValue(C1), blockSym("$b"),
+                                            Value::intV(0)}))
+                ->asInt(),
+            0x08);
+}

@@ -1,0 +1,277 @@
+//===- tests/mjs/compiler_test.cpp ----------------------------------------===//
+//
+// MJS language semantics via concrete execution of compiled GIL: dynamic
+// typing, truthiness, objects, arrays, computed properties, deletion,
+// runtime TypeErrors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mjs/compiler.h"
+
+#include "engine/test_runner.h"
+#include "gil/parser.h"
+#include "mjs/memory.h"
+#include "mjs/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace gillian;
+using namespace gillian::mjs;
+
+namespace {
+
+Value runMain(std::string_view Src) {
+  Result<Prog> P = compileMjsSource(Src);
+  EXPECT_TRUE(P.ok()) << (P.ok() ? "" : P.error());
+  if (!P.ok())
+    return Value();
+  EngineOptions Opts;
+  ExecStats Stats;
+  auto R = runConcrete<MjsCMem>(*P, "main", Opts, Stats);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.error());
+  if (!R.ok())
+    return Value();
+  EXPECT_EQ(R->Kind, OutcomeKind::Return) << R->Val.toString();
+  return R->Val;
+}
+
+OutcomeKind runMainOutcome(std::string_view Src) {
+  Result<Prog> P = compileMjsSource(Src);
+  EXPECT_TRUE(P.ok()) << (P.ok() ? "" : P.error());
+  if (!P.ok())
+    return OutcomeKind::Error;
+  EngineOptions Opts;
+  ExecStats Stats;
+  auto R = runConcrete<MjsCMem>(*P, "main", Opts, Stats);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.error());
+  return R.ok() ? R->Kind : OutcomeKind::Error;
+}
+
+} // namespace
+
+TEST(MjsCompiler, NumbersAreDoubles) {
+  Value V = runMain("function main() { return 1 / 2; }");
+  ASSERT_TRUE(V.isNum());
+  EXPECT_DOUBLE_EQ(V.asNum(), 0.5);
+}
+
+TEST(MjsCompiler, DivisionByZeroIsInfinity) {
+  Value V = runMain("function main() { return 1 / 0; }");
+  ASSERT_TRUE(V.isNum());
+  EXPECT_TRUE(std::isinf(V.asNum()));
+}
+
+TEST(MjsCompiler, PlusDispatchesOnTypes) {
+  EXPECT_EQ(runMain("function main() { return 1 + 2; }"), Value::numV(3));
+  EXPECT_EQ(runMain("function main() { return \"a\" + \"b\"; }"),
+            Value::strV("ab"));
+  EXPECT_EQ(runMainOutcome("function main() { return 1 + \"b\"; }"),
+            OutcomeKind::Error)
+      << "MJS + is strict across types";
+}
+
+TEST(MjsCompiler, ArithmeticTypeGuards) {
+  EXPECT_EQ(runMainOutcome("function main() { return \"a\" * 2; }"),
+            OutcomeKind::Error);
+  EXPECT_EQ(runMainOutcome("function main() { return -\"a\"; }"),
+            OutcomeKind::Error);
+}
+
+TEST(MjsCompiler, TruthinessTable) {
+  const char *Tpl = "function main() { if (%s) { return 1; } return 0; }";
+  auto Run = [&](const char *Cond) {
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf), Tpl, Cond);
+    return runMain(Buf).asNum();
+  };
+  EXPECT_EQ(Run("0"), 0.0);
+  EXPECT_EQ(Run("0.0"), 0.0);
+  EXPECT_EQ(Run("\"\""), 0.0);
+  EXPECT_EQ(Run("false"), 0.0);
+  EXPECT_EQ(Run("undefined"), 0.0);
+  EXPECT_EQ(Run("null"), 0.0);
+  EXPECT_EQ(Run("42"), 1.0);
+  EXPECT_EQ(Run("\"x\""), 1.0);
+  EXPECT_EQ(Run("{}"), 1.0) << "objects are truthy";
+}
+
+TEST(MjsCompiler, ShortCircuitReturnsOperandValue) {
+  EXPECT_EQ(runMain("function main() { return 0 || \"dflt\"; }"),
+            Value::strV("dflt"));
+  EXPECT_EQ(runMain("function main() { return 1 && \"right\"; }"),
+            Value::strV("right"));
+  EXPECT_EQ(runMain("function main() { return null && boom(); }"),
+            jsNull())
+      << "rhs must not evaluate";
+}
+
+TEST(MjsCompiler, ObjectsAndMembers) {
+  EXPECT_EQ(runMain(R"(
+    function main() {
+      var o = { a: 1, b: { c: 2 } };
+      o.a = o.a + 10;
+      return o.a + o.b.c;
+    })"),
+            Value::numV(13));
+}
+
+TEST(MjsCompiler, ComputedPropertiesCoerceNumbers) {
+  EXPECT_EQ(runMain(R"(
+    function main() {
+      var o = {};
+      o[0] = "zero";
+      return o["0"];
+    })"),
+            Value::strV("zero"))
+      << "o[0] and o[\"0\"] must be the same property";
+}
+
+TEST(MjsCompiler, MissingPropertyIsUndefined) {
+  EXPECT_EQ(runMain("function main() { var o = {}; return o.nope; }"),
+            jsUndefined());
+}
+
+TEST(MjsCompiler, DeleteRemovesProperty) {
+  EXPECT_EQ(runMain(R"(
+    function main() {
+      var o = { a: 1 };
+      delete o.a;
+      return o.a;
+    })"),
+            jsUndefined());
+}
+
+TEST(MjsCompiler, ArrayLiteralsHaveLength) {
+  EXPECT_EQ(runMain(R"(
+    function main() {
+      var a = [10, 20, 30];
+      return a[1] + a.length;
+    })"),
+            Value::numV(23));
+}
+
+TEST(MjsCompiler, MemberOfUndefinedIsTypeError) {
+  EXPECT_EQ(runMainOutcome("function main() { var u = undefined; "
+                           "return u.p; }"),
+            OutcomeKind::Error);
+}
+
+TEST(MjsCompiler, TypeofOperator) {
+  EXPECT_EQ(runMain("function main() { return typeof 1; }"),
+            Value::strV("number"));
+  EXPECT_EQ(runMain("function main() { return typeof \"s\"; }"),
+            Value::strV("string"));
+  EXPECT_EQ(runMain("function main() { return typeof undefined; }"),
+            Value::strV("undefined"));
+  EXPECT_EQ(runMain("function main() { return typeof null; }"),
+            Value::strV("object"));
+  EXPECT_EQ(runMain("function main() { return typeof {}; }"),
+            Value::strV("object"));
+}
+
+TEST(MjsCompiler, StrictEqualityDoesNotCoerce) {
+  EXPECT_EQ(runMain("function main() { if (1 === \"1\") { return 1; } "
+                    "return 0; }"),
+            Value::numV(0));
+  EXPECT_EQ(runMain("function main() { if (null === undefined) { return 1; }"
+                    " return 0; }"),
+            Value::numV(0));
+}
+
+TEST(MjsCompiler, ForLoopsAndFunctions) {
+  EXPECT_EQ(runMain(R"(
+    function sum_to(n) {
+      var s = 0;
+      for (var i = 1; i <= n; i = i + 1) { s = s + i; }
+      return s;
+    }
+    function main() { return sum_to(10); })"),
+            Value::numV(55));
+}
+
+TEST(MjsCompiler, WhileAndEarlyReturn) {
+  EXPECT_EQ(runMain(R"(
+    function find(limit) {
+      var i = 0;
+      while (true) {
+        if (i * i >= limit) { return i; }
+        i = i + 1;
+      }
+    }
+    function main() { return find(17); })"),
+            Value::numV(5));
+}
+
+TEST(MjsCompiler, ReferencesShareObjects) {
+  EXPECT_EQ(runMain(R"(
+    function poke(o) { o.v = 99; return 0; }
+    function main() {
+      var o = { v: 1 };
+      poke(o);
+      return o.v;
+    })"),
+            Value::numV(99));
+}
+
+TEST(MjsCompiler, FunctionsReturnUndefinedByDefault) {
+  EXPECT_EQ(runMain(R"(
+    function noop(x) { x = 1; }
+    function main() { return noop(0); })"),
+            jsUndefined());
+}
+
+TEST(MjsCompiler, ElseIfChains) {
+  EXPECT_EQ(runMain(R"(
+    function classify(n) {
+      if (n < 0) { return "neg"; }
+      else if (n === 0) { return "zero"; }
+      else { return "pos"; }
+    }
+    function main() { return classify(0); })"),
+            Value::strV("zero"));
+}
+
+TEST(MjsCompiler, ParseErrors) {
+  EXPECT_FALSE(compileMjsSource("function main() { var; }").ok());
+  EXPECT_FALSE(compileMjsSource("function main() { 1 = 2; }").ok());
+  EXPECT_FALSE(compileMjsSource("function main() { delete x; }").ok());
+}
+
+TEST(MjsCompiler, CompiledGilRoundTripsThroughTextualFormat) {
+  const char *Src = R"(
+    function main() {
+      var o = { k: [1, 2, 3] };
+      var s = "";
+      if (o.k.length > 2) { s = s + "big"; }
+      return s + "!";
+    })";
+  Result<Prog> P1 = compileMjsSource(Src);
+  ASSERT_TRUE(P1.ok()) << P1.error();
+  std::string Printed = P1->toString();
+  Result<Prog> P2 = parseGilProg(Printed);
+  ASSERT_TRUE(P2.ok()) << P2.error();
+  EXPECT_EQ(P2->toString(), Printed);
+  EngineOptions Opts;
+  ExecStats S1, S2;
+  auto R1 = runConcrete<MjsCMem>(*P1, "main", Opts, S1);
+  auto R2 = runConcrete<MjsCMem>(*P2, "main", Opts, S2);
+  ASSERT_TRUE(R1.ok() && R2.ok());
+  EXPECT_EQ(R1->Val, R2->Val);
+}
+
+TEST(MjsRuntime, ParsesAndLinksIntoEveryProgram) {
+  // The runtime is written in textual GIL; it must parse, contain the
+  // four dispatch procedures, and be present in every compiled program.
+  Result<Prog> R = parseGilProg(runtimeSource());
+  ASSERT_TRUE(R.ok()) << R.error();
+  for (const char *Name : {"__mjs_truthy", "__mjs_add", "__mjs_typeof",
+                           "__mjs_topropname"})
+    EXPECT_NE(R->find(Name), nullptr) << Name;
+
+  Result<Prog> P = compileMjsSource("function main() { return 1; }");
+  ASSERT_TRUE(P.ok());
+  EXPECT_NE(P->find("__mjs_truthy"), nullptr)
+      << "runtime must be linked into compiled programs";
+}

@@ -1,0 +1,192 @@
+//===- tests/mjs/memory_test.cpp ------------------------------------------===//
+//
+// Direct unit tests of the eight JS memory actions (§4.1), concrete and
+// symbolic, including the [SGetProp]-style double branching on both the
+// location and the property name, metadata, and interpretation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mjs/memory.h"
+
+#include <gtest/gtest.h>
+
+using namespace gillian;
+using namespace gillian::mjs;
+
+namespace {
+
+Value args(std::initializer_list<Value> Vs) { return Value::listV(Vs); }
+Expr eargs(std::initializer_list<Expr> Es) { return Expr::list(Es); }
+InternedString is(std::string_view S) { return InternedString::get(S); }
+
+} // namespace
+
+TEST(MjsCMemT, NewSetGetRoundTrip) {
+  MjsCMem M;
+  Value L = Value::symV("$o");
+  ASSERT_TRUE(M.execAction(actNewObj(), args({L, Value::strV("Object")}))
+                  .ok());
+  ASSERT_TRUE(
+      M.execAction(actSetProp(), args({L, Value::strV("k"), Value::numV(7)}))
+          .ok());
+  Result<Value> V = M.execAction(actGetProp(), args({L, Value::strV("k")}));
+  ASSERT_TRUE(V.ok());
+  EXPECT_EQ(*V, Value::numV(7));
+}
+
+TEST(MjsCMemT, AbsentPropertyIsUndefined) {
+  MjsCMem M;
+  Value L = Value::symV("$o");
+  ASSERT_TRUE(M.execAction(actNewObj(), args({L, Value::strV("Object")}))
+                  .ok());
+  Result<Value> V = M.execAction(actGetProp(), args({L, Value::strV("x")}));
+  ASSERT_TRUE(V.ok());
+  EXPECT_EQ(*V, jsUndefined());
+}
+
+TEST(MjsCMemT, UnknownAndDeletedObjectsFault) {
+  MjsCMem M;
+  Value L = Value::symV("$o");
+  EXPECT_FALSE(
+      M.execAction(actGetProp(), args({L, Value::strV("k")})).ok());
+  ASSERT_TRUE(M.execAction(actNewObj(), args({L, Value::strV("Object")}))
+                  .ok());
+  ASSERT_TRUE(M.execAction(actDelObj(), args({L})).ok());
+  EXPECT_FALSE(
+      M.execAction(actGetProp(), args({L, Value::strV("k")})).ok());
+  EXPECT_FALSE(M.execAction(actDelObj(), args({L})).ok())
+      << "double deletion";
+}
+
+TEST(MjsCMemT, HasAndDelProp) {
+  MjsCMem M;
+  Value L = Value::symV("$o");
+  ASSERT_TRUE(M.execAction(actNewObj(), args({L, Value::strV("Object")}))
+                  .ok());
+  ASSERT_TRUE(
+      M.execAction(actSetProp(), args({L, Value::strV("k"), Value::numV(1)}))
+          .ok());
+  EXPECT_EQ(*M.execAction(actHasProp(), args({L, Value::strV("k")})),
+            Value::boolV(true));
+  ASSERT_TRUE(M.execAction(actDelProp(), args({L, Value::strV("k")})).ok());
+  EXPECT_EQ(*M.execAction(actHasProp(), args({L, Value::strV("k")})),
+            Value::boolV(false));
+  // Deleting an absent property is a no-op (JS delete).
+  EXPECT_TRUE(M.execAction(actDelProp(), args({L, Value::strV("k")})).ok());
+}
+
+TEST(MjsCMemT, Metadata) {
+  MjsCMem M;
+  Value L = Value::symV("$a");
+  ASSERT_TRUE(
+      M.execAction(actNewObj(), args({L, Value::strV("Array")})).ok());
+  EXPECT_EQ(*M.execAction(actGetMeta(), args({L})), Value::strV("Array"));
+  ASSERT_TRUE(
+      M.execAction(actSetMeta(), args({L, Value::strV("Frozen")})).ok());
+  EXPECT_EQ(*M.execAction(actGetMeta(), args({L})), Value::strV("Frozen"));
+}
+
+// --- Symbolic ---------------------------------------------------------------
+
+TEST(MjsSMemT, GetPropBranchesOnLocationAndKey) {
+  // [SGetProp]: a symbolic (location, key) pair over two objects with two
+  // properties each branches on every (el = e'l ∧ ep = e'p) world plus
+  // misses.
+  MjsSMem M;
+  Solver S;
+  PathCondition PC;
+  PC.add(Expr::hasType(Expr::lvar("#l"), GilType::Sym));
+  PC.add(Expr::hasType(Expr::lvar("#k"), GilType::Str));
+  M.defineObject(Expr::lit(Value::symV("$a")), Expr::strE("Object"));
+  M.setProp(Expr::lit(Value::symV("$a")), Expr::strE("p"), Expr::intE(1));
+  M.setProp(Expr::lit(Value::symV("$a")), Expr::strE("q"), Expr::intE(2));
+  M.defineObject(Expr::lit(Value::symV("$b")), Expr::strE("Object"));
+  M.setProp(Expr::lit(Value::symV("$b")), Expr::strE("p"), Expr::intE(3));
+
+  auto Br = M.execAction(actGetProp(),
+                         eargs({Expr::lvar("#l"), Expr::lvar("#k")}), PC, S);
+  ASSERT_TRUE(Br.ok());
+  int Hits = 0, Undefs = 0, Errors = 0;
+  for (auto &B : *Br) {
+    if (B.IsError)
+      ++Errors;
+    else if (B.Ret == Expr::lit(jsUndefined()))
+      ++Undefs;
+    else
+      ++Hits;
+  }
+  EXPECT_EQ(Hits, 3) << "three stored properties may match";
+  EXPECT_EQ(Undefs, 2) << "miss world per aliased object";
+  EXPECT_EQ(Errors, 1) << "no-such-object world";
+}
+
+TEST(MjsSMemT, SetPropWithSymbolicKeyOverwritesOrExtends) {
+  MjsSMem M;
+  Solver S;
+  PathCondition PC;
+  PC.add(Expr::hasType(Expr::lvar("#k"), GilType::Str));
+  Expr A = Expr::lit(Value::symV("$a"));
+  M.defineObject(A, Expr::strE("Object"));
+  M.setProp(A, Expr::strE("p"), Expr::intE(1));
+
+  auto Br = M.execAction(
+      actSetProp(), eargs({A, Expr::lvar("#k"), Expr::intE(9)}), PC, S);
+  ASSERT_TRUE(Br.ok());
+  ASSERT_EQ(Br->size(), 2u) << "overwrite-p world and fresh-key world";
+  bool SawOverwrite = false, SawExtend = false;
+  for (auto &B : *Br) {
+    const MjsSMem::PropMap *Props = B.Mem.heap().lookup(A);
+    ASSERT_NE(Props, nullptr);
+    if (Props->size() == 1)
+      SawOverwrite = true;
+    if (Props->size() == 2)
+      SawExtend = true;
+  }
+  EXPECT_TRUE(SawOverwrite);
+  EXPECT_TRUE(SawExtend);
+}
+
+TEST(MjsSMemT, ConcreteKeysStaySingleBranch) {
+  MjsSMem M;
+  Solver S;
+  PathCondition PC;
+  Expr A = Expr::lit(Value::symV("$a"));
+  M.defineObject(A, Expr::strE("Object"));
+  M.setProp(A, Expr::strE("p"), Expr::intE(1));
+  auto Br =
+      M.execAction(actGetProp(), eargs({A, Expr::strE("p")}), PC, S);
+  ASSERT_TRUE(Br.ok());
+  ASSERT_EQ(Br->size(), 1u) << "fully concrete access must not branch";
+  EXPECT_EQ((*Br)[0].Ret, Expr::intE(1));
+}
+
+TEST(MjsSMemT, DeletedObjectAliasFaults) {
+  MjsSMem M;
+  Solver S;
+  PathCondition PC;
+  Expr A = Expr::lit(Value::symV("$a"));
+  M.defineObject(A, Expr::strE("Object"));
+  auto Del = M.execAction(actDelObj(), eargs({A}), PC, S);
+  ASSERT_TRUE(Del.ok());
+  const MjsSMem &M2 = (*Del)[0].Mem;
+  auto Br = M2.execAction(actGetProp(), eargs({A, Expr::strE("p")}), PC, S);
+  ASSERT_TRUE(Br.ok());
+  ASSERT_EQ(Br->size(), 1u);
+  EXPECT_TRUE((*Br)[0].IsError);
+}
+
+TEST(MjsSMemT, InterpretationRoundTrip) {
+  MjsSMem SM;
+  Expr A = Expr::lit(Value::symV("$a"));
+  SM.defineObject(A, Expr::strE("Object"));
+  SM.setProp(A, Expr::strE("p"),
+             Expr::add(Expr::lvar("#v"), Expr::numE(1)));
+  Model Eps;
+  Eps.bind(is("#v"), Value::numV(41));
+  Result<MjsCMem> CM = interpretMemory(Eps, SM);
+  ASSERT_TRUE(CM.ok()) << CM.error();
+  Result<Value> V = CM->execAction(
+      actGetProp(), args({Value::symV("$a"), Value::strV("p")}));
+  ASSERT_TRUE(V.ok());
+  EXPECT_EQ(*V, Value::numV(42));
+}

@@ -1,0 +1,167 @@
+//===- tests/mjs/symbolic_test.cpp ----------------------------------------===//
+//
+// Symbolic testing of MJS: the SGetProp branching behaviour, type-guard
+// folding under typed inputs, bug finding with counter-models, and the
+// Thm 3.6 replay harness over the JS memory model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mjs/compiler.h"
+
+#include "engine/test_runner.h"
+#include "mjs/memory.h"
+
+#include <gtest/gtest.h>
+
+using namespace gillian;
+using namespace gillian::mjs;
+
+namespace {
+
+SymbolicTestResult runSym(std::string_view Src, const char *Entry = "main",
+                          EngineOptions Opts = EngineOptions()) {
+  Result<Prog> P = compileMjsSource(Src);
+  EXPECT_TRUE(P.ok()) << (P.ok() ? "" : P.error());
+  Solver Slv(Opts.Solver);
+  return runSymbolicTest<MjsSMem>(*P, Entry, Opts, Slv);
+}
+
+} // namespace
+
+TEST(MjsSymbolic, VerifiesNumericProperty) {
+  SymbolicTestResult R = runSym(R"(
+    function main() {
+      var x = symb_number();
+      Assume(0 <= x);
+      var y = x + 1;
+      Assert(x < y);
+    })");
+  EXPECT_TRUE(R.verified()) << (R.Bugs.empty() ? "" : R.Bugs[0].Message);
+}
+
+TEST(MjsSymbolic, TypeGuardsFoldForTypedInputs) {
+  // With symb_number inputs, every arithmetic type guard should fold
+  // statically: no error paths, minimal branching.
+  SymbolicTestResult R = runSym(R"(
+    function main() {
+      var a = symb_number();
+      var b = symb_number();
+      var c = a * b + a - b;
+      Assert(typeof c === "number");
+    })");
+  EXPECT_TRUE(R.verified()) << (R.Bugs.empty() ? "" : R.Bugs[0].Message);
+  EXPECT_EQ(R.PathsReturned, 1u) << "guards must fold; no spurious splits";
+}
+
+TEST(MjsSymbolic, UntypedInputSplitsOnAdd) {
+  // symb_any flowing into + must split into number/number, string/string
+  // and TypeError worlds.
+  SymbolicTestResult R = runSym(R"(
+    function main() {
+      var v = symb_any();
+      var w = v + v;
+      return w;
+    })");
+  EXPECT_FALSE(R.ok()) << "the TypeError world is reachable";
+  EXPECT_TRUE(R.hasConfirmedBug());
+  EXPECT_GE(R.PathsReturned, 2u) << "number and string worlds return";
+}
+
+TEST(MjsSymbolic, SymbolicPropertyValueRoundTrips) {
+  SymbolicTestResult R = runSym(R"(
+    function main() {
+      var v = symb_number();
+      var o = { data: v, tag: "t" };
+      o.data = o.data + 1;
+      Assert(o.data === v + 1);
+    })");
+  EXPECT_TRUE(R.verified()) << (R.Bugs.empty() ? "" : R.Bugs[0].Message);
+}
+
+TEST(MjsSymbolic, ComputedSymbolicKeyBranchesPerSGetProp) {
+  // A symbolic string key over an object with two properties: the lookup
+  // branches on key equality (the [SGetProp] rule) — hit "a", hit "b", or
+  // miss (undefined).
+  SymbolicTestResult R = runSym(R"(
+    function main() {
+      var k = symb_string();
+      var o = { a: 1, b: 2 };
+      var v = o[k];
+      if (v === undefined) { return "miss"; }
+      Assert(v === 1 || v === 2);
+      return "hit";
+    })");
+  EXPECT_TRUE(R.ok()) << (R.Bugs.empty() ? "" : R.Bugs[0].Message);
+  EXPECT_GE(R.PathsReturned, 3u) << "two hits plus the miss world";
+}
+
+TEST(MjsSymbolic, FindsOffByOneInArrayWalk) {
+  // Seeded bug: <= walks one past the populated range, reading undefined
+  // and faulting in the arithmetic guard.
+  SymbolicTestResult R = runSym(R"(
+    function main() {
+      var a = [1, 2, 3];
+      var s = 0;
+      for (var i = 0; i <= a.length; i = i + 1) { s = s + a[i]; }
+      return s;
+    })");
+  ASSERT_FALSE(R.ok());
+  EXPECT_TRUE(R.hasConfirmedBug());
+  EXPECT_NE(R.Bugs[0].Message.find("TypeError"), std::string::npos)
+      << R.Bugs[0].Message;
+}
+
+TEST(MjsSymbolic, PropertyDeletionFlowsSymbolically) {
+  SymbolicTestResult R = runSym(R"(
+    function main() {
+      var b = symb_bool();
+      var o = { v: 1 };
+      if (b) { delete o.v; }
+      var x = o.v;
+      if (b) { Assert(x === undefined); } else { Assert(x === 1); }
+      return x;
+    })");
+  EXPECT_TRUE(R.verified()) << (R.Bugs.empty() ? "" : R.Bugs[0].Message);
+  EXPECT_EQ(R.PathsReturned, 2u);
+}
+
+TEST(MjsSymbolic, BranchOnSymbolicBoolean) {
+  SymbolicTestResult R = runSym(R"(
+    function main() {
+      var b = symb_bool();
+      var r = 0;
+      if (b) { r = 1; } else { r = 2; }
+      Assert(r === 1 || r === 2);
+      return r;
+    })");
+  EXPECT_TRUE(R.verified());
+  EXPECT_EQ(R.PathsReturned, 2u);
+}
+
+TEST(MjsSymbolic, AssertWithCounterModelOnStrings) {
+  SymbolicTestResult R = runSym(R"(
+    function main() {
+      var s = symb_string();
+      Assume(s === "ok" || s === "bad");
+      Assert(s === "ok");
+    })");
+  ASSERT_FALSE(R.ok());
+  ASSERT_TRUE(R.hasConfirmedBug());
+  EXPECT_NE(R.Bugs[0].CounterModel.find("bad"), std::string::npos)
+      << R.Bugs[0].CounterModel;
+}
+
+TEST(MjsSymbolic, LegacyConfigAgreesOnVerdicts) {
+  const char *Src = R"(
+    function main() {
+      var x = symb_number();
+      Assume(0 <= x);
+      if (10 < x) { Assert(x * 2 > 20); }
+      return x;
+    })";
+  SymbolicTestResult Fast = runSym(Src);
+  SymbolicTestResult Slow = runSym(Src, "main",
+                                   EngineOptions::legacyJaVerT2());
+  EXPECT_EQ(Fast.ok(), Slow.ok());
+  EXPECT_EQ(Fast.PathsReturned, Slow.PathsReturned);
+}

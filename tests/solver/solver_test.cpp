@@ -1,0 +1,193 @@
+//===- tests/solver/solver_test.cpp ---------------------------------------===//
+
+#include "solver/solver.h"
+
+#include "gil/parser.h"
+#include "solver/simplifier.h"
+#include "solver/z3_backend.h"
+
+#include <gtest/gtest.h>
+
+using namespace gillian;
+
+namespace {
+
+PathCondition pc(std::initializer_list<const char *> Conjuncts) {
+  PathCondition P;
+  for (const char *C : Conjuncts) {
+    Result<Expr> E = parseGilExpr(C);
+    EXPECT_TRUE(E.ok()) << (E.ok() ? "" : E.error());
+    P.add(simplify(*E));
+  }
+  return P;
+}
+
+} // namespace
+
+TEST(PathConditionT, FlattensAndDeduplicates) {
+  PathCondition P;
+  Result<Expr> E = parseGilExpr("(#a && #b) && #a");
+  ASSERT_TRUE(E.ok());
+  P.add(*E);
+  EXPECT_EQ(P.size(), 2u);
+  P.add(parseGilExpr("#b").take());
+  EXPECT_EQ(P.size(), 2u) << "duplicate conjuncts are skipped";
+}
+
+TEST(PathConditionT, FalseCollapses) {
+  PathCondition P = pc({"#a"});
+  P.add(Expr::boolE(false));
+  EXPECT_TRUE(P.isTriviallyFalse());
+  EXPECT_EQ(P.size(), 0u);
+  EXPECT_EQ(P.toString(), "false");
+}
+
+TEST(PathConditionT, ContainsIsRestrictionOrder) {
+  PathCondition Weak = pc({"#a"});
+  PathCondition Strong = pc({"#a", "#b"});
+  EXPECT_TRUE(Strong.contains(Weak));
+  EXPECT_FALSE(Weak.contains(Strong));
+  EXPECT_TRUE(Weak.contains(PathCondition()));
+}
+
+TEST(SolverFacade, TrivialAnswers) {
+  Solver S;
+  EXPECT_EQ(S.checkSat(PathCondition()), SatResult::Sat);
+  PathCondition F;
+  F.add(Expr::boolE(false));
+  EXPECT_EQ(S.checkSat(F), SatResult::Unsat);
+  EXPECT_EQ(S.stats().TrivialAnswers, 2u);
+}
+
+TEST(SolverFacade, SyntacticLayerDecidesCheapUnsat) {
+  Solver S;
+  EXPECT_EQ(S.checkSat(pc({"#x == 1", "#x == 2"})), SatResult::Unsat);
+  EXPECT_GE(S.stats().SyntacticUnsat, 1u);
+  EXPECT_EQ(S.stats().Z3Calls, 0u) << "Z3 must not be consulted";
+}
+
+TEST(SolverFacade, CacheHitsOnRepeat) {
+  Solver S;
+  PathCondition P = pc({"typeof(#x) == ^Int", "#x < 3", "5 < #x"});
+  SatResult R1 = S.checkSat(P);
+  SatResult R2 = S.checkSat(P);
+  EXPECT_EQ(R1, R2);
+  EXPECT_GE(S.stats().CacheHits, 1u);
+}
+
+TEST(SolverFacade, CacheDisabledInLegacyConfig) {
+  Solver S(SolverOptions::legacyJaVerT2());
+  PathCondition P = pc({"typeof(#x) == ^Int", "#x < 3"});
+  S.checkSat(P);
+  S.checkSat(P);
+  EXPECT_EQ(S.stats().CacheHits, 0u);
+}
+
+TEST(SolverFacade, VerifiedModelSatisfiesPC) {
+  Solver S;
+  PathCondition P = pc({"typeof(#x) == ^Int", "3 <= #x", "#x <= 3",
+                        "typeof(#s) == ^Str", "slen(#s) == 0"});
+  std::optional<Model> M = S.verifiedModel(P);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_TRUE(M->satisfies(P));
+  EXPECT_EQ(M->lookup(InternedString::get("#x"))->asInt(), 3);
+}
+
+TEST(SolverFacade, NoModelForUnsat) {
+  Solver S;
+  EXPECT_FALSE(S.verifiedModel(pc({"#x == 1", "#x == 2"})).has_value());
+}
+
+// --- Z3-backed checks (skipped when the backend is absent) --------------
+
+class Z3Test : public ::testing::Test {
+protected:
+  void SetUp() override {
+    if (!z3Available())
+      GTEST_SKIP() << "built without Z3";
+  }
+};
+
+TEST_F(Z3Test, DecidesArithmeticBeyondSyntactic) {
+  Solver S;
+  // x + y == 10 /\ x - y == 4 /\ y != 3  -> unsat over Int.
+  PathCondition P =
+      pc({"typeof(#x) == ^Int", "typeof(#y) == ^Int", "#x + #y == 10",
+          "#x - #y == 4", "!(#y == 3)"});
+  EXPECT_EQ(S.checkSat(P), SatResult::Unsat);
+  EXPECT_GE(S.stats().Z3Calls, 1u);
+}
+
+TEST_F(Z3Test, SatWithModelExtraction) {
+  Solver S;
+  PathCondition P =
+      pc({"typeof(#x) == ^Int", "typeof(#y) == ^Int", "#x + #y == 10",
+          "#x - #y == 4"});
+  EXPECT_EQ(S.checkSat(P), SatResult::Sat);
+  std::optional<Model> M = S.verifiedModel(P);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->lookup(InternedString::get("#x"))->asInt(), 7);
+  EXPECT_EQ(M->lookup(InternedString::get("#y"))->asInt(), 3);
+}
+
+TEST_F(Z3Test, TruncatedDivisionSemantics) {
+  Solver S;
+  // In GIL, -7 / 2 == -3 (truncation): conjoining "#x == -7 / 2" with
+  // "#x == -4" must be unsat, and with -3 it must be sat.
+  EXPECT_EQ(S.checkSat(pc({"typeof(#x) == ^Int", "#x * 2 + 1 == -7",
+                           "!(#x == -4)"})),
+            SatResult::Unsat);
+  PathCondition P = pc({"typeof(#q) == ^Int", "typeof(#a) == ^Int",
+                        "#a == -7", "#q == #a / 2", "#q == -3"});
+  EXPECT_NE(S.checkSat(P), SatResult::Unsat);
+  std::optional<Model> M = S.verifiedModel(P);
+  ASSERT_TRUE(M.has_value()) << "model must verify under GIL evaluation";
+}
+
+TEST_F(Z3Test, StringConstraints) {
+  Solver S;
+  PathCondition P = pc({"typeof(#s) == ^Str", "slen(#s) == 2",
+                        "#s @+ \"!\" == \"ab!\""});
+  EXPECT_EQ(S.checkSat(P), SatResult::Sat);
+  std::optional<Model> M = S.verifiedModel(P);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->lookup(InternedString::get("#s"))->asStr().str(), "ab");
+}
+
+TEST_F(Z3Test, NumConstraintsOverReals) {
+  Solver S;
+  PathCondition P = pc({"typeof(#x) == ^Num", "5.0 < #x", "#x < 6.0"});
+  EXPECT_EQ(S.checkSat(P), SatResult::Sat);
+  std::optional<Model> M = S.verifiedModel(P);
+  ASSERT_TRUE(M.has_value());
+  double D = M->lookup(InternedString::get("#x"))->asNum();
+  EXPECT_GT(D, 5.0);
+  EXPECT_LT(D, 6.0);
+}
+
+TEST_F(Z3Test, MixedIntNumEqualityIsStructurallyFalse) {
+  Solver S;
+  // GIL: 1 != 1.0 — so #i == #n with Int #i and Num #n is unsat.
+  EXPECT_EQ(S.checkSat(pc({"typeof(#i) == ^Int", "typeof(#n) == ^Num",
+                           "#i == #n"})),
+            SatResult::Unsat);
+}
+
+TEST_F(Z3Test, SymbolsArePairwiseDistinct) {
+  Solver S;
+  EXPECT_EQ(S.checkSat(pc({"typeof(#l) == ^Sym", "#l == $a", "#l == $b"})),
+            SatResult::Unsat);
+  PathCondition P = pc({"typeof(#l) == ^Sym", "!(#l == $a)", "#l == $b"});
+  EXPECT_EQ(S.checkSat(P), SatResult::Sat);
+  std::optional<Model> M = S.verifiedModel(P);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->lookup(InternedString::get("#l"))->asSym().str(), "$b");
+}
+
+TEST_F(Z3Test, UnsupportedConjunctsDegradeToUnknownNotWrong) {
+  Solver S;
+  // Bit-level ops on symbolic operands are dropped; answer must not be a
+  // bogus Unsat.
+  PathCondition P = pc({"typeof(#x) == ^Int", "(#x << 1) == 4"});
+  EXPECT_NE(S.checkSat(P), SatResult::Unsat);
+}

@@ -1,0 +1,102 @@
+//===- tests/solver/type_infer_test.cpp -----------------------------------===//
+
+#include "solver/type_infer.h"
+
+#include "gil/parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace gillian;
+
+namespace {
+
+Expr parse(std::string_view S) {
+  Result<Expr> R = parseGilExpr(S);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.error());
+  return *R;
+}
+
+} // namespace
+
+TEST(TypeInfer, TypeOfConstraintPinsVariable) {
+  TypeEnv Env;
+  ASSERT_TRUE(inferTypes({parse("typeof(#x) == ^Int")}, Env));
+  EXPECT_EQ(Env.lookup(InternedString::get("#x")), GilType::Int);
+}
+
+TEST(TypeInfer, EqualityPropagatesTypes) {
+  TypeEnv Env;
+  ASSERT_TRUE(inferTypes({parse("#x == \"abc\""), parse("#y == #x")}, Env));
+  EXPECT_EQ(Env.lookup(InternedString::get("#x")), GilType::Str);
+  EXPECT_EQ(Env.lookup(InternedString::get("#y")), GilType::Str);
+}
+
+TEST(TypeInfer, OperatorUsagePinsOperands) {
+  TypeEnv Env;
+  ASSERT_TRUE(inferTypes({parse("slen(#s) == 3"), parse("#b && true"),
+                          parse("(#i & 7) == 1")},
+                         Env));
+  EXPECT_EQ(Env.lookup(InternedString::get("#s")), GilType::Str);
+  EXPECT_EQ(Env.lookup(InternedString::get("#b")), GilType::Bool);
+  EXPECT_EQ(Env.lookup(InternedString::get("#i")), GilType::Int);
+}
+
+TEST(TypeInfer, ConflictIsUnsat) {
+  TypeEnv Env;
+  EXPECT_FALSE(inferTypes(
+      {parse("typeof(#x) == ^Int"), parse("typeof(#x) == ^Str")}, Env));
+}
+
+TEST(TypeInfer, ConflictViaEqualityChain) {
+  TypeEnv Env;
+  EXPECT_FALSE(inferTypes(
+      {parse("#x == 1"), parse("#y == \"s\""), parse("#x == #y")}, Env));
+}
+
+TEST(TypeInfer, FixpointThroughChains) {
+  // Type information must flow #a -> #b -> #c regardless of order.
+  TypeEnv Env;
+  ASSERT_TRUE(inferTypes(
+      {parse("#c == #b"), parse("#b == #a"), parse("typeof(#a) == ^Num")},
+      Env));
+  EXPECT_EQ(Env.lookup(InternedString::get("#c")), GilType::Num);
+}
+
+TEST(TypeInfer, StaticTypeOfCompounds) {
+  TypeEnv Env;
+  Env.assign(InternedString::get("#i"), GilType::Int);
+  Env.assign(InternedString::get("#n"), GilType::Num);
+  EXPECT_EQ(staticType(parse("#i + 1"), Env), GilType::Int);
+  EXPECT_EQ(staticType(parse("#i + #n"), Env), GilType::Num);
+  EXPECT_EQ(staticType(parse("#i < 3"), Env), GilType::Bool);
+  EXPECT_EQ(staticType(parse("[#i]"), Env), GilType::List);
+  EXPECT_EQ(staticType(parse("#unknown"), Env), std::nullopt);
+}
+
+TEST(TypeInfer, AbsorbConjunctAccumulates) {
+  TypeEnv Env;
+  absorbConjunct(parse("typeof(#x) == ^Int"), Env);
+  absorbConjunct(parse("#y == #x + 1"), Env);
+  EXPECT_EQ(Env.lookup(InternedString::get("#x")), GilType::Int);
+  EXPECT_EQ(Env.lookup(InternedString::get("#y")), GilType::Int);
+}
+
+TEST(TypeInfer, HashReflectsContentNotOrder) {
+  TypeEnv A, B;
+  A.assign(InternedString::get("#x"), GilType::Int);
+  A.assign(InternedString::get("#y"), GilType::Str);
+  B.assign(InternedString::get("#y"), GilType::Str);
+  B.assign(InternedString::get("#x"), GilType::Int);
+  EXPECT_EQ(A.hash(), B.hash());
+  TypeEnv C;
+  C.assign(InternedString::get("#x"), GilType::Int);
+  EXPECT_NE(A.hash(), C.hash());
+}
+
+TEST(TypeInfer, NestedConjunction) {
+  TypeEnv Env;
+  ASSERT_TRUE(inferTypes(
+      {parse("(typeof(#x) == ^Int) && (typeof(#y) == ^Bool)")}, Env));
+  EXPECT_EQ(Env.lookup(InternedString::get("#x")), GilType::Int);
+  EXPECT_EQ(Env.lookup(InternedString::get("#y")), GilType::Bool);
+}

@@ -1,0 +1,165 @@
+//===- tests/soundness/restriction_test.cpp -------------------------------===//
+//
+// Executable §3.1: the restriction axioms (Def 3.1) and compatibility
+// properties (Def 3.4) on symbolic states, plus monotonicity of action
+// execution w.r.t. restriction (Def 3.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/state.h"
+
+#include "engine/null_memory.h"
+#include "gil/parser.h"
+#include "while_lang/compiler.h"
+#include "while_lang/memory.h"
+
+#include <gtest/gtest.h>
+
+using namespace gillian;
+using namespace gillian::whilelang;
+
+namespace {
+
+EngineOptions Opts;
+Solver *solver() {
+  static Solver S;
+  return &S;
+}
+
+using St = SymbolicState<WhileSMem>;
+
+St stateWithPC(std::initializer_list<const char *> Conjuncts) {
+  St S(WhileSMem(), solver(), &Opts);
+  for (const char *C : Conjuncts) {
+    Result<Expr> E = parseGilExpr(C);
+    EXPECT_TRUE(E.ok()) << (E.ok() ? "" : E.error());
+    S.addToPathCondition(*E);
+  }
+  return S;
+}
+
+bool pcEqual(const St &A, const St &B) {
+  return A.refines(B) && B.refines(A);
+}
+
+} // namespace
+
+TEST(Restriction, Idempotence) {
+  // x |x = x (Def 3.1).
+  St X = stateWithPC({"typeof(#a) == ^Int", "0 <= #a"});
+  St XX = X;
+  XX.restrictWith(X);
+  EXPECT_TRUE(pcEqual(XX, X));
+}
+
+TEST(Restriction, RightCommutativity) {
+  // (x |y) |z = (x |z) |y.
+  St X = stateWithPC({"typeof(#a) == ^Int"});
+  St Y = stateWithPC({"0 <= #a"});
+  St Z = stateWithPC({"#a <= 10"});
+  St A = X, B = X;
+  A.restrictWith(Y);
+  A.restrictWith(Z);
+  B.restrictWith(Z);
+  B.restrictWith(Y);
+  EXPECT_TRUE(pcEqual(A, B));
+}
+
+TEST(Restriction, Weakening) {
+  // x |y |z = x  =>  x |y = x and x |z = x.
+  St Y = stateWithPC({"0 <= #a"});
+  St Z = stateWithPC({"#a <= 10"});
+  St X = stateWithPC({"0 <= #a", "#a <= 10", "typeof(#a) == ^Int"});
+  St XYZ = X;
+  XYZ.restrictWith(Y);
+  XYZ.restrictWith(Z);
+  ASSERT_TRUE(pcEqual(XYZ, X)) << "precondition of the axiom";
+  St XY = X;
+  XY.restrictWith(Y);
+  EXPECT_TRUE(pcEqual(XY, X));
+  St XZ = X;
+  XZ.restrictWith(Z);
+  EXPECT_TRUE(pcEqual(XZ, X));
+}
+
+TEST(Restriction, InducedPreorder) {
+  // x2 ⊑ x1 iff x2 |x1 = x2: stronger states refine weaker ones.
+  St Weak = stateWithPC({"typeof(#a) == ^Int"});
+  St Strong = stateWithPC({"typeof(#a) == ^Int", "5 <= #a"});
+  EXPECT_TRUE(Strong.refines(Weak));
+  EXPECT_FALSE(Weak.refines(Strong));
+  St SW = Strong;
+  SW.restrictWith(Weak);
+  EXPECT_TRUE(pcEqual(SW, Strong)) << "restricting by weaker adds nothing";
+}
+
+TEST(Restriction, CompatRestrictionIncreasesPrecision) {
+  // ⇃-≤ compat (Def 3.4): x1 ⇃x2 describes no more models than x1. We
+  // check the model-theoretic statement directly: every verified model of
+  // the restricted PC satisfies the original PC.
+  St X1 = stateWithPC({"typeof(#a) == ^Int", "0 <= #a"});
+  St X2 = stateWithPC({"#a <= 3"});
+  St R = X1;
+  R.restrictWith(X2);
+  std::optional<Model> M = solver()->verifiedModel(R.pathCondition());
+  ASSERT_TRUE(M.has_value());
+  EXPECT_TRUE(M->satisfies(X1.pathCondition()));
+  EXPECT_TRUE(M->satisfies(X2.pathCondition()));
+}
+
+TEST(Restriction, MonotoneUnderAssume) {
+  // Def 3.2: action execution only refines states (σ' ⊑ σ). assume is the
+  // A_proper action that grows the PC.
+  St S = stateWithPC({"typeof(#a) == ^Int"});
+  Result<std::optional<St>> Next =
+      S.assumeValue(parseGilExpr("3 <= #a").take());
+  ASSERT_TRUE(Next.ok());
+  ASSERT_TRUE(Next->has_value());
+  EXPECT_TRUE((*Next)->refines(S));
+  EXPECT_FALSE(S.refines(**Next));
+}
+
+TEST(Restriction, MonotoneUnderMemoryActions) {
+  // A branching lookup strengthens each branch with its condition.
+  St S = stateWithPC({"typeof(#l) == ^Sym"});
+  WhileSMem &M = S.memory();
+  M.setProp(Expr::lit(Value::symV("$a")), InternedString::get("p"),
+            Expr::intE(1));
+  M.setProp(Expr::lit(Value::symV("$b")), InternedString::get("p"),
+            Expr::intE(2));
+  auto Branches = S.execAction(
+      actLookup(), Expr::list({Expr::lvar("#l"), Expr::strE("p")}));
+  ASSERT_TRUE(Branches.ok());
+  ASSERT_GE(Branches->size(), 2u);
+  for (auto &B : *Branches)
+    EXPECT_TRUE(B.State.refines(S))
+        << "every action branch must refine its source state";
+}
+
+TEST(Restriction, AllocatorKnowledgeAccumulates) {
+  // Restriction carries allocation knowledge (Def 3.3): restricting an
+  // early state by a later one transfers the later allocation counters.
+  St Early = stateWithPC({});
+  St Late = Early;
+  (void)Late.allocUSym(7);
+  (void)Late.allocISym(7);
+  ASSERT_TRUE(Late.refines(Early));
+  St Restricted = Early;
+  Restricted.restrictWith(Late);
+  EXPECT_TRUE(Restricted.allocator().record().refines(
+      Late.allocator().record()));
+}
+
+TEST(Restriction, StrengtheningProperty) {
+  // Strengthening (Def 3.4): restricting both sides of a refinement by
+  // respectively stronger conditions preserves the refinement.
+  St X1 = stateWithPC({"typeof(#a) == ^Int"});
+  St X2 = stateWithPC({"typeof(#a) == ^Int", "0 <= #a"}); // X2 ≤ X1
+  St Y1 = stateWithPC({"#a <= 10"});
+  St Y2 = stateWithPC({"#a <= 10", "#a <= 5"}); // Y2 ⊑ Y1
+  St L = X2;
+  L.restrictWith(Y2);
+  St R = X1;
+  R.restrictWith(Y1);
+  EXPECT_TRUE(L.refines(R));
+}

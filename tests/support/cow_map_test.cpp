@@ -1,0 +1,102 @@
+//===- tests/support/cow_map_test.cpp -------------------------------------===//
+
+#include "support/cow_map.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace gillian;
+
+TEST(CowMap, BasicSetLookup) {
+  CowMap<int, std::string> M;
+  EXPECT_TRUE(M.empty());
+  M.set(1, "one");
+  M.set(2, "two");
+  ASSERT_NE(M.lookup(1), nullptr);
+  EXPECT_EQ(*M.lookup(1), "one");
+  EXPECT_EQ(M.lookup(3), nullptr);
+  EXPECT_EQ(M.size(), 2u);
+}
+
+TEST(CowMap, OverwriteReplaces) {
+  CowMap<int, int> M;
+  M.set(7, 1);
+  M.set(7, 2);
+  EXPECT_EQ(*M.lookup(7), 2);
+  EXPECT_EQ(M.size(), 1u);
+}
+
+TEST(CowMap, CopyIsShared) {
+  CowMap<int, int> A;
+  A.set(1, 10);
+  CowMap<int, int> B = A;
+  EXPECT_TRUE(A.sharesStorage());
+  EXPECT_TRUE(B.sharesStorage());
+}
+
+TEST(CowMap, WriteDetachesOnlyTheWriter) {
+  CowMap<int, int> A;
+  A.set(1, 10);
+  CowMap<int, int> B = A;
+  B.set(2, 20);
+  EXPECT_EQ(A.lookup(2), nullptr) << "write to copy must not leak back";
+  EXPECT_EQ(*B.lookup(1), 10);
+  EXPECT_EQ(*B.lookup(2), 20);
+  EXPECT_FALSE(A.sharesStorage());
+  EXPECT_FALSE(B.sharesStorage());
+}
+
+TEST(CowMap, EraseDetaches) {
+  CowMap<int, int> A;
+  A.set(1, 10);
+  A.set(2, 20);
+  CowMap<int, int> B = A;
+  EXPECT_TRUE(B.erase(1));
+  EXPECT_FALSE(B.contains(1));
+  EXPECT_TRUE(A.contains(1)) << "erase on copy must not affect original";
+  EXPECT_FALSE(B.erase(99));
+}
+
+TEST(CowMap, EraseMissingDoesNotDetach) {
+  CowMap<int, int> A;
+  A.set(1, 10);
+  CowMap<int, int> B = A;
+  EXPECT_FALSE(B.erase(42));
+  EXPECT_TRUE(B.sharesStorage()) << "no-op erase should keep sharing";
+}
+
+TEST(CowMap, EqualityStructural) {
+  CowMap<int, int> A, B;
+  A.set(1, 1);
+  B.set(1, 1);
+  EXPECT_TRUE(A == B);
+  B.set(2, 2);
+  EXPECT_FALSE(A == B);
+}
+
+TEST(CowMap, IterationIsOrdered) {
+  CowMap<int, int> M;
+  M.set(3, 30);
+  M.set(1, 10);
+  M.set(2, 20);
+  int Prev = 0;
+  for (const auto &[K, V] : M) {
+    EXPECT_LT(Prev, K);
+    EXPECT_EQ(V, K * 10);
+    Prev = K;
+  }
+}
+
+TEST(CowMap, DeepCopyChainIndependence) {
+  // A -> B -> C each diverge at different keys; all must stay independent.
+  CowMap<int, int> A;
+  A.set(0, 0);
+  CowMap<int, int> B = A;
+  B.set(1, 1);
+  CowMap<int, int> C = B;
+  C.set(2, 2);
+  EXPECT_EQ(A.size(), 1u);
+  EXPECT_EQ(B.size(), 2u);
+  EXPECT_EQ(C.size(), 3u);
+}

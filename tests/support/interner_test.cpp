@@ -1,0 +1,78 @@
+//===- tests/support/interner_test.cpp ------------------------------------===//
+
+#include "support/interner.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace gillian;
+
+TEST(Interner, SameSpellingSameId) {
+  InternedString A = InternedString::get("hello");
+  InternedString B = InternedString::get("hello");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.id(), B.id());
+}
+
+TEST(Interner, DifferentSpellingDifferentId) {
+  EXPECT_NE(InternedString::get("a"), InternedString::get("b"));
+}
+
+TEST(Interner, RoundTripsSpelling) {
+  InternedString S = InternedString::get("some_longer_identifier$42");
+  EXPECT_EQ(S.str(), "some_longer_identifier$42");
+}
+
+TEST(Interner, EmptyStringIsIdZero) {
+  InternedString E = InternedString::get("");
+  EXPECT_EQ(E.id(), 0u);
+  EXPECT_TRUE(E.empty());
+  EXPECT_FALSE(InternedString::get("x").empty());
+}
+
+TEST(Interner, DefaultConstructedIsEmpty) {
+  InternedString D;
+  EXPECT_TRUE(D.empty());
+  EXPECT_EQ(D, InternedString::get(""));
+}
+
+TEST(Interner, FromRawRoundTrips) {
+  InternedString S = InternedString::get("raw_round_trip");
+  EXPECT_EQ(InternedString::fromRaw(S.id()), S);
+}
+
+TEST(Interner, EmbeddedNulAndUnicodeSafe) {
+  std::string WithNul("a\0b", 3);
+  InternedString A = InternedString::get(WithNul);
+  EXPECT_EQ(A.str().size(), 3u);
+  InternedString U = InternedString::get("π∧σ");
+  EXPECT_EQ(U.str(), "π∧σ");
+  EXPECT_NE(A, U);
+}
+
+TEST(Interner, ViewsStableAcrossGrowth) {
+  InternedString First = InternedString::get("stable_view_probe");
+  std::string_view View = First.str();
+  for (int I = 0; I < 10000; ++I)
+    InternedString::get("filler_" + std::to_string(I));
+  EXPECT_EQ(View, "stable_view_probe"); // storage must not move
+}
+
+TEST(Interner, ConcurrentInterningIsConsistent) {
+  constexpr int N = 200;
+  std::vector<std::thread> Threads;
+  std::vector<uint32_t> Ids(4 * N);
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([T, &Ids] {
+      for (int I = 0; I < N; ++I)
+        Ids[static_cast<size_t>(T) * N + I] =
+            InternedString::get("conc_" + std::to_string(I)).id();
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (int I = 0; I < N; ++I)
+    for (int T = 1; T < 4; ++T)
+      EXPECT_EQ(Ids[I], Ids[static_cast<size_t>(T) * N + I]);
+}

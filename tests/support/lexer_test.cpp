@@ -1,0 +1,101 @@
+//===- tests/support/lexer_test.cpp ---------------------------------------===//
+
+#include "support/lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace gillian;
+
+namespace {
+
+std::vector<Token> lexOk(std::string_view Src) {
+  std::vector<Token> T = tokenize(Src);
+  EXPECT_FALSE(T.empty());
+  EXPECT_TRUE(T.back().is(TokenKind::Eof)) << "lexical error: "
+                                           << T.back().Text;
+  return T;
+}
+
+} // namespace
+
+TEST(Lexer, IdentifiersAndPrefixes) {
+  auto T = lexOk("foo _bar $sym #lvar x1$y");
+  ASSERT_EQ(T.size(), 6u); // 5 idents + eof
+  EXPECT_EQ(T[0].Text, "foo");
+  EXPECT_EQ(T[1].Text, "_bar");
+  EXPECT_EQ(T[2].Text, "$sym");
+  EXPECT_EQ(T[3].Text, "#lvar");
+  EXPECT_EQ(T[4].Text, "x1$y");
+}
+
+TEST(Lexer, IntAndFloatLiterals) {
+  auto T = lexOk("42 3.5 1e3 7");
+  EXPECT_TRUE(T[0].is(TokenKind::Int));
+  EXPECT_EQ(T[0].IntVal, 42);
+  EXPECT_TRUE(T[1].is(TokenKind::Float));
+  EXPECT_DOUBLE_EQ(T[1].FloatVal, 3.5);
+  EXPECT_TRUE(T[2].is(TokenKind::Float));
+  EXPECT_DOUBLE_EQ(T[2].FloatVal, 1000.0);
+  EXPECT_TRUE(T[3].is(TokenKind::Int));
+}
+
+TEST(Lexer, DotWithoutDigitIsNotAFloat) {
+  auto T = lexOk("1.x");
+  EXPECT_TRUE(T[0].is(TokenKind::Int));
+  EXPECT_TRUE(T[1].isPunct("."));
+  EXPECT_EQ(T[2].Text, "x");
+}
+
+TEST(Lexer, StringEscapes) {
+  auto T = lexOk(R"("a\nb\"c\\d")");
+  ASSERT_TRUE(T[0].is(TokenKind::String));
+  EXPECT_EQ(T[0].Text, "a\nb\"c\\d");
+}
+
+TEST(Lexer, UnterminatedStringIsError) {
+  auto T = tokenize("\"abc");
+  EXPECT_TRUE(T.back().is(TokenKind::Error));
+}
+
+TEST(Lexer, UnknownEscapeIsError) {
+  auto T = tokenize(R"("a\qb")");
+  EXPECT_TRUE(T.back().is(TokenKind::Error));
+}
+
+TEST(Lexer, MaximalMunchPunctuation) {
+  auto T = lexOk("a:=b==c===d<=e&&f");
+  std::vector<std::string> Puncts;
+  for (const Token &Tok : T)
+    if (Tok.is(TokenKind::Punct))
+      Puncts.push_back(Tok.Text);
+  EXPECT_EQ(Puncts, (std::vector<std::string>{":=", "==", "===", "<=", "&&"}));
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto T = lexOk("a // line comment\nb /* block\ncomment */ c");
+  ASSERT_EQ(T.size(), 4u);
+  EXPECT_EQ(T[0].Text, "a");
+  EXPECT_EQ(T[1].Text, "b");
+  EXPECT_EQ(T[2].Text, "c");
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  auto T = lexOk("a\n  b");
+  EXPECT_EQ(T[0].Line, 1);
+  EXPECT_EQ(T[0].Col, 1);
+  EXPECT_EQ(T[1].Line, 2);
+  EXPECT_EQ(T[1].Col, 3);
+}
+
+TEST(Lexer, UnexpectedCharacterIsError) {
+  auto T = tokenize("a ` b");
+  EXPECT_TRUE(T.back().is(TokenKind::Error));
+  EXPECT_NE(T.back().Text.find('`'), std::string::npos);
+}
+
+TEST(Lexer, ExponentNotConsumedAsIdent) {
+  // "1e" followed by non-digit: the 'e' must start an identifier.
+  auto T = lexOk("1e x");
+  EXPECT_TRUE(T[0].is(TokenKind::Int));
+  EXPECT_EQ(T[1].Text, "e");
+}

@@ -1,0 +1,260 @@
+//===- tests/while/compiler_test.cpp --------------------------------------===//
+//
+// Golden tests for the Fig. 2 compilation rules plus concrete-execution
+// checks that the compiled GIL behaves like the source program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "while_lang/compiler.h"
+
+#include "engine/test_runner.h"
+#include "while_lang/memory.h"
+#include "gil/parser.h"
+#include "while_lang/parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace gillian;
+using namespace gillian::whilelang;
+
+namespace {
+
+Prog compile(std::string_view Src) {
+  Result<Prog> P = compileWhileSource(Src);
+  EXPECT_TRUE(P.ok()) << (P.ok() ? "" : P.error());
+  return P.ok() ? P.take() : Prog();
+}
+
+Value runMain(std::string_view Src) {
+  Prog P = compile(Src);
+  EngineOptions Opts;
+  ExecStats Stats;
+  auto R = runConcrete<WhileCMem>(P, "main", Opts, Stats);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.error());
+  if (!R.ok())
+    return Value();
+  EXPECT_EQ(R->Kind, OutcomeKind::Return)
+      << "error value: " << R->Val.toString();
+  return R->Val;
+}
+
+OutcomeKind runMainOutcome(std::string_view Src) {
+  Prog P = compile(Src);
+  EngineOptions Opts;
+  ExecStats Stats;
+  auto R = runConcrete<WhileCMem>(P, "main", Opts, Stats);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.error());
+  return R.ok() ? R->Kind : OutcomeKind::Error;
+}
+
+} // namespace
+
+TEST(WhileCompiler, AssumeCompilesPerFig2) {
+  // T(assume e) = pc: ifgoto e (pc+2); pc+1: vanish.
+  Prog P = compile("function main() { assume (true); return 1; }");
+  const Proc *Main = P.find("main");
+  ASSERT_NE(Main, nullptr);
+  ASSERT_GE(Main->Body.size(), 3u);
+  EXPECT_EQ(Main->Body[0].Kind, CmdKind::IfGoto);
+  EXPECT_EQ(Main->Body[0].Target, 2u);
+  EXPECT_EQ(Main->Body[1].Kind, CmdKind::Vanish);
+}
+
+TEST(WhileCompiler, AssertCompilesPerFig2) {
+  // T(assert e) = pc: ifgoto e (pc+2); pc+1: fail.
+  Prog P = compile("function main() { assert (true); return 1; }");
+  const Proc *Main = P.find("main");
+  EXPECT_EQ(Main->Body[0].Kind, CmdKind::IfGoto);
+  EXPECT_EQ(Main->Body[0].Target, 2u);
+  EXPECT_EQ(Main->Body[1].Kind, CmdKind::Fail);
+}
+
+TEST(WhileCompiler, NewCompilesToUSymPlusMutates) {
+  // T(x := {p: e, ...}) = pc: x := uSym_j; pc+i: mutate([x, p_i, e_i]).
+  Prog P = compile("function main() { o := { a: 1, b: 2 }; return 0; }");
+  const Proc *Main = P.find("main");
+  EXPECT_EQ(Main->Body[0].Kind, CmdKind::USym);
+  EXPECT_EQ(Main->Body[1].Kind, CmdKind::Action);
+  EXPECT_EQ(Main->Body[1].Action, actMutate());
+  EXPECT_EQ(Main->Body[2].Kind, CmdKind::Action);
+  EXPECT_EQ(Main->Body[2].Action, actMutate());
+}
+
+TEST(WhileCompiler, LookupCompilesToAction) {
+  Prog P = compile("function main() { o := { a: 1 }; x := o.a; return x; }");
+  const Proc *Main = P.find("main");
+  const Cmd &C = Main->Body[2];
+  EXPECT_EQ(C.Kind, CmdKind::Action);
+  EXPECT_EQ(C.Action, actLookup());
+}
+
+TEST(WhileCompiler, FreshSitesAreDistinct) {
+  Prog P = compile(
+      "function main() { a := {}; b := {}; x := fresh_int(); return 0; }");
+  const Proc *Main = P.find("main");
+  EXPECT_EQ(Main->Body[0].Kind, CmdKind::USym);
+  EXPECT_EQ(Main->Body[1].Kind, CmdKind::USym);
+  EXPECT_EQ(Main->Body[2].Kind, CmdKind::ISym);
+  EXPECT_NE(Main->Body[0].Site, Main->Body[1].Site);
+  EXPECT_NE(Main->Body[1].Site, Main->Body[2].Site);
+}
+
+// --- Execution-level goldens (control flow correctness) -------------------
+
+TEST(WhileCompiler, StraightLineExecution) {
+  EXPECT_EQ(runMain("function main() { x := 2; y := x * 3; return y + 1; }"),
+            Value::intV(7));
+}
+
+TEST(WhileCompiler, IfElseBothBranches) {
+  const char *Tpl = R"(
+    function main() {
+      x := %d;
+      if (x < 10) { r := "low"; } else { r := "high"; }
+      return r;
+    })";
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf), Tpl, 5);
+  EXPECT_EQ(runMain(Buf), Value::strV("low"));
+  std::snprintf(Buf, sizeof(Buf), Tpl, 15);
+  EXPECT_EQ(runMain(Buf), Value::strV("high"));
+}
+
+TEST(WhileCompiler, IfWithoutElse) {
+  EXPECT_EQ(runMain("function main() { r := 1; if (false) { r := 2; } "
+                    "return r; }"),
+            Value::intV(1));
+}
+
+TEST(WhileCompiler, WhileLoopComputesSum) {
+  EXPECT_EQ(runMain(R"(
+    function main() {
+      i := 0; s := 0;
+      while (i < 5) { s := s + i; i := i + 1; }
+      return s;
+    })"),
+            Value::intV(10));
+}
+
+TEST(WhileCompiler, NestedLoops) {
+  EXPECT_EQ(runMain(R"(
+    function main() {
+      i := 0; c := 0;
+      while (i < 3) {
+        j := 0;
+        while (j < 4) { c := c + 1; j := j + 1; }
+        i := i + 1;
+      }
+      return c;
+    })"),
+            Value::intV(12));
+}
+
+TEST(WhileCompiler, FunctionCallsWithMultipleArgs) {
+  EXPECT_EQ(runMain(R"(
+    function main() { r := addmul(2, 3, 4); return r; }
+    function addmul(a, b, c) { return a + b * c; }
+  )"),
+            Value::intV(14));
+}
+
+TEST(WhileCompiler, RecursionFibonacci) {
+  EXPECT_EQ(runMain(R"(
+    function main() { r := fib(10); return r; }
+    function fib(n) {
+      if (n < 2) { return n; }
+      a := fib(n - 1);
+      b := fib(n - 2);
+      return a + b;
+    })"),
+            Value::intV(55));
+}
+
+TEST(WhileCompiler, ObjectsLookupMutateDispose) {
+  EXPECT_EQ(runMain(R"(
+    function main() {
+      o := { x: 1, y: 2 };
+      o.x := 10;
+      a := o.x;
+      b := o.y;
+      dispose o;
+      return a + b;
+    })"),
+            Value::intV(12));
+}
+
+TEST(WhileCompiler, UseAfterDisposeIsMemoryFault) {
+  EXPECT_EQ(runMainOutcome(R"(
+    function main() {
+      o := { x: 1 };
+      dispose o;
+      a := o.x;
+      return a;
+    })"),
+            OutcomeKind::Error);
+}
+
+TEST(WhileCompiler, MissingPropertyIsMemoryFault) {
+  EXPECT_EQ(runMainOutcome(
+                "function main() { o := { x: 1 }; a := o.nope; return a; }"),
+            OutcomeKind::Error);
+}
+
+TEST(WhileCompiler, AssertFailureIsError) {
+  EXPECT_EQ(runMainOutcome("function main() { assert (1 == 2); return 0; }"),
+            OutcomeKind::Error);
+}
+
+TEST(WhileCompiler, ImplicitReturnZero) {
+  EXPECT_EQ(runMain("function main() { x := 5; }"), Value::intV(0));
+}
+
+TEST(WhileCompiler, AliasedObjectsShareMutations) {
+  EXPECT_EQ(runMain(R"(
+    function main() {
+      o := { v: 1 };
+      p := o;
+      p.v := 42;
+      r := o.v;
+      return r;
+    })"),
+            Value::intV(42));
+}
+
+TEST(WhileCompiler, ParseErrorsAreReported) {
+  EXPECT_FALSE(compileWhileSource("function main() { x := ; }").ok());
+  EXPECT_FALSE(compileWhileSource("function main() { if x { } }").ok());
+  EXPECT_FALSE(compileWhileSource("garbage").ok());
+}
+
+TEST(WhileCompiler, CompiledGilRoundTripsThroughTextualFormat) {
+  // Compiled programs print to textual GIL and reparse to an equivalent
+  // program (print -> parse -> print is a fixpoint), and the reparsed
+  // program executes identically.
+  const char *Src = R"(
+    function main() {
+      o := { a: 1, b: "two" };
+      s := 0;
+      i := 0;
+      while (i < 3) { s := s + i; i := i + 1; }
+      x := o.a;
+      r := helper(s, x);
+      assert (r == 4);
+      return r;
+    }
+    function helper(a, b) { return a / 2 * b + 1; })";
+  Prog P1 = compile(Src);
+  std::string Printed = P1.toString();
+  Result<Prog> P2 = parseGilProg(Printed);
+  ASSERT_TRUE(P2.ok()) << P2.error() << "\n" << Printed;
+  EXPECT_EQ(P2->toString(), Printed) << "print/parse must be a fixpoint";
+
+  EngineOptions Opts;
+  ExecStats S1, S2;
+  auto R1 = runConcrete<WhileCMem>(P1, "main", Opts, S1);
+  auto R2 = runConcrete<WhileCMem>(*P2, "main", Opts, S2);
+  ASSERT_TRUE(R1.ok() && R2.ok());
+  EXPECT_EQ(R1->Kind, R2->Kind);
+  EXPECT_EQ(R1->Val, R2->Val);
+  EXPECT_EQ(S1.CmdsExecuted, S2.CmdsExecuted);
+}

@@ -1,0 +1,244 @@
+//===- tests/while/memory_test.cpp ----------------------------------------===//
+//
+// Direct unit tests of the Fig. 3 action rules, concrete and symbolic,
+// including the branching aliasing behaviour of [S-Lookup] and
+// [S-Mutate-*], plus the §3.3 interpretation function I_W.
+//
+//===----------------------------------------------------------------------===//
+
+#include "while_lang/memory.h"
+
+#include "while_lang/compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace gillian;
+using namespace gillian::whilelang;
+
+namespace {
+
+Value argL(std::initializer_list<Value> Vs) { return Value::listV(Vs); }
+
+InternedString is(std::string_view S) { return InternedString::get(S); }
+
+} // namespace
+
+TEST(WhileCMem, MutateThenLookup) {
+  WhileCMem M;
+  Value L = Value::symV("$l");
+  ASSERT_TRUE(M.execAction(actMutate(), argL({L, Value::strV("p"),
+                                              Value::intV(7)}))
+                  .ok());
+  Result<Value> R = M.execAction(actLookup(), argL({L, Value::strV("p")}));
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_EQ(R->asInt(), 7);
+}
+
+TEST(WhileCMem, LookupMissesFault) {
+  WhileCMem M;
+  Value L = Value::symV("$l");
+  EXPECT_FALSE(M.execAction(actLookup(), argL({L, Value::strV("p")})).ok())
+      << "unknown object";
+  ASSERT_TRUE(M.execAction(actMutate(), argL({L, Value::strV("p"),
+                                              Value::intV(1)}))
+                  .ok());
+  EXPECT_FALSE(M.execAction(actLookup(), argL({L, Value::strV("q")})).ok())
+      << "missing property";
+}
+
+TEST(WhileCMem, DisposeLifecycle) {
+  WhileCMem M;
+  Value L = Value::symV("$l");
+  ASSERT_TRUE(M.execAction(actMutate(), argL({L, Value::strV("p"),
+                                              Value::intV(1)}))
+                  .ok());
+  ASSERT_TRUE(M.execAction(actDispose(), argL({L})).ok());
+  EXPECT_FALSE(M.execAction(actLookup(), argL({L, Value::strV("p")})).ok());
+  EXPECT_FALSE(M.execAction(actMutate(), argL({L, Value::strV("p"),
+                                               Value::intV(2)}))
+                   .ok());
+  EXPECT_FALSE(M.execAction(actDispose(), argL({L})).ok())
+      << "double dispose";
+}
+
+TEST(WhileCMem, NonLocationArgsFault) {
+  WhileCMem M;
+  EXPECT_FALSE(
+      M.execAction(actLookup(), argL({Value::intV(1), Value::strV("p")}))
+          .ok());
+  EXPECT_FALSE(M.execAction(actLookup(), Value::intV(3)).ok())
+      << "malformed argument list";
+  EXPECT_FALSE(M.execAction(is("warp"), argL({})).ok()) << "unknown action";
+}
+
+// --- Symbolic --------------------------------------------------------------
+
+namespace {
+
+/// Builds [loc, "prop"] / [loc, "prop", v] argument lists.
+Expr eArgs(std::initializer_list<Expr> Es) { return Expr::list(Es); }
+
+} // namespace
+
+TEST(WhileSMem, ConcreteKeysTakeFastPath) {
+  WhileSMem M;
+  Solver S;
+  PathCondition PC;
+  M.setProp(Expr::lit(Value::symV("$a")), is("p"), Expr::intE(1));
+  M.setProp(Expr::lit(Value::symV("$b")), is("p"), Expr::intE(2));
+  auto Br = M.execAction(actLookup(),
+                         eArgs({Expr::lit(Value::symV("$b")),
+                                Expr::strE("p")}),
+                         PC, S);
+  ASSERT_TRUE(Br.ok());
+  ASSERT_EQ(Br->size(), 1u) << "distinct symbols cannot alias";
+  EXPECT_FALSE((*Br)[0].IsError);
+  EXPECT_EQ((*Br)[0].Ret, Expr::intE(2));
+}
+
+TEST(WhileSMem, SymbolicLocationBranchesOverAliases) {
+  // [S-Lookup] with a logical-variable location: one branch per stored
+  // object it may equal, plus the possible miss.
+  WhileSMem M;
+  Solver S;
+  PathCondition PC;
+  PC.add(Expr::hasType(Expr::lvar("#l"), GilType::Sym));
+  M.setProp(Expr::lit(Value::symV("$a")), is("p"), Expr::intE(1));
+  M.setProp(Expr::lit(Value::symV("$b")), is("p"), Expr::intE(2));
+  auto Br = M.execAction(actLookup(),
+                         eArgs({Expr::lvar("#l"), Expr::strE("p")}), PC, S);
+  ASSERT_TRUE(Br.ok());
+  int Successes = 0, Errors = 0;
+  for (auto &B : *Br) {
+    EXPECT_TRUE(B.Cond) << "contingent branches carry their condition";
+    B.IsError ? ++Errors : ++Successes;
+  }
+  EXPECT_EQ(Successes, 2) << "may alias $a or $b";
+  EXPECT_EQ(Errors, 1) << "or miss entirely";
+}
+
+TEST(WhileSMem, PathConditionPrunesAliases) {
+  // With #l == $a in the path condition, only the $a branch survives.
+  WhileSMem M;
+  Solver S;
+  PathCondition PC;
+  PC.add(Expr::hasType(Expr::lvar("#l"), GilType::Sym));
+  PC.add(Expr::eq(Expr::lvar("#l"), Expr::lit(Value::symV("$a"))));
+  M.setProp(Expr::lit(Value::symV("$a")), is("p"), Expr::intE(1));
+  M.setProp(Expr::lit(Value::symV("$b")), is("p"), Expr::intE(2));
+  auto Br = M.execAction(actLookup(),
+                         eArgs({Expr::lvar("#l"), Expr::strE("p")}), PC, S);
+  ASSERT_TRUE(Br.ok());
+  int Successes = 0;
+  for (auto &B : *Br)
+    if (!B.IsError) {
+      ++Successes;
+      EXPECT_EQ(B.Ret, Expr::intE(1));
+    }
+  EXPECT_EQ(Successes, 1);
+}
+
+TEST(WhileSMem, MutateAbsentCreatesObject) {
+  // [S-Mutate-Absent]: mutation at a fresh location extends the memory.
+  WhileSMem M;
+  Solver S;
+  PathCondition PC;
+  Expr Fresh = Expr::lit(Value::symV("$new"));
+  auto Br = M.execAction(actMutate(),
+                         eArgs({Fresh, Expr::strE("p"), Expr::intE(9)}), PC,
+                         S);
+  ASSERT_TRUE(Br.ok());
+  ASSERT_EQ(Br->size(), 1u);
+  const Expr *V = (*Br)[0].Mem.objects().lookup(Fresh)->lookup(is("p"));
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(*V, Expr::intE(9));
+}
+
+TEST(WhileSMem, MutatePresentOverwritesAllAliases) {
+  WhileSMem M;
+  Solver S;
+  PathCondition PC;
+  PC.add(Expr::hasType(Expr::lvar("#l"), GilType::Sym));
+  M.setProp(Expr::lit(Value::symV("$a")), is("p"), Expr::intE(1));
+  auto Br = M.execAction(actMutate(),
+                         eArgs({Expr::lvar("#l"), Expr::strE("p"),
+                                Expr::intE(5)}),
+                         PC, S);
+  ASSERT_TRUE(Br.ok());
+  // Branch 1: #l == $a (overwrite); branch 2: #l fresh (extend).
+  ASSERT_EQ(Br->size(), 2u);
+  bool SawOverwrite = false, SawExtend = false;
+  for (auto &B : *Br) {
+    ASSERT_FALSE(B.IsError);
+    if (const WhileSMem::PropMap *Props =
+            B.Mem.objects().lookup(Expr::lit(Value::symV("$a")))) {
+      const Expr *V = Props->lookup(is("p"));
+      if (V && *V == Expr::intE(5))
+        SawOverwrite = true;
+    }
+    if (B.Mem.objects().contains(Expr::lvar("#l")))
+      SawExtend = true;
+  }
+  EXPECT_TRUE(SawOverwrite);
+  EXPECT_TRUE(SawExtend);
+}
+
+TEST(WhileSMem, DisposeRemovesAndFaultsAfter) {
+  WhileSMem M;
+  Solver S;
+  PathCondition PC;
+  Expr A = Expr::lit(Value::symV("$a"));
+  M.setProp(A, is("p"), Expr::intE(1));
+  auto Br = M.execAction(actDispose(), eArgs({A}), PC, S);
+  ASSERT_TRUE(Br.ok());
+  ASSERT_EQ(Br->size(), 1u);
+  const WhileSMem &M2 = (*Br)[0].Mem;
+  EXPECT_FALSE(M2.objects().contains(A));
+  auto Br2 = M2.execAction(actLookup(), eArgs({A, Expr::strE("p")}), PC, S);
+  ASSERT_TRUE(Br2.ok());
+  ASSERT_EQ(Br2->size(), 1u);
+  EXPECT_TRUE((*Br2)[0].IsError) << "use-after-dispose";
+}
+
+// --- Interpretation I_W (§3.3) ---------------------------------------------
+
+TEST(WhileInterp, InterpretsLocationsAndValues) {
+  WhileSMem SM;
+  SM.setProp(Expr::lit(Value::symV("$a")), is("p"),
+             Expr::add(Expr::lvar("#x"), Expr::intE(1)));
+  Model Eps;
+  Eps.bind(is("#x"), Value::intV(41));
+  Result<WhileCMem> CM = interpretMemory(Eps, SM);
+  ASSERT_TRUE(CM.ok()) << CM.error();
+  Result<Value> V = CM->execAction(
+      actLookup(), argL({Value::symV("$a"), Value::strV("p")}));
+  ASSERT_TRUE(V.ok());
+  EXPECT_EQ(V->asInt(), 42);
+}
+
+TEST(WhileInterp, SymbolicLocationResolvesThroughModel) {
+  WhileSMem SM;
+  SM.setProp(Expr::lvar("#l"), is("p"), Expr::intE(1));
+  Model Eps;
+  Eps.bind(is("#l"), Value::symV("$concrete"));
+  Result<WhileCMem> CM = interpretMemory(Eps, SM);
+  ASSERT_TRUE(CM.ok()) << CM.error();
+  EXPECT_TRUE(CM->objects().contains(is("$concrete")));
+}
+
+TEST(WhileInterp, FreeVariableFails) {
+  WhileSMem SM;
+  SM.setProp(Expr::lit(Value::symV("$a")), is("p"), Expr::lvar("#free"));
+  EXPECT_FALSE(interpretMemory(Model(), SM).ok());
+}
+
+TEST(WhileInterp, CollapsingLocationsFail) {
+  // Two symbolic locations mapping to one concrete symbol: ⊎ undefined.
+  WhileSMem SM;
+  SM.setProp(Expr::lvar("#l1"), is("p"), Expr::intE(1));
+  SM.setProp(Expr::lvar("#l2"), is("p"), Expr::intE(2));
+  Model Eps;
+  Eps.bind(is("#l1"), Value::symV("$same"));
+  Eps.bind(is("#l2"), Value::symV("$same"));
+  EXPECT_FALSE(interpretMemory(Eps, SM).ok());
+}
