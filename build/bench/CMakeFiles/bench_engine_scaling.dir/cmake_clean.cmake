@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_scaling.dir/bench_engine_scaling.cpp.o"
+  "CMakeFiles/bench_engine_scaling.dir/bench_engine_scaling.cpp.o.d"
+  "bench_engine_scaling"
+  "bench_engine_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

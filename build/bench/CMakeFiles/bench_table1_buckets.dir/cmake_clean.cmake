@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_buckets.dir/bench_table1_buckets.cpp.o"
+  "CMakeFiles/bench_table1_buckets.dir/bench_table1_buckets.cpp.o.d"
+  "bench_table1_buckets"
+  "bench_table1_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c_bug_hunt.dir/c_bug_hunt.cpp.o"
+  "CMakeFiles/c_bug_hunt.dir/c_bug_hunt.cpp.o.d"
+  "c_bug_hunt"
+  "c_bug_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c_bug_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_bug_hunt.dir/js_bug_hunt.cpp.o"
+  "CMakeFiles/js_bug_hunt.dir/js_bug_hunt.cpp.o.d"
+  "js_bug_hunt"
+  "js_bug_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_bug_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gillian_engine.dir/engine.cpp.o"
+  "CMakeFiles/gillian_engine.dir/engine.cpp.o.d"
+  "libgillian_engine.a"
+  "libgillian_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gillian_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gil/expr.cpp" "src/gil/CMakeFiles/gillian_gil.dir/expr.cpp.o" "gcc" "src/gil/CMakeFiles/gillian_gil.dir/expr.cpp.o.d"
+  "/root/repo/src/gil/ops.cpp" "src/gil/CMakeFiles/gillian_gil.dir/ops.cpp.o" "gcc" "src/gil/CMakeFiles/gillian_gil.dir/ops.cpp.o.d"
+  "/root/repo/src/gil/parser.cpp" "src/gil/CMakeFiles/gillian_gil.dir/parser.cpp.o" "gcc" "src/gil/CMakeFiles/gillian_gil.dir/parser.cpp.o.d"
+  "/root/repo/src/gil/prog.cpp" "src/gil/CMakeFiles/gillian_gil.dir/prog.cpp.o" "gcc" "src/gil/CMakeFiles/gillian_gil.dir/prog.cpp.o.d"
+  "/root/repo/src/gil/value.cpp" "src/gil/CMakeFiles/gillian_gil.dir/value.cpp.o" "gcc" "src/gil/CMakeFiles/gillian_gil.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gillian_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gillian_gil.dir/expr.cpp.o"
+  "CMakeFiles/gillian_gil.dir/expr.cpp.o.d"
+  "CMakeFiles/gillian_gil.dir/ops.cpp.o"
+  "CMakeFiles/gillian_gil.dir/ops.cpp.o.d"
+  "CMakeFiles/gillian_gil.dir/parser.cpp.o"
+  "CMakeFiles/gillian_gil.dir/parser.cpp.o.d"
+  "CMakeFiles/gillian_gil.dir/prog.cpp.o"
+  "CMakeFiles/gillian_gil.dir/prog.cpp.o.d"
+  "CMakeFiles/gillian_gil.dir/value.cpp.o"
+  "CMakeFiles/gillian_gil.dir/value.cpp.o.d"
+  "libgillian_gil.a"
+  "libgillian_gil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gillian_gil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

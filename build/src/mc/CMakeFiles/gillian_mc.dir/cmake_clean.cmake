@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gillian_mc.dir/compiler.cpp.o"
+  "CMakeFiles/gillian_mc.dir/compiler.cpp.o.d"
+  "CMakeFiles/gillian_mc.dir/memory.cpp.o"
+  "CMakeFiles/gillian_mc.dir/memory.cpp.o.d"
+  "CMakeFiles/gillian_mc.dir/parser.cpp.o"
+  "CMakeFiles/gillian_mc.dir/parser.cpp.o.d"
+  "CMakeFiles/gillian_mc.dir/types.cpp.o"
+  "CMakeFiles/gillian_mc.dir/types.cpp.o.d"
+  "libgillian_mc.a"
+  "libgillian_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gillian_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

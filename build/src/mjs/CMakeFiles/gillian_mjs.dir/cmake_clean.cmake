@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gillian_mjs.dir/compiler.cpp.o"
+  "CMakeFiles/gillian_mjs.dir/compiler.cpp.o.d"
+  "CMakeFiles/gillian_mjs.dir/memory.cpp.o"
+  "CMakeFiles/gillian_mjs.dir/memory.cpp.o.d"
+  "CMakeFiles/gillian_mjs.dir/parser.cpp.o"
+  "CMakeFiles/gillian_mjs.dir/parser.cpp.o.d"
+  "CMakeFiles/gillian_mjs.dir/runtime.cpp.o"
+  "CMakeFiles/gillian_mjs.dir/runtime.cpp.o.d"
+  "libgillian_mjs.a"
+  "libgillian_mjs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gillian_mjs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

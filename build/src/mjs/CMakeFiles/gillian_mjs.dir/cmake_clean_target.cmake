@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgillian_mjs.a"
+)

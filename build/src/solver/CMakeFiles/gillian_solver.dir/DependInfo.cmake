@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/model.cpp" "src/solver/CMakeFiles/gillian_solver.dir/model.cpp.o" "gcc" "src/solver/CMakeFiles/gillian_solver.dir/model.cpp.o.d"
+  "/root/repo/src/solver/path_condition.cpp" "src/solver/CMakeFiles/gillian_solver.dir/path_condition.cpp.o" "gcc" "src/solver/CMakeFiles/gillian_solver.dir/path_condition.cpp.o.d"
+  "/root/repo/src/solver/simplifier.cpp" "src/solver/CMakeFiles/gillian_solver.dir/simplifier.cpp.o" "gcc" "src/solver/CMakeFiles/gillian_solver.dir/simplifier.cpp.o.d"
+  "/root/repo/src/solver/solver.cpp" "src/solver/CMakeFiles/gillian_solver.dir/solver.cpp.o" "gcc" "src/solver/CMakeFiles/gillian_solver.dir/solver.cpp.o.d"
+  "/root/repo/src/solver/syntactic.cpp" "src/solver/CMakeFiles/gillian_solver.dir/syntactic.cpp.o" "gcc" "src/solver/CMakeFiles/gillian_solver.dir/syntactic.cpp.o.d"
+  "/root/repo/src/solver/type_infer.cpp" "src/solver/CMakeFiles/gillian_solver.dir/type_infer.cpp.o" "gcc" "src/solver/CMakeFiles/gillian_solver.dir/type_infer.cpp.o.d"
+  "/root/repo/src/solver/z3_backend.cpp" "src/solver/CMakeFiles/gillian_solver.dir/z3_backend.cpp.o" "gcc" "src/solver/CMakeFiles/gillian_solver.dir/z3_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gil/CMakeFiles/gillian_gil.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gillian_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gillian_solver.dir/model.cpp.o"
+  "CMakeFiles/gillian_solver.dir/model.cpp.o.d"
+  "CMakeFiles/gillian_solver.dir/path_condition.cpp.o"
+  "CMakeFiles/gillian_solver.dir/path_condition.cpp.o.d"
+  "CMakeFiles/gillian_solver.dir/simplifier.cpp.o"
+  "CMakeFiles/gillian_solver.dir/simplifier.cpp.o.d"
+  "CMakeFiles/gillian_solver.dir/solver.cpp.o"
+  "CMakeFiles/gillian_solver.dir/solver.cpp.o.d"
+  "CMakeFiles/gillian_solver.dir/syntactic.cpp.o"
+  "CMakeFiles/gillian_solver.dir/syntactic.cpp.o.d"
+  "CMakeFiles/gillian_solver.dir/type_infer.cpp.o"
+  "CMakeFiles/gillian_solver.dir/type_infer.cpp.o.d"
+  "CMakeFiles/gillian_solver.dir/z3_backend.cpp.o"
+  "CMakeFiles/gillian_solver.dir/z3_backend.cpp.o.d"
+  "libgillian_solver.a"
+  "libgillian_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gillian_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

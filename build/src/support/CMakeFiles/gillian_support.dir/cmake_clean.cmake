@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gillian_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/gillian_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/gillian_support.dir/interner.cpp.o"
+  "CMakeFiles/gillian_support.dir/interner.cpp.o.d"
+  "CMakeFiles/gillian_support.dir/lexer.cpp.o"
+  "CMakeFiles/gillian_support.dir/lexer.cpp.o.d"
+  "libgillian_support.a"
+  "libgillian_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gillian_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/targets/buckets_mjs.cpp" "src/targets/CMakeFiles/gillian_targets.dir/buckets_mjs.cpp.o" "gcc" "src/targets/CMakeFiles/gillian_targets.dir/buckets_mjs.cpp.o.d"
+  "/root/repo/src/targets/buckets_suites.cpp" "src/targets/CMakeFiles/gillian_targets.dir/buckets_suites.cpp.o" "gcc" "src/targets/CMakeFiles/gillian_targets.dir/buckets_suites.cpp.o.d"
+  "/root/repo/src/targets/collections_mc.cpp" "src/targets/CMakeFiles/gillian_targets.dir/collections_mc.cpp.o" "gcc" "src/targets/CMakeFiles/gillian_targets.dir/collections_mc.cpp.o.d"
+  "/root/repo/src/targets/collections_suites.cpp" "src/targets/CMakeFiles/gillian_targets.dir/collections_suites.cpp.o" "gcc" "src/targets/CMakeFiles/gillian_targets.dir/collections_suites.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/gillian_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/gillian_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/gil/CMakeFiles/gillian_gil.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gillian_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gillian_targets.dir/buckets_mjs.cpp.o"
+  "CMakeFiles/gillian_targets.dir/buckets_mjs.cpp.o.d"
+  "CMakeFiles/gillian_targets.dir/buckets_suites.cpp.o"
+  "CMakeFiles/gillian_targets.dir/buckets_suites.cpp.o.d"
+  "CMakeFiles/gillian_targets.dir/collections_mc.cpp.o"
+  "CMakeFiles/gillian_targets.dir/collections_mc.cpp.o.d"
+  "CMakeFiles/gillian_targets.dir/collections_suites.cpp.o"
+  "CMakeFiles/gillian_targets.dir/collections_suites.cpp.o.d"
+  "libgillian_targets.a"
+  "libgillian_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gillian_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gillian_while.dir/compiler.cpp.o"
+  "CMakeFiles/gillian_while.dir/compiler.cpp.o.d"
+  "CMakeFiles/gillian_while.dir/memory.cpp.o"
+  "CMakeFiles/gillian_while.dir/memory.cpp.o.d"
+  "CMakeFiles/gillian_while.dir/parser.cpp.o"
+  "CMakeFiles/gillian_while.dir/parser.cpp.o.d"
+  "libgillian_while.a"
+  "libgillian_while.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gillian_while.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

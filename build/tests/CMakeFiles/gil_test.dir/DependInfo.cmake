@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gil/expr_test.cpp" "tests/CMakeFiles/gil_test.dir/gil/expr_test.cpp.o" "gcc" "tests/CMakeFiles/gil_test.dir/gil/expr_test.cpp.o.d"
+  "/root/repo/tests/gil/ops_test.cpp" "tests/CMakeFiles/gil_test.dir/gil/ops_test.cpp.o" "gcc" "tests/CMakeFiles/gil_test.dir/gil/ops_test.cpp.o.d"
+  "/root/repo/tests/gil/parser_test.cpp" "tests/CMakeFiles/gil_test.dir/gil/parser_test.cpp.o" "gcc" "tests/CMakeFiles/gil_test.dir/gil/parser_test.cpp.o.d"
+  "/root/repo/tests/gil/value_test.cpp" "tests/CMakeFiles/gil_test.dir/gil/value_test.cpp.o" "gcc" "tests/CMakeFiles/gil_test.dir/gil/value_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gil/CMakeFiles/gillian_gil.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gillian_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

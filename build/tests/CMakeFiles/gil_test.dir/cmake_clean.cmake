@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gil_test.dir/gil/expr_test.cpp.o"
+  "CMakeFiles/gil_test.dir/gil/expr_test.cpp.o.d"
+  "CMakeFiles/gil_test.dir/gil/ops_test.cpp.o"
+  "CMakeFiles/gil_test.dir/gil/ops_test.cpp.o.d"
+  "CMakeFiles/gil_test.dir/gil/parser_test.cpp.o"
+  "CMakeFiles/gil_test.dir/gil/parser_test.cpp.o.d"
+  "CMakeFiles/gil_test.dir/gil/value_test.cpp.o"
+  "CMakeFiles/gil_test.dir/gil/value_test.cpp.o.d"
+  "gil_test"
+  "gil_test.pdb"
+  "gil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

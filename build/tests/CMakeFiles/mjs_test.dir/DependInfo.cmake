@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mjs/compiler_test.cpp" "tests/CMakeFiles/mjs_test.dir/mjs/compiler_test.cpp.o" "gcc" "tests/CMakeFiles/mjs_test.dir/mjs/compiler_test.cpp.o.d"
+  "/root/repo/tests/mjs/memory_test.cpp" "tests/CMakeFiles/mjs_test.dir/mjs/memory_test.cpp.o" "gcc" "tests/CMakeFiles/mjs_test.dir/mjs/memory_test.cpp.o.d"
+  "/root/repo/tests/mjs/symbolic_test.cpp" "tests/CMakeFiles/mjs_test.dir/mjs/symbolic_test.cpp.o" "gcc" "tests/CMakeFiles/mjs_test.dir/mjs/symbolic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mjs/CMakeFiles/gillian_mjs.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/gillian_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/gillian_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/gil/CMakeFiles/gillian_gil.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gillian_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mjs_test.dir/mjs/compiler_test.cpp.o"
+  "CMakeFiles/mjs_test.dir/mjs/compiler_test.cpp.o.d"
+  "CMakeFiles/mjs_test.dir/mjs/memory_test.cpp.o"
+  "CMakeFiles/mjs_test.dir/mjs/memory_test.cpp.o.d"
+  "CMakeFiles/mjs_test.dir/mjs/symbolic_test.cpp.o"
+  "CMakeFiles/mjs_test.dir/mjs/symbolic_test.cpp.o.d"
+  "mjs_test"
+  "mjs_test.pdb"
+  "mjs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mjs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

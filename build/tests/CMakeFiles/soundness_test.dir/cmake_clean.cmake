@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soundness_test.dir/soundness/replay_mc_test.cpp.o"
+  "CMakeFiles/soundness_test.dir/soundness/replay_mc_test.cpp.o.d"
+  "CMakeFiles/soundness_test.dir/soundness/replay_mjs_test.cpp.o"
+  "CMakeFiles/soundness_test.dir/soundness/replay_mjs_test.cpp.o.d"
+  "CMakeFiles/soundness_test.dir/soundness/replay_while_test.cpp.o"
+  "CMakeFiles/soundness_test.dir/soundness/replay_while_test.cpp.o.d"
+  "CMakeFiles/soundness_test.dir/soundness/restriction_test.cpp.o"
+  "CMakeFiles/soundness_test.dir/soundness/restriction_test.cpp.o.d"
+  "soundness_test"
+  "soundness_test.pdb"
+  "soundness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

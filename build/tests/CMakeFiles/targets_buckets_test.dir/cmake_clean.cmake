@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/targets_buckets_test.dir/targets/buckets_test.cpp.o"
+  "CMakeFiles/targets_buckets_test.dir/targets/buckets_test.cpp.o.d"
+  "targets_buckets_test"
+  "targets_buckets_test.pdb"
+  "targets_buckets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/targets_buckets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/targets_collections_test.dir/targets/collections_test.cpp.o"
+  "CMakeFiles/targets_collections_test.dir/targets/collections_test.cpp.o.d"
+  "targets_collections_test"
+  "targets_collections_test.pdb"
+  "targets_collections_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/targets_collections_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

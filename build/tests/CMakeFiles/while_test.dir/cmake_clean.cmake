@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/while_test.dir/while/compiler_test.cpp.o"
+  "CMakeFiles/while_test.dir/while/compiler_test.cpp.o.d"
+  "CMakeFiles/while_test.dir/while/memory_test.cpp.o"
+  "CMakeFiles/while_test.dir/while/memory_test.cpp.o.d"
+  "CMakeFiles/while_test.dir/while/symbolic_test.cpp.o"
+  "CMakeFiles/while_test.dir/while/symbolic_test.cpp.o.d"
+  "while_test"
+  "while_test.pdb"
+  "while_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/while_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
