@@ -55,7 +55,7 @@ std::string deadCodeProgram(int L) {
   return Src;
 }
 
-void runProgram(const std::string &Src) {
+SymbolicTestResult runProgram(const std::string &Src) {
   Result<Prog> P = compileWhileSource(Src);
   if (!P)
     std::abort();
@@ -65,23 +65,39 @@ void runProgram(const std::string &Src) {
   SymbolicTestResult R = runSymbolicTest<WhileSMem>(*P, "main", Opts, Slv);
   if (!R.ok())
     std::abort();
+  return R;
+}
+
+/// Report the solver-layer share of the last run as benchmark counters:
+/// where the time goes (solver vs engine) and how well the cache works.
+void setSolverCounters(benchmark::State &State,
+                       const SymbolicTestResult &R) {
+  State.counters["solver_queries"] =
+      static_cast<double>(R.Solver.Queries);
+  State.counters["solver_hit_rate"] = R.Solver.cacheHitRate();
+  State.counters["solver_ms"] = 1e-6 * static_cast<double>(R.Solver.TotalNs);
+  State.counters["z3_calls"] = static_cast<double>(R.Solver.Z3Calls);
 }
 
 } // namespace
 
 static void BM_DiamondPaths(benchmark::State &State) {
   std::string Src = diamondProgram(static_cast<int>(State.range(0)));
+  SymbolicTestResult Last;
   for (auto _ : State)
-    runProgram(Src);
+    Last = runProgram(Src);
   State.SetLabel(std::to_string(1ll << State.range(0)) + " paths");
+  setSolverCounters(State, Last);
 }
 BENCHMARK(BM_DiamondPaths)->DenseRange(2, 8, 2);
 
 static void BM_SymbolicLoopUnroll(benchmark::State &State) {
   std::string Src = loopProgram(static_cast<int>(State.range(0)));
+  SymbolicTestResult Last;
   for (auto _ : State)
-    runProgram(Src);
+    Last = runProgram(Src);
   State.SetLabel(std::to_string(State.range(0)) + " unrollings");
+  setSolverCounters(State, Last);
 }
 BENCHMARK(BM_SymbolicLoopUnroll)->DenseRange(4, 32, 4);
 
@@ -89,9 +105,11 @@ static void BM_DeadCodeIsFree(benchmark::State &State) {
   // Time must stay flat as dead program size grows: exploration cost
   // follows paths, not program size.
   std::string Src = deadCodeProgram(static_cast<int>(State.range(0)));
+  SymbolicTestResult Last;
   for (auto _ : State)
-    runProgram(Src);
+    Last = runProgram(Src);
   State.SetLabel(std::to_string(State.range(0)) + " dead functions");
+  setSolverCounters(State, Last);
 }
 BENCHMARK(BM_DeadCodeIsFree)->RangeMultiplier(4)->Range(1, 256);
 

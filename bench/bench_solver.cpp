@@ -87,6 +87,49 @@ static void BM_SolverCachedQuery(benchmark::State &State) {
 }
 BENCHMARK(BM_SolverCachedQuery);
 
+static void BM_SolverPermutedOrderCacheHit(benchmark::State &State) {
+  // Branch interleavings produce the same conjunct set in different
+  // orders; the canonical form makes every permutation a cache hit.
+  Solver S;
+  PathCondition PC = typicalPc();
+  S.checkSat(PC); // warm the cache with one order
+  PathCondition Reversed;
+  Reversed.add(parse("!(#y == 7)"));
+  Reversed.add(parse("#y == #x + 1"));
+  Reversed.add(parse("#x < 32"));
+  Reversed.add(parse("0 <= #x"));
+  Reversed.add(parse("typeof(#y) == ^Int"));
+  Reversed.add(parse("typeof(#x) == ^Int"));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.checkSat(Reversed));
+}
+BENCHMARK(BM_SolverPermutedOrderCacheHit);
+
+static void BM_SolverSlicedSupersetQuery(benchmark::State &State) {
+  // The path-growth shape: a superset query with one fresh-variable slice
+  // reuses the cached verdicts of the old slices and only decides the new
+  // one. The added conjunct varies per iteration so the full key is never
+  // a whole-query cache hit and the slicing path stays on.
+  Solver S;
+  PathCondition PC;
+  for (int I = 0; I < 8; ++I) {
+    std::string V = "#s" + std::to_string(I);
+    PC.add(parse(("typeof(" + V + ") == ^Int").c_str()));
+    PC.add(parse(("0 <= " + V).c_str()));
+  }
+  S.checkSat(PC); // warm the slice cache
+  Expr Fresh = Expr::lvar("#fresh");
+  Expr IntTy = Expr::hasType(Fresh, GilType::Int);
+  int64_t K = 0;
+  for (auto _ : State) {
+    PathCondition Super = PC;
+    Super.add(IntTy);
+    Super.add(Expr::eq(Fresh, Expr::intE(++K)));
+    benchmark::DoNotOptimize(S.checkSat(Super));
+  }
+}
+BENCHMARK(BM_SolverSlicedSupersetQuery);
+
 static void BM_SolverUncachedSyntactic(benchmark::State &State) {
   SolverOptions Opts;
   Opts.UseCache = false;

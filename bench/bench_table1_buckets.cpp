@@ -11,6 +11,10 @@
 // is the J2/GJS ratio (paper: roughly 2x) and the relative per-structure
 // ordering.
 //
+// After the table, one JSON line reports per-suite and total solver-layer
+// statistics for both configurations — including the cache hit rate of the
+// canonical slicing cache — for A/B runs of cache effectiveness.
+//
 //===----------------------------------------------------------------------===//
 
 #include "mjs/compiler.h"
@@ -21,6 +25,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 
 using namespace gillian;
 using namespace gillian::mjs;
@@ -35,6 +40,8 @@ struct Row {
   double TimeJ2 = 0;
   double TimeGjs = 0;
   uint64_t Bugs = 0;
+  SolverStats SolverJ2;
+  SolverStats SolverGjs;
 };
 
 double seconds(std::chrono::steady_clock::time_point From) {
@@ -43,16 +50,29 @@ double seconds(std::chrono::steady_clock::time_point From) {
       .count();
 }
 
+std::string rowJson(const Row &R) {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"name\":\"%s\",\"tests\":%llu,\"gil_cmds\":%llu,"
+                "\"time_j2_s\":%.6f,\"time_gjs_s\":%.6f,\"solver_j2\":",
+                R.Name.c_str(), static_cast<unsigned long long>(R.Tests),
+                static_cast<unsigned long long>(R.GilCmds), R.TimeJ2,
+                R.TimeGjs);
+  return std::string(Buf) + solverStatsJson(R.SolverJ2) +
+         ",\"solver_gjs\":" + solverStatsJson(R.SolverGjs) + "}";
+}
+
 } // namespace
 
 int main() {
   std::printf("Table 1: Buckets.js-style symbolic test suites "
               "(Gillian-JS / MJS)\n");
-  std::printf("%-8s %4s %12s %10s %10s %8s\n", "Name", "#T", "GIL Cmds",
-              "Time(J2)", "Time(GJS)", "Speedup");
+  std::printf("%-8s %4s %12s %10s %10s %8s %9s\n", "Name", "#T", "GIL Cmds",
+              "Time(J2)", "Time(GJS)", "Speedup", "HitRate");
 
   Row Total;
   Total.Name = "Total";
+  std::string SuitesJson;
   for (const BucketsSuite &S : bucketsSuites()) {
     std::string Src =
         std::string(bucketsLibrary()) + "\n" + std::string(S.Source);
@@ -63,37 +83,53 @@ int main() {
       return 1;
     }
 
+    Row R;
+    R.Name = std::string(S.Name);
+
     // Baseline: the JaVerT 2.0 configuration.
     resetSimplifyCache();
     EngineOptions J2 = EngineOptions::legacyJaVerT2();
     auto T0 = std::chrono::steady_clock::now();
     SuiteResult RJ2 = runSuite<MjsSMem>(S.Name, *P, J2);
-    double SecJ2 = seconds(T0);
+    R.TimeJ2 = seconds(T0);
+    R.SolverJ2 = RJ2.Solver;
 
     // Gillian configuration.
     resetSimplifyCache();
     EngineOptions Gjs;
     T0 = std::chrono::steady_clock::now();
     SuiteResult RGjs = runSuite<MjsSMem>(S.Name, *P, Gjs);
-    double SecGjs = seconds(T0);
+    R.TimeGjs = seconds(T0);
+    R.SolverGjs = RGjs.Solver;
 
-    std::printf("%-8s %4llu %12llu %9.3fs %9.3fs %7.2fx\n",
-                std::string(S.Name).c_str(),
-                static_cast<unsigned long long>(RGjs.Tests),
-                static_cast<unsigned long long>(RGjs.GilCmds), SecJ2,
-                SecGjs, SecGjs > 0 ? SecJ2 / SecGjs : 0.0);
+    R.Tests = RGjs.Tests;
+    R.GilCmds = RGjs.GilCmds;
+    R.Bugs = RGjs.Bugs.size() + RJ2.Bugs.size();
 
-    Total.Tests += RGjs.Tests;
-    Total.GilCmds += RGjs.GilCmds;
-    Total.TimeJ2 += SecJ2;
-    Total.TimeGjs += SecGjs;
-    Total.Bugs += RGjs.Bugs.size() + RJ2.Bugs.size();
+    std::printf("%-8s %4llu %12llu %9.3fs %9.3fs %7.2fx %8.1f%%\n",
+                R.Name.c_str(), static_cast<unsigned long long>(R.Tests),
+                static_cast<unsigned long long>(R.GilCmds), R.TimeJ2,
+                R.TimeGjs, R.TimeGjs > 0 ? R.TimeJ2 / R.TimeGjs : 0.0,
+                100.0 * R.SolverGjs.cacheHitRate());
+
+    if (!SuitesJson.empty())
+      SuitesJson += ",";
+    SuitesJson += rowJson(R);
+
+    Total.Tests += R.Tests;
+    Total.GilCmds += R.GilCmds;
+    Total.TimeJ2 += R.TimeJ2;
+    Total.TimeGjs += R.TimeGjs;
+    Total.Bugs += R.Bugs;
+    Total.SolverJ2 += R.SolverJ2;
+    Total.SolverGjs += R.SolverGjs;
   }
-  std::printf("%-8s %4llu %12llu %9.3fs %9.3fs %7.2fx\n", "Total",
+  std::printf("%-8s %4llu %12llu %9.3fs %9.3fs %7.2fx %8.1f%%\n", "Total",
               static_cast<unsigned long long>(Total.Tests),
               static_cast<unsigned long long>(Total.GilCmds), Total.TimeJ2,
               Total.TimeGjs,
-              Total.TimeGjs > 0 ? Total.TimeJ2 / Total.TimeGjs : 0.0);
+              Total.TimeGjs > 0 ? Total.TimeJ2 / Total.TimeGjs : 0.0,
+              100.0 * Total.SolverGjs.cacheHitRate());
   std::printf("\nBug reports on the healthy library: %llu (expected 0 — "
               "the suite is a bounded-verification baseline, as in the "
               "paper, which re-detected only previously-known bugs)\n",
@@ -106,5 +142,8 @@ int main() {
               "engine leans harder than JaVerT 2.0 did (J2 cached inside "
               "its custom solver); see bench_ablation_engine for the "
               "decomposition.\n");
+  std::printf("\n{\"bench\":\"table1_buckets\",\"suites\":[%s],"
+              "\"total\":%s}\n",
+              SuitesJson.c_str(), rowJson(Total).c_str());
   return Total.Bugs == 0 ? 0 : 1;
 }

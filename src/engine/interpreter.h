@@ -26,6 +26,7 @@
 #include "engine/stats.h"
 #include "gil/prog.h"
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -105,6 +106,7 @@ public:
     Store.set(Main->Param, std::move(Arg));
     Init.setStore(std::move(Store));
 
+    auto T0 = std::chrono::steady_clock::now();
     std::vector<TraceResult<St>> Results;
     std::vector<Config> Work;
     Work.push_back(Config{std::move(Init), {}, Entry, 0, 0});
@@ -127,6 +129,10 @@ public:
       ++Steps;
       step(std::move(C), Work, Results);
     }
+    Stats.EngineNs += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
     return Results;
   }
 

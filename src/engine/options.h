@@ -44,8 +44,8 @@ struct EngineOptions {
   /// The JaVerT 2.0 baseline: basic simplification stays (every symbolic
   /// engine folds constants), but the Gillian improvements §4.1 credits
   /// for the ~2x speedup are off — the simplification memo, solver result
-  /// caching, and the cheap syntactic solver layer (every undecided query
-  /// goes straight to the SMT solver).
+  /// caching, and query slicing (every undecided query goes to the SMT
+  /// solver whole, every time).
   static EngineOptions legacyJaVerT2() {
     EngineOptions O;
     O.UseSimplifierCache = false;

@@ -27,6 +27,13 @@ struct ExecStats {
   uint64_t ActionCalls = 0;
   uint64_t ProcCalls = 0;
 
+  // Solver effort attributed to this execution (filled by the symbolic
+  // test runner from SolverStats deltas; zero for concrete runs).
+  uint64_t SolverQueries = 0;
+  uint64_t SolverCacheHits = 0; ///< full-query + per-slice cache hits
+  uint64_t SolverNs = 0;        ///< wall-time spent inside the solver
+  uint64_t EngineNs = 0;        ///< wall-time of the exploration loop
+
   ExecStats &operator+=(const ExecStats &O) {
     CmdsExecuted += O.CmdsExecuted;
     Branches += O.Branches;
@@ -36,6 +43,10 @@ struct ExecStats {
     PathsBounded += O.PathsBounded;
     ActionCalls += O.ActionCalls;
     ProcCalls += O.ProcCalls;
+    SolverQueries += O.SolverQueries;
+    SolverCacheHits += O.SolverCacheHits;
+    SolverNs += O.SolverNs;
+    EngineNs += O.EngineNs;
     return *this;
   }
 };

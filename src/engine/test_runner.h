@@ -46,6 +46,9 @@ struct SymbolicTestResult {
   uint64_t PathsBounded = 0;
   std::vector<BugReport> Bugs;
   ExecStats Stats;
+  /// Solver effort attributable to this test alone (delta of the shared
+  /// solver's counters across the run, including counter-model search).
+  SolverStats Solver;
 
   bool ok() const { return Bugs.empty(); }
   /// True when the run is a bounded-verification verdict (no failures and
@@ -67,6 +70,15 @@ runSymbolicTest(const Prog &P, std::string_view Entry,
                 M InitialMemory = M()) {
   SymbolicTestResult R;
   R.Name = std::string(Entry);
+  // Snapshot the (shared, suite-wide) solver counters so the per-layer
+  // timing and hit-rate deltas of this one test can be attributed to it.
+  const SolverStats Before = Slv.stats();
+  auto Finalize = [&R, &Slv, &Before] {
+    R.Solver = Slv.stats() - Before;
+    R.Stats.SolverQueries += R.Solver.Queries;
+    R.Stats.SolverCacheHits += R.Solver.CacheHits + R.Solver.SliceCacheHits;
+    R.Stats.SolverNs += R.Solver.TotalNs;
+  };
   using St = SymbolicState<M>;
   St Init(std::move(InitialMemory), &Slv, &Opts);
   Interpreter<St> Interp(P, Opts, R.Stats);
@@ -76,6 +88,7 @@ runSymbolicTest(const Prog &P, std::string_view Entry,
     BugReport B;
     B.Message = "engine error: " + Traces.error();
     R.Bugs.push_back(std::move(B));
+    Finalize();
     return R;
   }
   for (TraceResult<St> &T : *Traces) {
@@ -103,6 +116,7 @@ runSymbolicTest(const Prog &P, std::string_view Entry,
     }
     }
   }
+  Finalize();
   return R;
 }
 

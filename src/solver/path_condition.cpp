@@ -3,8 +3,22 @@
 #include "solver/path_condition.h"
 
 #include <algorithm>
+#include <cassert>
 
 using namespace gillian;
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates per-conjunct hashes so the
+/// commutative XOR combine below stays collision-resistant (a plain XOR of
+/// raw hashes would cancel structured bit patterns).
+uint64_t mixConjunct(uint64_t H) {
+  H = (H ^ (H >> 30)) * 0xBF58476D1CE4E5B9ull;
+  H = (H ^ (H >> 27)) * 0x94D049BB133111EBull;
+  return H ^ (H >> 31);
+}
+
+} // namespace
 
 void PathCondition::add(const Expr &E) {
   if (TriviallyFalse || !E || E.isTrue())
@@ -20,10 +34,16 @@ void PathCondition::add(const Expr &E) {
     add(E.child(1));
     return;
   }
-  if (std::find(Conjuncts.begin(), Conjuncts.end(), E) != Conjuncts.end())
+  // Canonical insertion: binary-search the sorted position; equal element
+  // already present means the conjunct is a duplicate.
+  auto It =
+      std::lower_bound(Conjuncts.begin(), Conjuncts.end(), E, ExprOrdering());
+  if (It != Conjuncts.end() && *It == E)
     return;
-  Conjuncts.push_back(E);
-  Hash = (Hash ^ E.hash()) * 0x9E3779B97F4A7C15ull;
+  Conjuncts.insert(It, E);
+  // XOR of mixed hashes commutes, so the hash is insertion-order- (and
+  // position-) independent; dedup above rules out self-cancellation.
+  Hash ^= mixConjunct(E.hash());
 }
 
 void PathCondition::addAll(const PathCondition &Other) {
@@ -35,6 +55,16 @@ void PathCondition::addAll(const PathCondition &Other) {
   }
   for (const Expr &E : Other.Conjuncts)
     add(E);
+}
+
+PathCondition PathCondition::fromSortedConjuncts(std::vector<Expr> Sorted) {
+  assert(std::is_sorted(Sorted.begin(), Sorted.end(), ExprOrdering()) &&
+         "slice conjuncts must already be canonical");
+  PathCondition P;
+  P.Conjuncts = std::move(Sorted);
+  for (const Expr &E : P.Conjuncts)
+    P.Hash ^= mixConjunct(E.hash());
+  return P;
 }
 
 Expr PathCondition::asExpr() const {
@@ -54,10 +84,11 @@ bool PathCondition::contains(const PathCondition &Other) const {
     return true; // false entails everything
   if (Other.TriviallyFalse)
     return false;
-  for (const Expr &E : Other.Conjuncts)
-    if (std::find(Conjuncts.begin(), Conjuncts.end(), E) == Conjuncts.end())
-      return false;
-  return true;
+  // Both conjunct lists are sorted under ExprOrdering (whose equivalence
+  // is structural equality), so containment is a single merge-walk.
+  return std::includes(Conjuncts.begin(), Conjuncts.end(),
+                       Other.Conjuncts.begin(), Other.Conjuncts.end(),
+                       ExprOrdering());
 }
 
 std::string PathCondition::toString() const {

@@ -7,9 +7,18 @@
 /// \file
 /// Path conditions (§2.3): boolean logical expressions that bookkeep the
 /// constraints on logical variables that led execution to the current
-/// symbolic state. Stored as a deduplicated conjunct list; conjunctions
+/// symbolic state. Stored in *canonical form*: a deduplicated conjunct
+/// list kept sorted under ExprOrdering, so that two conditions carrying
+/// the same constraint set compare equal (and hash equal) regardless of
+/// the order in which branches contributed the conjuncts. Conjunctions
 /// are flattened on insertion and a literal `false` collapses the whole
 /// condition.
+///
+/// The canonical form is what makes the solver's result cache
+/// insertion-order-insensitive: a query reached via branch order A∧B and
+/// one reached via B∧A share one cache entry. It also makes containment
+/// a linear merge-walk instead of the quadratic scan the naive
+/// representation needs.
 ///
 /// Path conditions are the classical instance of the paper's *restriction*
 /// concept (§3.1): restricting a state by another strengthens its path
@@ -33,16 +42,24 @@ public:
 
   /// Conjoins \p E (already simplified by the caller or not — literal
   /// `true` is dropped, conjunctions are flattened, duplicates skipped).
+  /// The conjunct is inserted at its canonical (sorted) position.
   void add(const Expr &E);
 
   /// Conjoins every conjunct of \p Other (the π ∧ π' of Def 2.6 and the
   /// restriction operator of §3.1).
   void addAll(const PathCondition &Other);
 
+  /// Wraps an already canonical conjunct list (sorted under ExprOrdering,
+  /// deduplicated, free of `true`/`false`/`And` nodes) without re-sorting.
+  /// Used by the solver's slicing layer, whose slices are subsequences of
+  /// a canonical condition and therefore canonical themselves.
+  static PathCondition fromSortedConjuncts(std::vector<Expr> Sorted);
+
   /// True when a literal `false` has been added: the condition is known
   /// unsatisfiable without consulting a solver.
   bool isTriviallyFalse() const { return TriviallyFalse; }
 
+  /// Conjuncts in canonical (ExprOrdering-sorted) order.
   const std::vector<Expr> &conjuncts() const { return Conjuncts; }
   size_t size() const { return Conjuncts.size(); }
   bool empty() const { return Conjuncts.empty() && !TriviallyFalse; }
@@ -52,11 +69,15 @@ public:
 
   /// Structural containment: every conjunct of \p Other appears here.
   /// This is the ⊑ pre-order induced by path-condition restriction.
+  /// O(n + m) merge-walk over the two canonical conjunct lists.
   bool contains(const PathCondition &Other) const;
 
+  /// Order-insensitive by construction: the hash commutes over conjuncts,
+  /// so permuted insertion orders collide on purpose.
   size_t hash() const { return Hash; }
   friend bool operator==(const PathCondition &A, const PathCondition &B) {
-    return A.TriviallyFalse == B.TriviallyFalse && A.Conjuncts == B.Conjuncts;
+    return A.TriviallyFalse == B.TriviallyFalse && A.Hash == B.Hash &&
+           A.Conjuncts == B.Conjuncts;
   }
 
   std::string toString() const;

@@ -4,6 +4,7 @@
 
 #include "solver/type_infer.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <unordered_map>
 
@@ -536,7 +537,12 @@ Expr gillian::simplifyCached(const Expr &E, const TypeEnv *Env) {
     return It->second;
   }
   ++C.Stats.Misses;
+  auto T0 = std::chrono::steady_clock::now();
   Expr S = simplifyNode(E, Env ? *Env : emptyEnv());
+  C.Stats.MissNs += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count());
   if (C.Map.size() > (1u << 20))
     C.Map.clear();
   C.Map.emplace(std::move(Key), S);

@@ -44,10 +44,12 @@ Expr simplify(const Expr &E, const TypeEnv *Env = nullptr);
 /// calling simplify().
 Expr simplifyCached(const Expr &E, const TypeEnv *Env = nullptr);
 
-/// Number of hits/misses of the simplifyCached memo (for bench reporting).
+/// Number of hits/misses of the simplifyCached memo, and the wall-time
+/// spent computing misses (for bench reporting).
 struct SimplifyCacheStats {
   uint64_t Hits = 0;
   uint64_t Misses = 0;
+  uint64_t MissNs = 0; ///< steady-clock ns spent simplifying on misses
 };
 SimplifyCacheStats simplifyCacheStats();
 void resetSimplifyCache();

@@ -4,31 +4,121 @@
 
 #include "solver/z3_backend.h"
 
+#include <chrono>
+#include <cstdio>
+
 using namespace gillian;
 
-SatResult Solver::checkSat(const PathCondition &PC) {
-  ++Stats.Queries;
-  if (PC.isTriviallyFalse()) {
-    ++Stats.TrivialAnswers;
-    ++Stats.Unsat;
-    return SatResult::Unsat;
-  }
-  if (PC.empty()) {
-    ++Stats.TrivialAnswers;
-    ++Stats.Sat;
-    return SatResult::Sat;
+namespace {
+
+/// Accumulates steady-clock elapsed nanoseconds into a stats slot.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(uint64_t &Slot)
+      : Slot(Slot), T0(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    Slot += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
   }
 
-  if (Opts.UseCache) {
-    auto It = Cache.find(PC);
-    if (It != Cache.end()) {
-      ++Stats.CacheHits;
-      return It->second;
-    }
-  }
+private:
+  uint64_t &Slot;
+  std::chrono::steady_clock::time_point T0;
+};
 
+} // namespace
+
+SolverStats &SolverStats::operator+=(const SolverStats &O) {
+  Queries += O.Queries;
+  TrivialAnswers += O.TrivialAnswers;
+  CacheLookups += O.CacheLookups;
+  CacheHits += O.CacheHits;
+  SliceCacheLookups += O.SliceCacheLookups;
+  SliceCacheHits += O.SliceCacheHits;
+  SlicedQueries += O.SlicedQueries;
+  Slices += O.Slices;
+  SyntacticUnsat += O.SyntacticUnsat;
+  SyntacticSat += O.SyntacticSat;
+  Z3Calls += O.Z3Calls;
+  Sat += O.Sat;
+  Unsat += O.Unsat;
+  Unknown += O.Unknown;
+  ModelsProposed += O.ModelsProposed;
+  ModelsVerified += O.ModelsVerified;
+  SliceNs += O.SliceNs;
+  CanonNs += O.CanonNs;
+  SyntacticNs += O.SyntacticNs;
+  Z3Ns += O.Z3Ns;
+  TotalNs += O.TotalNs;
+  return *this;
+}
+
+SolverStats SolverStats::operator-(const SolverStats &O) const {
+  SolverStats D;
+  D.Queries = Queries - O.Queries;
+  D.TrivialAnswers = TrivialAnswers - O.TrivialAnswers;
+  D.CacheLookups = CacheLookups - O.CacheLookups;
+  D.CacheHits = CacheHits - O.CacheHits;
+  D.SliceCacheLookups = SliceCacheLookups - O.SliceCacheLookups;
+  D.SliceCacheHits = SliceCacheHits - O.SliceCacheHits;
+  D.SlicedQueries = SlicedQueries - O.SlicedQueries;
+  D.Slices = Slices - O.Slices;
+  D.SyntacticUnsat = SyntacticUnsat - O.SyntacticUnsat;
+  D.SyntacticSat = SyntacticSat - O.SyntacticSat;
+  D.Z3Calls = Z3Calls - O.Z3Calls;
+  D.Sat = Sat - O.Sat;
+  D.Unsat = Unsat - O.Unsat;
+  D.Unknown = Unknown - O.Unknown;
+  D.ModelsProposed = ModelsProposed - O.ModelsProposed;
+  D.ModelsVerified = ModelsVerified - O.ModelsVerified;
+  D.SliceNs = SliceNs - O.SliceNs;
+  D.CanonNs = CanonNs - O.CanonNs;
+  D.SyntacticNs = SyntacticNs - O.SyntacticNs;
+  D.Z3Ns = Z3Ns - O.Z3Ns;
+  D.TotalNs = TotalNs - O.TotalNs;
+  return D;
+}
+
+std::string gillian::solverStatsJson(const SolverStats &S) {
+  char Buf[1024];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"queries\":%llu,\"trivial\":%llu,\"cache_lookups\":%llu,"
+      "\"cache_hits\":%llu,\"slice_cache_lookups\":%llu,"
+      "\"slice_cache_hits\":%llu,\"cache_hit_rate\":%.4f,"
+      "\"sliced_queries\":%llu,\"slices\":%llu,\"syntactic_unsat\":%llu,"
+      "\"syntactic_sat\":%llu,\"z3_calls\":%llu,\"sat\":%llu,"
+      "\"unsat\":%llu,\"unknown\":%llu,\"slice_ns\":%llu,"
+      "\"canon_ns\":%llu,\"syntactic_ns\":%llu,\"z3_ns\":%llu,"
+      "\"total_ns\":%llu}",
+      static_cast<unsigned long long>(S.Queries),
+      static_cast<unsigned long long>(S.TrivialAnswers),
+      static_cast<unsigned long long>(S.CacheLookups),
+      static_cast<unsigned long long>(S.CacheHits),
+      static_cast<unsigned long long>(S.SliceCacheLookups),
+      static_cast<unsigned long long>(S.SliceCacheHits), S.cacheHitRate(),
+      static_cast<unsigned long long>(S.SlicedQueries),
+      static_cast<unsigned long long>(S.Slices),
+      static_cast<unsigned long long>(S.SyntacticUnsat),
+      static_cast<unsigned long long>(S.SyntacticSat),
+      static_cast<unsigned long long>(S.Z3Calls),
+      static_cast<unsigned long long>(S.Sat),
+      static_cast<unsigned long long>(S.Unsat),
+      static_cast<unsigned long long>(S.Unknown),
+      static_cast<unsigned long long>(S.SliceNs),
+      static_cast<unsigned long long>(S.CanonNs),
+      static_cast<unsigned long long>(S.SyntacticNs),
+      static_cast<unsigned long long>(S.Z3Ns),
+      static_cast<unsigned long long>(S.TotalNs));
+  return Buf;
+}
+
+SatResult Solver::solveLayers(const PathCondition &PC) {
   SatResult R = SatResult::Unknown;
   if (Opts.UseSyntactic) {
+    ScopedTimer T(Stats.SyntacticNs);
     R = checkSatSyntactic(PC);
     if (R == SatResult::Unsat)
       ++Stats.SyntacticUnsat;
@@ -48,6 +138,7 @@ SatResult Solver::checkSat(const PathCondition &PC) {
     }
   }
   if (R == SatResult::Unknown && Opts.UseZ3 && z3Available()) {
+    ScopedTimer T(Stats.Z3Ns);
     ++Stats.Z3Calls;
     TypeEnv Types;
     if (!inferTypes(PC.conjuncts(), Types)) {
@@ -56,23 +147,103 @@ SatResult Solver::checkSat(const PathCondition &PC) {
       R = checkSatZ3(PC, Types, /*WantModel=*/false).Verdict;
     }
   }
+  return R;
+}
+
+SatResult Solver::solveSlice(const PathCondition &Slice) {
+  if (Opts.UseCache) {
+    ++Stats.SliceCacheLookups;
+    auto It = Cache.find(Slice);
+    if (It != Cache.end()) {
+      ++Stats.SliceCacheHits;
+      return It->second;
+    }
+  }
+  SatResult R = solveLayers(Slice);
+  if (Opts.UseCache && R != SatResult::Unknown)
+    Cache.emplace(Slice, R);
+  return R;
+}
+
+SatResult Solver::checkSatSliced(const PathCondition &PC) {
+  std::vector<std::vector<Expr>> Groups;
+  {
+    ScopedTimer T(Stats.SliceNs);
+    Groups = sliceConjunctsByVars(PC);
+  }
+  if (Groups.size() <= 1)
+    return solveLayers(PC); // one component: slicing buys nothing
+  ++Stats.SlicedQueries;
+  Stats.Slices += Groups.size();
+
+  std::vector<PathCondition> Slices;
+  {
+    ScopedTimer T(Stats.CanonNs);
+    Slices.reserve(Groups.size());
+    for (std::vector<Expr> &G : Groups)
+      Slices.push_back(PathCondition::fromSortedConjuncts(std::move(G)));
+  }
+
+  // Slices are variable-disjoint: any Unsat slice refutes the whole
+  // condition, and the condition is Sat only when every slice is.
+  bool AllSat = true;
+  for (const PathCondition &S : Slices) {
+    SatResult R = solveSlice(S);
+    if (R == SatResult::Unsat)
+      return SatResult::Unsat;
+    if (R != SatResult::Sat)
+      AllSat = false;
+  }
+  return AllSat ? SatResult::Sat : SatResult::Unknown;
+}
+
+SatResult Solver::checkSat(const PathCondition &PC) {
+  ScopedTimer Total(Stats.TotalNs);
+  ++Stats.Queries;
+  if (PC.isTriviallyFalse()) {
+    ++Stats.TrivialAnswers;
+    ++Stats.Unsat;
+    return SatResult::Unsat;
+  }
+  if (PC.empty()) {
+    ++Stats.TrivialAnswers;
+    ++Stats.Sat;
+    return SatResult::Sat;
+  }
+
+  if (Opts.UseCache) {
+    ++Stats.CacheLookups;
+    auto It = Cache.find(PC);
+    if (It != Cache.end()) {
+      ++Stats.CacheHits;
+      return It->second;
+    }
+  }
+
+  SatResult R = Opts.UseSlicing && PC.size() > 1 ? checkSatSliced(PC)
+                                                 : solveLayers(PC);
 
   switch (R) {
   case SatResult::Sat: ++Stats.Sat; break;
   case SatResult::Unsat: ++Stats.Unsat; break;
   case SatResult::Unknown: ++Stats.Unknown; break;
   }
-  if (Opts.UseCache)
+  // Cache only decided verdicts: a cached Unknown would permanently
+  // poison a query that a later attempt (e.g. with Z3 available, or via a
+  // verified syntactic model) could decide.
+  if (Opts.UseCache && R != SatResult::Unknown)
     Cache.emplace(PC, R);
   return R;
 }
 
 std::optional<Model> Solver::verifiedModel(const PathCondition &PC) {
+  ScopedTimer Total(Stats.TotalNs);
   if (PC.isTriviallyFalse())
     return std::nullopt;
 
   // First try the cheap syntactic proposal.
   if (Opts.UseSyntactic) {
+    ScopedTimer T(Stats.SyntacticNs);
     if (auto M = proposeModelSyntactic(PC)) {
       ++Stats.ModelsProposed;
       if (M->satisfies(PC)) {
@@ -82,6 +253,7 @@ std::optional<Model> Solver::verifiedModel(const PathCondition &PC) {
     }
   }
   if (Opts.UseZ3 && z3Available()) {
+    ScopedTimer T(Stats.Z3Ns);
     TypeEnv Types;
     if (!inferTypes(PC.conjuncts(), Types))
       return std::nullopt;

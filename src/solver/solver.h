@@ -7,10 +7,21 @@
 /// \file
 /// The first-order solver behind the symbolic engine's SAT checks (the
 /// "π ∧ π' SAT" side conditions of Def 2.6 and the action rules). It is
-/// layered — simplification happens upstream, then result cache, then the
-/// syntactic core, then Z3 — and every layer can be disabled to reproduce
-/// the JaVerT 2.0 baseline configuration ("better simplifications and
-/// better caching of results", §4.1).
+/// layered — simplification happens upstream, then the result cache, then
+/// independence slicing, then the syntactic core, then Z3 — and every
+/// layer can be disabled to reproduce the JaVerT 2.0 baseline
+/// configuration ("better simplifications and better caching of results",
+/// §4.1).
+///
+/// Caching is built on the *canonical form* of path conditions (sorted,
+/// deduplicated conjuncts), so cache keys are insertion-order-insensitive.
+/// On a cache miss the query is sliced into variable-connected components;
+/// each slice is answered from the cache or the syntactic core on its own,
+/// and only undecided slices pay a Z3 round-trip. A superset query whose
+/// new conjuncts touch fresh variables — the common shape along a symbolic
+/// path — then costs one small slice instead of a full re-solve. Only
+/// Sat/Unsat verdicts are cached: Unknown is retriable (a later identical
+/// query may be decided once Z3 or a verified syntactic model succeeds).
 ///
 /// Unknown is treated as possibly-satisfiable by the engine (sound for
 /// bounded symbolic testing: it keeps paths alive). Bug reports are gated
@@ -27,6 +38,7 @@
 #include "solver/syntactic.h"
 
 #include <optional>
+#include <string>
 #include <unordered_map>
 
 namespace gillian {
@@ -35,29 +47,72 @@ struct SolverOptions {
   bool UseCache = true;
   bool UseSyntactic = true;
   bool UseZ3 = true;
+  /// Partition queries into variable-disjoint slices answered (and cached)
+  /// independently. Sound because slices share no logical variables: the
+  /// conjunction is Unsat iff a slice is, and Sat when every slice is.
+  bool UseSlicing = true;
 
-  /// The paper's baseline configuration: no result caching (JaVerT 2.0
-  /// had its own first-order layer, so the syntactic core stays on — the
-  /// improvements §4.1 credits are "better simplifications and better
-  /// caching of results").
+  /// The paper's baseline configuration: no result caching and no slicing
+  /// (JaVerT 2.0 had its own first-order layer, so the syntactic core
+  /// stays on — the improvements §4.1 credits are "better simplifications
+  /// and better caching of results").
   static SolverOptions legacyJaVerT2() {
     SolverOptions O;
     O.UseCache = false;
+    O.UseSlicing = false;
     return O;
   }
 };
 
+/// Per-layer decision counts and wall-times of one Solver. Wall-times are
+/// nanoseconds of std::chrono::steady_clock.
 struct SolverStats {
   uint64_t Queries = 0;
   uint64_t TrivialAnswers = 0;   ///< empty / trivially-false conditions
-  uint64_t CacheHits = 0;
+
+  // Cache layer (canonical full-query keys and per-slice keys).
+  uint64_t CacheLookups = 0;
+  uint64_t CacheHits = 0;        ///< full-query canonical-key hits
+  uint64_t SliceCacheLookups = 0;
+  uint64_t SliceCacheHits = 0;   ///< per-slice canonical-key hits
+
+  // Slicing layer.
+  uint64_t SlicedQueries = 0;    ///< queries split into >= 2 slices
+  uint64_t Slices = 0;           ///< total slices examined
+
+  // Syntactic core and SMT layers.
   uint64_t SyntacticUnsat = 0;
   uint64_t SyntacticSat = 0; ///< decided by verified syntactic models
   uint64_t Z3Calls = 0;
+
   uint64_t Sat = 0, Unsat = 0, Unknown = 0;
   uint64_t ModelsProposed = 0;
   uint64_t ModelsVerified = 0;
+
+  // Per-layer wall-time (ns).
+  uint64_t SliceNs = 0;     ///< variable-connected-component partitioning
+  uint64_t CanonNs = 0;     ///< canonical slice-key construction
+  uint64_t SyntacticNs = 0; ///< syntactic core + model propose/verify
+  uint64_t Z3Ns = 0;        ///< SMT round-trips (checkSat + models)
+  uint64_t TotalNs = 0;     ///< total wall-time inside the solver
+
+  /// Fraction of cache lookups (full-query and slice) answered from the
+  /// cache; 0 when no lookup happened.
+  double cacheHitRate() const {
+    uint64_t Lookups = CacheLookups + SliceCacheLookups;
+    return Lookups ? static_cast<double>(CacheHits + SliceCacheHits) /
+                         static_cast<double>(Lookups)
+                   : 0.0;
+  }
+
+  SolverStats &operator+=(const SolverStats &O);
+  /// Counter-wise delta (for before/after snapshots around one test).
+  SolverStats operator-(const SolverStats &O) const;
 };
+
+/// Renders \p S as a JSON object (single line, no trailing newline) for
+/// the bench harness output; includes the derived cache_hit_rate.
+std::string solverStatsJson(const SolverStats &S);
 
 /// A stateful (caching) satisfiability oracle for path conditions.
 class Solver {
@@ -65,7 +120,7 @@ public:
   explicit Solver(SolverOptions Opts = SolverOptions()) : Opts(Opts) {}
 
   /// Is \p PC satisfiable? Unknown means "could not decide" and is treated
-  /// as possibly-Sat by the engine.
+  /// as possibly-Sat by the engine. Unknown verdicts are never cached.
   SatResult checkSat(const PathCondition &PC);
 
   /// True unless \p PC is *provably* unsatisfiable — the engine's branch
@@ -84,8 +139,17 @@ public:
   const SolverOptions &options() const { return Opts; }
 
 private:
+  /// The syntactic-core + Z3 pipeline on one (sub-)condition; no caching.
+  SatResult solveLayers(const PathCondition &PC);
+  /// One slice: per-slice cache, then solveLayers; caches Sat/Unsat.
+  SatResult solveSlice(const PathCondition &Slice);
+  /// Partition into variable-disjoint slices and combine slice verdicts.
+  SatResult checkSatSliced(const PathCondition &PC);
+
   SolverOptions Opts;
   SolverStats Stats;
+  /// Canonical-key result cache shared by full queries and slices (slices
+  /// are path conditions themselves). Never stores Unknown.
   std::unordered_map<PathCondition, SatResult> Cache;
 };
 

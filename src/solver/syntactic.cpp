@@ -3,6 +3,8 @@
 #include "solver/syntactic.h"
 
 #include <limits>
+#include <map>
+#include <set>
 #include <unordered_map>
 
 using namespace gillian;
@@ -384,6 +386,58 @@ struct Analysis {
 };
 
 } // namespace
+
+std::vector<std::vector<Expr>>
+gillian::sliceConjunctsByVars(const PathCondition &PC) {
+  const std::vector<Expr> &Cs = PC.conjuncts();
+  const size_t N = Cs.size();
+  std::vector<int> Parent(N);
+  for (size_t I = 0; I != N; ++I)
+    Parent[I] = static_cast<int>(I);
+  auto find = [&Parent](int X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  };
+  auto unite = [&](int A, int B) { Parent[find(B)] = find(A); };
+
+  // Conjuncts sharing a logical variable join the variable owner's group;
+  // ground conjuncts (no LVars) pool into a single group.
+  std::map<InternedString, int> OwnerOfVar;
+  int GroundOwner = -1;
+  std::set<InternedString> Vars;
+  for (size_t I = 0; I != N; ++I) {
+    Vars.clear();
+    Cs[I].collectLVars(Vars);
+    if (Vars.empty()) {
+      if (GroundOwner < 0)
+        GroundOwner = static_cast<int>(I);
+      else
+        unite(GroundOwner, static_cast<int>(I));
+      continue;
+    }
+    for (InternedString V : Vars) {
+      auto [It, Fresh] = OwnerOfVar.emplace(V, static_cast<int>(I));
+      if (!Fresh)
+        unite(It->second, static_cast<int>(I));
+    }
+  }
+
+  // Emit groups ordered by their first conjunct; within a group the
+  // canonical conjunct order of PC is preserved.
+  std::map<int, size_t> GroupOfRoot;
+  std::vector<std::vector<Expr>> Groups;
+  for (size_t I = 0; I != N; ++I) {
+    int R = find(static_cast<int>(I));
+    auto [It, Fresh] = GroupOfRoot.emplace(R, Groups.size());
+    if (Fresh)
+      Groups.emplace_back();
+    Groups[It->second].push_back(Cs[I]);
+  }
+  return Groups;
+}
 
 SatResult gillian::checkSatSyntactic(const PathCondition &PC) {
   if (PC.empty())

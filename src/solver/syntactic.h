@@ -28,6 +28,7 @@
 #include "solver/type_infer.h"
 
 #include <optional>
+#include <vector>
 
 namespace gillian {
 
@@ -48,6 +49,19 @@ SatResult checkSatSyntactic(const PathCondition &PC);
 /// *candidate*: callers must verify it with Model::satisfies before use.
 /// Returns nullopt when the analysis found a contradiction.
 std::optional<Model> proposeModelSyntactic(const PathCondition &PC);
+
+/// Partitions the conjuncts of \p PC into variable-connected components
+/// (union-find over free logical variables): two conjuncts land in the
+/// same group iff they are linked by a chain of shared logical variables.
+/// Conjuncts mentioning no logical variable are gathered into one ground
+/// group. Groups preserve the canonical conjunct order of \p PC, so each
+/// group is itself a canonical (sorted, deduplicated) conjunct list.
+///
+/// Because groups share no logical variables, they are independently
+/// satisfiable: the conjunction is Unsat iff some group is Unsat, and Sat
+/// if every group is Sat — the property the solver's slicing cache layer
+/// relies on.
+std::vector<std::vector<Expr>> sliceConjunctsByVars(const PathCondition &PC);
 
 } // namespace gillian
 

@@ -29,6 +29,8 @@ struct SuiteResult {
   uint64_t PathsExplored = 0;
   uint64_t BoundedPaths = 0;
   std::vector<BugReport> Bugs;
+  ExecStats Exec;     ///< aggregated engine counters (incl. solver time)
+  SolverStats Solver; ///< the suite solver's per-layer counts and times
 
   bool clean() const { return Bugs.empty(); }
 };
@@ -59,11 +61,13 @@ SuiteResult runSuite(std::string_view Name, const Prog &P,
     R.PathsExplored += TR.Stats.PathsFinished + TR.Stats.PathsErrored +
                        TR.Stats.PathsVanished;
     R.BoundedPaths += TR.PathsBounded;
+    R.Exec += TR.Stats;
     for (BugReport &B : TR.Bugs) {
       B.Message = T + ": " + B.Message;
       R.Bugs.push_back(std::move(B));
     }
   }
+  R.Solver = Slv.stats();
   return R;
 }
 

@@ -1,0 +1,260 @@
+//===- tests/solver/cache_slicing_test.cpp --------------------------------===//
+//
+// Property tests for the canonical (order-insensitive) path-condition form
+// and the solver's independence-slicing cache layer, plus the solver-layer
+// ablation: the legacy JaVerT 2.0 configuration and the default must agree
+// on every verdict of a shared query corpus while the default banks
+// strictly more cache hits.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/solver.h"
+
+#include "gil/parser.h"
+#include "solver/simplifier.h"
+#include "solver/z3_backend.h"
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+using namespace gillian;
+
+namespace {
+
+Expr parse(const char *S) {
+  Result<Expr> R = parseGilExpr(S);
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.error());
+  return simplify(*R);
+}
+
+PathCondition pcOf(const std::vector<Expr> &Conjuncts) {
+  PathCondition P;
+  for (const Expr &E : Conjuncts)
+    P.add(E);
+  return P;
+}
+
+/// Fisher-Yates with the repo's deterministic splitmix64 RNG.
+void shuffle(std::vector<Expr> &V, Rng &R) {
+  for (size_t I = V.size(); I > 1; --I)
+    std::swap(V[I - 1], V[R.below(I)]);
+}
+
+} // namespace
+
+TEST(CanonicalForm, PermutedInsertionOrdersCompareEqual) {
+  std::vector<Expr> Conjuncts;
+  for (int I = 0; I < 12; ++I) {
+    std::string V = "#p" + std::to_string(I);
+    Conjuncts.push_back(parse(("typeof(" + V + ") == ^Int").c_str()));
+    Conjuncts.push_back(parse((V + " < " + std::to_string(I + 50)).c_str()));
+  }
+  PathCondition Base = pcOf(Conjuncts);
+  Rng R(0xC0FFEEull);
+  for (int Round = 0; Round < 32; ++Round) {
+    shuffle(Conjuncts, R);
+    PathCondition Permuted = pcOf(Conjuncts);
+    ASSERT_EQ(Base, Permuted) << "round " << Round;
+    ASSERT_EQ(Base.hash(), Permuted.hash()) << "round " << Round;
+    ASSERT_TRUE(Base.contains(Permuted) && Permuted.contains(Base));
+  }
+}
+
+TEST(CanonicalForm, PermutedInsertionOrdersAreCacheHits) {
+  std::vector<Expr> Conjuncts = {
+      parse("typeof(#x) == ^Int"), parse("typeof(#y) == ^Int"),
+      parse("0 <= #x"),            parse("#x < 32"),
+      parse("#y == 5"),            parse("!(#x == 7)"),
+  };
+  Solver S;
+  SatResult Expected = S.checkSat(pcOf(Conjuncts));
+  Rng R(0xDECAFull);
+  for (int Round = 0; Round < 16; ++Round) {
+    shuffle(Conjuncts, R);
+    uint64_t Hits = S.stats().CacheHits;
+    EXPECT_EQ(S.checkSat(pcOf(Conjuncts)), Expected);
+    EXPECT_EQ(S.stats().CacheHits, Hits + 1)
+        << "permutation " << Round << " must hit the canonical cache";
+  }
+  EXPECT_EQ(S.stats().Queries, 17u);
+}
+
+TEST(Slicing, PartitionsByVariableConnectedComponents) {
+  PathCondition P;
+  P.add(parse("typeof(#a) == ^Int"));
+  P.add(parse("#a < #b"));              // links #a and #b
+  P.add(parse("typeof(#c) == ^Int"));   // separate component
+  P.add(parse("#c == 9"));
+  P.add(parse("typeof(#d) == ^Bool"));  // third component
+  auto Groups = sliceConjunctsByVars(P);
+  ASSERT_EQ(Groups.size(), 3u);
+  size_t Total = 0;
+  for (const auto &G : Groups) {
+    Total += G.size();
+    // Each group's conjuncts only mention that group's variables: check
+    // pairwise disjointness of the variable sets.
+    std::set<InternedString> Vars;
+    for (const Expr &E : G)
+      E.collectLVars(Vars);
+    for (const auto &H : Groups) {
+      if (&H == &G)
+        continue;
+      std::set<InternedString> Other;
+      for (const Expr &E : H)
+        E.collectLVars(Other);
+      for (InternedString V : Vars)
+        EXPECT_EQ(Other.count(V), 0u) << "slices must be variable-disjoint";
+    }
+  }
+  EXPECT_EQ(Total, P.size());
+}
+
+TEST(Slicing, GroundConjunctsPoolIntoOneSlice) {
+  // Opaque variable-free conjuncts (they survive simplification only when
+  // not foldable) all land in one ground group.
+  PathCondition P;
+  P.add(Expr::eq(Expr::typeOf(Expr::lit(Value::symV("$a"))),
+                 Expr::lit(Value::typeV(GilType::Sym))));
+  P.add(Expr::eq(Expr::typeOf(Expr::lit(Value::symV("$b"))),
+                 Expr::lit(Value::typeV(GilType::Sym))));
+  P.add(parse("typeof(#x) == ^Int"));
+  auto Groups = sliceConjunctsByVars(P);
+  EXPECT_EQ(Groups.size(), 2u) << "two ground conjuncts pool together";
+}
+
+TEST(Slicing, SupersetQueryOnlySolvesTheNewSlice) {
+  // The common shape along a symbolic path: each step conjoins constraints
+  // on fresh variables. With slicing, step k re-uses the k-1 cached slices
+  // and only solves the new one.
+  Solver S;
+  PathCondition P;
+  for (int I = 0; I < 6; ++I) {
+    std::string V = "#v" + std::to_string(I);
+    P.add(parse(("typeof(" + V + ") == ^Int").c_str()));
+    P.add(parse(("0 <= " + V).c_str()));
+    SatResult R = S.checkSat(P);
+    EXPECT_EQ(R, SatResult::Sat);
+    if (I > 0) {
+      // All but the freshest slice must come from the cache.
+      const SolverStats &St = S.stats();
+      EXPECT_GE(St.SliceCacheHits, static_cast<uint64_t>(I))
+          << "step " << I << " should reuse previously decided slices";
+    }
+  }
+  // A full repeat of the final query is a single whole-key hit.
+  uint64_t Hits = S.stats().CacheHits;
+  EXPECT_EQ(S.checkSat(P), SatResult::Sat);
+  EXPECT_EQ(S.stats().CacheHits, Hits + 1);
+}
+
+TEST(Slicing, UnsatSliceRefutesTheWholeCondition) {
+  Solver S;
+  PathCondition P;
+  P.add(parse("typeof(#a) == ^Int"));
+  P.add(parse("0 <= #a"));
+  P.add(parse("#b == 1"));
+  P.add(parse("#b == 2")); // this slice is unsat
+  P.add(parse("typeof(#c) == ^Str"));
+  EXPECT_EQ(S.checkSat(P), SatResult::Unsat);
+  EXPECT_GE(S.stats().SyntacticUnsat, 1u);
+  EXPECT_EQ(S.stats().Z3Calls, 0u)
+      << "slice-level syntactic refutation must not consult Z3";
+}
+
+TEST(Slicing, DisabledSlicingStillDecidesIdentically) {
+  SolverOptions NoSlice;
+  NoSlice.UseSlicing = false;
+  Solver A, B(NoSlice);
+  std::vector<PathCondition> Corpus;
+  {
+    PathCondition P;
+    P.add(parse("typeof(#a) == ^Int"));
+    P.add(parse("#a == 3"));
+    P.add(parse("typeof(#b) == ^Int"));
+    P.add(parse("#b == 4"));
+    Corpus.push_back(P);
+    P.add(parse("#a == #b")); // joins the slices; unsat
+    Corpus.push_back(P);
+  }
+  for (const PathCondition &P : Corpus)
+    EXPECT_EQ(A.checkSat(P), B.checkSat(P));
+  EXPECT_GT(A.stats().Slices, 0u);
+  EXPECT_EQ(B.stats().Slices, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Solver-layer ablation: shared corpus, identical verdicts, more hits.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A corpus shaped like a symbolic run: repeated queries, permuted branch
+/// orders, and growing supersets over fresh variables.
+std::vector<PathCondition> sharedCorpus() {
+  std::vector<PathCondition> Corpus;
+
+  // Growing path over independent variables (the superset shape).
+  PathCondition Grow;
+  for (int I = 0; I < 5; ++I) {
+    std::string V = "#g" + std::to_string(I);
+    Grow.add(parse(("typeof(" + V + ") == ^Int").c_str()));
+    Grow.add(parse((V + " < 100").c_str()));
+    Corpus.push_back(Grow);
+  }
+
+  // The same constraint set in two branch orders.
+  std::vector<Expr> Set = {
+      parse("typeof(#x) == ^Int"), parse("0 <= #x"), parse("#x < 10"),
+      parse("typeof(#y) == ^Int"), parse("#y == #x + 1")};
+  Corpus.push_back(pcOf(Set));
+  std::reverse(Set.begin(), Set.end());
+  Corpus.push_back(pcOf(Set));
+
+  // Unsat variants (decided syntactically or by Z3).
+  {
+    PathCondition P = pcOf(Set);
+    P.add(parse("#x == 11"));
+    Corpus.push_back(P);
+    Corpus.push_back(P); // exact repeat
+  }
+
+  // Independent unsat slice inside an otherwise-sat condition.
+  {
+    PathCondition P;
+    P.add(parse("typeof(#p) == ^Int"));
+    P.add(parse("#p == 1"));
+    P.add(parse("#q == 1"));
+    P.add(parse("#q == 2"));
+    Corpus.push_back(P);
+  }
+  return Corpus;
+}
+
+} // namespace
+
+TEST(SolverAblation, LegacyAndDefaultAgreeWhileDefaultCachesMore) {
+  Solver Default;
+  Solver Legacy(SolverOptions::legacyJaVerT2());
+  std::vector<PathCondition> Corpus = sharedCorpus();
+  // Replay the corpus twice, as suite re-runs do.
+  for (int Round = 0; Round < 2; ++Round)
+    for (const PathCondition &P : Corpus) {
+      SatResult RD = Default.checkSat(P);
+      SatResult RL = Legacy.checkSat(P);
+      EXPECT_EQ(RD, RL) << "ablation must not change verdicts on: "
+                        << P.toString();
+    }
+  uint64_t DefaultHits =
+      Default.stats().CacheHits + Default.stats().SliceCacheHits;
+  uint64_t LegacyHits =
+      Legacy.stats().CacheHits + Legacy.stats().SliceCacheHits;
+  EXPECT_GT(DefaultHits, LegacyHits)
+      << "the canonical slicing cache must bank strictly more hits";
+  EXPECT_EQ(LegacyHits, 0u);
+  // No verdict ever came from a cached Unknown: decided counts dominate.
+  EXPECT_EQ(Default.stats().Unknown, Legacy.stats().Unknown);
+}

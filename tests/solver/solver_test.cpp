@@ -50,6 +50,44 @@ TEST(PathConditionT, ContainsIsRestrictionOrder) {
   EXPECT_TRUE(Weak.contains(PathCondition()));
 }
 
+TEST(PathConditionT, EqualityAndHashAreOrderInsensitive) {
+  PathCondition A = pc({"typeof(#x) == ^Int", "0 <= #x", "#x < 9"});
+  PathCondition B = pc({"#x < 9", "typeof(#x) == ^Int", "0 <= #x"});
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+  EXPECT_EQ(A.toString(), B.toString()) << "canonical rendering";
+  // Supersets still differ.
+  PathCondition C = B;
+  C.add(parseGilExpr("#y == 1").take());
+  EXPECT_FALSE(A == C);
+}
+
+TEST(PathConditionT, ConjunctsAreCanonicallySorted) {
+  PathCondition A = pc({"#b == 2", "#a == 1", "#c == 3"});
+  PathCondition B = pc({"#c == 3", "#b == 2", "#a == 1"});
+  ASSERT_EQ(A.size(), 3u);
+  EXPECT_EQ(A.conjuncts(), B.conjuncts());
+  ExprOrdering Less;
+  for (size_t I = 1; I < A.size(); ++I)
+    EXPECT_FALSE(Less(A.conjuncts()[I], A.conjuncts()[I - 1]));
+}
+
+TEST(PathConditionT, ContainsOnLargePermutedSets) {
+  // The sorted canonical form makes containment a merge-walk; check it
+  // against permuted insertion orders and strict sub/supersets.
+  std::vector<std::string> Conjs;
+  for (int I = 0; I < 40; ++I)
+    Conjs.push_back("#v" + std::to_string(I) + " < " + std::to_string(I));
+  PathCondition Full, Sub;
+  for (int I = 39; I >= 0; --I)
+    Full.add(parseGilExpr(Conjs[static_cast<size_t>(I)].c_str()).take());
+  for (int I = 0; I < 40; I += 2)
+    Sub.add(parseGilExpr(Conjs[static_cast<size_t>(I)].c_str()).take());
+  EXPECT_TRUE(Full.contains(Sub));
+  EXPECT_FALSE(Sub.contains(Full));
+  EXPECT_TRUE(Full.contains(Full));
+}
+
 TEST(SolverFacade, TrivialAnswers) {
   Solver S;
   EXPECT_EQ(S.checkSat(PathCondition()), SatResult::Sat);
@@ -81,6 +119,66 @@ TEST(SolverFacade, CacheDisabledInLegacyConfig) {
   S.checkSat(P);
   S.checkSat(P);
   EXPECT_EQ(S.stats().CacheHits, 0u);
+  EXPECT_EQ(S.stats().SliceCacheHits, 0u);
+}
+
+TEST(SolverFacade, PermutedConjunctOrderIsACacheHit) {
+  // The seed cache keyed on the insertion-ordered conjunct vector, so the
+  // same constraint set reached via two branch orders missed. Canonical
+  // keys make it hit.
+  Solver S;
+  PathCondition Fwd = pc({"typeof(#x) == ^Int", "0 <= #x", "#x < 3"});
+  PathCondition Rev = pc({"#x < 3", "0 <= #x", "typeof(#x) == ^Int"});
+  SatResult R1 = S.checkSat(Fwd);
+  uint64_t HitsBefore = S.stats().CacheHits;
+  SatResult R2 = S.checkSat(Rev);
+  EXPECT_EQ(R1, R2);
+  EXPECT_EQ(S.stats().CacheHits, HitsBefore + 1)
+      << "permuted insertion order must share the canonical cache entry";
+}
+
+TEST(SolverFacade, UnknownIsNeverCached) {
+  // Regression: the seed permanently cached Unknown, so a query the
+  // syntactic core punted on was never retried even when a stronger
+  // backend could decide it. With Z3 off, "#x * 2 == 7" stays Unknown
+  // (opaque product term; proposed models fail verification) — but it
+  // must be *recomputed*, not served from the cache.
+  SolverOptions NoZ3;
+  NoZ3.UseZ3 = false;
+  Solver S(NoZ3);
+  PathCondition P =
+      pc({"typeof(#x) == ^Int", "0 <= #x", "#x <= 10", "#x * 2 == 7"});
+  EXPECT_EQ(S.checkSat(P), SatResult::Unknown);
+  EXPECT_EQ(S.checkSat(P), SatResult::Unknown);
+  EXPECT_EQ(S.stats().Queries, 2u);
+  EXPECT_EQ(S.stats().CacheHits, 0u) << "Unknown must not be cached";
+  EXPECT_EQ(S.stats().SliceCacheHits, 0u) << "not even at slice level";
+  EXPECT_EQ(S.stats().Unknown, 2u) << "second query re-ran the layers";
+
+  // The identical query on a Z3-backed solver decides Unsat — the verdict
+  // a poisoned cache would have masked forever.
+  if (z3Available()) {
+    Solver Full;
+    EXPECT_EQ(Full.checkSat(P), SatResult::Unsat);
+  }
+}
+
+TEST(SolverFacade, DecidedSliceIsCachedNextToUnknownSlice) {
+  // In a sliced query with one undecidable and one decidable component,
+  // the decidable slice's verdict is banked even though the whole query
+  // stays Unknown (and is itself not cached).
+  SolverOptions NoZ3;
+  NoZ3.UseZ3 = false;
+  Solver S(NoZ3);
+  PathCondition P = pc({"typeof(#x) == ^Int", "0 <= #x", "#x <= 10",
+                        "#x * 2 == 7", "typeof(#y) == ^Int", "#y == 4"});
+  EXPECT_EQ(S.checkSat(P), SatResult::Unknown);
+  uint64_t SliceHits = S.stats().SliceCacheHits;
+  EXPECT_EQ(S.checkSat(P), SatResult::Unknown);
+  EXPECT_GT(S.stats().SliceCacheHits, SliceHits)
+      << "the #y slice (Sat) must be answered from the slice cache";
+  EXPECT_EQ(S.stats().CacheHits, 0u)
+      << "the Unknown whole-query verdict must not be cached";
 }
 
 TEST(SolverFacade, VerifiedModelSatisfiesPC) {
