@@ -12,6 +12,7 @@
 #include "mjs/compiler.h"
 #include "mjs/memory.h"
 #include "solver/simplifier.h"
+#include "solver/solver_cache.h"
 #include "targets/buckets_mjs.h"
 #include "targets/suite_runner.h"
 
@@ -90,6 +91,12 @@ int main() {
        }},
       {"legacy JaVerT 2.0",
        [] { return EngineOptions::legacyJaVerT2(); }},
+      {"parallel x4",
+       [] {
+         EngineOptions O;
+         O.Scheduler.Workers = 4;
+         return O;
+       }},
   };
 
   std::printf("Engine ablation on the full Buckets workload "
@@ -99,7 +106,10 @@ int main() {
   double Base = 0;
   std::string ConfigsJson;
   for (const Config &C : Configs) {
+    // Cold caches per configuration: runSuite feeds the process-wide
+    // solver cache, which would otherwise warm every later row.
     resetSimplifyCache();
+    SolverCache::process().clear();
     RunResult R = runAll(C.Make());
     if (Base == 0)
       Base = R.Seconds;

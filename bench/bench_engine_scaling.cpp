@@ -8,11 +8,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "engine/test_runner.h"
+#include "solver/simplifier.h"
 #include "while_lang/compiler.h"
 #include "while_lang/memory.h"
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <string>
 
 using namespace gillian;
@@ -55,12 +58,13 @@ std::string deadCodeProgram(int L) {
   return Src;
 }
 
-SymbolicTestResult runProgram(const std::string &Src) {
+SymbolicTestResult runProgram(const std::string &Src, uint32_t Workers = 1) {
   Result<Prog> P = compileWhileSource(Src);
   if (!P)
     std::abort();
   EngineOptions Opts;
   Opts.LoopBound = 64;
+  Opts.Scheduler.Workers = Workers;
   Solver Slv(Opts.Solver);
   SymbolicTestResult R = runSymbolicTest<WhileSMem>(*P, "main", Opts, Slv);
   if (!R.ok())
@@ -113,4 +117,58 @@ static void BM_DeadCodeIsFree(benchmark::State &State) {
 }
 BENCHMARK(BM_DeadCodeIsFree)->RangeMultiplier(4)->Range(1, 256);
 
-BENCHMARK_MAIN();
+static void BM_ParallelDiamond(benchmark::State &State) {
+  // The 256-path diamond on the work-stealing scheduler at 1/2/4/8
+  // workers; speedup over the workers=1 row tracks core count.
+  std::string Src = diamondProgram(8);
+  SymbolicTestResult Last;
+  for (auto _ : State)
+    Last = runProgram(Src, static_cast<uint32_t>(State.range(0)));
+  State.SetLabel(std::to_string(State.range(0)) + " workers");
+  setSolverCounters(State, Last);
+}
+BENCHMARK(BM_ParallelDiamond)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+// After the google-benchmark report, sweep the worker count over a fixed
+// 1024-path workload and emit one machine-readable JSON line with the
+// per-count wall time and cache hit rate (for CI scaling dashboards).
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::string Src = diamondProgram(10);
+  std::string SweepJson;
+  double BaseSec = 0;
+  for (uint32_t Workers : {1u, 2u, 4u, 8u}) {
+    resetSimplifyCache(); // cold per count: same starting state for all
+    auto T0 = std::chrono::steady_clock::now();
+    SymbolicTestResult R = runProgram(Src, Workers);
+    double Sec = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - T0)
+                     .count();
+    if (Workers == 1)
+      BaseSec = Sec;
+    char Buf[192];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"workers\":%u,\"time_s\":%.6f,\"speedup\":%.3f,"
+                  "\"cache_hit_rate\":%.4f,\"solver_queries\":%llu}",
+                  Workers, Sec, Sec > 0 ? BaseSec / Sec : 0.0,
+                  R.Solver.cacheHitRate(),
+                  static_cast<unsigned long long>(R.Solver.Queries));
+    if (!SweepJson.empty())
+      SweepJson += ",";
+    SweepJson += Buf;
+  }
+  std::printf("\n{\"bench\":\"engine_scaling\",\"workload\":\"diamond_10\","
+              "\"paths\":1024,\"worker_sweep\":[%s]}\n",
+              SweepJson.c_str());
+  return 0;
+}

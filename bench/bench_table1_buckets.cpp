@@ -20,6 +20,7 @@
 #include "mjs/compiler.h"
 #include "mjs/memory.h"
 #include "solver/simplifier.h"
+#include "solver/solver_cache.h"
 #include "targets/buckets_mjs.h"
 #include "targets/suite_runner.h"
 
@@ -39,10 +40,23 @@ struct Row {
   uint64_t GilCmds = 0;
   double TimeJ2 = 0;
   double TimeGjs = 0;
+  double TimePar = 0; ///< Gillian configuration, 4 exploration workers
   uint64_t Bugs = 0;
   SolverStats SolverJ2;
   SolverStats SolverGjs;
+  SolverStats SolverPar;
 };
+
+/// Worker count of the parallel configuration (the acceptance target is a
+/// 4-core runner).
+constexpr uint32_t ParWorkers = 4;
+
+/// runSuite answers from the process-wide shared solver cache; each timed
+/// configuration must start cold or the earlier one warms it.
+void coldStart() {
+  resetSimplifyCache();
+  SolverCache::process().clear();
+}
 
 double seconds(std::chrono::steady_clock::time_point From) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -51,15 +65,17 @@ double seconds(std::chrono::steady_clock::time_point From) {
 }
 
 std::string rowJson(const Row &R) {
-  char Buf[256];
+  char Buf[384];
   std::snprintf(Buf, sizeof(Buf),
                 "{\"name\":\"%s\",\"tests\":%llu,\"gil_cmds\":%llu,"
-                "\"time_j2_s\":%.6f,\"time_gjs_s\":%.6f,\"solver_j2\":",
+                "\"time_j2_s\":%.6f,\"time_gjs_s\":%.6f,"
+                "\"time_par_s\":%.6f,\"par_workers\":%u,\"solver_j2\":",
                 R.Name.c_str(), static_cast<unsigned long long>(R.Tests),
                 static_cast<unsigned long long>(R.GilCmds), R.TimeJ2,
-                R.TimeGjs);
+                R.TimeGjs, R.TimePar, ParWorkers);
   return std::string(Buf) + solverStatsJson(R.SolverJ2) +
-         ",\"solver_gjs\":" + solverStatsJson(R.SolverGjs) + "}";
+         ",\"solver_gjs\":" + solverStatsJson(R.SolverGjs) +
+         ",\"solver_par\":" + solverStatsJson(R.SolverPar) + "}";
 }
 
 } // namespace
@@ -67,8 +83,9 @@ std::string rowJson(const Row &R) {
 int main() {
   std::printf("Table 1: Buckets.js-style symbolic test suites "
               "(Gillian-JS / MJS)\n");
-  std::printf("%-8s %4s %12s %10s %10s %8s %9s\n", "Name", "#T", "GIL Cmds",
-              "Time(J2)", "Time(GJS)", "Speedup", "HitRate");
+  std::printf("%-8s %4s %12s %10s %10s %8s %10s %8s %9s\n", "Name", "#T",
+              "GIL Cmds", "Time(J2)", "Time(GJS)", "Speedup", "Time(P4)",
+              "ParSpd", "HitRate");
 
   Row Total;
   Total.Name = "Total";
@@ -87,7 +104,7 @@ int main() {
     R.Name = std::string(S.Name);
 
     // Baseline: the JaVerT 2.0 configuration.
-    resetSimplifyCache();
+    coldStart();
     EngineOptions J2 = EngineOptions::legacyJaVerT2();
     auto T0 = std::chrono::steady_clock::now();
     SuiteResult RJ2 = runSuite<MjsSMem>(S.Name, *P, J2);
@@ -95,21 +112,32 @@ int main() {
     R.SolverJ2 = RJ2.Solver;
 
     // Gillian configuration.
-    resetSimplifyCache();
+    coldStart();
     EngineOptions Gjs;
     T0 = std::chrono::steady_clock::now();
     SuiteResult RGjs = runSuite<MjsSMem>(S.Name, *P, Gjs);
     R.TimeGjs = seconds(T0);
     R.SolverGjs = RGjs.Solver;
 
+    // Gillian configuration, parallel exploration (4 workers).
+    coldStart();
+    EngineOptions Par;
+    Par.Scheduler.Workers = ParWorkers;
+    T0 = std::chrono::steady_clock::now();
+    SuiteResult RPar = runSuite<MjsSMem>(S.Name, *P, Par);
+    R.TimePar = seconds(T0);
+    R.SolverPar = RPar.Solver;
+
     R.Tests = RGjs.Tests;
     R.GilCmds = RGjs.GilCmds;
-    R.Bugs = RGjs.Bugs.size() + RJ2.Bugs.size();
+    R.Bugs = RGjs.Bugs.size() + RJ2.Bugs.size() + RPar.Bugs.size();
 
-    std::printf("%-8s %4llu %12llu %9.3fs %9.3fs %7.2fx %8.1f%%\n",
+    std::printf("%-8s %4llu %12llu %9.3fs %9.3fs %7.2fx %9.3fs %7.2fx "
+                "%8.1f%%\n",
                 R.Name.c_str(), static_cast<unsigned long long>(R.Tests),
                 static_cast<unsigned long long>(R.GilCmds), R.TimeJ2,
                 R.TimeGjs, R.TimeGjs > 0 ? R.TimeJ2 / R.TimeGjs : 0.0,
+                R.TimePar, R.TimePar > 0 ? R.TimeGjs / R.TimePar : 0.0,
                 100.0 * R.SolverGjs.cacheHitRate());
 
     if (!SuitesJson.empty())
@@ -120,15 +148,20 @@ int main() {
     Total.GilCmds += R.GilCmds;
     Total.TimeJ2 += R.TimeJ2;
     Total.TimeGjs += R.TimeGjs;
+    Total.TimePar += R.TimePar;
     Total.Bugs += R.Bugs;
     Total.SolverJ2 += R.SolverJ2;
     Total.SolverGjs += R.SolverGjs;
+    Total.SolverPar += R.SolverPar;
   }
-  std::printf("%-8s %4llu %12llu %9.3fs %9.3fs %7.2fx %8.1f%%\n", "Total",
-              static_cast<unsigned long long>(Total.Tests),
+  std::printf("%-8s %4llu %12llu %9.3fs %9.3fs %7.2fx %9.3fs %7.2fx "
+              "%8.1f%%\n",
+              "Total", static_cast<unsigned long long>(Total.Tests),
               static_cast<unsigned long long>(Total.GilCmds), Total.TimeJ2,
               Total.TimeGjs,
               Total.TimeGjs > 0 ? Total.TimeJ2 / Total.TimeGjs : 0.0,
+              Total.TimePar,
+              Total.TimePar > 0 ? Total.TimeGjs / Total.TimePar : 0.0,
               100.0 * Total.SolverGjs.cacheHitRate());
   std::printf("\nBug reports on the healthy library: %llu (expected 0 — "
               "the suite is a bounded-verification baseline, as in the "
@@ -141,7 +174,11 @@ int main() {
               "baseline removes result caching entirely, on which our "
               "engine leans harder than JaVerT 2.0 did (J2 cached inside "
               "its custom solver); see bench_ablation_engine for the "
-              "decomposition.\n");
+              "decomposition.\n"
+              "Time(P4) explores each test on a 4-worker work-stealing "
+              "pool sharing one solver cache; ParSpd = Time(GJS)/Time(P4) "
+              "tracks core count (expect ~1x on a single-core runner, "
+              ">=2x on 4 cores).\n");
   std::printf("\n{\"bench\":\"table1_buckets\",\"suites\":[%s],"
               "\"total\":%s}\n",
               SuitesJson.c_str(), rowJson(Total).c_str());

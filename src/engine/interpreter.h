@@ -10,11 +10,19 @@
 /// the template parameter is the paper's state-model parameter S, and the
 /// rules below are the transition rules p ⊢ ⟨σ, cs, i⟩ ⇝ ⟨σ', cs', j⟩^o.
 ///
-/// Exploration is a depth-first worklist over configurations; branch
-/// points (conditional gotos with both sides feasible, branching memory
-/// actions) push extra configurations. Loops unroll up to a per-frame
-/// back-jump bound; paths cut by a budget finish with the Bound outcome so
-/// the caveat surfaces in results ("bounded verification", §1).
+/// Exploration strategy is factored out of the semantics: step() executes
+/// ONE command of one configuration and reports its successors and
+/// finished paths to a caller-supplied sink. run() drives it with the
+/// classic sequential depth-first worklist; the parallel scheduler
+/// (engine/scheduler/exploration_scheduler.h) drives the same step() from
+/// a work-stealing pool — configurations after a branch are path-disjoint,
+/// so they can execute on different threads with no coordination beyond
+/// the (thread-safe) shared solver.
+///
+/// Branch points (conditional gotos with both sides feasible, branching
+/// memory actions) emit extra configurations. Loops unroll up to a
+/// per-frame back-jump bound; paths cut by a budget finish with the Bound
+/// outcome so the caveat surfaces in results ("bounded verification", §1).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -90,14 +98,30 @@ template <StateModel St> struct Frame {
 
 template <StateModel St> class Interpreter {
 public:
+  /// A configuration ⟨σ, cs, i⟩ of Fig. 1 (state, call stack, program
+  /// point) plus the current procedure and this path's back-jump count.
+  /// Configurations produced by distinct branches share no mutable data:
+  /// states are value types built on copy-on-write structures, so two
+  /// configurations can step on different threads concurrently.
+  struct Config {
+    St State;
+    std::vector<Frame<St>> Stack;
+    InternedString CurProc;
+    size_t I;
+    uint32_t Backjumps;
+  };
+
   Interpreter(const Prog &P, const EngineOptions &Opts, ExecStats &Stats)
       : P(P), Opts(Opts), Stats(Stats) {}
 
-  /// Runs procedure \p Entry with argument \p Arg from state \p Init,
-  /// exploring all paths. Err(...) reports engine-level misuse (unknown
-  /// entry procedure); program-level failures are Error outcomes.
-  Result<std::vector<TraceResult<St>>>
-  run(InternedString Entry, typename St::ValueT Arg, St Init) {
+  const EngineOptions &options() const { return Opts; }
+  ExecStats &stats() { return Stats; }
+
+  /// Builds the initial configuration for procedure \p Entry applied to
+  /// \p Arg in state \p Init. Err(...) reports engine-level misuse
+  /// (unknown entry procedure).
+  Result<Config> makeInitialConfig(InternedString Entry,
+                                   typename St::ValueT Arg, St Init) {
     const Proc *Main = P.find(Entry);
     if (!Main)
       return Err("unknown entry procedure '" + std::string(Entry.str()) +
@@ -105,12 +129,36 @@ public:
     typename St::StoreT Store;
     Store.set(Main->Param, std::move(Arg));
     Init.setStore(std::move(Store));
+    return Config{std::move(Init), {}, Entry, 0, 0};
+  }
+
+  /// Runs procedure \p Entry with argument \p Arg from state \p Init,
+  /// exploring all paths with the sequential depth-first worklist.
+  /// Err(...) reports engine-level misuse (unknown entry procedure);
+  /// program-level failures are Error outcomes.
+  Result<std::vector<TraceResult<St>>>
+  run(InternedString Entry, typename St::ValueT Arg, St Init) {
+    Result<Config> Start =
+        makeInitialConfig(Entry, std::move(Arg), std::move(Init));
+    if (!Start)
+      return Err(Start.error());
 
     auto T0 = std::chrono::steady_clock::now();
     std::vector<TraceResult<St>> Results;
     std::vector<Config> Work;
-    Work.push_back(Config{std::move(Init), {}, Entry, 0, 0});
+    Work.push_back(Start.take());
     uint64_t Steps = 0;
+
+    // The sequential sink: successors go straight onto the depth-first
+    // worklist, finished paths straight into the result vector.
+    struct WorklistSink {
+      std::vector<Config> &Work;
+      std::vector<TraceResult<St>> &Results;
+      void cont(Config C) { Work.push_back(std::move(C)); }
+      void done(OutcomeKind K, typename St::ValueT V, St S) {
+        Results.push_back({K, std::move(V), std::move(S)});
+      }
+    } Sink{Work, Results};
 
     while (!Work.empty()) {
       if ((Opts.MaxSteps && Steps >= Opts.MaxSteps) ||
@@ -127,7 +175,7 @@ public:
       Config C = std::move(Work.back());
       Work.pop_back();
       ++Steps;
-      step(std::move(C), Work, Results);
+      step(std::move(C), Sink);
     }
     Stats.EngineNs += static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -136,38 +184,15 @@ public:
     return Results;
   }
 
-private:
-  struct Config {
-    St State;
-    std::vector<Frame<St>> Stack;
-    InternedString CurProc;
-    size_t I;
-    uint32_t Backjumps;
-  };
-
-  void finish(std::vector<TraceResult<St>> &Results, OutcomeKind K,
-              typename St::ValueT V, St S) {
-    switch (K) {
-    case OutcomeKind::Return: ++Stats.PathsFinished; break;
-    case OutcomeKind::Error: ++Stats.PathsErrored; break;
-    case OutcomeKind::Vanish: ++Stats.PathsVanished; break;
-    case OutcomeKind::Bound: ++Stats.PathsBounded; break;
-    }
-    Results.push_back({K, std::move(V), std::move(S)});
-  }
-
-  void fail(std::vector<TraceResult<St>> &Results, Config C,
-            const std::string &Msg) {
-    finish(Results, OutcomeKind::Error, St::errorValue(Msg),
-           std::move(C.State));
-  }
-
-  void step(Config C, std::vector<Config> &Work,
-            std::vector<TraceResult<St>> &Results) {
+  /// Executes one command of \p C, reporting successors and finished
+  /// paths to \p S (a StepSink). Thread-safe for path-disjoint
+  /// configurations: mutable state is confined to C, the sink, and the
+  /// atomic counters in Stats.
+  template <typename Sink> void step(Config C, Sink &S) {
     const Proc *Cur = P.find(C.CurProc);
     assert(Cur && "current procedure disappeared");
     if (C.I >= Cur->Body.size()) {
-      fail(Results, std::move(C),
+      fail(S, std::move(C),
            "control fell off the end of procedure '" +
                std::string(C.CurProc.str()) + "'");
       return;
@@ -180,12 +205,12 @@ private:
       // [Assignment]: σ.(setVar_x ∘ eval_e)
       Result<typename St::ValueT> V = C.State.evalExpr(Command.E);
       if (!V) {
-        fail(Results, std::move(C), V.error());
+        fail(S, std::move(C), V.error());
         return;
       }
       C.State.setVar(Command.X, V.take());
       ++C.I;
-      Work.push_back(std::move(C));
+      S.cont(std::move(C));
       return;
     }
 
@@ -193,7 +218,7 @@ private:
       // [IfGoto-True] / [IfGoto-False]: branch on assume(e) / assume(¬e).
       Result<typename St::ValueT> CondT = C.State.evalExpr(Command.E);
       if (!CondT) {
-        fail(Results, std::move(C), CondT.error());
+        fail(S, std::move(C), CondT.error());
         return;
       }
       Result<typename St::ValueT> CondF =
@@ -201,7 +226,7 @@ private:
 
       Result<std::optional<St>> TrueSt = C.State.assumeValue(*CondT);
       if (!TrueSt) {
-        fail(Results, std::move(C), TrueSt.error());
+        fail(S, std::move(C), TrueSt.error());
         return;
       }
       std::optional<St> FalseSt;
@@ -221,18 +246,18 @@ private:
         Config FC = C;
         FC.State = std::move(*FalseSt);
         ++FC.I;
-        Work.push_back(std::move(FC));
+        S.cont(std::move(FC));
       }
       if (TrueSt->has_value()) {
         bool Backjump = Command.Target <= C.I;
         if (Backjump && ++C.Backjumps > Opts.LoopBound) {
-          finish(Results, OutcomeKind::Bound,
+          finish(S, OutcomeKind::Bound,
                  St::errorValue("loop bound reached"), std::move(C.State));
           return;
         }
         C.State = std::move(**TrueSt);
         C.I = Command.Target;
-        Work.push_back(std::move(C));
+        S.cont(std::move(C));
       }
       return;
     }
@@ -242,27 +267,27 @@ private:
       ++Stats.ProcCalls;
       Result<typename St::ValueT> Callee = C.State.evalExpr(Command.E);
       if (!Callee) {
-        fail(Results, std::move(C), Callee.error());
+        fail(S, std::move(C), Callee.error());
         return;
       }
       Result<typename St::ValueT> Arg = C.State.evalExpr(Command.Arg);
       if (!Arg) {
-        fail(Results, std::move(C), Arg.error());
+        fail(S, std::move(C), Arg.error());
         return;
       }
       std::optional<InternedString> F = C.State.asProcId(*Callee);
       if (!F) {
-        fail(Results, std::move(C), "call target is not a procedure");
+        fail(S, std::move(C), "call target is not a procedure");
         return;
       }
       const Proc *PP = P.find(*F);
       if (!PP) {
-        fail(Results, std::move(C),
+        fail(S, std::move(C),
              "call to unknown procedure '" + std::string(F->str()) + "'");
         return;
       }
       if (C.Stack.size() >= Opts.MaxCallDepth) {
-        finish(Results, OutcomeKind::Bound,
+        finish(S, OutcomeKind::Bound,
                St::errorValue("call depth bound reached"),
                std::move(C.State));
         return;
@@ -277,19 +302,19 @@ private:
       C.CurProc = *F;
       C.I = 0;
       C.Backjumps = 0;
-      Work.push_back(std::move(C));
+      S.cont(std::move(C));
       return;
     }
 
     case CmdKind::Return: {
       Result<typename St::ValueT> V = C.State.evalExpr(Command.E);
       if (!V) {
-        fail(Results, std::move(C), V.error());
+        fail(S, std::move(C), V.error());
         return;
       }
       if (C.Stack.empty()) {
         // [Top Return]: N(v).
-        finish(Results, OutcomeKind::Return, V.take(), std::move(C.State));
+        finish(S, OutcomeKind::Return, V.take(), std::move(C.State));
         return;
       }
       // [Return]: restore caller store, bind the return variable.
@@ -300,7 +325,7 @@ private:
       C.CurProc = F.ProcName;
       C.I = F.RetIdx;
       C.Backjumps = F.SavedBackjumps;
-      Work.push_back(std::move(C));
+      S.cont(std::move(C));
       return;
     }
 
@@ -308,15 +333,15 @@ private:
       // [Fail]: E(v).
       Result<typename St::ValueT> V = C.State.evalExpr(Command.E);
       if (!V) {
-        fail(Results, std::move(C), V.error());
+        fail(S, std::move(C), V.error());
         return;
       }
-      finish(Results, OutcomeKind::Error, V.take(), std::move(C.State));
+      finish(S, OutcomeKind::Error, V.take(), std::move(C.State));
       return;
     }
 
     case CmdKind::Vanish:
-      finish(Results, OutcomeKind::Vanish, St::errorValue("vanish"),
+      finish(S, OutcomeKind::Vanish, St::errorValue("vanish"),
              std::move(C.State));
       return;
 
@@ -325,20 +350,20 @@ private:
       ++Stats.ActionCalls;
       Result<typename St::ValueT> Arg = C.State.evalExpr(Command.E);
       if (!Arg) {
-        fail(Results, std::move(C), Arg.error());
+        fail(S, std::move(C), Arg.error());
         return;
       }
       Result<std::vector<StateBranch<St>>> Branches =
           C.State.execAction(Command.Action, *Arg);
       if (!Branches) {
-        fail(Results, std::move(C), Branches.error());
+        fail(S, std::move(C), Branches.error());
         return;
       }
       if (Branches->size() > 1)
         Stats.Branches += Branches->size() - 1;
       for (StateBranch<St> &B : *Branches) {
         if (B.IsError) {
-          finish(Results, OutcomeKind::Error, std::move(B.Ret),
+          finish(S, OutcomeKind::Error, std::move(B.Ret),
                  std::move(B.State));
           continue;
         }
@@ -346,7 +371,7 @@ private:
         NC.State = std::move(B.State);
         NC.State.setVar(Command.X, std::move(B.Ret));
         ++NC.I;
-        Work.push_back(std::move(NC));
+        S.cont(std::move(NC));
       }
       return;
     }
@@ -356,7 +381,7 @@ private:
       typename St::ValueT V = C.State.allocUSym(Command.Site);
       C.State.setVar(Command.X, std::move(V));
       ++C.I;
-      Work.push_back(std::move(C));
+      S.cont(std::move(C));
       return;
     }
 
@@ -366,11 +391,31 @@ private:
       typename St::ValueT V = C.State.allocISym(Command.Site);
       C.State.setVar(Command.X, std::move(V));
       ++C.I;
-      Work.push_back(std::move(C));
+      S.cont(std::move(C));
       return;
     }
     }
-    fail(Results, std::move(C), "unknown command kind");
+    fail(S, std::move(C), "unknown command kind");
+  }
+
+  /// Records a finished path: bumps the per-outcome counter, then hands
+  /// the TraceResult to the sink. Public so exploration drivers (the
+  /// parallel scheduler's budget cuts) account outcomes identically.
+  template <typename Sink>
+  void finish(Sink &S, OutcomeKind K, typename St::ValueT V, St State) {
+    switch (K) {
+    case OutcomeKind::Return: ++Stats.PathsFinished; break;
+    case OutcomeKind::Error: ++Stats.PathsErrored; break;
+    case OutcomeKind::Vanish: ++Stats.PathsVanished; break;
+    case OutcomeKind::Bound: ++Stats.PathsBounded; break;
+    }
+    S.done(K, std::move(V), std::move(State));
+  }
+
+private:
+  template <typename Sink>
+  void fail(Sink &S, Config C, const std::string &Msg) {
+    finish(S, OutcomeKind::Error, St::errorValue(Msg), std::move(C.State));
   }
 
   const Prog &P;

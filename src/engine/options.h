@@ -16,6 +16,7 @@
 #ifndef GILLIAN_ENGINE_OPTIONS_H
 #define GILLIAN_ENGINE_OPTIONS_H
 
+#include "engine/scheduler/scheduler_options.h"
 #include "solver/solver.h"
 
 #include <cstdint>
@@ -30,6 +31,11 @@ struct EngineOptions {
   bool UseSimplifierCache = true;
 
   SolverOptions Solver;
+
+  /// Parallel exploration (engine/scheduler/). Workers = 1 keeps the
+  /// classic sequential depth-first worklist, bit-identical to the
+  /// pre-scheduler engine.
+  SchedulerOptions Scheduler;
 
   /// Bound on back-jumps (loop iterations) per path — the paper's
   /// "unrolling loops up to a bound".

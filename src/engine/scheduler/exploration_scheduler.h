@@ -1,0 +1,234 @@
+//===- engine/scheduler/exploration_scheduler.h - Parallel DFS -*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ExplorationScheduler: drives Interpreter<St>::step from a work-stealing
+/// thread pool. Configurations after a branch point are path-disjoint —
+/// their states share only immutable copy-on-write structure and the
+/// thread-safe solver — so each can execute on any worker with no
+/// coordination.
+///
+/// Determinism. Results are merged in *branch-trace* order, not completion
+/// order. Every task carries a PathId: the sequence of branch indices
+/// taken at each multi-successor step since the root. A step with one
+/// output keeps its task's id (ids grow with the number of branch points,
+/// not the number of commands); a step with k >= 2 outputs — counting both
+/// finished paths and live successors, in the production order of the
+/// semantics — extends the id with 0..k-1. Because a task's id is either
+/// terminated (the task finished) or extended (it branched), never both,
+/// no result id is a proper prefix of another, and lexicographic order on
+/// ids is a strict total order over results that depends only on the
+/// program and the state model — not on thread scheduling. Running the
+/// same exploration at any worker count yields the same result sequence.
+///
+/// Budgets. MaxSteps/MaxPaths are enforced from relaxed atomic counters:
+/// a task that observes an exhausted budget finishes Bound. The *set* of
+/// outcomes therefore remains schedule-independent only for programs that
+/// stay within budget (which side of the cut a given path lands on is a
+/// race by construction); explorations that hit a budget should use
+/// Workers = 1 when exact cut placement matters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_ENGINE_SCHEDULER_EXPLORATION_SCHEDULER_H
+#define GILLIAN_ENGINE_SCHEDULER_EXPLORATION_SCHEDULER_H
+
+#include "engine/interpreter.h"
+#include "engine/scheduler/scheduler_options.h"
+#include "engine/scheduler/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace gillian {
+
+template <StateModel St> class ExplorationScheduler {
+public:
+  using Config = typename Interpreter<St>::Config;
+  /// Branch-trace id: the index taken at each multi-successor step since
+  /// the root. Lexicographic order on ids is the deterministic result
+  /// order (see file comment).
+  using PathId = std::vector<uint32_t>;
+
+  ExplorationScheduler(Interpreter<St> &I, const SchedulerOptions &SOpts)
+      : I(I), SOpts(SOpts) {}
+
+  /// Explores every path reachable from \p Init on a pool of
+  /// SOpts.Workers threads; returns finished paths in branch-trace order.
+  std::vector<TraceResult<St>> explore(Config Init) {
+    auto T0 = std::chrono::steady_clock::now();
+    size_t N = SOpts.Workers ? SOpts.Workers : 1;
+    LocalResults.assign(N, {});
+
+    ThreadPool<PathTask> Pool(N, SOpts.StealBatch);
+    Pool.inject(PathTask{std::move(Init), {}});
+    Pool.run([this](PathTask T, typename ThreadPool<PathTask>::Worker &W) {
+      runTask(std::move(T), W);
+    });
+
+    // Merge per-worker buffers and impose the schedule-independent order.
+    std::vector<std::pair<PathId, TraceResult<St>>> All;
+    size_t Total = 0;
+    for (auto &L : LocalResults)
+      Total += L.size();
+    All.reserve(Total);
+    for (auto &L : LocalResults)
+      for (auto &E : L)
+        All.push_back(std::move(E));
+    std::sort(All.begin(), All.end(),
+              [](const auto &A, const auto &B) { return A.first < B.first; });
+
+    std::vector<TraceResult<St>> Out;
+    Out.reserve(All.size());
+    for (auto &E : All)
+      Out.push_back(std::move(E.second));
+
+    I.stats().EngineNs += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
+    return Out;
+  }
+
+private:
+  struct PathTask {
+    Config C;
+    PathId Id;
+  };
+
+  /// A finished path before it is paired with its id.
+  struct Done {
+    OutcomeKind K;
+    typename St::ValueT V;
+    St S;
+  };
+
+  /// Buffers step() outputs in production order; branch indices are
+  /// assigned from the buffer positions afterwards.
+  struct BufferSink {
+    std::vector<std::variant<Config, Done>> Outs;
+    void cont(Config C) { Outs.emplace_back(std::move(C)); }
+    void done(OutcomeKind K, typename St::ValueT V, St S) {
+      Outs.emplace_back(Done{K, std::move(V), std::move(S)});
+    }
+  };
+
+  /// Sink used for budget cuts: emits directly into a worker's buffer
+  /// under the cut task's id.
+  struct BoundSink {
+    ExplorationScheduler &Sched;
+    size_t WIdx;
+    PathId Id;
+    void cont(Config) {}
+    void done(OutcomeKind K, typename St::ValueT V, St S) {
+      Sched.record(WIdx, std::move(Id),
+                   TraceResult<St>{K, std::move(V), std::move(S)});
+    }
+  };
+
+  void record(size_t WIdx, PathId Id, TraceResult<St> R) {
+    LocalResults[WIdx].push_back({std::move(Id), std::move(R)});
+    ResultCount.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  bool overBudget() const {
+    const EngineOptions &Opts = I.options();
+    return (Opts.MaxSteps &&
+            Steps.load(std::memory_order_relaxed) >= Opts.MaxSteps) ||
+           (Opts.MaxPaths &&
+            ResultCount.load(std::memory_order_relaxed) >= Opts.MaxPaths);
+  }
+
+  /// Executes one task to completion: steps inline while there is a
+  /// single successor (no queue churn on straight-line code), and at
+  /// branch points continues depth-first with the *last* successor —
+  /// matching the sequential worklist's pop-from-the-back — while
+  /// spawning the others for thieves to pick up.
+  void runTask(PathTask T, typename ThreadPool<PathTask>::Worker &W) {
+    while (true) {
+      if (overBudget()) {
+        BoundSink BS{*this, W.index(), std::move(T.Id)};
+        I.finish(BS, OutcomeKind::Bound,
+                 St::errorValue("step budget exhausted"),
+                 std::move(T.C.State));
+        return;
+      }
+      Steps.fetch_add(1, std::memory_order_relaxed);
+
+      BufferSink Sink;
+      I.step(std::move(T.C), Sink);
+      auto &Outs = Sink.Outs;
+      if (Outs.empty())
+        return; // e.g. a memory action with zero feasible branches
+
+      // Fast path: exactly one live successor — same path, same id.
+      if (Outs.size() == 1 &&
+          std::holds_alternative<Config>(Outs.front())) {
+        T.C = std::move(std::get<Config>(Outs.front()));
+        continue;
+      }
+
+      bool Multi = Outs.size() >= 2;
+      std::optional<PathTask> Continue;
+      uint32_t K = 0;
+      for (auto &O : Outs) {
+        PathId Id = T.Id;
+        if (Multi)
+          Id.push_back(K);
+        ++K;
+        if (std::holds_alternative<Done>(O)) {
+          Done &D = std::get<Done>(O);
+          record(W.index(), std::move(Id),
+                 TraceResult<St>{D.K, std::move(D.V), std::move(D.S)});
+        } else {
+          if (Continue)
+            W.spawn(std::move(*Continue));
+          Continue =
+              PathTask{std::move(std::get<Config>(O)), std::move(Id)};
+        }
+      }
+      if (!Continue)
+        return; // every output finished
+      T = std::move(*Continue);
+    }
+  }
+
+  Interpreter<St> &I;
+  SchedulerOptions SOpts;
+  std::atomic<uint64_t> Steps{0};
+  std::atomic<uint64_t> ResultCount{0};
+  /// One result buffer per worker; merged after quiescence. Indexed by
+  /// worker id, so no locking.
+  std::vector<std::vector<std::pair<PathId, TraceResult<St>>>> LocalResults;
+};
+
+/// Entry point used by the test runner and benches: dispatches between
+/// the classic sequential worklist (bit-identical results, including
+/// order) and the parallel scheduler, per \p I's SchedulerOptions.
+template <StateModel St>
+Result<std::vector<TraceResult<St>>>
+runExploration(Interpreter<St> &I, InternedString Entry,
+               typename St::ValueT Arg, St Init) {
+  const SchedulerOptions &S = I.options().Scheduler;
+  if (!S.parallel())
+    return I.run(Entry, std::move(Arg), std::move(Init));
+  Result<typename Interpreter<St>::Config> Start =
+      I.makeInitialConfig(Entry, std::move(Arg), std::move(Init));
+  if (!Start)
+    return Err(Start.error());
+  ExplorationScheduler<St> Sched(I, S);
+  return Sched.explore(Start.take());
+}
+
+} // namespace gillian
+
+#endif // GILLIAN_ENGINE_SCHEDULER_EXPLORATION_SCHEDULER_H

@@ -1,0 +1,214 @@
+//===- engine/scheduler/thread_pool.h - Work-stealing pool -----*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A work-stealing thread pool for dynamically forking task graphs — the
+/// substrate of the parallel exploration scheduler. Symbolic execution
+/// after a branch point produces *path-disjoint* configurations; each is a
+/// task, and stepping a task may spawn more tasks (its branch successors).
+///
+/// Topology: one bounded-depth deque per worker plus a global injection
+/// queue for roots. A worker pops from the *back* of its own deque (LIFO:
+/// depth-first locality, bounded frontier) and steals from the *front* of
+/// a victim's deque (FIFO: thieves take the oldest — shallowest — forks,
+/// which head the largest untapped subtrees), up to `StealBatch`
+/// configurations per steal so a thief seeds itself instead of returning
+/// for every successor. Deques are mutex-striped rather than lock-free:
+/// exploration tasks are heavyweight (each step runs solver queries), so
+/// queue transfer cost is noise — predictable correctness wins.
+///
+/// Quiescence: `Pending` counts tasks that are queued or executing; it is
+/// incremented before a task becomes visible and decremented only after
+/// its body (including any spawns) completes, so it can only reach zero
+/// when no task exists or can ever exist again. Idle workers sleep on a
+/// condition variable versioned by a work epoch — the epoch is read before
+/// scanning and bumped under the same mutex by every push, which makes the
+/// classic scan/sleep lost-wakeup race impossible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_ENGINE_SCHEDULER_THREAD_POOL_H
+#define GILLIAN_ENGINE_SCHEDULER_THREAD_POOL_H
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace gillian {
+
+template <typename Task> class ThreadPool {
+public:
+  /// Handle passed to the task body: identifies the executing worker and
+  /// lets the body spawn successor tasks onto that worker's own deque.
+  class Worker {
+  public:
+    size_t index() const { return Idx; }
+    void spawn(Task T) { Pool.pushLocal(Idx, std::move(T)); }
+
+  private:
+    friend class ThreadPool;
+    Worker(ThreadPool &Pool, size_t Idx) : Pool(Pool), Idx(Idx) {}
+    ThreadPool &Pool;
+    size_t Idx;
+  };
+
+  ThreadPool(size_t NumWorkers, size_t StealBatch)
+      : Deques(NumWorkers ? NumWorkers : 1),
+        StealBatch(StealBatch ? StealBatch : 1) {}
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  size_t workers() const { return Deques.size(); }
+
+  /// Enqueues a root task on the global injection queue. Thread-safe, but
+  /// intended for seeding the pool before run().
+  void inject(Task T) {
+    Pending.fetch_add(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> Lock(Global.Mu);
+      Global.Q.push_back(std::move(T));
+    }
+    signalWork();
+  }
+
+  /// Runs \p Body(Task, Worker&) over every injected task and everything
+  /// those tasks spawn, on `workers()` threads; returns when the pool is
+  /// quiescent (every task executed, nothing left to steal).
+  template <typename Body> void run(Body &&B) {
+    std::vector<std::thread> Threads;
+    Threads.reserve(workers());
+    for (size_t I = 0; I < workers(); ++I)
+      Threads.emplace_back([this, I, &B] { workerLoop(I, B); });
+    for (std::thread &T : Threads)
+      T.join();
+    assert(Pending.load() == 0 && "pool exited with tasks outstanding");
+  }
+
+private:
+  struct TaskDeque {
+    std::mutex Mu;
+    std::deque<Task> Q;
+  };
+
+  void pushLocal(size_t Idx, Task T) {
+    Pending.fetch_add(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> Lock(Deques[Idx].Mu);
+      Deques[Idx].Q.push_back(std::move(T));
+    }
+    signalWork();
+  }
+
+  std::optional<Task> popLocal(size_t Idx) {
+    std::lock_guard<std::mutex> Lock(Deques[Idx].Mu);
+    if (Deques[Idx].Q.empty())
+      return std::nullopt;
+    Task T = std::move(Deques[Idx].Q.back());
+    Deques[Idx].Q.pop_back();
+    return T;
+  }
+
+  std::optional<Task> popGlobal() {
+    std::lock_guard<std::mutex> Lock(Global.Mu);
+    if (Global.Q.empty())
+      return std::nullopt;
+    Task T = std::move(Global.Q.front());
+    Global.Q.pop_front();
+    return T;
+  }
+
+  /// Scans the other workers' deques round-robin from our right-hand
+  /// neighbour; takes up to StealBatch tasks from the first non-empty
+  /// victim. The first stolen task is returned for execution, the rest
+  /// land on our own deque.
+  std::optional<Task> steal(size_t Idx) {
+    size_t N = workers();
+    for (size_t Off = 1; Off < N; ++Off) {
+      size_t Victim = (Idx + Off) % N;
+      std::vector<Task> Batch;
+      {
+        std::lock_guard<std::mutex> Lock(Deques[Victim].Mu);
+        auto &Q = Deques[Victim].Q;
+        for (size_t K = 0; K < StealBatch && !Q.empty(); ++K) {
+          Batch.push_back(std::move(Q.front()));
+          Q.pop_front();
+        }
+      }
+      if (Batch.empty())
+        continue;
+      if (Batch.size() > 1) {
+        std::lock_guard<std::mutex> Lock(Deques[Idx].Mu);
+        for (size_t K = 1; K < Batch.size(); ++K)
+          Deques[Idx].Q.push_back(std::move(Batch[K]));
+      }
+      if (Batch.size() > 1)
+        signalWork(); // surplus is now visible in our deque — wake a peer
+      return std::move(Batch.front());
+    }
+    return std::nullopt;
+  }
+
+  void signalWork() {
+    {
+      std::lock_guard<std::mutex> Lock(IdleMu);
+      ++WorkEpoch;
+    }
+    IdleCv.notify_one();
+  }
+
+  template <typename Body> void workerLoop(size_t Idx, Body &B) {
+    Worker W(*this, Idx);
+    while (true) {
+      // Epoch before scanning: any push after this read bumps the epoch,
+      // so the wait below cannot miss it.
+      uint64_t Epoch;
+      {
+        std::lock_guard<std::mutex> Lock(IdleMu);
+        Epoch = WorkEpoch;
+      }
+      std::optional<Task> T = popLocal(Idx);
+      if (!T)
+        T = popGlobal();
+      if (!T)
+        T = steal(Idx);
+      if (T) {
+        B(std::move(*T), W);
+        // Decrement only after the body ran: spawns inside the body have
+        // already incremented Pending, so it hits zero only at true
+        // quiescence.
+        if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+          IdleCv.notify_all();
+        continue;
+      }
+      std::unique_lock<std::mutex> Lock(IdleMu);
+      IdleCv.wait(Lock, [&] {
+        return WorkEpoch != Epoch ||
+               Pending.load(std::memory_order_acquire) == 0;
+      });
+      if (Pending.load(std::memory_order_acquire) == 0)
+        return;
+    }
+  }
+
+  std::vector<TaskDeque> Deques;
+  TaskDeque Global; ///< injection queue (roots)
+  size_t StealBatch;
+  /// Tasks queued or executing; zero <=> quiescent.
+  std::atomic<uint64_t> Pending{0};
+  std::mutex IdleMu;
+  std::condition_variable IdleCv;
+  uint64_t WorkEpoch = 0; ///< guarded by IdleMu
+};
+
+} // namespace gillian
+
+#endif // GILLIAN_ENGINE_SCHEDULER_THREAD_POOL_H

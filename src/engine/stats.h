@@ -8,46 +8,77 @@
 /// Counters reported by the evaluation harness. "GIL commands" is the
 /// metric of Tables 1 and 2 in the paper.
 ///
+/// Counters are relaxed atomics so one ExecStats instance can be shared by
+/// every worker of the parallel exploration scheduler and still sum
+/// exactly — the counts are schedule-independent, only the interleaving of
+/// increments varies. Copies and arithmetic read/write relaxed; they are
+/// aggregation conveniences for quiescent points (end of a run), not
+/// cross-thread synchronisation.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GILLIAN_ENGINE_STATS_H
 #define GILLIAN_ENGINE_STATS_H
 
+#include <atomic>
 #include <cstdint>
 
 namespace gillian {
 
 struct ExecStats {
-  uint64_t CmdsExecuted = 0; ///< GIL commands (the Tables 1/2 metric)
-  uint64_t Branches = 0;     ///< points where execution split
-  uint64_t PathsFinished = 0;
-  uint64_t PathsVanished = 0;
-  uint64_t PathsErrored = 0;
-  uint64_t PathsBounded = 0; ///< cut by loop/step budgets
-  uint64_t ActionCalls = 0;
-  uint64_t ProcCalls = 0;
+  std::atomic<uint64_t> CmdsExecuted{0}; ///< GIL commands (Tables 1/2)
+  std::atomic<uint64_t> Branches{0};     ///< points where execution split
+  std::atomic<uint64_t> PathsFinished{0};
+  std::atomic<uint64_t> PathsVanished{0};
+  std::atomic<uint64_t> PathsErrored{0};
+  std::atomic<uint64_t> PathsBounded{0}; ///< cut by loop/step budgets
+  std::atomic<uint64_t> ActionCalls{0};
+  std::atomic<uint64_t> ProcCalls{0};
 
   // Solver effort attributed to this execution (filled by the symbolic
   // test runner from SolverStats deltas; zero for concrete runs).
-  uint64_t SolverQueries = 0;
-  uint64_t SolverCacheHits = 0; ///< full-query + per-slice cache hits
-  uint64_t SolverNs = 0;        ///< wall-time spent inside the solver
-  uint64_t EngineNs = 0;        ///< wall-time of the exploration loop
+  std::atomic<uint64_t> SolverQueries{0};
+  std::atomic<uint64_t> SolverCacheHits{0}; ///< full-query + slice hits
+  std::atomic<uint64_t> SolverNs{0}; ///< wall-time inside the solver
+  std::atomic<uint64_t> EngineNs{0}; ///< wall-time of the exploration loop
+
+  ExecStats() = default;
+  ExecStats(const ExecStats &O) { *this = O; }
+
+  ExecStats &operator=(const ExecStats &O) {
+    forEach(O, [](std::atomic<uint64_t> &A, const std::atomic<uint64_t> &B) {
+      A.store(B.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    });
+    return *this;
+  }
 
   ExecStats &operator+=(const ExecStats &O) {
-    CmdsExecuted += O.CmdsExecuted;
-    Branches += O.Branches;
-    PathsFinished += O.PathsFinished;
-    PathsVanished += O.PathsVanished;
-    PathsErrored += O.PathsErrored;
-    PathsBounded += O.PathsBounded;
-    ActionCalls += O.ActionCalls;
-    ProcCalls += O.ProcCalls;
-    SolverQueries += O.SolverQueries;
-    SolverCacheHits += O.SolverCacheHits;
-    SolverNs += O.SolverNs;
-    EngineNs += O.EngineNs;
+    forEach(O, [](std::atomic<uint64_t> &A, const std::atomic<uint64_t> &B) {
+      A.fetch_add(B.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    });
     return *this;
+  }
+
+  /// Explicit name for summing per-worker snapshots into an aggregate.
+  void merge(const ExecStats &O) { *this += O; }
+
+private:
+  /// Applies \p F to every (our field, other's field) pair; the single
+  /// field list keeps copy and sum in sync.
+  template <typename Fn> void forEach(const ExecStats &O, Fn F) {
+    F(CmdsExecuted, O.CmdsExecuted);
+    F(Branches, O.Branches);
+    F(PathsFinished, O.PathsFinished);
+    F(PathsVanished, O.PathsVanished);
+    F(PathsErrored, O.PathsErrored);
+    F(PathsBounded, O.PathsBounded);
+    F(ActionCalls, O.ActionCalls);
+    F(ProcCalls, O.ProcCalls);
+    F(SolverQueries, O.SolverQueries);
+    F(SolverCacheHits, O.SolverCacheHits);
+    F(SolverNs, O.SolverNs);
+    F(EngineNs, O.EngineNs);
   }
 };
 

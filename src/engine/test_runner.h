@@ -24,6 +24,7 @@
 #define GILLIAN_ENGINE_TEST_RUNNER_H
 
 #include "engine/interpreter.h"
+#include "engine/scheduler/exploration_scheduler.h"
 
 #include <string>
 #include <vector>
@@ -82,8 +83,11 @@ runSymbolicTest(const Prog &P, std::string_view Entry,
   using St = SymbolicState<M>;
   St Init(std::move(InitialMemory), &Slv, &Opts);
   Interpreter<St> Interp(P, Opts, R.Stats);
-  Result<std::vector<TraceResult<St>>> Traces =
-      Interp.run(InternedString::get(Entry), Expr::list({}), std::move(Init));
+  // Dispatches on Opts.Scheduler: the sequential worklist at Workers = 1
+  // (bit-identical to the pre-scheduler engine), the work-stealing pool
+  // with branch-trace-ordered results otherwise.
+  Result<std::vector<TraceResult<St>>> Traces = runExploration(
+      Interp, InternedString::get(Entry), Expr::list({}), std::move(Init));
   if (!Traces) {
     BugReport B;
     B.Message = "engine error: " + Traces.error();

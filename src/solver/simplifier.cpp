@@ -4,8 +4,10 @@
 
 #include "solver/type_infer.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <mutex>
 #include <unordered_map>
 
 using namespace gillian;
@@ -505,9 +507,23 @@ struct MemoKeyHash {
   }
 };
 
+/// The process-wide memo, striped across mutex-guarded shards (keyed by
+/// the memo hash) so the parallel exploration workers can share it: a
+/// simplification computed by one worker is a hit for every other.
+/// Stats are relaxed atomics; racing misses of one key duplicate work but
+/// never produce different results (simplify is deterministic).
 struct MemoCache {
-  std::unordered_map<MemoKey, Expr, MemoKeyHash> Map;
-  SimplifyCacheStats Stats;
+  static constexpr size_t NumShards = 16;
+  struct Shard {
+    std::mutex Mu;
+    std::unordered_map<MemoKey, Expr, MemoKeyHash> Map;
+  };
+  Shard Shards[NumShards];
+  std::atomic<uint64_t> Hits{0}, Misses{0}, MissNs{0};
+
+  Shard &shardFor(const MemoKey &K) {
+    return Shards[(MemoKeyHash()(K) * 0x9E3779B97F4A7C15ull) >> 60];
+  }
 };
 
 MemoCache &memo() {
@@ -531,27 +547,50 @@ Expr gillian::simplifyCached(const Expr &E, const TypeEnv *Env) {
     return E;
   MemoCache &C = memo();
   MemoKey Key{Env ? Env->hash() : 0, E};
-  auto It = C.Map.find(Key);
-  if (It != C.Map.end()) {
-    ++C.Stats.Hits;
-    return It->second;
+  MemoCache::Shard &Sh = C.shardFor(Key);
+  {
+    std::lock_guard<std::mutex> Lock(Sh.Mu);
+    auto It = Sh.Map.find(Key);
+    if (It != Sh.Map.end()) {
+      C.Hits.fetch_add(1, std::memory_order_relaxed);
+      return It->second;
+    }
   }
-  ++C.Stats.Misses;
+  // Compute outside the shard lock: simplification can be deep, and two
+  // threads simplifying different keys of one shard must not serialise.
+  C.Misses.fetch_add(1, std::memory_order_relaxed);
   auto T0 = std::chrono::steady_clock::now();
   Expr S = simplifyNode(E, Env ? *Env : emptyEnv());
-  C.Stats.MissNs += static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - T0)
-          .count());
-  if (C.Map.size() > (1u << 20))
-    C.Map.clear();
-  C.Map.emplace(std::move(Key), S);
+  C.MissNs.fetch_add(static_cast<uint64_t>(
+                         std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - T0)
+                             .count()),
+                     std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(Sh.Mu);
+    if (Sh.Map.size() > (1u << 16))
+      Sh.Map.clear();
+    Sh.Map.emplace(std::move(Key), S);
+  }
   return S;
 }
 
-SimplifyCacheStats gillian::simplifyCacheStats() { return memo().Stats; }
+SimplifyCacheStats gillian::simplifyCacheStats() {
+  MemoCache &C = memo();
+  SimplifyCacheStats S;
+  S.Hits = C.Hits.load(std::memory_order_relaxed);
+  S.Misses = C.Misses.load(std::memory_order_relaxed);
+  S.MissNs = C.MissNs.load(std::memory_order_relaxed);
+  return S;
+}
 
 void gillian::resetSimplifyCache() {
-  memo().Map.clear();
-  memo().Stats = SimplifyCacheStats();
+  MemoCache &C = memo();
+  for (MemoCache::Shard &Sh : C.Shards) {
+    std::lock_guard<std::mutex> Lock(Sh.Mu);
+    Sh.Map.clear();
+  }
+  C.Hits.store(0, std::memory_order_relaxed);
+  C.Misses.store(0, std::memory_order_relaxed);
+  C.MissNs.store(0, std::memory_order_relaxed);
 }

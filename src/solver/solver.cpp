@@ -11,73 +11,73 @@ using namespace gillian;
 
 namespace {
 
+constexpr auto Relaxed = std::memory_order_relaxed;
+
 /// Accumulates steady-clock elapsed nanoseconds into a stats slot.
+/// The slot is a relaxed atomic so concurrent workers never lose time.
 class ScopedTimer {
 public:
-  explicit ScopedTimer(uint64_t &Slot)
+  explicit ScopedTimer(std::atomic<uint64_t> &Slot)
       : Slot(Slot), T0(std::chrono::steady_clock::now()) {}
   ~ScopedTimer() {
-    Slot += static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - T0)
-            .count());
+    Slot.fetch_add(static_cast<uint64_t>(
+                       std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - T0)
+                           .count()),
+                   Relaxed);
   }
 
 private:
-  uint64_t &Slot;
+  std::atomic<uint64_t> &Slot;
   std::chrono::steady_clock::time_point T0;
 };
 
 } // namespace
 
+// Walks every counter of SolverStats once, so the copy/sum/delta
+// operations cannot drift from the field list.
+#define GILLIAN_SOLVER_STATS_FIELDS(APPLY)                                     \
+  APPLY(Queries)                                                               \
+  APPLY(TrivialAnswers)                                                        \
+  APPLY(CacheLookups)                                                          \
+  APPLY(CacheHits)                                                             \
+  APPLY(SliceCacheLookups)                                                     \
+  APPLY(SliceCacheHits)                                                        \
+  APPLY(SlicedQueries)                                                         \
+  APPLY(Slices)                                                                \
+  APPLY(SyntacticUnsat)                                                        \
+  APPLY(SyntacticSat)                                                          \
+  APPLY(Z3Calls)                                                               \
+  APPLY(Sat)                                                                   \
+  APPLY(Unsat)                                                                 \
+  APPLY(Unknown)                                                               \
+  APPLY(ModelsProposed)                                                        \
+  APPLY(ModelsVerified)                                                        \
+  APPLY(SliceNs)                                                               \
+  APPLY(CanonNs)                                                               \
+  APPLY(SyntacticNs)                                                           \
+  APPLY(Z3Ns)                                                                  \
+  APPLY(TotalNs)
+
+SolverStats &SolverStats::operator=(const SolverStats &O) {
+#define GILLIAN_COPY(F) F.store(O.F.load(Relaxed), Relaxed);
+  GILLIAN_SOLVER_STATS_FIELDS(GILLIAN_COPY)
+#undef GILLIAN_COPY
+  return *this;
+}
+
 SolverStats &SolverStats::operator+=(const SolverStats &O) {
-  Queries += O.Queries;
-  TrivialAnswers += O.TrivialAnswers;
-  CacheLookups += O.CacheLookups;
-  CacheHits += O.CacheHits;
-  SliceCacheLookups += O.SliceCacheLookups;
-  SliceCacheHits += O.SliceCacheHits;
-  SlicedQueries += O.SlicedQueries;
-  Slices += O.Slices;
-  SyntacticUnsat += O.SyntacticUnsat;
-  SyntacticSat += O.SyntacticSat;
-  Z3Calls += O.Z3Calls;
-  Sat += O.Sat;
-  Unsat += O.Unsat;
-  Unknown += O.Unknown;
-  ModelsProposed += O.ModelsProposed;
-  ModelsVerified += O.ModelsVerified;
-  SliceNs += O.SliceNs;
-  CanonNs += O.CanonNs;
-  SyntacticNs += O.SyntacticNs;
-  Z3Ns += O.Z3Ns;
-  TotalNs += O.TotalNs;
+#define GILLIAN_ADD(F) F.fetch_add(O.F.load(Relaxed), Relaxed);
+  GILLIAN_SOLVER_STATS_FIELDS(GILLIAN_ADD)
+#undef GILLIAN_ADD
   return *this;
 }
 
 SolverStats SolverStats::operator-(const SolverStats &O) const {
   SolverStats D;
-  D.Queries = Queries - O.Queries;
-  D.TrivialAnswers = TrivialAnswers - O.TrivialAnswers;
-  D.CacheLookups = CacheLookups - O.CacheLookups;
-  D.CacheHits = CacheHits - O.CacheHits;
-  D.SliceCacheLookups = SliceCacheLookups - O.SliceCacheLookups;
-  D.SliceCacheHits = SliceCacheHits - O.SliceCacheHits;
-  D.SlicedQueries = SlicedQueries - O.SlicedQueries;
-  D.Slices = Slices - O.Slices;
-  D.SyntacticUnsat = SyntacticUnsat - O.SyntacticUnsat;
-  D.SyntacticSat = SyntacticSat - O.SyntacticSat;
-  D.Z3Calls = Z3Calls - O.Z3Calls;
-  D.Sat = Sat - O.Sat;
-  D.Unsat = Unsat - O.Unsat;
-  D.Unknown = Unknown - O.Unknown;
-  D.ModelsProposed = ModelsProposed - O.ModelsProposed;
-  D.ModelsVerified = ModelsVerified - O.ModelsVerified;
-  D.SliceNs = SliceNs - O.SliceNs;
-  D.CanonNs = CanonNs - O.CanonNs;
-  D.SyntacticNs = SyntacticNs - O.SyntacticNs;
-  D.Z3Ns = Z3Ns - O.Z3Ns;
-  D.TotalNs = TotalNs - O.TotalNs;
+#define GILLIAN_SUB(F) D.F.store(F.load(Relaxed) - O.F.load(Relaxed), Relaxed);
+  GILLIAN_SOLVER_STATS_FIELDS(GILLIAN_SUB)
+#undef GILLIAN_SUB
   return D;
 }
 
@@ -153,15 +153,14 @@ SatResult Solver::solveLayers(const PathCondition &PC) {
 SatResult Solver::solveSlice(const PathCondition &Slice) {
   if (Opts.UseCache) {
     ++Stats.SliceCacheLookups;
-    auto It = Cache.find(Slice);
-    if (It != Cache.end()) {
+    if (std::optional<SatResult> Hit = Cache->lookup(Slice)) {
       ++Stats.SliceCacheHits;
-      return It->second;
+      return *Hit;
     }
   }
   SatResult R = solveLayers(Slice);
-  if (Opts.UseCache && R != SatResult::Unknown)
-    Cache.emplace(Slice, R);
+  if (Opts.UseCache)
+    Cache->insert(Slice, R); // insert() drops Unknown
   return R;
 }
 
@@ -213,10 +212,9 @@ SatResult Solver::checkSat(const PathCondition &PC) {
 
   if (Opts.UseCache) {
     ++Stats.CacheLookups;
-    auto It = Cache.find(PC);
-    if (It != Cache.end()) {
+    if (std::optional<SatResult> Hit = Cache->lookup(PC)) {
       ++Stats.CacheHits;
-      return It->second;
+      return *Hit;
     }
   }
 
@@ -231,8 +229,8 @@ SatResult Solver::checkSat(const PathCondition &PC) {
   // Cache only decided verdicts: a cached Unknown would permanently
   // poison a query that a later attempt (e.g. with Z3 available, or via a
   // verified syntactic model) could decide.
-  if (Opts.UseCache && R != SatResult::Unknown)
-    Cache.emplace(PC, R);
+  if (Opts.UseCache)
+    Cache->insert(PC, R); // insert() drops Unknown
   return R;
 }
 

@@ -28,6 +28,13 @@
 /// on a *verified* counter-model, so the no-false-positives guarantee of
 /// §3 survives solver incompleteness.
 ///
+/// The Solver is *thread-safe*: its result cache is the sharded concurrent
+/// SolverCache, its statistics are relaxed atomics, and the Z3 backend
+/// keeps one context per thread (Z3 contexts are not thread-safe). One
+/// Solver instance can therefore be shared by every worker of the parallel
+/// exploration scheduler — which is required, since symbolic states carry
+/// a Solver pointer and migrate between workers when stolen.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GILLIAN_SOLVER_SOLVER_H
@@ -35,11 +42,13 @@
 
 #include "solver/model.h"
 #include "solver/path_condition.h"
+#include "solver/solver_cache.h"
 #include "solver/syntactic.h"
 
+#include <atomic>
+#include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 
 namespace gillian {
 
@@ -65,36 +74,47 @@ struct SolverOptions {
 };
 
 /// Per-layer decision counts and wall-times of one Solver. Wall-times are
-/// nanoseconds of std::chrono::steady_clock.
+/// nanoseconds of std::chrono::steady_clock; under the parallel scheduler
+/// they accumulate *across* workers, so they measure cumulative solver
+/// effort, not elapsed wall-clock.
+///
+/// Counters are relaxed atomics so concurrent workers hitting one shared
+/// Solver sum exactly (no lost increments); copies and arithmetic
+/// (snapshot, +=, -) read and write with relaxed ordering — they are meant
+/// for quiescent aggregation points, not for cross-thread synchronisation.
 struct SolverStats {
-  uint64_t Queries = 0;
-  uint64_t TrivialAnswers = 0;   ///< empty / trivially-false conditions
+  std::atomic<uint64_t> Queries{0};
+  std::atomic<uint64_t> TrivialAnswers{0}; ///< empty / trivially-false
 
   // Cache layer (canonical full-query keys and per-slice keys).
-  uint64_t CacheLookups = 0;
-  uint64_t CacheHits = 0;        ///< full-query canonical-key hits
-  uint64_t SliceCacheLookups = 0;
-  uint64_t SliceCacheHits = 0;   ///< per-slice canonical-key hits
+  std::atomic<uint64_t> CacheLookups{0};
+  std::atomic<uint64_t> CacheHits{0};        ///< full-query hits
+  std::atomic<uint64_t> SliceCacheLookups{0};
+  std::atomic<uint64_t> SliceCacheHits{0};   ///< per-slice hits
 
   // Slicing layer.
-  uint64_t SlicedQueries = 0;    ///< queries split into >= 2 slices
-  uint64_t Slices = 0;           ///< total slices examined
+  std::atomic<uint64_t> SlicedQueries{0}; ///< queries split into >= 2
+  std::atomic<uint64_t> Slices{0};        ///< total slices examined
 
   // Syntactic core and SMT layers.
-  uint64_t SyntacticUnsat = 0;
-  uint64_t SyntacticSat = 0; ///< decided by verified syntactic models
-  uint64_t Z3Calls = 0;
+  std::atomic<uint64_t> SyntacticUnsat{0};
+  std::atomic<uint64_t> SyntacticSat{0}; ///< verified syntactic models
+  std::atomic<uint64_t> Z3Calls{0};
 
-  uint64_t Sat = 0, Unsat = 0, Unknown = 0;
-  uint64_t ModelsProposed = 0;
-  uint64_t ModelsVerified = 0;
+  std::atomic<uint64_t> Sat{0}, Unsat{0}, Unknown{0};
+  std::atomic<uint64_t> ModelsProposed{0};
+  std::atomic<uint64_t> ModelsVerified{0};
 
-  // Per-layer wall-time (ns).
-  uint64_t SliceNs = 0;     ///< variable-connected-component partitioning
-  uint64_t CanonNs = 0;     ///< canonical slice-key construction
-  uint64_t SyntacticNs = 0; ///< syntactic core + model propose/verify
-  uint64_t Z3Ns = 0;        ///< SMT round-trips (checkSat + models)
-  uint64_t TotalNs = 0;     ///< total wall-time inside the solver
+  // Per-layer wall-time (ns), cumulative across threads.
+  std::atomic<uint64_t> SliceNs{0};     ///< connected-component split
+  std::atomic<uint64_t> CanonNs{0};     ///< canonical slice keys
+  std::atomic<uint64_t> SyntacticNs{0}; ///< syntactic core + models
+  std::atomic<uint64_t> Z3Ns{0};        ///< SMT round-trips
+  std::atomic<uint64_t> TotalNs{0};     ///< total time inside the solver
+
+  SolverStats() = default;
+  SolverStats(const SolverStats &O) { *this = O; }
+  SolverStats &operator=(const SolverStats &O);
 
   /// Fraction of cache lookups (full-query and slice) answered from the
   /// cache; 0 when no lookup happened.
@@ -106,6 +126,8 @@ struct SolverStats {
   }
 
   SolverStats &operator+=(const SolverStats &O);
+  /// Explicit name for summing per-worker snapshots into an aggregate.
+  void merge(const SolverStats &O) { *this += O; }
   /// Counter-wise delta (for before/after snapshots around one test).
   SolverStats operator-(const SolverStats &O) const;
 };
@@ -115,9 +137,19 @@ struct SolverStats {
 std::string solverStatsJson(const SolverStats &S);
 
 /// A stateful (caching) satisfiability oracle for path conditions.
+/// Thread-safe; see the file comment.
 class Solver {
 public:
-  explicit Solver(SolverOptions Opts = SolverOptions()) : Opts(Opts) {}
+  /// A solver with its own private result cache (isolated, as every
+  /// pre-existing unit test expects).
+  explicit Solver(SolverOptions Opts = SolverOptions())
+      : Opts(Opts), OwnedCache(std::make_unique<SolverCache>()),
+        Cache(OwnedCache.get()) {}
+
+  /// A solver answering from (and feeding) \p Shared — typically
+  /// SolverCache::process(), so suite re-runs start warm.
+  Solver(SolverOptions Opts, SolverCache &Shared)
+      : Opts(Opts), Cache(&Shared) {}
 
   /// Is \p PC satisfiable? Unknown means "could not decide" and is treated
   /// as possibly-Sat by the engine. Unknown verdicts are never cached.
@@ -138,6 +170,11 @@ public:
   void resetStats() { Stats = SolverStats(); }
   const SolverOptions &options() const { return Opts; }
 
+  /// Clears the attached result cache (shared or private) — for tests
+  /// that need isolation from warm process-wide state.
+  void resetCache() { Cache->clear(); }
+  SolverCache &cache() { return *Cache; }
+
 private:
   /// The syntactic-core + Z3 pipeline on one (sub-)condition; no caching.
   SatResult solveLayers(const PathCondition &PC);
@@ -148,9 +185,11 @@ private:
 
   SolverOptions Opts;
   SolverStats Stats;
-  /// Canonical-key result cache shared by full queries and slices (slices
-  /// are path conditions themselves). Never stores Unknown.
-  std::unordered_map<PathCondition, SatResult> Cache;
+  /// Backing storage when this solver owns its cache (default ctor).
+  std::unique_ptr<SolverCache> OwnedCache;
+  /// The canonical-key result cache shared by full queries and slices
+  /// (slices are path conditions themselves). Never stores Unknown.
+  SolverCache *Cache;
 };
 
 } // namespace gillian

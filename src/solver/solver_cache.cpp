@@ -1,0 +1,43 @@
+//===- solver/solver_cache.cpp --------------------------------------------===//
+
+#include "solver/solver_cache.h"
+
+using namespace gillian;
+
+std::optional<SatResult> SolverCache::lookup(const PathCondition &PC) const {
+  Shard &S = shardFor(PC);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Map.find(PC);
+  if (It == S.Map.end())
+    return std::nullopt;
+  return It->second;
+}
+
+void SolverCache::insert(const PathCondition &PC, SatResult R) {
+  if (R == SatResult::Unknown)
+    return;
+  Shard &S = shardFor(PC);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.Map.emplace(PC, R);
+}
+
+void SolverCache::clear() {
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Map.clear();
+  }
+}
+
+size_t SolverCache::size() const {
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    N += S.Map.size();
+  }
+  return N;
+}
+
+SolverCache &SolverCache::process() {
+  static SolverCache C;
+  return C;
+}

@@ -323,10 +323,12 @@ Z3Outcome gillian::checkSatZ3(const PathCondition &PC, const TypeEnv &Types,
     return Out;
   }
   try {
-    // One long-lived context: constants intern per spelling, and context
-    // creation dominates small-query latency. Each query gets a fresh
-    // solver over the shared context.
-    static z3::context Ctx;
+    // One long-lived context *per thread*: constants intern per spelling,
+    // and context creation dominates small-query latency, but Z3 contexts
+    // are not thread-safe — so each exploration worker gets its own,
+    // lazily, for the lifetime of its thread. Each query gets a fresh
+    // solver over the thread's context.
+    static thread_local z3::context Ctx;
     z3::solver S(Ctx);
     Encoder Enc(Ctx, Types);
     size_t Encoded = 0;

@@ -16,6 +16,7 @@
 #define GILLIAN_TARGETS_SUITE_RUNNER_H
 
 #include "engine/test_runner.h"
+#include "solver/solver_cache.h"
 
 #include <string>
 #include <vector>
@@ -53,7 +54,11 @@ SuiteResult runSuite(std::string_view Name, const Prog &P,
                      const EngineOptions &Opts) {
   SuiteResult R;
   R.Name = std::string(Name);
-  Solver Slv(Opts.Solver);
+  // The query cache is the process-wide shared instance: canonical path
+  // conditions are program-independent facts, so warm re-runs of a suite
+  // (and parallel workers within one) reuse each other's verdicts. Tests
+  // needing cold-cache numbers call SolverCache::process().clear().
+  Solver Slv(Opts.Solver, SolverCache::process());
   for (const std::string &T : testProcs(P)) {
     SymbolicTestResult TR = runSymbolicTest<M>(P, T, Opts, Slv);
     ++R.Tests;

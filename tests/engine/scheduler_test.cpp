@@ -1,0 +1,271 @@
+//===- tests/engine/scheduler_test.cpp ------------------------------------===//
+//
+// The parallel exploration scheduler: the work-stealing pool executes
+// every injected and spawned task exactly once; Workers = 1 dispatches to
+// the sequential worklist (bit-identical results, including order); the
+// pool-driven modes produce the same outcomes in a deterministic,
+// schedule-independent order at every worker count; and engine/solver
+// counters are schedule-independent modulo cache-hit attribution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/scheduler/exploration_scheduler.h"
+#include "engine/scheduler/thread_pool.h"
+
+#include "engine/test_runner.h"
+#include "while_lang/compiler.h"
+#include "while_lang/memory.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <vector>
+
+using namespace gillian;
+using namespace gillian::whilelang;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, ExecutesEveryInjectedTask) {
+  ThreadPool<int> Pool(4, 4);
+  std::atomic<int> Sum{0};
+  for (int I = 1; I <= 100; ++I)
+    Pool.inject(I);
+  Pool.run([&Sum](int T, ThreadPool<int>::Worker &) {
+    Sum.fetch_add(T, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(Sum.load(), 5050);
+}
+
+TEST(ThreadPool, SpawnedTasksAllComplete) {
+  // Each task of depth d spawns two of depth d-1: a binary tree of
+  // 2^(D+1) - 1 tasks from one root, all discovered dynamically.
+  constexpr int D = 10;
+  ThreadPool<int> Pool(4, 2);
+  std::atomic<uint64_t> Count{0};
+  Pool.inject(D);
+  Pool.run([&Count](int Depth, ThreadPool<int>::Worker &W) {
+    Count.fetch_add(1, std::memory_order_relaxed);
+    if (Depth > 0) {
+      W.spawn(Depth - 1);
+      W.spawn(Depth - 1);
+    }
+  });
+  EXPECT_EQ(Count.load(), (1u << (D + 1)) - 1);
+}
+
+TEST(ThreadPool, SingleWorkerAndUnitStealBatchStillDrain) {
+  ThreadPool<int> Pool(1, 1);
+  std::atomic<int> Count{0};
+  Pool.inject(5);
+  Pool.run([&Count](int Depth, ThreadPool<int>::Worker &W) {
+    Count.fetch_add(1, std::memory_order_relaxed);
+    if (Depth > 0)
+      W.spawn(Depth - 1);
+  });
+  EXPECT_EQ(Count.load(), 6);
+}
+
+TEST(ThreadPool, QuiescesWithNoTasks) {
+  ThreadPool<int> Pool(4, 4);
+  bool Ran = false;
+  Pool.run([&Ran](int, ThreadPool<int>::Worker &) { Ran = true; });
+  EXPECT_FALSE(Ran);
+}
+
+//===----------------------------------------------------------------------===//
+// ExplorationScheduler on While programs
+//===----------------------------------------------------------------------===//
+
+// A workload with branch structure at several depths: 3 symbolic booleans
+// (8 way split), a data-dependent loop, and an interprocedural call.
+constexpr const char *BranchySrc = R"(
+  function main() {
+    a := fresh_int();
+    b := fresh_int();
+    c := fresh_int();
+    s := 0;
+    if (a < 0) { s := s + 1; } else { s := s + 2; }
+    if (b < a) { s := s + 10; } else { s := s + 20; }
+    if (c < b) { s := s + 100; } else { s := s + 200; }
+    n := fresh_int();
+    assume (0 <= n && n < 4);
+    i := 0;
+    while (i < n) { t := step1(i); s := s + t; i := i + 1; }
+    assert (0 < s);
+    return s;
+  }
+  function step1(x) {
+    if (x == 1) { return 2; }
+    return 1;
+  })";
+
+using St = SymbolicState<WhileSMem>;
+
+// Runs BranchySrc under \p Opts and renders each finished path as
+// "kind|value|path-condition", in the engine's result order.
+std::vector<std::string> traceSigs(const EngineOptions &Opts, Solver &Slv,
+                                   ExecStats &Stats) {
+  Result<Prog> P = compileWhileSource(BranchySrc);
+  EXPECT_TRUE(P.ok()) << (P.ok() ? "" : P.error());
+  St Init(WhileSMem(), &Slv, &Opts);
+  Interpreter<St> Interp(*P, Opts, Stats);
+  Result<std::vector<TraceResult<St>>> Traces = runExploration(
+      Interp, InternedString::get("main"), Expr::list({}), std::move(Init));
+  EXPECT_TRUE(Traces.ok()) << (Traces.ok() ? "" : Traces.error());
+  std::vector<std::string> Sigs;
+  if (!Traces.ok())
+    return Sigs;
+  for (TraceResult<St> &T : *Traces)
+    Sigs.push_back(std::string(outcomeKindName(T.Kind)) + "|" +
+                   T.Val.toString() + "|" +
+                   T.Final.pathCondition().toString());
+  return Sigs;
+}
+
+std::vector<std::string> traceSigs(const EngineOptions &Opts) {
+  Solver Slv(Opts.Solver); // private cache: isolated from other tests
+  ExecStats Stats;
+  return traceSigs(Opts, Slv, Stats);
+}
+
+EngineOptions withWorkers(uint32_t Workers, bool SequentialFallback = true) {
+  EngineOptions O;
+  O.Scheduler.Workers = Workers;
+  O.Scheduler.SequentialFallback = SequentialFallback;
+  return O;
+}
+
+TEST(ExplorationScheduler, WorkersOneIsBitIdenticalToSequential) {
+  // Workers = 1 (the default) must take the classic sequential worklist:
+  // same results, same order, same counters.
+  EngineOptions Default;
+  ASSERT_FALSE(Default.Scheduler.parallel());
+  std::vector<std::string> Seq = traceSigs(Default);
+  std::vector<std::string> One = traceSigs(withWorkers(1));
+  EXPECT_FALSE(Seq.empty());
+  EXPECT_EQ(Seq, One) << "identical sequences, including order";
+}
+
+TEST(ExplorationScheduler, PoolModeMatchesSequentialOutcomes) {
+  // The pool merges in branch-trace order — a different (but fixed) order
+  // from the sequential worklist — so compare as multisets.
+  std::vector<std::string> Seq = traceSigs(withWorkers(1));
+  std::vector<std::string> Par = traceSigs(withWorkers(4));
+  ASSERT_FALSE(Seq.empty());
+  std::sort(Seq.begin(), Seq.end());
+  std::vector<std::string> ParSorted = Par;
+  std::sort(ParSorted.begin(), ParSorted.end());
+  EXPECT_EQ(Seq, ParSorted);
+}
+
+TEST(ExplorationScheduler, ResultOrderIsScheduleIndependent) {
+  // Branch-trace order depends only on the program: every pool
+  // configuration — including a one-worker pool (fallback disabled) —
+  // yields the same *sequence*, run after run.
+  std::vector<std::string> PoolOfOne = traceSigs(withWorkers(1, false));
+  ASSERT_FALSE(PoolOfOne.empty());
+  for (uint32_t Workers : {2u, 4u, 8u}) {
+    std::vector<std::string> Par = traceSigs(withWorkers(Workers));
+    EXPECT_EQ(PoolOfOne, Par) << "workers=" << Workers;
+  }
+  EXPECT_EQ(PoolOfOne, traceSigs(withWorkers(4))) << "repeat run";
+}
+
+TEST(ExplorationScheduler, CountersScheduleIndependentModuloCacheLayer) {
+  // Sequential and 4-worker runs execute the same steps and issue the
+  // same solver queries with the same verdicts; only *which layer*
+  // answered (cache vs Z3) may shift, because workers racing on a miss
+  // can duplicate a round-trip whose result the sequential run reused.
+  EngineOptions SeqOpts = withWorkers(1);
+  Solver SeqSlv(SeqOpts.Solver);
+  ExecStats SeqStats;
+  std::vector<std::string> Seq = traceSigs(SeqOpts, SeqSlv, SeqStats);
+
+  EngineOptions ParOpts = withWorkers(4);
+  Solver ParSlv(ParOpts.Solver);
+  ExecStats ParStats;
+  std::vector<std::string> Par = traceSigs(ParOpts, ParSlv, ParStats);
+
+  ASSERT_EQ(Seq.size(), Par.size());
+  EXPECT_EQ(SeqStats.CmdsExecuted.load(), ParStats.CmdsExecuted.load());
+  EXPECT_EQ(SeqStats.Branches.load(), ParStats.Branches.load());
+  EXPECT_EQ(SeqStats.PathsFinished.load(), ParStats.PathsFinished.load());
+  EXPECT_EQ(SeqStats.PathsVanished.load(), ParStats.PathsVanished.load());
+  EXPECT_EQ(SeqStats.PathsErrored.load(), ParStats.PathsErrored.load());
+  EXPECT_EQ(SeqStats.PathsBounded.load(), ParStats.PathsBounded.load());
+
+  const SolverStats &SS = SeqSlv.stats();
+  const SolverStats &PS = ParSlv.stats();
+  EXPECT_EQ(SS.Queries.load(), PS.Queries.load())
+      << "query count is exploration-driven, not schedule-driven";
+  EXPECT_EQ(SS.Sat.load(), PS.Sat.load());
+  EXPECT_EQ(SS.Unsat.load(), PS.Unsat.load());
+  EXPECT_EQ(SS.Unknown.load(), PS.Unknown.load());
+}
+
+TEST(ExplorationScheduler, SymbolicTestRunnerHonorsSchedulerOptions) {
+  // End-to-end through runSymbolicTest: the parallel verdict (bugs,
+  // outcome counts) matches the sequential one.
+  Result<Prog> P = compileWhileSource(R"(
+    function main() {
+      x := fresh_int();
+      assume (0 <= x && x <= 10);
+      assert (x < 10);
+      return x;
+    })");
+  ASSERT_TRUE(P.ok()) << P.error();
+  EngineOptions SeqOpts = withWorkers(1);
+  Solver SeqSlv(SeqOpts.Solver);
+  SymbolicTestResult Seq = runSymbolicTest<WhileSMem>(*P, "main", SeqOpts,
+                                                      SeqSlv);
+  EngineOptions ParOpts = withWorkers(4);
+  Solver ParSlv(ParOpts.Solver);
+  SymbolicTestResult Par = runSymbolicTest<WhileSMem>(*P, "main", ParOpts,
+                                                      ParSlv);
+  EXPECT_EQ(Seq.ok(), Par.ok());
+  EXPECT_EQ(Seq.Bugs.size(), Par.Bugs.size());
+  EXPECT_EQ(Seq.PathsReturned, Par.PathsReturned);
+  EXPECT_EQ(Seq.PathsVanished, Par.PathsVanished);
+  EXPECT_EQ(Seq.hasConfirmedBug(), Par.hasConfirmedBug());
+}
+
+TEST(ExplorationScheduler, SharedCacheResetRestoresColdCounts) {
+  // resetCache() gives tests isolation from warm shared state: a cleared
+  // cache behaves like a fresh one. Sequential runs keep every counter
+  // deterministic, so cold and post-reset runs must agree exactly.
+  EngineOptions Opts = withWorkers(1);
+  SolverCache Shared;
+  Solver A(Opts.Solver, Shared);
+  ExecStats SA;
+  traceSigs(Opts, A, SA);
+  // Full-query hits: a warm cache answers whole repeated queries at the
+  // top layer (intra-run, the cold run only catches repeats it has
+  // already sliced through).
+  uint64_t ColdFullHits = A.stats().CacheHits.load();
+  uint64_t ColdSliceHits = A.stats().SliceCacheHits.load();
+  EXPECT_GT(Shared.size(), 0u);
+
+  // A warm re-run answers repeated queries from the shared cache.
+  Solver B(Opts.Solver, Shared);
+  ExecStats SB;
+  traceSigs(Opts, B, SB);
+  EXPECT_GT(B.stats().CacheHits.load(), ColdFullHits);
+
+  // After a reset, a fresh run pays the cold cost again.
+  B.resetCache();
+  EXPECT_EQ(Shared.size(), 0u);
+  Solver C(Opts.Solver, Shared);
+  ExecStats SC;
+  traceSigs(Opts, C, SC);
+  EXPECT_EQ(C.stats().CacheHits.load(), ColdFullHits);
+  EXPECT_EQ(C.stats().SliceCacheHits.load(), ColdSliceHits);
+}
+
+} // namespace
