@@ -2,17 +2,17 @@
 //
 // Ablation of the engine improvements §4.1 credits for the ~2x speedup of
 // Gillian-JS over JaVerT 2.0: expression simplification, the
-// simplification memo, solver result caching, independence slicing, and
-// the syntactic solver layer. Each row disables one ingredient on the
+// simplification memo, solver result caching, independence slicing, the
+// syntactic solver layer, and incremental Z3 sessions. Each row disables
+// one ingredient on the
 // full Buckets workload and reports the solver cache hit rate; a final
 // JSON line carries the per-configuration solver-layer statistics.
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench_common.h"
 #include "mjs/compiler.h"
 #include "mjs/memory.h"
-#include "solver/simplifier.h"
-#include "solver/solver_cache.h"
 #include "targets/buckets_mjs.h"
 #include "targets/suite_runner.h"
 
@@ -58,7 +58,8 @@ RunResult runAll(const EngineOptions &Opts) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  const bench::BenchArgs Args = bench::parseBenchArgs(argc, argv);
   struct Config {
     const char *Name;
     std::function<EngineOptions()> Make;
@@ -89,12 +90,18 @@ int main() {
          O.Solver.UseSyntactic = false;
          return O;
        }},
-      {"legacy JaVerT 2.0",
-       [] { return EngineOptions::legacyJaVerT2(); }},
-      {"parallel x4",
+      {"no incremental sessions",
        [] {
          EngineOptions O;
-         O.Scheduler.Workers = 4;
+         O.Solver.UseIncremental = false;
+         return O;
+       }},
+      {"legacy JaVerT 2.0",
+       [] { return EngineOptions::legacyJaVerT2(); }},
+      {"parallel",
+       [&Args] {
+         EngineOptions O;
+         O.Scheduler.Workers = Args.Workers;
          return O;
        }},
   };
@@ -108,8 +115,7 @@ int main() {
   for (const Config &C : Configs) {
     // Cold caches per configuration: runSuite feeds the process-wide
     // solver cache, which would otherwise warm every later row.
-    resetSimplifyCache();
-    SolverCache::process().clear();
+    bench::coldStart();
     RunResult R = runAll(C.Make());
     if (Base == 0)
       Base = R.Seconds;
@@ -129,7 +135,8 @@ int main() {
               "J2 -> GJS speedup). In our engine the solver result cache "
               "is the dominant ingredient: without it, repeated aliasing "
               "and branch-feasibility queries pay SMT round-trips.\n");
-  std::printf("\n{\"bench\":\"ablation_engine\",\"configs\":[%s]}\n",
-              ConfigsJson.c_str());
+  if (Args.Json)
+    std::printf("\n{\"bench\":\"ablation_engine\",\"configs\":[%s]}\n",
+                ConfigsJson.c_str());
   return 0;
 }

@@ -1,0 +1,98 @@
+//===- bench/bench_common.h - Shared bench-driver plumbing ----*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The argument parsing and cold-start idiom shared by the five bench
+/// drivers. Every driver accepts:
+///
+///   --workers=N / --workers N   worker count of the parallel
+///                               configurations (default 4, the acceptance
+///                               target's core count)
+///   --json / --no-json          emit / suppress the trailing
+///                               machine-readable JSON line (default on)
+///
+/// Arguments the parser consumes are removed from argv, so drivers built
+/// on google-benchmark can hand the remainder to benchmark::Initialize.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_BENCH_BENCH_COMMON_H
+#define GILLIAN_BENCH_BENCH_COMMON_H
+
+#include "solver/incremental_session.h"
+#include "solver/simplifier.h"
+#include "solver/solver_cache.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace gillian::bench {
+
+struct BenchArgs {
+  uint32_t Workers = 4; ///< worker count of the parallel configurations
+  bool Json = true;     ///< emit the trailing machine-readable JSON line
+};
+
+/// Parses (and strips from argv) the shared driver arguments; exits with a
+/// diagnostic on a malformed value.
+inline BenchArgs parseBenchArgs(int &argc, char **argv) {
+  BenchArgs Args;
+  auto parseWorkers = [](const char *Value) -> uint32_t {
+    char *End = nullptr;
+    unsigned long N = std::strtoul(Value, &End, 10);
+    if (End == Value || *End != '\0' || N == 0 || N > 1024) {
+      std::fprintf(stderr, "invalid --workers value: %s\n", Value);
+      std::exit(2);
+    }
+    return static_cast<uint32_t>(N);
+  };
+  int Out = 1;
+  for (int In = 1; In < argc; ++In) {
+    const char *A = argv[In];
+    if (std::strncmp(A, "--workers=", 10) == 0) {
+      Args.Workers = parseWorkers(A + 10);
+    } else if (std::strcmp(A, "--workers") == 0) {
+      if (In + 1 >= argc) {
+        std::fprintf(stderr, "--workers needs a value\n");
+        std::exit(2);
+      }
+      Args.Workers = parseWorkers(argv[++In]);
+    } else if (std::strcmp(A, "--json") == 0) {
+      Args.Json = true;
+    } else if (std::strcmp(A, "--no-json") == 0) {
+      Args.Json = false;
+    } else {
+      argv[Out++] = argv[In];
+    }
+  }
+  argc = Out;
+  argv[argc] = nullptr;
+  return Args;
+}
+
+/// A genuinely cold solver for the next timed configuration: clears the
+/// process-wide result cache, the sharded simplifier memo, and every
+/// thread's incremental Z3 sessions + encoding memos (runSuite feeds all
+/// three, which would otherwise warm every later row).
+inline void coldStart() {
+  resetSimplifyCache();
+  SolverCache::process().clear();
+  IncrementalSessionPool::invalidateAll();
+  IncrementalSessionPool::forThread().reset();
+}
+
+inline double seconds(std::chrono::steady_clock::time_point From) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       From)
+      .count();
+}
+
+} // namespace gillian::bench
+
+#endif // GILLIAN_BENCH_BENCH_COMMON_H

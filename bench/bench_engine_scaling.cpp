@@ -7,12 +7,15 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench_common.h"
 #include "engine/test_runner.h"
-#include "solver/simplifier.h"
 #include "while_lang/compiler.h"
 #include "while_lang/memory.h"
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
 
 #include <chrono>
 #include <cstdio>
@@ -81,6 +84,8 @@ void setSolverCounters(benchmark::State &State,
   State.counters["solver_hit_rate"] = R.Solver.cacheHitRate();
   State.counters["solver_ms"] = 1e-6 * static_cast<double>(R.Solver.TotalNs);
   State.counters["z3_calls"] = static_cast<double>(R.Solver.Z3Calls);
+  State.counters["inc_session_hit_rate"] = R.Solver.sessionHitRate();
+  State.counters["inc_prefix_depth"] = R.Solver.meanPrefixDepth();
 }
 
 } // namespace
@@ -138,31 +143,42 @@ BENCHMARK(BM_ParallelDiamond)
 // 1024-path workload and emit one machine-readable JSON line with the
 // per-count wall time and cache hit rate (for CI scaling dashboards).
 int main(int argc, char **argv) {
+  const bench::BenchArgs Args = bench::parseBenchArgs(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!Args.Json)
+    return 0;
 
   std::string Src = diamondProgram(10);
   std::string SweepJson;
   double BaseSec = 0;
-  for (uint32_t Workers : {1u, 2u, 4u, 8u}) {
-    resetSimplifyCache(); // cold per count: same starting state for all
+  std::vector<uint32_t> Sweep{1u, 2u, 4u, 8u};
+  if (std::find(Sweep.begin(), Sweep.end(), Args.Workers) == Sweep.end()) {
+    Sweep.push_back(Args.Workers);
+    std::sort(Sweep.begin(), Sweep.end());
+  }
+  for (uint32_t Workers : Sweep) {
+    bench::coldStart(); // cold per count: same starting state for all
     auto T0 = std::chrono::steady_clock::now();
     SymbolicTestResult R = runProgram(Src, Workers);
-    double Sec = std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - T0)
-                     .count();
+    double Sec = bench::seconds(T0);
     if (Workers == 1)
       BaseSec = Sec;
-    char Buf[192];
+    char Buf[320];
     std::snprintf(Buf, sizeof(Buf),
                   "{\"workers\":%u,\"time_s\":%.6f,\"speedup\":%.3f,"
-                  "\"cache_hit_rate\":%.4f,\"solver_queries\":%llu}",
+                  "\"cache_hit_rate\":%.4f,\"solver_queries\":%llu,"
+                  "\"inc_session_hit_rate\":%.4f,"
+                  "\"inc_mean_prefix_depth\":%.2f,"
+                  "\"encode_memo_hits\":%llu}",
                   Workers, Sec, Sec > 0 ? BaseSec / Sec : 0.0,
                   R.Solver.cacheHitRate(),
-                  static_cast<unsigned long long>(R.Solver.Queries));
+                  static_cast<unsigned long long>(R.Solver.Queries),
+                  R.Solver.sessionHitRate(), R.Solver.meanPrefixDepth(),
+                  static_cast<unsigned long long>(R.Solver.EncodeMemoHits));
     if (!SweepJson.empty())
       SweepJson += ",";
     SweepJson += Buf;

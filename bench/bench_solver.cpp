@@ -7,11 +7,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench_common.h"
 #include "gil/parser.h"
-#include "solver/simplifier.h"
 #include "solver/solver.h"
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 using namespace gillian;
 
@@ -33,6 +36,39 @@ PathCondition typicalPc() {
   PC.add(parse("#y == #x + 1"));
   PC.add(parse("!(#y == 7)"));
   return PC;
+}
+
+/// The path-growth query chain: condition k extends condition k-1 by one
+/// fresh-variable link (#c_k == #c_{k-1} + 1), the shape a symbolic path
+/// produces between branch points.
+std::vector<PathCondition> prefixGrowthChain(int Len) {
+  std::vector<PathCondition> Chain;
+  PathCondition PC;
+  PC.add(parse("typeof(#c0) == ^Int"));
+  PC.add(parse("0 <= #c0"));
+  Chain.push_back(PC);
+  for (int I = 1; I < Len; ++I) {
+    std::string V = "#c" + std::to_string(I);
+    std::string U = "#c" + std::to_string(I - 1);
+    PC.add(parse(("typeof(" + V + ") == ^Int").c_str()));
+    PC.add(parse((V + " == " + U + " + 1").c_str()));
+    Chain.push_back(PC);
+  }
+  return Chain;
+}
+
+/// One pass over the chain with every layer but Z3 disabled, so the cost
+/// is purely encode+assert+check; returns the solver's stats.
+SolverStats runPrefixChain(bool Incremental, int Len) {
+  SolverOptions Opts;
+  Opts.UseCache = false;
+  Opts.UseSyntactic = false;
+  Opts.UseSlicing = false;
+  Opts.UseIncremental = Incremental;
+  Solver S(Opts);
+  for (const PathCondition &Q : prefixGrowthChain(Len))
+    benchmark::DoNotOptimize(S.checkSat(Q));
+  return S.stats();
 }
 
 } // namespace
@@ -192,6 +228,35 @@ BENCHMARK(BM_SolverSharedCacheInsertThreaded)
     ->ThreadRange(1, 8)
     ->UseRealTime();
 
+static void BM_IncrementalPrefixChain(benchmark::State &State) {
+  // 24 queries, each extending the previous by one conjunct link. With
+  // incremental sessions (Arg 1) each query pushes only its delta against
+  // the thread's asserted prefix; without (Arg 0) every query re-encodes
+  // and re-asserts all of its conjuncts. Cache/syntactic/slicing layers
+  // are off so the difference is pure Z3 re-assertion work.
+  const bool Incremental = State.range(0) != 0;
+  const int Len = 24;
+  SolverOptions Opts;
+  Opts.UseCache = false;
+  Opts.UseSyntactic = false;
+  Opts.UseSlicing = false;
+  Opts.UseIncremental = Incremental;
+  Solver S(Opts);
+  std::vector<PathCondition> Chain = prefixGrowthChain(Len);
+  for (auto _ : State)
+    for (const PathCondition &Q : Chain)
+      benchmark::DoNotOptimize(S.checkSat(Q));
+  State.SetLabel(Incremental ? "incremental" : "cold re-assert");
+  State.counters["inc_session_hit_rate"] = S.stats().sessionHitRate();
+  State.counters["inc_reused_conjuncts_per_iter"] =
+      benchmark::Counter(static_cast<double>(S.stats().IncReusedConjuncts),
+                         benchmark::Counter::kAvgIterations);
+  State.counters["encode_memo_hits_per_iter"] =
+      benchmark::Counter(static_cast<double>(S.stats().EncodeMemoHits),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_IncrementalPrefixChain)->Arg(0)->Arg(1);
+
 static void BM_VerifiedModelExtraction(benchmark::State &State) {
   Solver S;
   PathCondition PC = typicalPc();
@@ -216,4 +281,26 @@ static void BM_PathConditionGrowth(benchmark::State &State) {
 }
 BENCHMARK(BM_PathConditionGrowth);
 
-BENCHMARK_MAIN();
+// After the google-benchmark report, one machine-readable JSON line
+// A/B-ing the prefix-growth chain with incremental sessions on vs. off
+// (the layer-2 counters Tables 1/2 report in context).
+int main(int argc, char **argv) {
+  const gillian::bench::BenchArgs Args =
+      gillian::bench::parseBenchArgs(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!Args.Json)
+    return 0;
+
+  gillian::bench::coldStart();
+  SolverStats Off = runPrefixChain(/*Incremental=*/false, 24);
+  gillian::bench::coldStart();
+  SolverStats On = runPrefixChain(/*Incremental=*/true, 24);
+  std::printf("\n{\"bench\":\"solver_micro\",\"workload\":"
+              "\"prefix_chain_24\",\"inc_off\":%s,\"inc_on\":%s}\n",
+              solverStatsJson(Off).c_str(), solverStatsJson(On).c_str());
+  return 0;
+}

@@ -17,10 +17,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench_common.h"
 #include "mjs/compiler.h"
 #include "mjs/memory.h"
-#include "solver/simplifier.h"
-#include "solver/solver_cache.h"
 #include "targets/buckets_mjs.h"
 #include "targets/suite_runner.h"
 
@@ -47,22 +46,12 @@ struct Row {
   SolverStats SolverPar;
 };
 
-/// Worker count of the parallel configuration (the acceptance target is a
-/// 4-core runner).
-constexpr uint32_t ParWorkers = 4;
+using bench::coldStart;
+using bench::seconds;
 
-/// runSuite answers from the process-wide shared solver cache; each timed
-/// configuration must start cold or the earlier one warms it.
-void coldStart() {
-  resetSimplifyCache();
-  SolverCache::process().clear();
-}
-
-double seconds(std::chrono::steady_clock::time_point From) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       From)
-      .count();
-}
+/// Worker count of the parallel configuration; set from --workers
+/// (default 4, the acceptance target's core count).
+uint32_t ParWorkers = 4;
 
 std::string rowJson(const Row &R) {
   char Buf[384];
@@ -80,7 +69,9 @@ std::string rowJson(const Row &R) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  const bench::BenchArgs Args = bench::parseBenchArgs(argc, argv);
+  ParWorkers = Args.Workers;
   std::printf("Table 1: Buckets.js-style symbolic test suites "
               "(Gillian-JS / MJS)\n");
   std::printf("%-8s %4s %12s %10s %10s %8s %10s %8s %9s\n", "Name", "#T",
@@ -179,8 +170,9 @@ int main() {
               "pool sharing one solver cache; ParSpd = Time(GJS)/Time(P4) "
               "tracks core count (expect ~1x on a single-core runner, "
               ">=2x on 4 cores).\n");
-  std::printf("\n{\"bench\":\"table1_buckets\",\"suites\":[%s],"
-              "\"total\":%s}\n",
-              SuitesJson.c_str(), rowJson(Total).c_str());
+  if (Args.Json)
+    std::printf("\n{\"bench\":\"table1_buckets\",\"suites\":[%s],"
+                "\"total\":%s}\n",
+                SuitesJson.c_str(), rowJson(Total).c_str());
   return Total.Bugs == 0 ? 0 : 1;
 }

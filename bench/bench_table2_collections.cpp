@@ -14,10 +14,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench_common.h"
 #include "mc/compiler.h"
 #include "mc/memory.h"
-#include "solver/simplifier.h"
-#include "solver/solver_cache.h"
 #include "targets/collections_mc.h"
 #include "targets/suite_runner.h"
 
@@ -31,11 +30,8 @@ using namespace gillian::targets;
 
 namespace {
 
-double seconds(std::chrono::steady_clock::time_point From) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       From)
-      .count();
-}
+using bench::coldStart;
+using bench::seconds;
 
 Result<Prog> compileSuite(std::string_view Library,
                           const CollectionsSuite &S) {
@@ -43,20 +39,13 @@ Result<Prog> compileSuite(std::string_view Library,
   return compileMcSource(Src);
 }
 
-/// Worker count of the parallel configuration (the acceptance target is a
-/// 4-core runner).
-constexpr uint32_t ParWorkers = 4;
-
-/// runSuite answers from the process-wide shared solver cache; each timed
-/// configuration must start cold or the earlier one warms it.
-void coldStart() {
-  resetSimplifyCache();
-  SolverCache::process().clear();
-}
-
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  const bench::BenchArgs Args = bench::parseBenchArgs(argc, argv);
+  // Worker count of the parallel configuration (--workers; default 4, the
+  // acceptance target's core count).
+  const uint32_t ParWorkers = Args.Workers;
   std::printf("Table 2: Collections-C-style symbolic test suites "
               "(Gillian-C / MC)\n");
   std::printf("%-8s %4s %12s %10s %10s %8s %9s\n", "Name", "#T", "GIL Cmds",
@@ -159,9 +148,10 @@ int main() {
                 static_cast<unsigned long long>(TotalTests),
                 static_cast<unsigned long long>(TotalCmds), TotalTime,
                 TotalTimePar, ParWorkers);
-  std::printf("\n{\"bench\":\"table2_collections\",\"suites\":[%s],"
-              "\"total\":%s%s}}\n",
-              SuitesJson.c_str(), TotBuf,
-              solverStatsJson(TotalSolver).c_str());
+  if (Args.Json)
+    std::printf("\n{\"bench\":\"table2_collections\",\"suites\":[%s],"
+                "\"total\":%s%s}}\n",
+                SuitesJson.c_str(), TotBuf,
+                solverStatsJson(TotalSolver).c_str());
   return HealthyBugs == 0 && Findings.size() >= 4 ? 0 : 1;
 }

@@ -16,7 +16,9 @@
 /// a victim's deque (FIFO: thieves take the oldest — shallowest — forks,
 /// which head the largest untapped subtrees), up to `StealBatch`
 /// configurations per steal so a thief seeds itself instead of returning
-/// for every successor. Deques are mutex-striped rather than lock-free:
+/// for every successor. The batch is adaptive: it halves while the
+/// victim's deque is shorter than it (see stealCount), so a nearly-drained
+/// victim is not stripped bare. Deques are mutex-striped rather than lock-free:
 /// exploration tasks are heavyweight (each step runs solver queries), so
 /// queue transfer cost is noise — predictable correctness wins.
 ///
@@ -68,6 +70,20 @@ public:
   ThreadPool &operator=(const ThreadPool &) = delete;
 
   size_t workers() const { return Deques.size(); }
+
+  /// Tasks a thief takes from a victim whose deque holds \p QueueLen
+  /// tasks, with configured batch \p Batch: the batch halves while it
+  /// exceeds the victim's queue (adaptive — a short deque is not stolen
+  /// bare, leaving the victim its depth-first locality), and the result is
+  /// clamped to the queue length. Static so the clamp is unit-testable.
+  static size_t stealCount(size_t QueueLen, size_t Batch) {
+    if (QueueLen == 0)
+      return 0;
+    size_t B = Batch ? Batch : 1;
+    while (B > 1 && QueueLen < B)
+      B /= 2;
+    return B < QueueLen ? B : QueueLen;
+  }
 
   /// Enqueues a root task on the global injection queue. Thread-safe, but
   /// intended for seeding the pool before run().
@@ -127,9 +143,10 @@ private:
   }
 
   /// Scans the other workers' deques round-robin from our right-hand
-  /// neighbour; takes up to StealBatch tasks from the first non-empty
-  /// victim. The first stolen task is returned for execution, the rest
-  /// land on our own deque.
+  /// neighbour; takes up to stealCount(len, StealBatch) tasks from the
+  /// first non-empty victim (the batch adapts down for short deques). The
+  /// first stolen task is returned for execution, the rest land on our
+  /// own deque.
   std::optional<Task> steal(size_t Idx) {
     size_t N = workers();
     for (size_t Off = 1; Off < N; ++Off) {
@@ -138,7 +155,7 @@ private:
       {
         std::lock_guard<std::mutex> Lock(Deques[Victim].Mu);
         auto &Q = Deques[Victim].Q;
-        for (size_t K = 0; K < StealBatch && !Q.empty(); ++K) {
+        for (size_t K = stealCount(Q.size(), StealBatch); K > 0; --K) {
           Batch.push_back(std::move(Q.front()));
           Q.pop_front();
         }

@@ -39,6 +39,7 @@ struct ExecStats {
   // test runner from SolverStats deltas; zero for concrete runs).
   std::atomic<uint64_t> SolverQueries{0};
   std::atomic<uint64_t> SolverCacheHits{0}; ///< full-query + slice hits
+  std::atomic<uint64_t> SolverIncReuses{0}; ///< Z3 answers on a reused prefix
   std::atomic<uint64_t> SolverNs{0}; ///< wall-time inside the solver
   std::atomic<uint64_t> EngineNs{0}; ///< wall-time of the exploration loop
 
@@ -77,6 +78,7 @@ private:
     F(ProcCalls, O.ProcCalls);
     F(SolverQueries, O.SolverQueries);
     F(SolverCacheHits, O.SolverCacheHits);
+    F(SolverIncReuses, O.SolverIncReuses);
     F(SolverNs, O.SolverNs);
     F(EngineNs, O.EngineNs);
   }

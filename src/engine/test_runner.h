@@ -78,6 +78,7 @@ runSymbolicTest(const Prog &P, std::string_view Entry,
     R.Solver = Slv.stats() - Before;
     R.Stats.SolverQueries += R.Solver.Queries;
     R.Stats.SolverCacheHits += R.Solver.CacheHits + R.Solver.SliceCacheHits;
+    R.Stats.SolverIncReuses += R.Solver.IncExtends;
     R.Stats.SolverNs += R.Solver.TotalNs;
   };
   using St = SymbolicState<M>;

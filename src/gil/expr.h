@@ -99,6 +99,12 @@ public:
 
   size_t hash() const;
 
+  /// Stable address of the shared node — an identity key for memo tables.
+  /// Valid only while some Expr still references the node, so any table
+  /// keyed on it must also hold the Expr to pin the node alive (a recycled
+  /// address would otherwise alias a dead entry).
+  const void *identity() const { return N.get(); }
+
   /// Structural equality (hash-accelerated).
   friend bool operator==(const Expr &A, const Expr &B);
   friend bool operator!=(const Expr &A, const Expr &B) { return !(A == B); }

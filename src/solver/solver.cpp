@@ -2,6 +2,8 @@
 
 #include "solver/solver.h"
 
+#include "solver/incremental_session.h"
+#include "solver/simplifier.h"
 #include "solver/z3_backend.h"
 
 #include <chrono>
@@ -48,6 +50,14 @@ private:
   APPLY(SyntacticUnsat)                                                        \
   APPLY(SyntacticSat)                                                          \
   APPLY(Z3Calls)                                                               \
+  APPLY(IncQueries)                                                            \
+  APPLY(IncExtends)                                                            \
+  APPLY(IncResets)                                                             \
+  APPLY(IncPoppedFrames)                                                       \
+  APPLY(IncReusedConjuncts)                                                    \
+  APPLY(IncPrefixDepth)                                                        \
+  APPLY(EncodeMemoHits)                                                        \
+  APPLY(EncodeMemoMisses)                                                      \
   APPLY(Sat)                                                                   \
   APPLY(Unsat)                                                                 \
   APPLY(Unknown)                                                               \
@@ -82,14 +92,20 @@ SolverStats SolverStats::operator-(const SolverStats &O) const {
 }
 
 std::string gillian::solverStatsJson(const SolverStats &S) {
-  char Buf[1024];
+  char Buf[2048];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"queries\":%llu,\"trivial\":%llu,\"cache_lookups\":%llu,"
       "\"cache_hits\":%llu,\"slice_cache_lookups\":%llu,"
       "\"slice_cache_hits\":%llu,\"cache_hit_rate\":%.4f,"
       "\"sliced_queries\":%llu,\"slices\":%llu,\"syntactic_unsat\":%llu,"
-      "\"syntactic_sat\":%llu,\"z3_calls\":%llu,\"sat\":%llu,"
+      "\"syntactic_sat\":%llu,\"z3_calls\":%llu,"
+      "\"inc_queries\":%llu,\"inc_extends\":%llu,\"inc_resets\":%llu,"
+      "\"inc_popped_frames\":%llu,\"inc_reused_conjuncts\":%llu,"
+      "\"inc_prefix_depth\":%llu,\"inc_session_hit_rate\":%.4f,"
+      "\"inc_mean_prefix_depth\":%.2f,"
+      "\"encode_memo_hits\":%llu,\"encode_memo_misses\":%llu,"
+      "\"sat\":%llu,"
       "\"unsat\":%llu,\"unknown\":%llu,\"slice_ns\":%llu,"
       "\"canon_ns\":%llu,\"syntactic_ns\":%llu,\"z3_ns\":%llu,"
       "\"total_ns\":%llu}",
@@ -104,6 +120,15 @@ std::string gillian::solverStatsJson(const SolverStats &S) {
       static_cast<unsigned long long>(S.SyntacticUnsat),
       static_cast<unsigned long long>(S.SyntacticSat),
       static_cast<unsigned long long>(S.Z3Calls),
+      static_cast<unsigned long long>(S.IncQueries),
+      static_cast<unsigned long long>(S.IncExtends),
+      static_cast<unsigned long long>(S.IncResets),
+      static_cast<unsigned long long>(S.IncPoppedFrames),
+      static_cast<unsigned long long>(S.IncReusedConjuncts),
+      static_cast<unsigned long long>(S.IncPrefixDepth), S.sessionHitRate(),
+      S.meanPrefixDepth(),
+      static_cast<unsigned long long>(S.EncodeMemoHits),
+      static_cast<unsigned long long>(S.EncodeMemoMisses),
       static_cast<unsigned long long>(S.Sat),
       static_cast<unsigned long long>(S.Unsat),
       static_cast<unsigned long long>(S.Unknown),
@@ -143,11 +168,26 @@ SatResult Solver::solveLayers(const PathCondition &PC) {
     TypeEnv Types;
     if (!inferTypes(PC.conjuncts(), Types)) {
       R = SatResult::Unsat;
+    } else if (Opts.UseIncremental) {
+      // Layer 2: the thread's incremental session pool pushes only the
+      // delta against an already-asserted path-condition prefix.
+      R = IncrementalSessionPool::forThread().checkSat(
+          PC, Types, Opts.IncrementalResetThreshold, Stats);
     } else {
       R = checkSatZ3(PC, Types, /*WantModel=*/false).Verdict;
     }
   }
   return R;
+}
+
+void Solver::resetCache() {
+  Cache->clear();
+  // Cold also means the upstream simplifier memo and every thread's
+  // incremental sessions + encoding memos; other threads' sessions drop
+  // lazily (Z3 handles are thread-owned), this thread's immediately.
+  resetSimplifyCache();
+  IncrementalSessionPool::invalidateAll();
+  IncrementalSessionPool::forThread().reset();
 }
 
 SatResult Solver::solveSlice(const PathCondition &Slice) {

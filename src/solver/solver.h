@@ -8,10 +8,12 @@
 /// The first-order solver behind the symbolic engine's SAT checks (the
 /// "π ∧ π' SAT" side conditions of Def 2.6 and the action rules). It is
 /// layered — simplification happens upstream, then the result cache, then
-/// independence slicing, then the syntactic core, then Z3 — and every
-/// layer can be disabled to reproduce the JaVerT 2.0 baseline
-/// configuration ("better simplifications and better caching of results",
-/// §4.1).
+/// independence slicing, then the syntactic core, then Z3 (through the
+/// per-thread incremental session pool when enabled, the cold re-encode
+/// backend otherwise) — and every layer can be disabled to reproduce the
+/// JaVerT 2.0 baseline configuration ("better simplifications and better
+/// caching of results", §4.1). DESIGN.md §4b describes the three-layer
+/// result path (result cache → incremental session → cold encode).
 ///
 /// Caching is built on the *canonical form* of path conditions (sorted,
 /// deduplicated conjuncts), so cache keys are insertion-order-insensitive.
@@ -60,15 +62,25 @@ struct SolverOptions {
   /// independently. Sound because slices share no logical variables: the
   /// conjunction is Unsat iff a slice is, and Sat when every slice is.
   bool UseSlicing = true;
+  /// Answer undecided queries through the per-thread incremental session
+  /// pool (scoped Z3 push/pop over the asserted path-condition prefix)
+  /// instead of the cold re-encode-everything backend. Layer 2 of the
+  /// solver stack; verdict-identical to the cold path (see DESIGN.md §4b).
+  bool UseIncremental = true;
+  /// Fraction of a query's conjuncts a session must already assert for a
+  /// diverging query to pop frame-by-frame in place; below it the session
+  /// resets entirely (fresh solver, memoised re-encode).
+  double IncrementalResetThreshold = 0.25;
 
-  /// The paper's baseline configuration: no result caching and no slicing
-  /// (JaVerT 2.0 had its own first-order layer, so the syntactic core
-  /// stays on — the improvements §4.1 credits are "better simplifications
-  /// and better caching of results").
+  /// The paper's baseline configuration: no result caching, no slicing,
+  /// no incremental sessions (JaVerT 2.0 had its own first-order layer,
+  /// so the syntactic core stays on — the improvements §4.1 credits are
+  /// "better simplifications and better caching of results").
   static SolverOptions legacyJaVerT2() {
     SolverOptions O;
     O.UseCache = false;
     O.UseSlicing = false;
+    O.UseIncremental = false;
     return O;
   }
 };
@@ -101,6 +113,16 @@ struct SolverStats {
   std::atomic<uint64_t> SyntacticSat{0}; ///< verified syntactic models
   std::atomic<uint64_t> Z3Calls{0};
 
+  // Incremental session layer (scoped Z3 push/pop; layer 2).
+  std::atomic<uint64_t> IncQueries{0}; ///< queries routed to a session
+  std::atomic<uint64_t> IncExtends{0}; ///< answered on a reused prefix
+  std::atomic<uint64_t> IncResets{0};  ///< discarded the asserted prefix
+  std::atomic<uint64_t> IncPoppedFrames{0};    ///< scopes popped (divergence)
+  std::atomic<uint64_t> IncReusedConjuncts{0}; ///< conjuncts not re-asserted
+  std::atomic<uint64_t> IncPrefixDepth{0};     ///< summed reused frame depth
+  std::atomic<uint64_t> EncodeMemoHits{0};     ///< GIL→Z3 memo subterm hits
+  std::atomic<uint64_t> EncodeMemoMisses{0};
+
   std::atomic<uint64_t> Sat{0}, Unsat{0}, Unknown{0};
   std::atomic<uint64_t> ModelsProposed{0};
   std::atomic<uint64_t> ModelsVerified{0};
@@ -123,6 +145,21 @@ struct SolverStats {
     return Lookups ? static_cast<double>(CacheHits + SliceCacheHits) /
                          static_cast<double>(Lookups)
                    : 0.0;
+  }
+
+  /// Fraction of incremental-session queries answered on a reused prefix;
+  /// 0 when no session query happened.
+  double sessionHitRate() const {
+    uint64_t Q = IncQueries;
+    return Q ? static_cast<double>(IncExtends) / static_cast<double>(Q) : 0.0;
+  }
+
+  /// Mean reused frame depth per prefix-extending query (the prefix-reuse
+  /// depth reported by the benches); 0 when nothing was ever reused.
+  double meanPrefixDepth() const {
+    uint64_t E = IncExtends;
+    return E ? static_cast<double>(IncPrefixDepth) / static_cast<double>(E)
+             : 0.0;
   }
 
   SolverStats &operator+=(const SolverStats &O);
@@ -170,9 +207,12 @@ public:
   void resetStats() { Stats = SolverStats(); }
   const SolverOptions &options() const { return Opts; }
 
-  /// Clears the attached result cache (shared or private) — for tests
-  /// that need isolation from warm process-wide state.
-  void resetCache() { Cache->clear(); }
+  /// Clears every memoised solver layer: the attached result cache
+  /// (shared or private), the process-wide sharded simplifier memo, and
+  /// the incremental sessions + encoding memos of every thread — so tests
+  /// and bench configurations that reset between timed runs measure a
+  /// genuinely cold solver.
+  void resetCache();
   SolverCache &cache() { return *Cache; }
 
 private:

@@ -72,6 +72,29 @@ TEST(ThreadPool, SingleWorkerAndUnitStealBatchStillDrain) {
   EXPECT_EQ(Count.load(), 6);
 }
 
+TEST(ThreadPool, StealCountAdaptsToVictimQueueLength) {
+  using Pool = ThreadPool<int>;
+  // Victim has at least a batch queued: take the full batch.
+  EXPECT_EQ(Pool::stealCount(8, 4), 4u);
+  EXPECT_EQ(Pool::stealCount(4, 4), 4u);
+  EXPECT_EQ(Pool::stealCount(5, 4), 4u);
+  // Short victim queue: halve the batch rather than draining it, so the
+  // victim keeps local LIFO work.
+  EXPECT_EQ(Pool::stealCount(3, 4), 2u);
+  EXPECT_EQ(Pool::stealCount(2, 4), 2u);
+  EXPECT_EQ(Pool::stealCount(1, 4), 1u);
+  EXPECT_EQ(Pool::stealCount(1, 8), 1u);
+  EXPECT_EQ(Pool::stealCount(3, 16), 2u);
+  // Nothing to steal.
+  EXPECT_EQ(Pool::stealCount(0, 4), 0u);
+  EXPECT_EQ(Pool::stealCount(0, 1), 0u);
+  // Degenerate batch values still make progress and never exceed the
+  // queue.
+  EXPECT_EQ(Pool::stealCount(5, 0), 1u);
+  EXPECT_EQ(Pool::stealCount(5, 1), 1u);
+  EXPECT_EQ(Pool::stealCount(2, 3), 1u);
+}
+
 TEST(ThreadPool, QuiescesWithNoTasks) {
   ThreadPool<int> Pool(4, 4);
   bool Ran = false;

@@ -1,0 +1,336 @@
+//===- tests/solver/incremental_session_test.cpp --------------------------===//
+//
+// Layer 2 of the solver stack: incremental Z3 sessions. Covers the frame
+// lifecycle (pure extension pushes only the delta, divergence pops only
+// the diverging frames, low sharing resets the whole session), the
+// soundness guards (per-frame type assumptions, per-frame dropped-conjunct
+// downgrades), the per-thread session pool (prefix routing, LRU eviction,
+// lazy cross-thread invalidation), a randomised differential check against
+// the cold one-shot backend, and the Solver::resetCache contract that a
+// reset clears every memo layer (result cache, simplifier memo, sessions).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/incremental_session.h"
+
+#include "gil/parser.h"
+#include "solver/simplifier.h"
+#include "solver/solver.h"
+#include "solver/z3_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace gillian;
+
+namespace {
+
+// Raw parse, no simplification: these tests sit below the simplifier
+// layer and must control the exact conjunct set Z3 sees.
+PathCondition pc(std::initializer_list<const char *> Conjuncts) {
+  PathCondition P;
+  for (const char *C : Conjuncts) {
+    Result<Expr> E = parseGilExpr(C);
+    EXPECT_TRUE(E.ok()) << (E.ok() ? "" : E.error());
+    P.add(*E);
+  }
+  return P;
+}
+
+TypeEnv typesOf(const PathCondition &P) {
+  TypeEnv Env;
+  EXPECT_TRUE(inferTypes(P.conjuncts(), Env));
+  return Env;
+}
+
+class IncrementalSessionTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    if (!z3Available())
+      GTEST_SKIP() << "built without Z3";
+  }
+
+  SatResult check(IncrementalSession &S, const PathCondition &P,
+                  double Threshold = 0.25) {
+    return S.checkSat(P, typesOf(P), Threshold, Stats);
+  }
+
+  SolverStats Stats;
+};
+
+} // namespace
+
+TEST_F(IncrementalSessionTest, PureExtensionPushesOnlyTheDelta) {
+  IncrementalSession S;
+  PathCondition P1 = pc({"typeof(#x) == ^Int", "0 <= #x"});
+  PathCondition P2 = pc({"typeof(#x) == ^Int", "0 <= #x", "#x < 10"});
+  PathCondition P3 =
+      pc({"typeof(#x) == ^Int", "0 <= #x", "#x < 10", "#x == 3"});
+
+  EXPECT_EQ(check(S, P1), SatResult::Sat);
+  EXPECT_EQ(S.depth(), 1u);
+  EXPECT_EQ(S.assertedConjuncts(), 2u);
+
+  EXPECT_EQ(check(S, P2), SatResult::Sat);
+  EXPECT_EQ(check(S, P3), SatResult::Sat);
+  EXPECT_EQ(S.depth(), 3u) << "one push scope per query delta";
+  EXPECT_EQ(S.assertedConjuncts(), 4u);
+  EXPECT_EQ(Stats.IncQueries, 3u);
+  EXPECT_EQ(Stats.IncExtends, 2u) << "second and third queries extend";
+  EXPECT_EQ(Stats.IncResets, 0u) << "pure extension never resets";
+  EXPECT_EQ(S.reusableConjuncts(P3, typesOf(P3)), 4u);
+}
+
+TEST_F(IncrementalSessionTest, DivergencePopsOnlyDivergingFrames) {
+  IncrementalSession S;
+  check(S, pc({"typeof(#x) == ^Int", "0 <= #x"}));
+  check(S, pc({"typeof(#x) == ^Int", "0 <= #x", "#x < 10"}));
+  check(S, pc({"typeof(#x) == ^Int", "0 <= #x", "#x < 10", "#x == 3"}));
+  ASSERT_EQ(S.depth(), 3u);
+
+  // Sibling branch: shares {typeof, 0<=, <10}, contradicts with == 11.
+  PathCondition Div =
+      pc({"typeof(#x) == ^Int", "0 <= #x", "#x < 10", "#x == 11"});
+  EXPECT_EQ(check(S, Div), SatResult::Unsat);
+  EXPECT_EQ(Stats.IncPoppedFrames, 1u) << "only the '== 3' frame pops";
+  EXPECT_EQ(Stats.IncResets, 0u) << "3/4 sharing is above the threshold";
+  EXPECT_EQ(S.depth(), 3u) << "two kept frames plus the new delta";
+  EXPECT_EQ(S.assertedConjuncts(), 4u);
+}
+
+TEST_F(IncrementalSessionTest, LowSharingTriggersFullReset) {
+  IncrementalSession S;
+  check(S, pc({"typeof(#x) == ^Int", "0 <= #x"}));
+  check(S, pc({"typeof(#x) == ^Int", "0 <= #x", "#x < 10"}));
+  ASSERT_EQ(S.depth(), 2u);
+
+  // Nothing shared: retained share 0 < threshold -> fresh solver.
+  PathCondition Other = pc({"typeof(#y) == ^Int", "#y == 4"});
+  EXPECT_EQ(check(S, Other), SatResult::Sat);
+  EXPECT_EQ(Stats.IncResets, 1u);
+  EXPECT_EQ(S.depth(), 1u);
+  EXPECT_EQ(S.assertedConjuncts(), 2u);
+}
+
+TEST_F(IncrementalSessionTest, EncodingMemoSurvivesReset) {
+  IncrementalSession S;
+  PathCondition P = pc({"typeof(#x) == ^Int", "0 <= #x", "#x < 10"});
+  check(S, P);
+  size_t MemoAfterFirst = S.encodeMemoSize();
+  EXPECT_GT(MemoAfterFirst, 0u);
+  uint64_t MissesAfterFirst = Stats.EncodeMemoMisses;
+
+  S.reset();
+  EXPECT_EQ(S.depth(), 0u);
+  EXPECT_EQ(S.encodeMemoSize(), MemoAfterFirst)
+      << "the memo is keyed on (expr identity, TypeEnv), not solver state";
+
+  // Re-asserting the identical conjuncts after the reset re-encodes
+  // nothing: every term is a memo hit.
+  EXPECT_EQ(check(S, P), SatResult::Sat);
+  EXPECT_EQ(Stats.EncodeMemoMisses, MissesAfterFirst);
+  EXPECT_GT(Stats.EncodeMemoHits, 0u);
+}
+
+TEST_F(IncrementalSessionTest, ChangedTypeAssumptionIsNeverReused) {
+  // The same conjunct encodes to different sorts under different TypeEnvs
+  // (Int -> SMT Int, Num -> Real). A frame asserted under one typing must
+  // not be reused under another, even though the conjunct set matches.
+  IncrementalSession S;
+  PathCondition P1 = pc({"0 <= #x"});
+  TypeEnv IntEnv;
+  IntEnv.assign(InternedString::get("#x"), GilType::Int);
+  EXPECT_EQ(S.checkSat(P1, IntEnv, 0.25, Stats), SatResult::Sat);
+  ASSERT_EQ(S.depth(), 1u);
+
+  TypeEnv NumEnv;
+  NumEnv.assign(InternedString::get("#x"), GilType::Num);
+  EXPECT_EQ(S.reusableConjuncts(P1, IntEnv), 1u);
+  EXPECT_EQ(S.reusableConjuncts(P1, NumEnv), 0u)
+      << "type assumptions are part of the frame identity";
+
+  PathCondition P2 = pc({"0 <= #x", "#x < 10"});
+  EXPECT_EQ(S.checkSat(P2, NumEnv, 0.25, Stats), SatResult::Sat);
+  EXPECT_EQ(Stats.IncResets, 1u) << "mismatched typing forces a reset";
+  EXPECT_EQ(Stats.IncExtends, 0u);
+}
+
+TEST_F(IncrementalSessionTest, DroppedConjunctDowngradesPerFrame) {
+  IncrementalSession S;
+  PathCondition Base = pc({"typeof(#x) == ^Int", "0 <= #x"});
+  EXPECT_EQ(check(S, Base), SatResult::Sat);
+
+  // Shifts on symbolic operands do not encode; the conjunct is dropped
+  // inside its own frame and Sat is downgraded while that frame lives.
+  PathCondition WithShift =
+      pc({"typeof(#x) == ^Int", "0 <= #x", "(#x << 1) == 4"});
+  EXPECT_EQ(check(S, WithShift), SatResult::Unknown);
+
+  // Unsat is still sound under dropping: the encodable subset already
+  // contradicts.
+  PathCondition ShiftUnsat =
+      pc({"typeof(#x) == ^Int", "0 <= #x", "(#x << 1) == 4", "#x < 0"});
+  EXPECT_EQ(check(S, ShiftUnsat), SatResult::Unsat);
+
+  // Diverging away pops the dropped frame; Sat answers come back.
+  PathCondition Clean = pc({"typeof(#x) == ^Int", "0 <= #x", "#x < 10"});
+  EXPECT_EQ(check(S, Clean), SatResult::Sat)
+      << "the downgrade is per-frame, not sticky for the session";
+}
+
+TEST_F(IncrementalSessionTest, DifferentialAgainstColdBackend) {
+  // Property test: along a random branch-and-backtrack walk (the engine's
+  // query shape), the incremental session's verdict equals the cold
+  // one-shot backend's on every query.
+  std::mt19937 Rng(20260806);
+  const char *Vars[] = {"#v0", "#v1", "#v2", "#v3"};
+  auto RandConjunct = [&Rng, &Vars]() -> std::string {
+    std::uniform_int_distribution<int> Pick(0, 4);
+    std::uniform_int_distribution<int> V(0, 3);
+    std::uniform_int_distribution<int> C(-8, 8);
+    std::string A = Vars[V(Rng)], B = Vars[V(Rng)];
+    switch (Pick(Rng)) {
+    case 0:
+      return std::to_string(C(Rng)) + " <= " + A;
+    case 1:
+      return A + " < " + std::to_string(C(Rng));
+    case 2:
+      return A + " == " + B + " + " + std::to_string(C(Rng));
+    case 3:
+      return A + " == " + std::to_string(C(Rng));
+    default:
+      return "(" + A + " << 1) == 4"; // unsupported: exercises dropping
+    }
+  };
+
+  IncrementalSession S;
+  std::vector<std::string> Stack;
+  for (int Step = 0; Step < 80; ++Step) {
+    std::uniform_int_distribution<int> Act(0, 3);
+    if (int A = Act(Rng); A == 0 && !Stack.empty()) {
+      std::uniform_int_distribution<size_t> N(1, Stack.size());
+      Stack.resize(Stack.size() - N(Rng)); // backtrack
+    } else {
+      Stack.push_back(RandConjunct());
+    }
+    PathCondition P;
+    for (const char *V : Vars)
+      P.add(parseGilExpr(std::string("typeof(") + V + ") == ^Int").take());
+    for (const std::string &C : Stack)
+      P.add(parseGilExpr(C).take());
+    TypeEnv Types;
+    ASSERT_TRUE(inferTypes(P.conjuncts(), Types));
+    SatResult Inc = S.checkSat(P, Types, 0.25, Stats);
+    SatResult Cold = checkSatZ3(P, Types, /*WantModel=*/false).Verdict;
+    ASSERT_EQ(Inc, Cold) << "step " << Step << " PC: " << P.toString();
+  }
+  EXPECT_GT(Stats.IncExtends, 0u) << "the walk must exercise extension";
+  EXPECT_GT(Stats.IncPoppedFrames, 0u) << "... and divergence";
+}
+
+//===----------------------------------------------------------------------===//
+// IncrementalSessionPool
+//===----------------------------------------------------------------------===//
+
+TEST_F(IncrementalSessionTest, PoolRoutesPrefixesToSeparateSessions) {
+  IncrementalSessionPool Pool;
+  PathCondition X1 = pc({"typeof(#x) == ^Int", "0 <= #x"});
+  PathCondition X2 = pc({"typeof(#x) == ^Int", "0 <= #x", "#x < 10"});
+  PathCondition Y1 = pc({"typeof(#y) == ^Int", "#y == 4"});
+  PathCondition X3 =
+      pc({"typeof(#x) == ^Int", "0 <= #x", "#x < 10", "#x == 3"});
+
+  EXPECT_EQ(Pool.checkSat(X1, typesOf(X1), 0.25, Stats), SatResult::Sat);
+  EXPECT_EQ(Pool.checkSat(X2, typesOf(X2), 0.25, Stats), SatResult::Sat);
+  EXPECT_EQ(Pool.sessions(), 1u);
+
+  // Nothing shared with X: Y claims a fresh session instead of resetting
+  // the hot one...
+  EXPECT_EQ(Pool.checkSat(Y1, typesOf(Y1), 0.25, Stats), SatResult::Sat);
+  EXPECT_EQ(Pool.sessions(), 2u);
+  EXPECT_EQ(Stats.IncResets, 0u);
+
+  // ... so returning to the X prefix is still an extension.
+  EXPECT_EQ(Pool.checkSat(X3, typesOf(X3), 0.25, Stats), SatResult::Sat);
+  EXPECT_EQ(Pool.sessions(), 2u);
+  EXPECT_EQ(Stats.IncExtends, 2u) << "X2 extends X1, X3 extends X2";
+}
+
+TEST_F(IncrementalSessionTest, PoolEvictsLeastRecentlyUsedAtCapacity) {
+  IncrementalSessionPool Pool;
+  const char *Vars[] = {"#a", "#b", "#c", "#d", "#e", "#f"};
+  for (const char *V : Vars) {
+    PathCondition P;
+    P.add(parseGilExpr(std::string("typeof(") + V + ") == ^Int").take());
+    P.add(parseGilExpr(std::string("0 <= ") + V).take());
+    EXPECT_EQ(Pool.checkSat(P, typesOf(P), 0.25, Stats), SatResult::Sat);
+    EXPECT_LE(Pool.sessions(), IncrementalSessionPool::MaxSessions);
+  }
+  EXPECT_EQ(Pool.sessions(), IncrementalSessionPool::MaxSessions);
+}
+
+TEST_F(IncrementalSessionTest, InvalidateAllDropsThreadSessions) {
+  IncrementalSessionPool &Pool = IncrementalSessionPool::forThread();
+  Pool.reset();
+  PathCondition P = pc({"typeof(#x) == ^Int", "0 <= #x"});
+  Pool.checkSat(P, typesOf(P), 0.25, Stats);
+  ASSERT_GE(Pool.sessions(), 1u);
+  IncrementalSessionPool::invalidateAll();
+  EXPECT_EQ(Pool.sessions(), 0u)
+      << "the generation bump empties the pool on next use";
+}
+
+//===----------------------------------------------------------------------===//
+// Solver facade integration
+//===----------------------------------------------------------------------===//
+
+TEST_F(IncrementalSessionTest, SolverRoutesZ3QueriesThroughSessions) {
+  IncrementalSessionPool::forThread().reset();
+  Solver S; // UseIncremental defaults on
+  PathCondition P =
+      pc({"typeof(#x) == ^Int", "typeof(#y) == ^Int", "#x + #y == 10",
+          "#x - #y == 4", "!(#y == 3)"});
+  EXPECT_EQ(S.checkSat(P), SatResult::Unsat);
+  EXPECT_GE(S.stats().IncQueries, 1u);
+
+  SolverOptions Off;
+  Off.UseIncremental = false;
+  Solver SOff(Off);
+  EXPECT_EQ(SOff.checkSat(P), SatResult::Unsat) << "same verdict either way";
+  EXPECT_EQ(SOff.stats().IncQueries, 0u);
+}
+
+TEST(SolverResetCache, ClearsEveryMemoLayer) {
+  // Satellite regression: resetCache must cold every layer — the result
+  // cache, the process-wide simplifier memo, and this thread's incremental
+  // sessions — not just the verdict cache.
+  IncrementalSessionPool::forThread().reset();
+  resetSimplifyCache();
+  Solver S;
+  // Warm the result cache with a syntactically-decided verdict (cached
+  // with or without Z3) and the simplifier memo on the way in.
+  PathCondition Cheap;
+  for (const char *C : {"#x == 1 + 0", "#x == 2"})
+    Cheap.add(simplifyCached(parseGilExpr(C).take()));
+  EXPECT_EQ(S.checkSat(Cheap), SatResult::Unsat);
+  ASSERT_GT(S.cache().size(), 0u);
+  ASSERT_GT(simplifyCacheStats().Misses, 0u);
+  if (z3Available()) {
+    // ... and this thread's session pool with a query only Z3 decides.
+    PathCondition Hard;
+    for (const char *C : {"typeof(#x) == ^Int", "typeof(#y) == ^Int",
+                          "#x + #y == 10", "#x - #y == 4"})
+      Hard.add(parseGilExpr(C).take());
+    EXPECT_EQ(S.checkSat(Hard), SatResult::Sat);
+    ASSERT_GE(IncrementalSessionPool::forThread().sessions(), 1u);
+  }
+
+  S.resetCache();
+  EXPECT_EQ(S.cache().size(), 0u);
+  EXPECT_EQ(simplifyCacheStats().Misses, 0u);
+  EXPECT_EQ(simplifyCacheStats().Hits, 0u);
+  EXPECT_EQ(IncrementalSessionPool::forThread().sessions(), 0u);
+}

@@ -93,6 +93,64 @@ TEST(TypeInfer, HashReflectsContentNotOrder) {
   EXPECT_NE(A.hash(), C.hash());
 }
 
+TEST(TypeInfer, MixedIntNumComparisonDoesNotPin) {
+  // GIL allows ordering comparisons across Int and Num (3 < 3.5), so a
+  // comparison with a Num side must not force the other side to Num — and
+  // must not conflict with the other side independently being Int.
+  TypeEnv Env;
+  ASSERT_TRUE(inferTypes({parse("typeof(#n) == ^Num"), parse("#i < #n"),
+                          parse("#n <= #j")},
+                         Env));
+  EXPECT_EQ(Env.lookup(InternedString::get("#n")), GilType::Num);
+  EXPECT_EQ(Env.lookup(InternedString::get("#i")), std::nullopt)
+      << "comparison operands keep their own numeric type";
+  EXPECT_EQ(Env.lookup(InternedString::get("#j")), std::nullopt);
+
+  TypeEnv Env2;
+  ASSERT_TRUE(inferTypes({parse("typeof(#n) == ^Num"),
+                          parse("typeof(#i) == ^Int"), parse("#i < #n")},
+                         Env2))
+      << "an Int/Num comparison is not a type conflict";
+  EXPECT_EQ(Env2.lookup(InternedString::get("#i")), GilType::Int);
+}
+
+TEST(TypeInfer, MixedIntNumArithmeticDoesNotPinSibling) {
+  // #i + #m with Int #i stays untyped: the sum may be Num when #m is.
+  TypeEnv Env;
+  ASSERT_TRUE(inferTypes(
+      {parse("typeof(#i) == ^Int"), parse("#x == #i + #m")}, Env));
+  EXPECT_EQ(Env.lookup(InternedString::get("#m")), std::nullopt);
+  EXPECT_EQ(Env.lookup(InternedString::get("#x")), std::nullopt);
+}
+
+TEST(TypeInfer, StringComparisonPropagatesAcrossSides) {
+  TypeEnv Env;
+  ASSERT_TRUE(inferTypes({parse("#a < \"abc\""), parse("#b <= #a")}, Env));
+  EXPECT_EQ(Env.lookup(InternedString::get("#a")), GilType::Str);
+  EXPECT_EQ(Env.lookup(InternedString::get("#b")), GilType::Str);
+}
+
+TEST(TypeInfer, StringIndexingPinsOperands) {
+  // s_nth(S, I): S must be Str, I must be Int, and the result is Str.
+  TypeEnv Env;
+  ASSERT_TRUE(
+      inferTypes({parse("s_nth(#s, #i) == #c"), parse("0 <= #i")}, Env));
+  EXPECT_EQ(Env.lookup(InternedString::get("#s")), GilType::Str);
+  EXPECT_EQ(Env.lookup(InternedString::get("#i")), GilType::Int);
+  EXPECT_EQ(Env.lookup(InternedString::get("#c")), GilType::Str)
+      << "the 1-character result types the equated variable";
+}
+
+TEST(TypeInfer, StringIndexingConflictsAreUnsat) {
+  TypeEnv Env;
+  EXPECT_FALSE(inferTypes(
+      {parse("typeof(#i) == ^Str"), parse("s_nth(#s, #i) == \"a\"")}, Env))
+      << "a Str-typed index contradicts s_nth's Int operand";
+  TypeEnv Env2;
+  EXPECT_FALSE(inferTypes(
+      {parse("typeof(#s) == ^List"), parse("s_nth(#s, 0) == \"a\"")}, Env2));
+}
+
 TEST(TypeInfer, NestedConjunction) {
   TypeEnv Env;
   ASSERT_TRUE(inferTypes(
