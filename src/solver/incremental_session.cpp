@@ -267,10 +267,17 @@ SatResult gillian::IncrementalSessionPool::checkSat(const PathCondition &PC,
     }
   }
   if (BestIdx == Pool.size()) {
-    if (Pool.size() < MaxSessions)
+    if (Pool.size() < MaxSessions) {
       Pool.push_back(std::make_unique<IncrementalSession>());
-    else
-      BestIdx = 0; // nothing shares: evict the least-recently-used
+    } else {
+      // Nothing shares: evict the least-recently-used session. Reset it
+      // here, explicitly — the query shares zero conjuncts with its
+      // state, so correctness must not depend on checkSat's
+      // reset-threshold value (a threshold of 0 would otherwise pop the
+      // stale frames one by one).
+      BestIdx = 0;
+      Pool[BestIdx]->reset();
+    }
   }
   if (BestIdx < Pool.size()) {
     // Move to the MRU slot (back).

@@ -490,9 +490,12 @@ Expr simplifyNode(const Expr &E, const TypeEnv &Env) {
 }
 
 /// Cache key: an expression under a specific type environment (by content
-/// hash). Env-hash collisions across distinct environments are
-/// astronomically unlikely and only affect performance-irrelevant rule
-/// applicability, never evaluated values of closed expressions.
+/// hash). This uses EnvHash as equality, so it depends on TypeEnv::hash
+/// mixing each (variable, type) pair jointly — environments that merely
+/// swap types between variables must not collide. With that, residual
+/// collisions across distinct environments are astronomically unlikely
+/// (random 64-bit) and only affect rule applicability for open terms,
+/// never evaluated values of closed expressions.
 struct MemoKey {
   uint64_t EnvHash;
   Expr E;

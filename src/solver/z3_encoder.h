@@ -18,9 +18,12 @@
 ///
 /// Z3EncodingMemo hash-conses translations per (expression identity,
 /// TypeEnv fingerprint): expression nodes are immutable and shared, so the
-/// node address plus the type assignment it was encoded under fully
-/// determine the Z3 term. Each memo belongs to one thread's context and
-/// must never outlive it.
+/// node address plus the type assignments it was encoded under fully
+/// determine the Z3 term. The fingerprint is only a fast filter — each
+/// entry stores the type assignments its encoding depended on and a
+/// lookup verifies them, so a fingerprint collision can never resurrect a
+/// term encoded under different sorts. Each memo belongs to one thread's
+/// context and must never outlive it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,8 +38,12 @@
 
 #include <cmath>
 #include <map>
+#include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace gillian {
 
@@ -59,19 +66,39 @@ struct Unsupported {
 /// node address) plus the TypeEnv fingerprint the term was encoded under.
 /// Entries hold the Expr so the node stays alive: a recycled address can
 /// never alias a dead key. Thread-confined (holds z3::expr handles).
+///
+/// The memo is soundness-critical — a wrong hit reuses a term whose
+/// constants were created under different sorts, and Z3 treats same-name
+/// different-sort constants as distinct — and it outlives session
+/// hard-resets, so the environment fingerprint alone is not trusted as
+/// equality. Each entry also records the type assignments its encoding
+/// depended on (the entry expression's free logical variables, nullopt =
+/// unconstrained at encode time), and a lookup only hits when the current
+/// environment agrees on every one of them.
 class Z3EncodingMemo {
 public:
-  const z3::expr *lookup(const Expr &E, uint64_t EnvHash) const {
-    auto It = Map.find(Key{E.identity(), EnvHash});
-    return It == Map.end() ? nullptr : &It->second.Term;
+  const z3::expr *lookup(const Expr &E, const TypeEnv &Types) const {
+    auto It = Map.find(Key{E.identity(), Types.hash()});
+    if (It == Map.end())
+      return nullptr;
+    for (const auto &[Var, T] : It->second.Assumptions)
+      if (Types.lookup(Var) != T)
+        return nullptr; // fingerprint collision across distinct typings
+    return &It->second.Term;
   }
 
-  void insert(const Expr &E, uint64_t EnvHash, const z3::expr &T) {
+  void insert(const Expr &E, const TypeEnv &Types, const z3::expr &T) {
     // Unbounded growth guard, same policy as the simplifier memo: a long
     // run across many suites just starts a fresh table.
     if (Map.size() >= MaxEntries)
       Map.clear();
-    Map.emplace(Key{E.identity(), EnvHash}, Entry{E, T});
+    Entry En{E, T, {}};
+    std::set<InternedString> Vars;
+    E.collectLVars(Vars);
+    En.Assumptions.reserve(Vars.size());
+    for (InternedString V : Vars)
+      En.Assumptions.emplace_back(V, Types.lookup(V));
+    Map.emplace(Key{E.identity(), Types.hash()}, std::move(En));
   }
 
   void clear() { Map.clear(); }
@@ -99,6 +126,10 @@ private:
   struct Entry {
     Expr Keep; ///< pins the node identity alive
     z3::expr Term;
+    /// The var→type assignments the encoding depends on, verified on
+    /// every lookup (see class comment).
+    std::vector<std::pair<InternedString, std::optional<GilType>>>
+        Assumptions;
   };
   std::unordered_map<Key, Entry, KeyHash> Map;
 };
@@ -111,7 +142,7 @@ class Encoder {
 public:
   Encoder(z3::context &Ctx, const TypeEnv &Types,
           Z3EncodingMemo *Memo = nullptr)
-      : Ctx(Ctx), Types(Types), Memo(Memo), EnvHash(Types.hash()) {}
+      : Ctx(Ctx), Types(Types), Memo(Memo) {}
 
   /// The inferred GIL type of \p E; throws Unsupported when undetermined.
   GilType typeOf(const Expr &E) {
@@ -187,7 +218,7 @@ public:
 
   z3::expr encode(const Expr &E) {
     if (Memo) {
-      if (const z3::expr *Hit = Memo->lookup(E, EnvHash)) {
+      if (const z3::expr *Hit = Memo->lookup(E, Types)) {
         ++Memo->Hits;
         return *Hit;
       }
@@ -195,7 +226,7 @@ public:
     z3::expr T = encodeUncached(E);
     if (Memo) {
       ++Memo->Misses;
-      Memo->insert(E, EnvHash, T);
+      Memo->insert(E, Types, T);
     }
     return T;
   }
@@ -350,7 +381,6 @@ private:
   z3::context &Ctx;
   const TypeEnv &Types;
   Z3EncodingMemo *Memo;
-  uint64_t EnvHash;
   std::map<uint32_t, InternedString> SymByCode;
 };
 

@@ -20,6 +20,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <random>
 #include <string>
 #include <vector>
@@ -158,6 +160,34 @@ TEST_F(IncrementalSessionTest, ChangedTypeAssumptionIsNeverReused) {
   EXPECT_EQ(Stats.IncExtends, 0u);
 }
 
+TEST_F(IncrementalSessionTest, SwappedTypingsNeverReuseStaleEncodings) {
+  // Regression: environments that swap types between two variables used
+  // to collide in TypeEnv::hash (id and type were mixed separately), and
+  // the encoding memo — which survives session hard-resets — trusted that
+  // hash as equality. Re-querying the same conjunct nodes under the
+  // swapped typing then reused Int-sorted constants for Num variables,
+  // flipping verdicts. The PathCondition is built once so both queries
+  // share node identities, exactly the memo's key.
+  IncrementalSession S;
+  PathCondition P;
+  P.add(parseGilExpr("0 < #x").take());
+  P.add(parseGilExpr("#x < 1").take());
+  P.add(parseGilExpr("0 <= #y").take());
+
+  TypeEnv IntNum, NumInt;
+  IntNum.assign(InternedString::get("#x"), GilType::Int);
+  IntNum.assign(InternedString::get("#y"), GilType::Num);
+  NumInt.assign(InternedString::get("#x"), GilType::Num);
+  NumInt.assign(InternedString::get("#y"), GilType::Int);
+  EXPECT_NE(IntNum.hash(), NumInt.hash())
+      << "swapped typings must not share a fingerprint";
+
+  EXPECT_EQ(S.checkSat(P, IntNum, 0.25, Stats), SatResult::Unsat)
+      << "no integer lies strictly between 0 and 1";
+  EXPECT_EQ(S.checkSat(P, NumInt, 0.25, Stats), SatResult::Sat)
+      << "but a real one does — stale Int encodings must not be reused";
+}
+
 TEST_F(IncrementalSessionTest, DroppedConjunctDowngradesPerFrame) {
   IncrementalSession S;
   PathCondition Base = pc({"typeof(#x) == ^Int", "0 <= #x"});
@@ -184,43 +214,95 @@ TEST_F(IncrementalSessionTest, DroppedConjunctDowngradesPerFrame) {
 TEST_F(IncrementalSessionTest, DifferentialAgainstColdBackend) {
   // Property test: along a random branch-and-backtrack walk (the engine's
   // query shape), the incremental session's verdict equals the cold
-  // one-shot backend's on every query.
+  // one-shot backend's on every query. Sibling branches retype variables
+  // across backtracks (Int vs Num `typeof` conjuncts for the *same*
+  // variables) — the regime where frame type assumptions and the encoding
+  // memo's environment keys must hold — and each distinct conjunct is
+  // parsed once, so the memo sees one node identity under changing
+  // TypeEnvs, as engine branches sharing a prefix do.
   std::mt19937 Rng(20260806);
   const char *Vars[] = {"#v0", "#v1", "#v2", "#v3"};
-  auto RandConjunct = [&Rng, &Vars]() -> std::string {
+  GilType VarType[4] = {GilType::Int, GilType::Num, GilType::Int,
+                        GilType::Int};
+
+  // Conjuncts must stay type-consistent with the walk's current typing:
+  // equalities pin their LVar side to the other side's type, so they are
+  // only generated between same-typed operands (mixed pairs fall back to
+  // a comparison, which GIL allows across Int/Num), and shifts only over
+  // Int operands. VarMask records the variables a conjunct mentions so a
+  // retype can drop the conjuncts whose typing described the old world.
+  struct Entry {
+    std::string Text;
+    unsigned VarMask;
+  };
+  auto RandConjunct = [&]() -> Entry {
     std::uniform_int_distribution<int> Pick(0, 4);
     std::uniform_int_distribution<int> V(0, 3);
     std::uniform_int_distribution<int> C(-8, 8);
-    std::string A = Vars[V(Rng)], B = Vars[V(Rng)];
+    int IA = V(Rng), IB = V(Rng);
+    std::string A = Vars[IA], B = Vars[IB];
     switch (Pick(Rng)) {
     case 0:
-      return std::to_string(C(Rng)) + " <= " + A;
+      return {std::to_string(C(Rng)) + " <= " + A, 1u << IA};
     case 1:
-      return A + " < " + std::to_string(C(Rng));
+      return {A + " < " + std::to_string(C(Rng)), 1u << IA};
     case 2:
-      return A + " == " + B + " + " + std::to_string(C(Rng));
+      if (VarType[IA] == VarType[IB])
+        return {A + " == " + B + " + " + std::to_string(C(Rng)),
+                (1u << IA) | (1u << IB)};
+      return {A + " < " + B, (1u << IA) | (1u << IB)};
     case 3:
-      return A + " == " + std::to_string(C(Rng));
+      return {A + " == " + std::to_string(C(Rng)) +
+                  (VarType[IA] == GilType::Num ? ".5" : ""),
+              1u << IA};
     default:
-      return "(" + A + " << 1) == 4"; // unsupported: exercises dropping
+      if (VarType[IA] != GilType::Int)
+        return {std::to_string(C(Rng)) + " <= " + A, 1u << IA};
+      return {"(" + A + " << 1) == 4", 1u << IA}; // unsupported: drops
     }
   };
 
+  // Parse each distinct conjunct once: identical conjuncts keep one node
+  // identity across steps, which is what the identity-keyed encoding
+  // memo actually caches on.
+  std::map<std::string, Expr> Parsed;
+  auto expr = [&Parsed](const std::string &Text) {
+    auto It = Parsed.find(Text);
+    if (It == Parsed.end())
+      It = Parsed.emplace(Text, parseGilExpr(Text).take()).first;
+    return It->second;
+  };
+
   IncrementalSession S;
-  std::vector<std::string> Stack;
-  for (int Step = 0; Step < 80; ++Step) {
+  std::vector<Entry> Stack;
+  int Retypes = 0;
+  for (int Step = 0; Step < 120; ++Step) {
     std::uniform_int_distribution<int> Act(0, 3);
     if (int A = Act(Rng); A == 0 && !Stack.empty()) {
       std::uniform_int_distribution<size_t> N(1, Stack.size());
       Stack.resize(Stack.size() - N(Rng)); // backtrack
+      // The sibling branch sees one variable under the opposite typing;
+      // surviving conjuncts that mention it are dropped (they were
+      // generated to be consistent with the old typing).
+      std::uniform_int_distribution<int> V(0, 3);
+      int I = V(Rng);
+      VarType[I] =
+          VarType[I] == GilType::Int ? GilType::Num : GilType::Int;
+      ++Retypes;
+      Stack.erase(std::remove_if(Stack.begin(), Stack.end(),
+                                 [I](const Entry &E) {
+                                   return (E.VarMask >> I) & 1u;
+                                 }),
+                  Stack.end());
     } else {
       Stack.push_back(RandConjunct());
     }
     PathCondition P;
-    for (const char *V : Vars)
-      P.add(parseGilExpr(std::string("typeof(") + V + ") == ^Int").take());
-    for (const std::string &C : Stack)
-      P.add(parseGilExpr(C).take());
+    for (int I = 0; I < 4; ++I)
+      P.add(expr(std::string("typeof(") + Vars[I] + ") == ^" +
+                 (VarType[I] == GilType::Int ? "Int" : "Num")));
+    for (const Entry &E : Stack)
+      P.add(expr(E.Text));
     TypeEnv Types;
     ASSERT_TRUE(inferTypes(P.conjuncts(), Types));
     SatResult Inc = S.checkSat(P, Types, 0.25, Stats);
@@ -229,6 +311,7 @@ TEST_F(IncrementalSessionTest, DifferentialAgainstColdBackend) {
   }
   EXPECT_GT(Stats.IncExtends, 0u) << "the walk must exercise extension";
   EXPECT_GT(Stats.IncPoppedFrames, 0u) << "... and divergence";
+  EXPECT_GT(Retypes, 0) << "... and sibling branches with retyped vars";
 }
 
 //===----------------------------------------------------------------------===//

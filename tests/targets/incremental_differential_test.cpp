@@ -99,8 +99,11 @@ class CollectionsIncrementalTest
     : public ::testing::TestWithParam<CollectionsSuite> {};
 
 /// While programs picked for solver-shape diversity: symbolic branching,
-/// a loop with an arithmetic invariant, and an assertion violation whose
-/// bug path must be found (and confirmed) identically in both modes.
+/// a loop with an arithmetic invariant, mixed Int/Num typings (so the
+/// differential is not blind to typing-dependent encoding reuse — sorts,
+/// and hence the session layer's memo keys, depend on the TypeEnv), and
+/// an assertion violation whose bug path must be found (and confirmed)
+/// identically in both modes.
 const char *const WhileSources[] = {
     "function test_branch() {\n"
     "  x := fresh_int();\n"
@@ -117,6 +120,16 @@ const char *const WhileSources[] = {
     "  while (i < n) { s := s + i; i := i + 1; }\n"
     "  assert (s * 2 == n * (n - 1));\n"
     "  return s;\n}\n",
+    "function test_mixed_types() {\n"
+    "  x := fresh_int();\n"
+    "  n := fresh_num();\n"
+    "  assume (0 <= x && x < 3);\n"
+    "  assume (0.5 <= n && n < 2.5);\n"
+    "  r := 0;\n"
+    "  if (x < n) { r := r + 1; }\n"
+    "  if (n < x) { r := r + 2; }\n"
+    "  assert (r < 3);\n"
+    "  return r;\n}\n",
     "function test_violation() {\n"
     "  x := fresh_int();\n"
     "  assume (0 <= x && x <= 100);\n"
