@@ -13,6 +13,7 @@
 #include "bench_common.h"
 #include "mjs/compiler.h"
 #include "mjs/memory.h"
+#include "obs/json_writer.h"
 #include "targets/buckets_mjs.h"
 #include "targets/suite_runner.h"
 
@@ -60,6 +61,7 @@ RunResult runAll(const EngineOptions &Opts) {
 
 int main(int argc, char **argv) {
   const bench::BenchArgs Args = bench::parseBenchArgs(argc, argv);
+  bench::setupObs(Args);
   struct Config {
     const char *Name;
     std::function<EngineOptions()> Make;
@@ -122,21 +124,35 @@ int main(int argc, char **argv) {
     std::printf("%-22s %9.3fs %9.2fx %8.1f%%\n", C.Name, R.Seconds,
                 Base > 0 ? R.Seconds / Base : 0.0,
                 100.0 * R.Solver.cacheHitRate());
-    char Buf[128];
-    std::snprintf(Buf, sizeof(Buf),
-                  "{\"name\":\"%s\",\"time_s\":%.6f,\"solver\":", C.Name,
-                  R.Seconds);
+    obs::JsonWriter Row;
+    Row.beginObject();
+    Row.field("name", C.Name);
+    Row.field("time_s", R.Seconds, 6);
+    Row.key("solver");
+    Row.raw(solverStatsJson(R.Solver));
+    Row.endObject();
     if (!ConfigsJson.empty())
       ConfigsJson += ",";
-    ConfigsJson += std::string(Buf) + solverStatsJson(R.Solver) + "}";
+    ConfigsJson += Row.take();
   }
   std::printf("\nPaper shape check: the legacy configuration is the "
               "slowest (§4.1 credits simplification and caching for the "
               "J2 -> GJS speedup). In our engine the solver result cache "
               "is the dominant ingredient: without it, repeated aliasing "
               "and branch-feasibility queries pay SMT round-trips.\n");
-  if (Args.Json)
-    std::printf("\n{\"bench\":\"ablation_engine\",\"configs\":[%s]}\n",
-                ConfigsJson.c_str());
+  if (Args.Json) {
+    obs::JsonWriter W;
+    W.beginObject();
+    W.field("bench", "ablation_engine");
+    W.key("configs");
+    W.beginArray();
+    W.raw(ConfigsJson);
+    W.endArray();
+    W.key("obs");
+    W.raw(obs::obsStatsJson(obs::SpanTable::global().snapshot()));
+    W.endObject();
+    std::printf("\n%s\n", W.take().c_str());
+  }
+  bench::finishObs(Args);
   return 0;
 }

@@ -5,25 +5,44 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The argument parsing and cold-start idiom shared by the five bench
-/// drivers. Every driver accepts:
+/// The argument parsing, observability wiring and cold-start idiom shared
+/// by the five bench drivers. Every driver accepts:
 ///
 ///   --workers=N / --workers N   worker count of the parallel
 ///                               configurations (default 4, the acceptance
 ///                               target's core count)
 ///   --json / --no-json          emit / suppress the trailing
 ///                               machine-readable JSON line (default on)
+///   --trace-out=FILE            enable the flight recorder and write a
+///                               chrome://tracing JSON file at exit
+///   --obs-detail                enable the per-step / per-simplify detail
+///                               spans (hot; off by default)
+///   --cache-file=FILE           persist the canonical solver result cache
+///                               across invocations: load FILE at startup
+///                               (and re-seed it after every coldStart()),
+///                               save the cache back at exit
 ///
 /// Arguments the parser consumes are removed from argv, so drivers built
 /// on google-benchmark can hand the remainder to benchmark::Initialize.
+///
+/// Drivers call setupObs(Args) once after parsing and finishObs(Args)
+/// once before exiting; JSON lines are built with obs::JsonWriter (the
+/// one JSON emitter of the codebase) instead of per-driver snprintf
+/// format strings.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GILLIAN_BENCH_BENCH_COMMON_H
 #define GILLIAN_BENCH_BENCH_COMMON_H
 
+#include "obs/exporters.h"
+#include "obs/json_writer.h"
+#include "obs/obs_config.h"
+#include "obs/span.h"
+#include "obs/trace_ring.h"
 #include "solver/incremental_session.h"
 #include "solver/simplifier.h"
+#include "solver/solver.h"
 #include "solver/solver_cache.h"
 
 #include <chrono>
@@ -31,12 +50,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 namespace gillian::bench {
 
 struct BenchArgs {
   uint32_t Workers = 4; ///< worker count of the parallel configurations
   bool Json = true;     ///< emit the trailing machine-readable JSON line
+  bool ObsDetail = false; ///< per-step / per-simplify detail spans
+  std::string TraceOut;   ///< chrome://tracing output path ("" = off)
+  std::string CacheFile;  ///< persisted solver result cache ("" = off)
 };
 
 /// Parses (and strips from argv) the shared driver arguments; exits with a
@@ -52,21 +75,34 @@ inline BenchArgs parseBenchArgs(int &argc, char **argv) {
     }
     return static_cast<uint32_t>(N);
   };
+  auto nextValue = [&](int &In, const char *Flag) -> const char * {
+    if (In + 1 >= argc) {
+      std::fprintf(stderr, "%s needs a value\n", Flag);
+      std::exit(2);
+    }
+    return argv[++In];
+  };
   int Out = 1;
   for (int In = 1; In < argc; ++In) {
     const char *A = argv[In];
     if (std::strncmp(A, "--workers=", 10) == 0) {
       Args.Workers = parseWorkers(A + 10);
     } else if (std::strcmp(A, "--workers") == 0) {
-      if (In + 1 >= argc) {
-        std::fprintf(stderr, "--workers needs a value\n");
-        std::exit(2);
-      }
-      Args.Workers = parseWorkers(argv[++In]);
+      Args.Workers = parseWorkers(nextValue(In, "--workers"));
     } else if (std::strcmp(A, "--json") == 0) {
       Args.Json = true;
     } else if (std::strcmp(A, "--no-json") == 0) {
       Args.Json = false;
+    } else if (std::strncmp(A, "--trace-out=", 12) == 0) {
+      Args.TraceOut = A + 12;
+    } else if (std::strcmp(A, "--trace-out") == 0) {
+      Args.TraceOut = nextValue(In, "--trace-out");
+    } else if (std::strncmp(A, "--cache-file=", 13) == 0) {
+      Args.CacheFile = A + 13;
+    } else if (std::strcmp(A, "--cache-file") == 0) {
+      Args.CacheFile = nextValue(In, "--cache-file");
+    } else if (std::strcmp(A, "--obs-detail") == 0) {
+      Args.ObsDetail = true;
     } else {
       argv[Out++] = argv[In];
     }
@@ -76,15 +112,77 @@ inline BenchArgs parseBenchArgs(int &argc, char **argv) {
   return Args;
 }
 
+/// The cache file coldStart() re-seeds from (set by setupObs).
+inline std::string &persistedCacheFile() {
+  static std::string Path;
+  return Path;
+}
+
+/// Seeds the process-wide result cache from a persisted cache file.
+inline long loadPersistedCache(const std::string &Path) {
+  Solver S(SolverOptions(), SolverCache::process());
+  return S.loadCache(Path);
+}
+
+/// Saves the process-wide result cache to a persisted cache file.
+inline long savePersistedCache(const std::string &Path) {
+  Solver S(SolverOptions(), SolverCache::process());
+  return S.saveCache(Path);
+}
+
+/// Applies the observability and persistence flags: detail spans, the
+/// flight recorder, and the warm-start cache load. Call once after
+/// parseBenchArgs.
+inline void setupObs(const BenchArgs &Args) {
+  if (Args.ObsDetail)
+    obs::ObsConfig::setDetailedSpans(true);
+  if (!Args.TraceOut.empty())
+    obs::TraceRecorder::instance().enable();
+  if (!Args.CacheFile.empty()) {
+    persistedCacheFile() = Args.CacheFile;
+    long N = loadPersistedCache(Args.CacheFile);
+    if (N > 0)
+      std::fprintf(stderr, "[bench] warm start: %ld solver-cache entries "
+                           "from %s\n",
+                   N, Args.CacheFile.c_str());
+  }
+}
+
+/// Writes the chrome trace and saves the persisted cache (per Args). Call
+/// once before exiting.
+inline void finishObs(const BenchArgs &Args) {
+  if (!Args.TraceOut.empty()) {
+    if (obs::writeChromeTrace(Args.TraceOut))
+      std::fprintf(stderr, "[bench] chrome trace written to %s\n",
+                   Args.TraceOut.c_str());
+    else
+      std::fprintf(stderr, "[bench] failed to write trace to %s\n",
+                   Args.TraceOut.c_str());
+  }
+  if (!Args.CacheFile.empty()) {
+    long N = savePersistedCache(Args.CacheFile);
+    if (N >= 0)
+      std::fprintf(stderr, "[bench] saved %ld solver-cache entries to %s\n",
+                   N, Args.CacheFile.c_str());
+    else
+      std::fprintf(stderr, "[bench] failed to save solver cache to %s\n",
+                   Args.CacheFile.c_str());
+  }
+}
+
 /// A genuinely cold solver for the next timed configuration: clears the
 /// process-wide result cache, the sharded simplifier memo, and every
 /// thread's incremental Z3 sessions + encoding memos (runSuite feeds all
-/// three, which would otherwise warm every later row).
+/// three, which would otherwise warm every later row). Under --cache-file
+/// the result cache is then re-seeded from the persisted entries — the
+/// explicit opt-in warm start, identical for every row.
 inline void coldStart() {
   resetSimplifyCache();
   SolverCache::process().clear();
   IncrementalSessionPool::invalidateAll();
   IncrementalSessionPool::forThread().reset();
+  if (!persistedCacheFile().empty())
+    loadPersistedCache(persistedCacheFile());
 }
 
 inline double seconds(std::chrono::steady_clock::time_point From) {

@@ -9,6 +9,7 @@
 
 #include "bench_common.h"
 #include "engine/test_runner.h"
+#include "obs/json_writer.h"
 #include "while_lang/compiler.h"
 #include "while_lang/memory.h"
 
@@ -144,13 +145,16 @@ BENCHMARK(BM_ParallelDiamond)
 // per-count wall time and cache hit rate (for CI scaling dashboards).
 int main(int argc, char **argv) {
   const bench::BenchArgs Args = bench::parseBenchArgs(argc, argv);
+  bench::setupObs(Args);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!Args.Json)
+  if (!Args.Json) {
+    bench::finishObs(Args);
     return 0;
+  }
 
   std::string Src = diamondProgram(10);
   std::string SweepJson;
@@ -167,24 +171,36 @@ int main(int argc, char **argv) {
     double Sec = bench::seconds(T0);
     if (Workers == 1)
       BaseSec = Sec;
-    char Buf[320];
-    std::snprintf(Buf, sizeof(Buf),
-                  "{\"workers\":%u,\"time_s\":%.6f,\"speedup\":%.3f,"
-                  "\"cache_hit_rate\":%.4f,\"solver_queries\":%llu,"
-                  "\"inc_session_hit_rate\":%.4f,"
-                  "\"inc_mean_prefix_depth\":%.2f,"
-                  "\"encode_memo_hits\":%llu}",
-                  Workers, Sec, Sec > 0 ? BaseSec / Sec : 0.0,
-                  R.Solver.cacheHitRate(),
-                  static_cast<unsigned long long>(R.Solver.Queries),
-                  R.Solver.sessionHitRate(), R.Solver.meanPrefixDepth(),
-                  static_cast<unsigned long long>(R.Solver.EncodeMemoHits));
+    obs::JsonWriter Row;
+    Row.beginObject();
+    Row.field("workers", Workers);
+    Row.field("time_s", Sec, 6);
+    Row.field("speedup", Sec > 0 ? BaseSec / Sec : 0.0, 3);
+    Row.field("cache_hit_rate", R.Solver.cacheHitRate(), 4);
+    Row.field("solver_queries",
+              static_cast<uint64_t>(R.Solver.Queries));
+    Row.field("inc_session_hit_rate", R.Solver.sessionHitRate(), 4);
+    Row.field("inc_mean_prefix_depth", R.Solver.meanPrefixDepth(), 2);
+    Row.field("encode_memo_hits",
+              static_cast<uint64_t>(R.Solver.EncodeMemoHits));
+    Row.endObject();
     if (!SweepJson.empty())
       SweepJson += ",";
-    SweepJson += Buf;
+    SweepJson += Row.take();
   }
-  std::printf("\n{\"bench\":\"engine_scaling\",\"workload\":\"diamond_10\","
-              "\"paths\":1024,\"worker_sweep\":[%s]}\n",
-              SweepJson.c_str());
+  obs::JsonWriter W;
+  W.beginObject();
+  W.field("bench", "engine_scaling");
+  W.field("workload", "diamond_10");
+  W.field("paths", 1024);
+  W.key("worker_sweep");
+  W.beginArray();
+  W.raw(SweepJson);
+  W.endArray();
+  W.key("obs");
+  W.raw(obs::obsStatsJson(obs::SpanTable::global().snapshot()));
+  W.endObject();
+  std::printf("\n%s\n", W.take().c_str());
+  bench::finishObs(Args);
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "bench_common.h"
 #include "gil/parser.h"
+#include "obs/json_writer.h"
 #include "solver/solver.h"
 
 #include <benchmark/benchmark.h>
@@ -287,20 +288,34 @@ BENCHMARK(BM_PathConditionGrowth);
 int main(int argc, char **argv) {
   const gillian::bench::BenchArgs Args =
       gillian::bench::parseBenchArgs(argc, argv);
+  gillian::bench::setupObs(Args);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!Args.Json)
+  if (!Args.Json) {
+    gillian::bench::finishObs(Args);
     return 0;
+  }
 
   gillian::bench::coldStart();
   SolverStats Off = runPrefixChain(/*Incremental=*/false, 24);
   gillian::bench::coldStart();
   SolverStats On = runPrefixChain(/*Incremental=*/true, 24);
-  std::printf("\n{\"bench\":\"solver_micro\",\"workload\":"
-              "\"prefix_chain_24\",\"inc_off\":%s,\"inc_on\":%s}\n",
-              solverStatsJson(Off).c_str(), solverStatsJson(On).c_str());
+  gillian::obs::JsonWriter W;
+  W.beginObject();
+  W.field("bench", "solver_micro");
+  W.field("workload", "prefix_chain_24");
+  W.key("inc_off");
+  W.raw(solverStatsJson(Off));
+  W.key("inc_on");
+  W.raw(solverStatsJson(On));
+  W.key("obs");
+  W.raw(gillian::obs::obsStatsJson(
+      gillian::obs::SpanTable::global().snapshot()));
+  W.endObject();
+  std::printf("\n%s\n", W.take().c_str());
+  gillian::bench::finishObs(Args);
   return 0;
 }

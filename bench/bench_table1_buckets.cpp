@@ -20,6 +20,8 @@
 #include "bench_common.h"
 #include "mjs/compiler.h"
 #include "mjs/memory.h"
+#include "obs/json_writer.h"
+#include "obs/span.h"
 #include "targets/buckets_mjs.h"
 #include "targets/suite_runner.h"
 
@@ -54,23 +56,40 @@ using bench::seconds;
 uint32_t ParWorkers = 4;
 
 std::string rowJson(const Row &R) {
-  char Buf[384];
-  std::snprintf(Buf, sizeof(Buf),
-                "{\"name\":\"%s\",\"tests\":%llu,\"gil_cmds\":%llu,"
-                "\"time_j2_s\":%.6f,\"time_gjs_s\":%.6f,"
-                "\"time_par_s\":%.6f,\"par_workers\":%u,\"solver_j2\":",
-                R.Name.c_str(), static_cast<unsigned long long>(R.Tests),
-                static_cast<unsigned long long>(R.GilCmds), R.TimeJ2,
-                R.TimeGjs, R.TimePar, ParWorkers);
-  return std::string(Buf) + solverStatsJson(R.SolverJ2) +
-         ",\"solver_gjs\":" + solverStatsJson(R.SolverGjs) +
-         ",\"solver_par\":" + solverStatsJson(R.SolverPar) + "}";
+  obs::JsonWriter W;
+  W.beginObject();
+  W.field("name", R.Name);
+  W.field("tests", R.Tests);
+  W.field("gil_cmds", R.GilCmds);
+  W.field("time_j2_s", R.TimeJ2, 6);
+  W.field("time_gjs_s", R.TimeGjs, 6);
+  W.field("time_par_s", R.TimePar, 6);
+  W.field("par_workers", ParWorkers);
+  W.key("solver_j2");
+  W.raw(solverStatsJson(R.SolverJ2));
+  W.key("solver_gjs");
+  W.raw(solverStatsJson(R.SolverGjs));
+  W.key("solver_par");
+  W.raw(solverStatsJson(R.SolverPar));
+  W.endObject();
+  return W.take();
+}
+
+/// Accumulates a span-table delta (the sequential-GJS rows only, so the
+/// self-time sum is comparable to single-threaded wall clock).
+void addInto(obs::SpanSnapshot &Acc, const obs::SpanSnapshot &D) {
+  for (size_t I = 0; I < obs::NumSpanKinds; ++I) {
+    Acc.TotalNs[I] += D.TotalNs[I];
+    Acc.SelfNs[I] += D.SelfNs[I];
+    Acc.Count[I] += D.Count[I];
+  }
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
   const bench::BenchArgs Args = bench::parseBenchArgs(argc, argv);
+  bench::setupObs(Args);
   ParWorkers = Args.Workers;
   std::printf("Table 1: Buckets.js-style symbolic test suites "
               "(Gillian-JS / MJS)\n");
@@ -80,6 +99,7 @@ int main(int argc, char **argv) {
 
   Row Total;
   Total.Name = "Total";
+  obs::SpanSnapshot GjsSpans; // span deltas over the sequential GJS rows
   std::string SuitesJson;
   for (const BucketsSuite &S : bucketsSuites()) {
     std::string Src =
@@ -105,9 +125,11 @@ int main(int argc, char **argv) {
     // Gillian configuration.
     coldStart();
     EngineOptions Gjs;
+    obs::SpanSnapshot SpansBefore = obs::SpanTable::global().snapshot();
     T0 = std::chrono::steady_clock::now();
     SuiteResult RGjs = runSuite<MjsSMem>(S.Name, *P, Gjs);
     R.TimeGjs = seconds(T0);
+    addInto(GjsSpans, obs::SpanTable::global().snapshot() - SpansBefore);
     R.SolverGjs = RGjs.Solver;
 
     // Gillian configuration, parallel exploration (4 workers).
@@ -170,9 +192,41 @@ int main(int argc, char **argv) {
               "pool sharing one solver cache; ParSpd = Time(GJS)/Time(P4) "
               "tracks core count (expect ~1x on a single-core runner, "
               ">=2x on 4 cores).\n");
-  if (Args.Json)
-    std::printf("\n{\"bench\":\"table1_buckets\",\"suites\":[%s],"
-                "\"total\":%s}\n",
-                SuitesJson.c_str(), rowJson(Total).c_str());
+
+  // Per-layer attribution check (ISSUE 4 acceptance): over the
+  // single-threaded GJS rows, the mutually-exclusive span self times
+  // summed across every layer must reconstruct the measured wall clock
+  // to within 10%.
+  double SpanSelfSum = GjsSpans.sumSelfNs() / 1e9;
+  double SpanCover = Total.TimeGjs > 0 ? SpanSelfSum / Total.TimeGjs : 0.0;
+  std::printf("Span attribution (GJS rows): per-layer self times sum to "
+              "%.3fs of %.3fs measured wall = %.1f%% coverage (target: "
+              "within 10%%)\n",
+              SpanSelfSum, Total.TimeGjs, 100.0 * SpanCover);
+
+  if (Args.Json) {
+    obs::JsonWriter W;
+    W.beginObject();
+    W.field("bench", "table1_buckets");
+    W.key("suites");
+    W.beginArray();
+    W.raw(SuitesJson);
+    W.endArray();
+    W.key("total");
+    W.raw(rowJson(Total));
+    W.key("span_check");
+    W.beginObject();
+    W.field("wall_gjs_s", Total.TimeGjs, 6);
+    W.field("span_self_sum_s", SpanSelfSum, 6);
+    W.field("cover", SpanCover, 4);
+    W.key("spans");
+    W.raw(GjsSpans.json());
+    W.endObject();
+    W.key("obs");
+    W.raw(obs::obsStatsJson(obs::SpanTable::global().snapshot()));
+    W.endObject();
+    std::printf("\n%s\n", W.take().c_str());
+  }
+  bench::finishObs(Args);
   return Total.Bugs == 0 ? 0 : 1;
 }

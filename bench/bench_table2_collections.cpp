@@ -17,6 +17,7 @@
 #include "bench_common.h"
 #include "mc/compiler.h"
 #include "mc/memory.h"
+#include "obs/json_writer.h"
 #include "targets/collections_mc.h"
 #include "targets/suite_runner.h"
 
@@ -43,6 +44,7 @@ Result<Prog> compileSuite(std::string_view Library,
 
 int main(int argc, char **argv) {
   const bench::BenchArgs Args = bench::parseBenchArgs(argc, argv);
+  bench::setupObs(Args);
   // Worker count of the parallel configuration (--workers; default 4, the
   // acceptance target's core count).
   const uint32_t ParWorkers = Args.Workers;
@@ -82,18 +84,20 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(R.GilCmds), Sec, SecPar,
                 SecPar > 0 ? Sec / SecPar : 0.0,
                 100.0 * R.Solver.cacheHitRate());
-    char Buf[224];
-    std::snprintf(Buf, sizeof(Buf),
-                  "{\"name\":\"%s\",\"tests\":%llu,\"gil_cmds\":%llu,"
-                  "\"time_s\":%.6f,\"time_par_s\":%.6f,"
-                  "\"par_workers\":%u,\"solver\":",
-                  std::string(S.Name).c_str(),
-                  static_cast<unsigned long long>(R.Tests),
-                  static_cast<unsigned long long>(R.GilCmds), Sec, SecPar,
-                  ParWorkers);
+    obs::JsonWriter Row;
+    Row.beginObject();
+    Row.field("name", std::string_view(S.Name));
+    Row.field("tests", R.Tests);
+    Row.field("gil_cmds", R.GilCmds);
+    Row.field("time_s", Sec, 6);
+    Row.field("time_par_s", SecPar, 6);
+    Row.field("par_workers", ParWorkers);
+    Row.key("solver");
+    Row.raw(solverStatsJson(R.Solver));
+    Row.endObject();
     if (!SuitesJson.empty())
       SuitesJson += ",";
-    SuitesJson += std::string(Buf) + solverStatsJson(R.Solver) + "}";
+    SuitesJson += Row.take();
     TotalTests += R.Tests;
     TotalCmds += R.GilCmds;
     TotalTime += Sec;
@@ -141,17 +145,29 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(HealthyBugs));
   std::printf("Paper shape check: all four seeded finding classes "
               "re-detected; clean library verifies.\n");
-  char TotBuf[192];
-  std::snprintf(TotBuf, sizeof(TotBuf),
-                "{\"tests\":%llu,\"gil_cmds\":%llu,\"time_s\":%.6f,"
-                "\"time_par_s\":%.6f,\"par_workers\":%u,\"solver\":",
-                static_cast<unsigned long long>(TotalTests),
-                static_cast<unsigned long long>(TotalCmds), TotalTime,
-                TotalTimePar, ParWorkers);
-  if (Args.Json)
-    std::printf("\n{\"bench\":\"table2_collections\",\"suites\":[%s],"
-                "\"total\":%s%s}}\n",
-                SuitesJson.c_str(), TotBuf,
-                solverStatsJson(TotalSolver).c_str());
+  if (Args.Json) {
+    obs::JsonWriter W;
+    W.beginObject();
+    W.field("bench", "table2_collections");
+    W.key("suites");
+    W.beginArray();
+    W.raw(SuitesJson);
+    W.endArray();
+    W.key("total");
+    W.beginObject();
+    W.field("tests", TotalTests);
+    W.field("gil_cmds", TotalCmds);
+    W.field("time_s", TotalTime, 6);
+    W.field("time_par_s", TotalTimePar, 6);
+    W.field("par_workers", ParWorkers);
+    W.key("solver");
+    W.raw(solverStatsJson(TotalSolver));
+    W.endObject();
+    W.key("obs");
+    W.raw(obs::obsStatsJson(obs::SpanTable::global().snapshot()));
+    W.endObject();
+    std::printf("\n%s\n", W.take().c_str());
+  }
+  bench::finishObs(Args);
   return HealthyBugs == 0 && Findings.size() >= 4 ? 0 : 1;
 }

@@ -33,8 +33,9 @@
 #include "engine/state.h"
 #include "engine/stats.h"
 #include "gil/prog.h"
+#include "obs/span.h"
+#include "obs/trace_ring.h"
 
-#include <chrono>
 #include <string>
 #include <vector>
 
@@ -143,7 +144,7 @@ public:
     if (!Start)
       return Err(Start.error());
 
-    auto T0 = std::chrono::steady_clock::now();
+    obs::Span ExploreSpan(obs::SpanKind::Explore, &Stats.EngineNs);
     std::vector<TraceResult<St>> Results;
     std::vector<Config> Work;
     Work.push_back(Start.take());
@@ -163,13 +164,14 @@ public:
     while (!Work.empty()) {
       if ((Opts.MaxSteps && Steps >= Opts.MaxSteps) ||
           (Opts.MaxPaths && Results.size() >= Opts.MaxPaths)) {
-        // Out of budget: remaining configurations become Bound outcomes.
-        for (Config &C : Work) {
-          ++Stats.PathsBounded;
-          Results.push_back({OutcomeKind::Bound,
-                             St::errorValue("step budget exhausted"),
-                             std::move(C.State)});
-        }
+        // Out of budget: remaining configurations become Bound outcomes,
+        // routed through finish() so outcome accounting has exactly one
+        // code path (it used to bump PathsBounded inline here, duplicating
+        // the counting logic).
+        for (Config &C : Work)
+          finish(Sink, OutcomeKind::Bound,
+                 St::errorValue("step budget exhausted"),
+                 std::move(C.State));
         break;
       }
       Config C = std::move(Work.back());
@@ -177,10 +179,6 @@ public:
       ++Steps;
       step(std::move(C), Sink);
     }
-    Stats.EngineNs += static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - T0)
-            .count());
     return Results;
   }
 
@@ -189,6 +187,7 @@ public:
   /// configurations: mutable state is confined to C, the sink, and the
   /// atomic counters in Stats.
   template <typename Sink> void step(Config C, Sink &S) {
+    obs::DetailSpan StepSpan(obs::SpanKind::Step);
     const Proc *Cur = P.find(C.CurProc);
     assert(Cur && "current procedure disappeared");
     if (C.I >= Cur->Body.size()) {
@@ -239,8 +238,10 @@ public:
       }
 
       bool TookBoth = TrueSt->has_value() && FalseSt.has_value();
-      if (TookBoth)
+      if (TookBoth) {
         ++Stats.Branches;
+        obs::TraceRecorder::record(obs::TraceEventKind::BranchTaken, 0, 2);
+      }
 
       if (FalseSt.has_value()) {
         Config FC = C;
@@ -359,8 +360,11 @@ public:
         fail(S, std::move(C), Branches.error());
         return;
       }
-      if (Branches->size() > 1)
+      if (Branches->size() > 1) {
         Stats.Branches += Branches->size() - 1;
+        obs::TraceRecorder::record(obs::TraceEventKind::BranchTaken, 0,
+                                   static_cast<uint32_t>(Branches->size()));
+      }
       for (StateBranch<St> &B : *Branches) {
         if (B.IsError) {
           finish(S, OutcomeKind::Error, std::move(B.Ret),
@@ -409,6 +413,8 @@ public:
     case OutcomeKind::Vanish: ++Stats.PathsVanished; break;
     case OutcomeKind::Bound: ++Stats.PathsBounded; break;
     }
+    obs::TraceRecorder::record(obs::TraceEventKind::PathFinished,
+                               static_cast<uint8_t>(K));
     S.done(K, std::move(V), std::move(State));
   }
 

@@ -42,7 +42,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <utility>
@@ -65,7 +64,7 @@ public:
   /// Explores every path reachable from \p Init on a pool of
   /// SOpts.Workers threads; returns finished paths in branch-trace order.
   std::vector<TraceResult<St>> explore(Config Init) {
-    auto T0 = std::chrono::steady_clock::now();
+    obs::Span ExploreSpan(obs::SpanKind::Explore, &I.stats().EngineNs);
     size_t N = SOpts.Workers ? SOpts.Workers : 1;
     LocalResults.assign(N, {});
 
@@ -91,11 +90,6 @@ public:
     Out.reserve(All.size());
     for (auto &E : All)
       Out.push_back(std::move(E.second));
-
-    I.stats().EngineNs += static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - T0)
-            .count());
     return Out;
   }
 

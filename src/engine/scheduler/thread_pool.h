@@ -35,6 +35,9 @@
 #ifndef GILLIAN_ENGINE_SCHEDULER_THREAD_POOL_H
 #define GILLIAN_ENGINE_SCHEDULER_THREAD_POOL_H
 
+#include "obs/sched_counters.h"
+#include "obs/trace_ring.h"
+
 #include <atomic>
 #include <cassert>
 #include <condition_variable>
@@ -117,6 +120,7 @@ private:
 
   void pushLocal(size_t Idx, Task T) {
     Pending.fetch_add(1, std::memory_order_acq_rel);
+    ++obs::schedCounters().TasksSpawned;
     {
       std::lock_guard<std::mutex> Lock(Deques[Idx].Mu);
       Deques[Idx].Q.push_back(std::move(T));
@@ -152,9 +156,11 @@ private:
     for (size_t Off = 1; Off < N; ++Off) {
       size_t Victim = (Idx + Off) % N;
       std::vector<Task> Batch;
+      size_t VictimDepth = 0;
       {
         std::lock_guard<std::mutex> Lock(Deques[Victim].Mu);
         auto &Q = Deques[Victim].Q;
+        VictimDepth = Q.size();
         for (size_t K = stealCount(Q.size(), StealBatch); K > 0; --K) {
           Batch.push_back(std::move(Q.front()));
           Q.pop_front();
@@ -162,6 +168,13 @@ private:
       }
       if (Batch.empty())
         continue;
+      obs::SchedCounters &SC = obs::schedCounters();
+      ++SC.Steals;
+      SC.StolenTasks += Batch.size();
+      SC.StealQueueDepth += VictimDepth;
+      obs::TraceRecorder::record(obs::TraceEventKind::Steal, 0,
+                                 static_cast<uint32_t>(Batch.size()),
+                                 VictimDepth);
       if (Batch.size() > 1) {
         std::lock_guard<std::mutex> Lock(Deques[Idx].Mu);
         for (size_t K = 1; K < Batch.size(); ++K)

@@ -8,80 +8,62 @@
 /// Counters reported by the evaluation harness. "GIL commands" is the
 /// metric of Tables 1 and 2 in the paper.
 ///
-/// Counters are relaxed atomics so one ExecStats instance can be shared by
-/// every worker of the parallel exploration scheduler and still sum
-/// exactly — the counts are schedule-independent, only the interleaving of
-/// increments varies. Copies and arithmetic read/write relaxed; they are
-/// aggregation conveniences for quiescent points (end of a run), not
-/// cross-thread synchronisation.
+/// ExecStats is an obs::CounterSet: every field self-registers its JSON
+/// name and category, so copy, merge and JSON emission are schema walks —
+/// adding a counter is the one declaration line. Counters are relaxed
+/// atomics so one ExecStats instance can be shared by every worker of the
+/// parallel exploration scheduler and still sum exactly — the counts are
+/// schedule-independent, only the interleaving of increments varies.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GILLIAN_ENGINE_STATS_H
 #define GILLIAN_ENGINE_STATS_H
 
-#include <atomic>
-#include <cstdint>
+#include "obs/counters.h"
 
 namespace gillian {
 
-struct ExecStats {
-  std::atomic<uint64_t> CmdsExecuted{0}; ///< GIL commands (Tables 1/2)
-  std::atomic<uint64_t> Branches{0};     ///< points where execution split
-  std::atomic<uint64_t> PathsFinished{0};
-  std::atomic<uint64_t> PathsVanished{0};
-  std::atomic<uint64_t> PathsErrored{0};
-  std::atomic<uint64_t> PathsBounded{0}; ///< cut by loop/step budgets
-  std::atomic<uint64_t> ActionCalls{0};
-  std::atomic<uint64_t> ProcCalls{0};
+struct ExecStats : obs::CounterSet<ExecStats> {
+  /// GIL commands (Tables 1/2).
+  obs::Counter CmdsExecuted{*this, "cmds_executed", "engine"};
+  /// Points where execution split.
+  obs::Counter Branches{*this, "branches", "engine"};
+  obs::Counter PathsFinished{*this, "paths_finished", "engine"};
+  obs::Counter PathsVanished{*this, "paths_vanished", "engine"};
+  obs::Counter PathsErrored{*this, "paths_errored", "engine"};
+  /// Paths cut by loop/step budgets.
+  obs::Counter PathsBounded{*this, "paths_bounded", "engine"};
+  obs::Counter ActionCalls{*this, "action_calls", "engine"};
+  obs::Counter ProcCalls{*this, "proc_calls", "engine"};
 
   // Solver effort attributed to this execution (filled by the symbolic
   // test runner from SolverStats deltas; zero for concrete runs).
-  std::atomic<uint64_t> SolverQueries{0};
-  std::atomic<uint64_t> SolverCacheHits{0}; ///< full-query + slice hits
-  std::atomic<uint64_t> SolverIncReuses{0}; ///< Z3 answers on a reused prefix
-  std::atomic<uint64_t> SolverNs{0}; ///< wall-time inside the solver
-  std::atomic<uint64_t> EngineNs{0}; ///< wall-time of the exploration loop
+  obs::Counter SolverQueries{*this, "solver_queries", "engine"};
+  /// Full-query + slice cache hits.
+  obs::Counter SolverCacheHits{*this, "solver_cache_hits", "engine"};
+  /// Z3 answers on a reused incremental prefix.
+  obs::Counter SolverIncReuses{*this, "solver_inc_reuses", "engine"};
+  /// Wall-time inside the solver (fed by the Solver span's slot).
+  obs::Counter SolverNs{*this, "solver_ns", "engine"};
+  /// Wall-time of the exploration loop (fed by the Explore span's slot).
+  obs::Counter EngineNs{*this, "engine_ns", "engine"};
 
   ExecStats() = default;
-  ExecStats(const ExecStats &O) { *this = O; }
+  ExecStats(const ExecStats &O) { copyFrom(O); }
 
   ExecStats &operator=(const ExecStats &O) {
-    forEach(O, [](std::atomic<uint64_t> &A, const std::atomic<uint64_t> &B) {
-      A.store(B.load(std::memory_order_relaxed), std::memory_order_relaxed);
-    });
+    copyFrom(O);
     return *this;
   }
 
   ExecStats &operator+=(const ExecStats &O) {
-    forEach(O, [](std::atomic<uint64_t> &A, const std::atomic<uint64_t> &B) {
-      A.fetch_add(B.load(std::memory_order_relaxed),
-                  std::memory_order_relaxed);
-    });
+    addFrom(O);
     return *this;
   }
 
   /// Explicit name for summing per-worker snapshots into an aggregate.
   void merge(const ExecStats &O) { *this += O; }
-
-private:
-  /// Applies \p F to every (our field, other's field) pair; the single
-  /// field list keeps copy and sum in sync.
-  template <typename Fn> void forEach(const ExecStats &O, Fn F) {
-    F(CmdsExecuted, O.CmdsExecuted);
-    F(Branches, O.Branches);
-    F(PathsFinished, O.PathsFinished);
-    F(PathsVanished, O.PathsVanished);
-    F(PathsErrored, O.PathsErrored);
-    F(PathsBounded, O.PathsBounded);
-    F(ActionCalls, O.ActionCalls);
-    F(ProcCalls, O.ProcCalls);
-    F(SolverQueries, O.SolverQueries);
-    F(SolverCacheHits, O.SolverCacheHits);
-    F(SolverIncReuses, O.SolverIncReuses);
-    F(SolverNs, O.SolverNs);
-    F(EngineNs, O.EngineNs);
-  }
 };
 
 } // namespace gillian

@@ -3,6 +3,7 @@
 #include "mc/memory.h"
 
 #include "engine/action_args.h"
+#include "obs/action_counters.h"
 #include "solver/simplifier.h"
 
 #include <cstring>
@@ -619,6 +620,7 @@ struct McSMem::ActionCtx {
 Result<std::vector<SymActionBranch<McSMem>>>
 McSMem::execAction(InternedString Act, const Expr &Arg,
                    const PathCondition &PC, Solver &S) const {
+  obs::ActionCounters::bump("mc", Act);
   ActionCtx C(*this, PC, S);
 
   if (Act == actAlloc()) {

@@ -3,6 +3,7 @@
 #include "mjs/memory.h"
 
 #include "engine/action_args.h"
+#include "obs/action_counters.h"
 #include "solver/simplifier.h"
 
 using namespace gillian;
@@ -272,6 +273,7 @@ struct MjsSMem::Ctx {
 Result<std::vector<SymActionBranch<MjsSMem>>>
 MjsSMem::execAction(InternedString Act, const Expr &Arg,
                     const PathCondition &PC, Solver &S) const {
+  obs::ActionCounters::bump("mjs", Act);
   // newObj: registration of a freshly-allocated location; never branches.
   if (Act == actNewObj()) {
     Result<std::vector<Expr>> A = splitArgsE(Arg, 2);

@@ -1,0 +1,66 @@
+//===- obs/action_counters.cpp --------------------------------------------===//
+
+#include "obs/action_counters.h"
+
+using namespace gillian;
+using namespace gillian::obs;
+
+ActionCounters &ActionCounters::instance() {
+  static ActionCounters A;
+  return A;
+}
+
+void ActionCounters::bumpImpl(const char *Lang, InternedString Action) {
+  Shard &S = shardFor(Action);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  for (auto &E : S.Entries) {
+    if (E->Action == Action && E->Lang == Lang) {
+      E->Count.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  auto E = std::make_unique<Entry>();
+  E->Lang = Lang;
+  E->Action = Action;
+  E->Count.store(1, std::memory_order_relaxed);
+  S.Entries.push_back(std::move(E));
+}
+
+std::map<std::string, std::map<std::string, uint64_t>>
+ActionCounters::snapshot() const {
+  std::lock_guard<std::mutex> SLock(SnapshotMu);
+  std::map<std::string, std::map<std::string, uint64_t>> Out;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    for (const auto &E : S.Entries)
+      Out[E->Lang][std::string(E->Action.str())] +=
+          E->Count.load(std::memory_order_relaxed);
+  }
+  return Out;
+}
+
+void ActionCounters::jsonInto(JsonWriter &W) const {
+  for (const auto &[Lang, Actions] : snapshot()) {
+    W.key(Lang);
+    W.beginObject();
+    for (const auto &[Name, Count] : Actions)
+      W.field(Name, Count);
+    W.endObject();
+  }
+}
+
+std::string ActionCounters::json() const {
+  JsonWriter W;
+  W.beginObject();
+  jsonInto(W);
+  W.endObject();
+  return W.take();
+}
+
+void ActionCounters::reset() {
+  std::lock_guard<std::mutex> SLock(SnapshotMu);
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Entries.clear();
+  }
+}

@@ -1,0 +1,12 @@
+//===- obs/counters.cpp ---------------------------------------------------===//
+
+#include "obs/counters.h"
+
+namespace gillian::obs::detail {
+
+SchemaBuildScope *&activeSchemaBuild() {
+  thread_local SchemaBuildScope *Active = nullptr;
+  return Active;
+}
+
+} // namespace gillian::obs::detail

@@ -1,0 +1,218 @@
+//===- obs/counters.h - Self-registering counter sets ----------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The counter registry of the observability core (DESIGN.md §4c).
+///
+/// A *counter set* is a plain struct whose members are `Counter`s, each
+/// declaring its JSON name and category inline:
+///
+///   struct ExecStats : obs::CounterSet<ExecStats> {
+///     obs::Counter CmdsExecuted{*this, "cmds_executed", "engine"};
+///     ...
+///   };
+///
+/// The schema (name, category, byte offset of every counter) is built
+/// exactly once per set type, by constructing one probe instance under a
+/// thread-local build scope; after that, copy / merge / delta / JSON
+/// emission are generic walks over the schema. Adding a counter is ONE
+/// line — the declaration — where the previous design needed four edit
+/// sites (field, forEach entry, JSON format string, JSON argument).
+///
+/// Counters are relaxed atomics: one set instance can be shared by every
+/// worker of the parallel exploration scheduler and still sum exactly.
+/// Copies and arithmetic read/write relaxed; they are aggregation
+/// conveniences for quiescent points, not cross-thread synchronisation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_OBS_COUNTERS_H
+#define GILLIAN_OBS_COUNTERS_H
+
+#include "obs/json_writer.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <typeinfo>
+#include <vector>
+
+namespace gillian::obs {
+
+/// One registered counter of a set: its JSON key, its category (grouping
+/// key of the unified stats exporter), and its byte offset within the
+/// owning struct.
+struct CounterField {
+  const char *Name;
+  const char *Category;
+  size_t Offset;
+};
+
+/// The per-set-type field list, built once by a probe construction.
+class CounterSchema {
+public:
+  void add(const char *Name, const char *Category, size_t Offset) {
+    Fields.push_back({Name, Category, Offset});
+  }
+  const std::vector<CounterField> &fields() const { return Fields; }
+
+private:
+  std::vector<CounterField> Fields;
+};
+
+namespace detail {
+/// Non-null only while a probe instance is being constructed to build a
+/// schema; carries the type being probed so counters of any *other*
+/// nested set type do not mis-register.
+struct SchemaBuildScope {
+  CounterSchema *Schema;
+  const std::type_info *Type;
+};
+SchemaBuildScope *&activeSchemaBuild();
+} // namespace detail
+
+template <typename Derived> class CounterSet;
+
+/// A relaxed atomic uint64 that self-registers into its owning set's
+/// schema during the one-time probe construction. Drop-in for the
+/// previous raw `std::atomic<uint64_t>` fields: supports ++, += N,
+/// fetch_add, load/store, and implicit conversion to uint64_t.
+class Counter {
+public:
+  template <typename Owner>
+  Counter(CounterSet<Owner> &Set, const char *Name, const char *Category) {
+    detail::SchemaBuildScope *B = detail::activeSchemaBuild();
+    if (B && *B->Type == typeid(Owner)) {
+      auto *Base = reinterpret_cast<const char *>(
+          static_cast<const Owner *>(&Set));
+      B->Schema->add(Name, Category,
+                     static_cast<size_t>(
+                         reinterpret_cast<const char *>(this) - Base));
+    }
+  }
+
+  Counter(const Counter &O) : V(O.load()) {}
+  Counter &operator=(const Counter &O) {
+    store(O.load());
+    return *this;
+  }
+
+  uint64_t load(std::memory_order MO = std::memory_order_relaxed) const {
+    return V.load(MO);
+  }
+  void store(uint64_t N,
+             std::memory_order MO = std::memory_order_relaxed) {
+    V.store(N, MO);
+  }
+  uint64_t fetch_add(uint64_t N,
+                     std::memory_order MO = std::memory_order_relaxed) {
+    return V.fetch_add(N, MO);
+  }
+
+  Counter &operator++() {
+    fetch_add(1);
+    return *this;
+  }
+  void operator++(int) { fetch_add(1); }
+  Counter &operator+=(uint64_t N) {
+    fetch_add(N);
+    return *this;
+  }
+
+  operator uint64_t() const { return load(); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// CRTP base providing the schema and the generic operations. The Derived
+/// struct keeps its public field names (call sites and tests are
+/// untouched) and forwards its copy/merge/delta operators here.
+template <typename Derived> class CounterSet {
+public:
+  /// The field list of Derived; built on first use by constructing one
+  /// probe instance (thread-safe via the magic static).
+  static const CounterSchema &schema() {
+    static const CounterSchema S = buildSchema();
+    return S;
+  }
+
+  void copyFrom(const Derived &O) {
+    for (const CounterField &F : schema().fields())
+      at(F.Offset).store(O.at(F.Offset).load());
+  }
+  void addFrom(const Derived &O) {
+    for (const CounterField &F : schema().fields())
+      at(F.Offset).fetch_add(O.at(F.Offset).load());
+  }
+  /// Counter-wise `*this - Earlier` (for before/after snapshots).
+  Derived deltaSince(const Derived &Earlier) const {
+    Derived D;
+    for (const CounterField &F : schema().fields())
+      D.at(F.Offset).store(at(F.Offset).load() -
+                           Earlier.at(F.Offset).load());
+    return D;
+  }
+  void resetCounters() {
+    for (const CounterField &F : schema().fields())
+      at(F.Offset).store(0);
+  }
+
+  /// Emits every registered counter as `"name":value` fields into an
+  /// already-open JSON object. The single schema walk is what retires the
+  /// hand-maintained per-struct format strings.
+  void countersInto(JsonWriter &W) const {
+    for (const CounterField &F : schema().fields())
+      W.field(F.Name, at(F.Offset).load());
+  }
+
+  /// Convenience: the full `{...}` object (counters only; derived rates
+  /// are appended by the owning type's JSON entry point).
+  std::string countersJson() const {
+    JsonWriter W;
+    W.beginObject();
+    countersInto(W);
+    W.endObject();
+    return W.take();
+  }
+
+protected:
+  CounterSet() = default;
+  CounterSet(const CounterSet &) = default;
+  CounterSet &operator=(const CounterSet &) = default;
+
+private:
+  Counter &at(size_t Off) {
+    return *reinterpret_cast<Counter *>(reinterpret_cast<char *>(self()) +
+                                        Off);
+  }
+  const Counter &at(size_t Off) const {
+    return *reinterpret_cast<const Counter *>(
+        reinterpret_cast<const char *>(self()) + Off);
+  }
+  Derived *self() { return static_cast<Derived *>(this); }
+  const Derived *self() const { return static_cast<const Derived *>(this); }
+
+  static CounterSchema buildSchema() {
+    CounterSchema S;
+    detail::SchemaBuildScope Scope{&S, &typeid(Derived)};
+    detail::SchemaBuildScope *&Active = detail::activeSchemaBuild();
+    detail::SchemaBuildScope *Prev = Active;
+    Active = &Scope;
+    {
+      Derived Probe; // Counter ctors register into Scope
+      (void)Probe;
+    }
+    Active = Prev;
+    return S;
+  }
+
+  friend class Counter;
+};
+
+} // namespace gillian::obs
+
+#endif // GILLIAN_OBS_COUNTERS_H

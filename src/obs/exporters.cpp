@@ -1,0 +1,316 @@
+//===- obs/exporters.cpp --------------------------------------------------===//
+
+#include "obs/exporters.h"
+
+#include "obs/action_counters.h"
+#include "obs/sched_counters.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+using namespace gillian::obs;
+
+namespace {
+
+void eventCommon(JsonWriter &W, const TraceEvent &E, const char *Name,
+                 const char *Phase) {
+  W.field("name", Name);
+  W.field("ph", Phase);
+  // Trace Event Format timestamps are microseconds; keep ns resolution in
+  // the fraction.
+  W.field("ts", static_cast<double>(E.TsNs) / 1000.0, 3);
+  W.field("pid", 1);
+  W.field("tid", E.Tid);
+}
+
+const char *spanName(uint8_t Arg0) {
+  if (Arg0 >= NumSpanKinds)
+    return "unknown_span";
+  return spanKindName(static_cast<SpanKind>(Arg0)).data();
+}
+
+} // namespace
+
+std::string gillian::obs::chromeTraceJson(const std::vector<TraceEvent> &Events) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+
+  // Per-tid stack of open spans. An end without a begin means the ring's
+  // wrap ate the begin — drop it so "B"/"E" pairs always nest; a begin
+  // without an end (trace drained mid-span, or the end was on a later
+  // era of a recycled ring) is closed at its thread's last timestamp.
+  struct TidState {
+    uint32_t Tid;
+    std::vector<uint8_t> Open; ///< SpanKind stack
+    uint64_t LastTs = 0;
+  };
+  std::vector<TidState> Tids;
+  auto stateFor = [&Tids](uint32_t Tid) -> TidState & {
+    for (TidState &S : Tids)
+      if (S.Tid == Tid)
+        return S;
+    Tids.push_back(TidState{Tid, {}, 0});
+    return Tids.back();
+  };
+
+  for (const TraceEvent &E : Events) {
+    TidState &S = stateFor(E.Tid);
+    S.LastTs = E.TsNs;
+    switch (E.Kind) {
+    case TraceEventKind::SpanBegin: {
+      W.beginObject();
+      eventCommon(W, E, spanName(E.Arg0), "B");
+      W.endObject();
+      S.Open.push_back(E.Arg0);
+      break;
+    }
+    case TraceEventKind::SpanEnd: {
+      // Unwind to the matching begin if intermediate ends were lost to a
+      // wrap; if no begin survives, drop the end.
+      if (S.Open.empty())
+        break;
+      while (!S.Open.empty() && S.Open.back() != E.Arg0) {
+        W.beginObject();
+        eventCommon(W, E, spanName(S.Open.back()), "E");
+        W.endObject();
+        S.Open.pop_back();
+      }
+      if (S.Open.empty())
+        break;
+      W.beginObject();
+      eventCommon(W, E, spanName(E.Arg0), "E");
+      W.endObject();
+      S.Open.pop_back();
+      break;
+    }
+    default: {
+      W.beginObject();
+      eventCommon(W, E, traceEventKindName(E.Kind), "i");
+      W.field("s", "t"); // instant scope: thread
+      W.key("args");
+      W.beginObject();
+      switch (E.Kind) {
+      case TraceEventKind::BranchTaken:
+        W.field("successors", E.A);
+        break;
+      case TraceEventKind::PathFinished:
+        W.field("outcome", static_cast<uint64_t>(E.Arg0));
+        break;
+      case TraceEventKind::Steal:
+        W.field("batch", E.A);
+        W.field("victim_depth", E.B);
+        break;
+      case TraceEventKind::SessionReset:
+        W.field("frames_discarded", E.A);
+        break;
+      case TraceEventKind::CacheEvict:
+        W.field("pool_size", E.A);
+        break;
+      default:
+        break;
+      }
+      W.endObject();
+      W.endObject();
+      break;
+    }
+    }
+  }
+
+  // Close whatever is still open so every "B" has an "E".
+  for (TidState &S : Tids) {
+    while (!S.Open.empty()) {
+      TraceEvent E{};
+      E.TsNs = S.LastTs;
+      E.Tid = S.Tid;
+      W.beginObject();
+      eventCommon(W, E, spanName(S.Open.back()), "E");
+      W.endObject();
+      S.Open.pop_back();
+    }
+  }
+
+  W.endArray();
+  W.field("displayTimeUnit", "ns");
+  W.endObject();
+  return W.take();
+}
+
+bool gillian::obs::writeChromeTrace(const std::string &Path) {
+  std::string Json = chromeTraceJson(TraceRecorder::instance().drain());
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << Json << "\n";
+  return static_cast<bool>(Out);
+}
+
+std::string gillian::obs::obsStatsJson(const SpanSnapshot &Spans) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("spans");
+  W.raw(Spans.json());
+  W.key("actions");
+  W.raw(ActionCounters::instance().json());
+  W.key("scheduler");
+  W.raw(schedCounters().countersJson());
+  W.endObject();
+  return W.take();
+}
+
+//===----------------------------------------------------------------------===//
+// validateJson — a recursive-descent structural check.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct JsonChecker {
+  std::string_view S;
+  size_t I = 0;
+  int Depth = 0;
+  static constexpr int MaxDepth = 256;
+
+  void ws() {
+    while (I < S.size() && (S[I] == ' ' || S[I] == '\t' || S[I] == '\n' ||
+                            S[I] == '\r'))
+      ++I;
+  }
+  bool eat(char C) {
+    if (I < S.size() && S[I] == C) {
+      ++I;
+      return true;
+    }
+    return false;
+  }
+  bool lit(std::string_view L) {
+    if (S.compare(I, L.size(), L) != 0)
+      return false;
+    I += L.size();
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"'))
+      return false;
+    while (I < S.size()) {
+      char C = S[I++];
+      if (C == '"')
+        return true;
+      if (C == '\\') {
+        if (I >= S.size())
+          return false;
+        char E = S[I++];
+        if (E == 'u') {
+          for (int K = 0; K < 4; ++K)
+            if (I >= S.size() || !std::isxdigit(static_cast<unsigned char>(S[I++])))
+              return false;
+        } else if (!strchr("\"\\/bfnrt", E)) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(C) < 0x20) {
+        return false;
+      }
+    }
+    return false;
+  }
+
+  bool number() {
+    size_t Start = I;
+    eat('-');
+    if (!std::isdigit(static_cast<unsigned char>(I < S.size() ? S[I] : '\0')))
+      return false;
+    while (I < S.size() && std::isdigit(static_cast<unsigned char>(S[I])))
+      ++I;
+    if (eat('.')) {
+      if (I >= S.size() || !std::isdigit(static_cast<unsigned char>(S[I])))
+        return false;
+      while (I < S.size() && std::isdigit(static_cast<unsigned char>(S[I])))
+        ++I;
+    }
+    if (I < S.size() && (S[I] == 'e' || S[I] == 'E')) {
+      ++I;
+      if (I < S.size() && (S[I] == '+' || S[I] == '-'))
+        ++I;
+      if (I >= S.size() || !std::isdigit(static_cast<unsigned char>(S[I])))
+        return false;
+      while (I < S.size() && std::isdigit(static_cast<unsigned char>(S[I])))
+        ++I;
+    }
+    return I > Start;
+  }
+
+  bool value() {
+    if (++Depth > MaxDepth)
+      return false;
+    ws();
+    bool Ok;
+    if (I >= S.size()) {
+      Ok = false;
+    } else if (S[I] == '{') {
+      ++I;
+      ws();
+      if (eat('}')) {
+        Ok = true;
+      } else {
+        Ok = true;
+        while (true) {
+          ws();
+          if (!string() || (ws(), !eat(':')) || !value()) {
+            Ok = false;
+            break;
+          }
+          ws();
+          if (eat(','))
+            continue;
+          Ok = eat('}');
+          break;
+        }
+      }
+    } else if (S[I] == '[') {
+      ++I;
+      ws();
+      if (eat(']')) {
+        Ok = true;
+      } else {
+        Ok = true;
+        while (true) {
+          if (!value()) {
+            Ok = false;
+            break;
+          }
+          ws();
+          if (eat(','))
+            continue;
+          Ok = eat(']');
+          break;
+        }
+      }
+    } else if (S[I] == '"') {
+      Ok = string();
+    } else if (S[I] == 't') {
+      Ok = lit("true");
+    } else if (S[I] == 'f') {
+      Ok = lit("false");
+    } else if (S[I] == 'n') {
+      Ok = lit("null");
+    } else {
+      Ok = number();
+    }
+    --Depth;
+    return Ok;
+  }
+};
+
+} // namespace
+
+bool gillian::obs::validateJson(std::string_view Json) {
+  JsonChecker C{Json};
+  if (!C.value())
+    return false;
+  C.ws();
+  return C.I == Json.size();
+}

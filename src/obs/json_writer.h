@@ -1,0 +1,160 @@
+//===- obs/json_writer.h - Minimal streaming JSON writer -------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one JSON emitter of the codebase. Every machine-readable line — the
+/// registry-driven stats objects, the chrome://tracing export, the bench
+/// drivers' trailing JSON — is built through this writer instead of
+/// hand-maintained snprintf format strings, so adding a counter (or a
+/// whole counter set) never edits a format string again.
+///
+/// The writer is deliberately tiny: objects, arrays, string escaping,
+/// comma placement. It produces a single line (no pretty-printing) because
+/// the consumers are `jq` pipelines and trace viewers, not humans.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_OBS_JSON_WRITER_H
+#define GILLIAN_OBS_JSON_WRITER_H
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace gillian::obs {
+
+/// Streaming JSON writer with automatic comma placement. Usage:
+///
+///   JsonWriter W;
+///   W.beginObject();
+///   W.field("tests", 74);
+///   W.key("solver"); W.raw(statsJson);   // splice a pre-rendered object
+///   W.endObject();
+///   std::string Line = W.take();
+class JsonWriter {
+public:
+  void beginObject() { open('{'); }
+  void endObject() { close('}'); }
+  void beginArray() { open('['); }
+  void endArray() { close(']'); }
+
+  /// Emits the key of a key/value pair; the next emitted value (or
+  /// container) is its value.
+  void key(std::string_view K) {
+    comma();
+    appendQuoted(K);
+    Out += ':';
+    PendingValue = true;
+  }
+
+  void value(uint64_t V) {
+    comma();
+    char Buf[24];
+    std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+    Out += Buf;
+  }
+  void value(int64_t V) {
+    comma();
+    char Buf[24];
+    std::snprintf(Buf, sizeof(Buf), "%" PRId64, V);
+    Out += Buf;
+  }
+  void value(uint32_t V) { value(static_cast<uint64_t>(V)); }
+  void value(int V) { value(static_cast<int64_t>(V)); }
+  void value(double V, int Precision = 6) {
+    comma();
+    char Buf[48];
+    std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, V);
+    Out += Buf;
+  }
+  void value(bool V) {
+    comma();
+    Out += V ? "true" : "false";
+  }
+  void value(std::string_view V) {
+    comma();
+    appendQuoted(V);
+  }
+  void value(const char *V) { value(std::string_view(V)); }
+
+  template <typename T> void field(std::string_view K, T V) {
+    key(K);
+    value(V);
+  }
+  void field(std::string_view K, double V, int Precision) {
+    key(K);
+    value(V, Precision);
+  }
+
+  /// Splices pre-rendered JSON (e.g. a counter set's registry-emitted
+  /// object) as the next value.
+  void raw(std::string_view Json) {
+    comma();
+    Out += Json;
+  }
+
+  const std::string &str() const { return Out; }
+  std::string take() { return std::move(Out); }
+  bool empty() const { return Out.empty(); }
+
+private:
+  void comma() {
+    if (PendingValue) {
+      PendingValue = false; // value completes the pair the key opened
+      return;
+    }
+    if (NeedComma)
+      Out += ',';
+    NeedComma = true;
+  }
+  void open(char C) {
+    comma();
+    Out += C;
+    NeedComma = false;
+  }
+  void close(char C) {
+    Out += C;
+    NeedComma = true;
+    PendingValue = false;
+  }
+  void appendQuoted(std::string_view S) {
+    Out += '"';
+    for (char C : S) {
+      switch (C) {
+      case '"': Out += "\\\""; break;
+      case '\\': Out += "\\\\"; break;
+      case '\n': Out += "\\n"; break;
+      case '\t': Out += "\\t"; break;
+      case '\r': Out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(C) < 0x20) {
+          char Buf[8];
+          std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+          Out += Buf;
+        } else {
+          Out += C;
+        }
+      }
+    }
+    Out += '"';
+  }
+
+  std::string Out;
+  bool NeedComma = false;
+  bool PendingValue = false;
+};
+
+/// Structural JSON validation (objects, arrays, strings, numbers, bools,
+/// null; no depth or size limits beyond the stack). Used by the obs tests
+/// to assert that every exporter emits parseable JSON without shelling out
+/// to jq.
+bool validateJson(std::string_view Json);
+
+} // namespace gillian::obs
+
+#endif // GILLIAN_OBS_JSON_WRITER_H

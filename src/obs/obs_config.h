@@ -1,0 +1,91 @@
+//===- obs/obs_config.h - Observability runtime switches -------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-wide switches for the observability core (DESIGN.md §4c). Every
+/// instrumentation site is gated either at compile time (the
+/// GILLIAN_OBS_NO_TRACE macro compiles the flight recorder's record sites
+/// to empty inline functions) or behind one relaxed atomic-bool load, so
+/// the disabled configuration costs at most a predictable-branch per site
+/// (the ≤2% bench budget of the acceptance criteria).
+///
+/// Defaults match the pre-obs engine: layer timing on (the engine always
+/// kept EngineNs/SolverNs-style stopwatches), per-action counters on
+/// (one sharded-map increment per memory action, noise next to the action
+/// itself), event tracing off (enabled explicitly, e.g. by a bench
+/// driver's --trace-out flag), and the fine-grained per-step / per-simplify
+/// spans off (two clock reads per GIL command would not fit the budget).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_OBS_OBS_CONFIG_H
+#define GILLIAN_OBS_OBS_CONFIG_H
+
+#include <atomic>
+#include <cstddef>
+
+namespace gillian::obs {
+
+/// A value snapshot of every switch; apply with ObsConfig::set().
+struct ObsOptions {
+  /// RAII layer spans (engine / solver layers) accumulate wall time.
+  bool Timing = true;
+  /// Per-step and per-simplify spans: precise but hot (two steady_clock
+  /// reads per GIL command / per simplification). Off by default.
+  bool DetailedSpans = false;
+  /// The flight recorder: structured events into per-thread rings.
+  bool Trace = false;
+  /// Capacity (events) of each per-thread trace ring; rounded up to a
+  /// power of two. Oldest events are overwritten on wrap.
+  size_t TraceRingCapacity = 1 << 12;
+  /// Per-action counters in the symbolic memory models.
+  bool ActionCounters = true;
+};
+
+/// Global switch registry. Reads are single relaxed atomic loads and are
+/// safe from any thread; set() is intended for startup / bench
+/// configuration points, not for toggling mid-exploration.
+class ObsConfig {
+public:
+  static bool timing() { return S().Timing.load(std::memory_order_relaxed); }
+  static bool detailedSpans() {
+    return S().DetailedSpans.load(std::memory_order_relaxed);
+  }
+  static bool trace() { return S().Trace.load(std::memory_order_relaxed); }
+  static bool actionCounters() {
+    return S().ActionCounters.load(std::memory_order_relaxed);
+  }
+  static size_t traceRingCapacity() {
+    return S().TraceRingCapacity.load(std::memory_order_relaxed);
+  }
+
+  static void set(const ObsOptions &O);
+  /// Flips only the tracing switch (used by TraceRecorder::enable /
+  /// disable without clobbering the other options).
+  static void setTrace(bool On) {
+    S().Trace.store(On, std::memory_order_relaxed);
+  }
+  /// Flips only the detailed-spans switch.
+  static void setDetailedSpans(bool On) {
+    S().DetailedSpans.store(On, std::memory_order_relaxed);
+  }
+  /// Current values as an ObsOptions snapshot.
+  static ObsOptions get();
+
+private:
+  struct State {
+    std::atomic<bool> Timing{true};
+    std::atomic<bool> DetailedSpans{false};
+    std::atomic<bool> Trace{false};
+    std::atomic<bool> ActionCounters{true};
+    std::atomic<size_t> TraceRingCapacity{1 << 12};
+  };
+  static State &S();
+};
+
+} // namespace gillian::obs
+
+#endif // GILLIAN_OBS_OBS_CONFIG_H

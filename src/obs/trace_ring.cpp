@@ -1,0 +1,104 @@
+//===- obs/trace_ring.cpp -------------------------------------------------===//
+
+#include "obs/trace_ring.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace gillian::obs;
+
+const char *gillian::obs::traceEventKindName(TraceEventKind K) {
+  switch (K) {
+  case TraceEventKind::SpanBegin: return "span_begin";
+  case TraceEventKind::SpanEnd: return "span_end";
+  case TraceEventKind::BranchTaken: return "branch_taken";
+  case TraceEventKind::PathFinished: return "path_finished";
+  case TraceEventKind::Steal: return "steal";
+  case TraceEventKind::SessionReset: return "session_reset";
+  case TraceEventKind::CacheEvict: return "cache_evict";
+  }
+  return "unknown";
+}
+
+namespace {
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+} // namespace
+
+TraceRecorder &TraceRecorder::instance() {
+  static TraceRecorder R;
+  return R;
+}
+
+void TraceRecorder::enable() {
+  EpochNs.store(nowNs(), std::memory_order_relaxed);
+  ObsConfig::setTrace(true);
+}
+
+void TraceRecorder::disable() { ObsConfig::setTrace(false); }
+
+TraceRecorder::ThreadSlot *TraceRecorder::acquireSlot() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ThreadSlot *S;
+  if (!Free.empty()) {
+    S = Free.back();
+    Free.pop_back();
+  } else {
+    Slots.push_back(std::make_unique<ThreadSlot>());
+    S = Slots.back().get();
+    S->Ring = std::make_unique<TraceRing>(ObsConfig::traceRingCapacity());
+  }
+  // A recycled ring keeps its buffered events (they belong to a thread
+  // that no longer exists and will surface at the next drain); the new
+  // owner gets a fresh dense id so exporters can tell the eras apart.
+  S->Tid = NextTid++;
+  return S;
+}
+
+void TraceRecorder::releaseSlot(ThreadSlot *S) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Free.push_back(S);
+}
+
+void TraceRecorder::recordImpl(TraceEventKind K, uint8_t Arg0, uint32_t A,
+                               uint64_t B) {
+  thread_local SlotLease Lease;
+  if (!Lease.S || Lease.R != this) {
+    Lease.R = this;
+    Lease.S = acquireSlot();
+  }
+  uint64_t Epoch = EpochNs.load(std::memory_order_relaxed);
+  uint64_t Now = nowNs();
+  TraceEvent E;
+  E.TsNs = Now >= Epoch ? Now - Epoch : 0;
+  E.B = B;
+  E.Tid = Lease.S->Tid;
+  E.A = A;
+  E.Kind = K;
+  E.Arg0 = Arg0;
+  Lease.S->Ring->record(E);
+}
+
+std::vector<TraceEvent> TraceRecorder::drain() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<TraceEvent> Out;
+  for (auto &S : Slots)
+    S->Ring->drainInto(Out);
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const TraceEvent &X, const TraceEvent &Y) {
+                     return X.TsNs < Y.TsNs;
+                   });
+  return Out;
+}
+
+void TraceRecorder::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &S : Slots) {
+    std::vector<TraceEvent> Sink;
+    S->Ring->drainInto(Sink);
+  }
+}

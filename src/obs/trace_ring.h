@@ -1,0 +1,176 @@
+//===- obs/trace_ring.h - Per-thread flight recorder -----------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flight recorder: a fixed-size ring buffer of structured events per
+/// thread, recorded lock-free (each ring has exactly one producer — its
+/// owning thread) and drained at quiescent points (after the exploration
+/// pool has joined, or at bench exit).
+///
+/// Events cover the engine-level happenings a perf investigation needs to
+/// see in order: branch taken, path finished, work steal, incremental
+/// session reset / eviction, span begin/end. Each is 24 bytes — a
+/// timestamp, the owning thread's dense id, a kind, and two small
+/// arguments whose meaning is per-kind (see TraceEventKind).
+///
+/// Wrap semantics: when a ring is full the OLDEST events are overwritten —
+/// a flight recorder keeps the newest history, because the interesting
+/// part of a hang or a perf cliff is its tail.
+///
+/// Lifecycle: rings are owned by the global TraceRecorder, not by the
+/// thread (pool threads die at every explore() quiescence). A thread
+/// acquires a ring on first record and returns it to a free list on exit;
+/// the events survive and are picked up by the next drain. A reused ring
+/// may therefore interleave events of successive (never concurrent)
+/// threads — each event carries its thread id, so exporters stay correct.
+///
+/// Compile-time off switch: building with -DGILLIAN_OBS_NO_TRACE compiles
+/// every record site to an empty inline function (the "compile-time no-op
+/// sinks" of ISSUE 4); the default build gates on one relaxed atomic load
+/// (ObsConfig::trace(), off unless a driver enables it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_OBS_TRACE_RING_H
+#define GILLIAN_OBS_TRACE_RING_H
+
+#include "obs/obs_config.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace gillian::obs {
+
+enum class TraceEventKind : uint8_t {
+  SpanBegin,    ///< Arg0 = SpanKind
+  SpanEnd,      ///< Arg0 = SpanKind
+  BranchTaken,  ///< A = number of successors produced by the step
+  PathFinished, ///< Arg0 = OutcomeKind
+  Steal,        ///< A = stolen batch size, B = victim queue depth before
+  SessionReset, ///< A = frames discarded by the incremental session
+  CacheEvict,   ///< incremental-session LRU eviction; A = pool size
+};
+const char *traceEventKindName(TraceEventKind K);
+
+struct TraceEvent {
+  uint64_t TsNs; ///< steady-clock ns since the recorder was enabled
+  uint64_t B;    ///< per-kind payload (see TraceEventKind)
+  uint32_t Tid;  ///< dense per-thread id (not the OS tid)
+  uint32_t A;    ///< per-kind payload
+  TraceEventKind Kind;
+  uint8_t Arg0; ///< per-kind payload (SpanKind / OutcomeKind)
+};
+
+/// One single-producer ring. Writes are owner-thread-only; reads happen
+/// at quiescent points under the recorder's registry lock (the owner has
+/// either exited — synchronised by the free-list mutex — or is the
+/// draining thread itself).
+class TraceRing {
+public:
+  explicit TraceRing(size_t CapacityPow2)
+      : Buf(CapacityPow2), Mask(CapacityPow2 - 1) {}
+
+  void record(const TraceEvent &E) {
+    Buf[Head & Mask] = E;
+    ++Head;
+  }
+
+  /// Appends the ring's events (oldest first, newest last) to \p Out and
+  /// empties the ring. Caller guarantees quiescence.
+  void drainInto(std::vector<TraceEvent> &Out) {
+    uint64_t N = Head > Buf.size() ? Buf.size() : Head;
+    uint64_t Start = Head - N;
+    for (uint64_t I = 0; I < N; ++I)
+      Out.push_back(Buf[(Start + I) & Mask]);
+    Head = 0;
+  }
+
+  /// Events currently held (≤ capacity).
+  size_t size() const {
+    return Head > Buf.size() ? Buf.size() : static_cast<size_t>(Head);
+  }
+  size_t capacity() const { return Buf.size(); }
+  /// Total events ever recorded (including overwritten ones).
+  uint64_t recorded() const { return Head; }
+
+private:
+  std::vector<TraceEvent> Buf;
+  uint64_t Mask;
+  uint64_t Head = 0;
+};
+
+/// The global registry of rings plus the record entry points.
+class TraceRecorder {
+public:
+  static TraceRecorder &instance();
+
+  /// Switches tracing on (fresh epoch; existing undrained events are
+  /// kept) / off. Ring capacity comes from ObsConfig.
+  void enable();
+  void disable();
+
+  /// Records one event into the calling thread's ring. No-op when tracing
+  /// is disabled.
+#ifdef GILLIAN_OBS_NO_TRACE
+  static void record(TraceEventKind, uint8_t = 0, uint32_t = 0,
+                     uint64_t = 0) {}
+#else
+  static void record(TraceEventKind K, uint8_t Arg0 = 0, uint32_t A = 0,
+                     uint64_t B = 0) {
+    if (!ObsConfig::trace())
+      return;
+    instance().recordImpl(K, Arg0, A, B);
+  }
+#endif
+
+  /// Drains every ring into one timestamp-sorted vector. Call only at
+  /// quiescent points (no exploration in flight).
+  std::vector<TraceEvent> drain();
+
+  /// Drops all buffered events and per-thread rings.
+  void reset();
+
+private:
+  struct ThreadSlot;
+  void recordImpl(TraceEventKind K, uint8_t Arg0, uint32_t A, uint64_t B);
+  ThreadSlot *acquireSlot();
+  void releaseSlot(ThreadSlot *S);
+
+  /// A ring plus the dense id of the thread currently (or last) writing
+  /// it. Owned by the recorder; handed to at most one live thread at a
+  /// time via the free list.
+  struct ThreadSlot {
+    std::unique_ptr<TraceRing> Ring;
+    uint32_t Tid = 0;
+  };
+
+  /// RAII holder living in a thread_local: returns the slot on thread
+  /// exit so pool threads recycle rings instead of leaking one per
+  /// explore() call.
+  struct SlotLease {
+    TraceRecorder *R = nullptr;
+    ThreadSlot *S = nullptr;
+    ~SlotLease() {
+      if (R && S)
+        R->releaseSlot(S);
+    }
+  };
+
+  std::mutex Mu; ///< guards Slots/Free/NextTid; never held while recording
+  std::vector<std::unique_ptr<ThreadSlot>> Slots;
+  std::vector<ThreadSlot *> Free;
+  uint32_t NextTid = 0;
+  std::atomic<uint64_t> EpochNs{0}; ///< steady-clock origin of timestamps
+
+  friend struct SlotLease;
+};
+
+} // namespace gillian::obs
+
+#endif // GILLIAN_OBS_TRACE_RING_H

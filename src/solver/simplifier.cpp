@@ -2,6 +2,7 @@
 
 #include "solver/simplifier.h"
 
+#include "obs/span.h"
 #include "solver/type_infer.h"
 
 #include <atomic>
@@ -562,6 +563,7 @@ Expr gillian::simplifyCached(const Expr &E, const TypeEnv *Env) {
   // Compute outside the shard lock: simplification can be deep, and two
   // threads simplifying different keys of one shard must not serialise.
   C.Misses.fetch_add(1, std::memory_order_relaxed);
+  obs::DetailSpan SimplifySpan(obs::SpanKind::Simplify);
   auto T0 = std::chrono::steady_clock::now();
   Expr S = simplifyNode(E, Env ? *Env : emptyEnv());
   C.MissNs.fetch_add(static_cast<uint64_t>(

@@ -2,148 +2,37 @@
 
 #include "solver/solver.h"
 
+#include "gil/parser.h"
+#include "obs/span.h"
 #include "solver/incremental_session.h"
 #include "solver/simplifier.h"
 #include "solver/z3_backend.h"
 
-#include <chrono>
-#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
 
 using namespace gillian;
-
-namespace {
-
-constexpr auto Relaxed = std::memory_order_relaxed;
-
-/// Accumulates steady-clock elapsed nanoseconds into a stats slot.
-/// The slot is a relaxed atomic so concurrent workers never lose time.
-class ScopedTimer {
-public:
-  explicit ScopedTimer(std::atomic<uint64_t> &Slot)
-      : Slot(Slot), T0(std::chrono::steady_clock::now()) {}
-  ~ScopedTimer() {
-    Slot.fetch_add(static_cast<uint64_t>(
-                       std::chrono::duration_cast<std::chrono::nanoseconds>(
-                           std::chrono::steady_clock::now() - T0)
-                           .count()),
-                   Relaxed);
-  }
-
-private:
-  std::atomic<uint64_t> &Slot;
-  std::chrono::steady_clock::time_point T0;
-};
-
-} // namespace
-
-// Walks every counter of SolverStats once, so the copy/sum/delta
-// operations cannot drift from the field list.
-#define GILLIAN_SOLVER_STATS_FIELDS(APPLY)                                     \
-  APPLY(Queries)                                                               \
-  APPLY(TrivialAnswers)                                                        \
-  APPLY(CacheLookups)                                                          \
-  APPLY(CacheHits)                                                             \
-  APPLY(SliceCacheLookups)                                                     \
-  APPLY(SliceCacheHits)                                                        \
-  APPLY(SlicedQueries)                                                         \
-  APPLY(Slices)                                                                \
-  APPLY(SyntacticUnsat)                                                        \
-  APPLY(SyntacticSat)                                                          \
-  APPLY(Z3Calls)                                                               \
-  APPLY(IncQueries)                                                            \
-  APPLY(IncExtends)                                                            \
-  APPLY(IncResets)                                                             \
-  APPLY(IncPoppedFrames)                                                       \
-  APPLY(IncReusedConjuncts)                                                    \
-  APPLY(IncPrefixDepth)                                                        \
-  APPLY(EncodeMemoHits)                                                        \
-  APPLY(EncodeMemoMisses)                                                      \
-  APPLY(Sat)                                                                   \
-  APPLY(Unsat)                                                                 \
-  APPLY(Unknown)                                                               \
-  APPLY(ModelsProposed)                                                        \
-  APPLY(ModelsVerified)                                                        \
-  APPLY(SliceNs)                                                               \
-  APPLY(CanonNs)                                                               \
-  APPLY(SyntacticNs)                                                           \
-  APPLY(Z3Ns)                                                                  \
-  APPLY(TotalNs)
-
-SolverStats &SolverStats::operator=(const SolverStats &O) {
-#define GILLIAN_COPY(F) F.store(O.F.load(Relaxed), Relaxed);
-  GILLIAN_SOLVER_STATS_FIELDS(GILLIAN_COPY)
-#undef GILLIAN_COPY
-  return *this;
-}
-
-SolverStats &SolverStats::operator+=(const SolverStats &O) {
-#define GILLIAN_ADD(F) F.fetch_add(O.F.load(Relaxed), Relaxed);
-  GILLIAN_SOLVER_STATS_FIELDS(GILLIAN_ADD)
-#undef GILLIAN_ADD
-  return *this;
-}
-
-SolverStats SolverStats::operator-(const SolverStats &O) const {
-  SolverStats D;
-#define GILLIAN_SUB(F) D.F.store(F.load(Relaxed) - O.F.load(Relaxed), Relaxed);
-  GILLIAN_SOLVER_STATS_FIELDS(GILLIAN_SUB)
-#undef GILLIAN_SUB
-  return D;
-}
+using obs::Span;
+using obs::SpanKind;
 
 std::string gillian::solverStatsJson(const SolverStats &S) {
-  char Buf[2048];
-  std::snprintf(
-      Buf, sizeof(Buf),
-      "{\"queries\":%llu,\"trivial\":%llu,\"cache_lookups\":%llu,"
-      "\"cache_hits\":%llu,\"slice_cache_lookups\":%llu,"
-      "\"slice_cache_hits\":%llu,\"cache_hit_rate\":%.4f,"
-      "\"sliced_queries\":%llu,\"slices\":%llu,\"syntactic_unsat\":%llu,"
-      "\"syntactic_sat\":%llu,\"z3_calls\":%llu,"
-      "\"inc_queries\":%llu,\"inc_extends\":%llu,\"inc_resets\":%llu,"
-      "\"inc_popped_frames\":%llu,\"inc_reused_conjuncts\":%llu,"
-      "\"inc_prefix_depth\":%llu,\"inc_session_hit_rate\":%.4f,"
-      "\"inc_mean_prefix_depth\":%.2f,"
-      "\"encode_memo_hits\":%llu,\"encode_memo_misses\":%llu,"
-      "\"sat\":%llu,"
-      "\"unsat\":%llu,\"unknown\":%llu,\"slice_ns\":%llu,"
-      "\"canon_ns\":%llu,\"syntactic_ns\":%llu,\"z3_ns\":%llu,"
-      "\"total_ns\":%llu}",
-      static_cast<unsigned long long>(S.Queries),
-      static_cast<unsigned long long>(S.TrivialAnswers),
-      static_cast<unsigned long long>(S.CacheLookups),
-      static_cast<unsigned long long>(S.CacheHits),
-      static_cast<unsigned long long>(S.SliceCacheLookups),
-      static_cast<unsigned long long>(S.SliceCacheHits), S.cacheHitRate(),
-      static_cast<unsigned long long>(S.SlicedQueries),
-      static_cast<unsigned long long>(S.Slices),
-      static_cast<unsigned long long>(S.SyntacticUnsat),
-      static_cast<unsigned long long>(S.SyntacticSat),
-      static_cast<unsigned long long>(S.Z3Calls),
-      static_cast<unsigned long long>(S.IncQueries),
-      static_cast<unsigned long long>(S.IncExtends),
-      static_cast<unsigned long long>(S.IncResets),
-      static_cast<unsigned long long>(S.IncPoppedFrames),
-      static_cast<unsigned long long>(S.IncReusedConjuncts),
-      static_cast<unsigned long long>(S.IncPrefixDepth), S.sessionHitRate(),
-      S.meanPrefixDepth(),
-      static_cast<unsigned long long>(S.EncodeMemoHits),
-      static_cast<unsigned long long>(S.EncodeMemoMisses),
-      static_cast<unsigned long long>(S.Sat),
-      static_cast<unsigned long long>(S.Unsat),
-      static_cast<unsigned long long>(S.Unknown),
-      static_cast<unsigned long long>(S.SliceNs),
-      static_cast<unsigned long long>(S.CanonNs),
-      static_cast<unsigned long long>(S.SyntacticNs),
-      static_cast<unsigned long long>(S.Z3Ns),
-      static_cast<unsigned long long>(S.TotalNs));
-  return Buf;
+  // Registry-driven: every counter of SolverStats emits itself via the
+  // schema walk; only the derived rates are named here.
+  obs::JsonWriter W;
+  W.beginObject();
+  S.countersInto(W);
+  W.field("cache_hit_rate", S.cacheHitRate(), 4);
+  W.field("inc_session_hit_rate", S.sessionHitRate(), 4);
+  W.field("inc_mean_prefix_depth", S.meanPrefixDepth(), 2);
+  W.endObject();
+  return W.take();
 }
 
 SatResult Solver::solveLayers(const PathCondition &PC) {
   SatResult R = SatResult::Unknown;
   if (Opts.UseSyntactic) {
-    ScopedTimer T(Stats.SyntacticNs);
+    Span T(SpanKind::Syntactic, &Stats.SyntacticNs);
     R = checkSatSyntactic(PC);
     if (R == SatResult::Unsat)
       ++Stats.SyntacticUnsat;
@@ -163,7 +52,8 @@ SatResult Solver::solveLayers(const PathCondition &PC) {
     }
   }
   if (R == SatResult::Unknown && Opts.UseZ3 && z3Available()) {
-    ScopedTimer T(Stats.Z3Ns);
+    Span T(Opts.UseIncremental ? SpanKind::IncExtend : SpanKind::ColdZ3,
+           &Stats.Z3Ns);
     ++Stats.Z3Calls;
     TypeEnv Types;
     if (!inferTypes(PC.conjuncts(), Types)) {
@@ -192,6 +82,7 @@ void Solver::resetCache() {
 
 SatResult Solver::solveSlice(const PathCondition &Slice) {
   if (Opts.UseCache) {
+    Span T(SpanKind::CacheLookup);
     ++Stats.SliceCacheLookups;
     if (std::optional<SatResult> Hit = Cache->lookup(Slice)) {
       ++Stats.SliceCacheHits;
@@ -207,7 +98,7 @@ SatResult Solver::solveSlice(const PathCondition &Slice) {
 SatResult Solver::checkSatSliced(const PathCondition &PC) {
   std::vector<std::vector<Expr>> Groups;
   {
-    ScopedTimer T(Stats.SliceNs);
+    Span T(SpanKind::Slice, &Stats.SliceNs);
     Groups = sliceConjunctsByVars(PC);
   }
   if (Groups.size() <= 1)
@@ -217,7 +108,7 @@ SatResult Solver::checkSatSliced(const PathCondition &PC) {
 
   std::vector<PathCondition> Slices;
   {
-    ScopedTimer T(Stats.CanonNs);
+    Span T(SpanKind::Canon, &Stats.CanonNs);
     Slices.reserve(Groups.size());
     for (std::vector<Expr> &G : Groups)
       Slices.push_back(PathCondition::fromSortedConjuncts(std::move(G)));
@@ -237,7 +128,7 @@ SatResult Solver::checkSatSliced(const PathCondition &PC) {
 }
 
 SatResult Solver::checkSat(const PathCondition &PC) {
-  ScopedTimer Total(Stats.TotalNs);
+  Span Total(SpanKind::Solver, &Stats.TotalNs);
   ++Stats.Queries;
   if (PC.isTriviallyFalse()) {
     ++Stats.TrivialAnswers;
@@ -251,6 +142,7 @@ SatResult Solver::checkSat(const PathCondition &PC) {
   }
 
   if (Opts.UseCache) {
+    Span T(SpanKind::CacheLookup);
     ++Stats.CacheLookups;
     if (std::optional<SatResult> Hit = Cache->lookup(PC)) {
       ++Stats.CacheHits;
@@ -275,13 +167,13 @@ SatResult Solver::checkSat(const PathCondition &PC) {
 }
 
 std::optional<Model> Solver::verifiedModel(const PathCondition &PC) {
-  ScopedTimer Total(Stats.TotalNs);
+  Span Total(SpanKind::ModelSearch, &Stats.TotalNs);
   if (PC.isTriviallyFalse())
     return std::nullopt;
 
   // First try the cheap syntactic proposal.
   if (Opts.UseSyntactic) {
-    ScopedTimer T(Stats.SyntacticNs);
+    Span T(SpanKind::Syntactic, &Stats.SyntacticNs);
     if (auto M = proposeModelSyntactic(PC)) {
       ++Stats.ModelsProposed;
       if (M->satisfies(PC)) {
@@ -291,7 +183,7 @@ std::optional<Model> Solver::verifiedModel(const PathCondition &PC) {
     }
   }
   if (Opts.UseZ3 && z3Available()) {
-    ScopedTimer T(Stats.Z3Ns);
+    Span T(SpanKind::ColdZ3, &Stats.Z3Ns);
     TypeEnv Types;
     if (!inferTypes(PC.conjuncts(), Types))
       return std::nullopt;
@@ -306,4 +198,59 @@ std::optional<Model> Solver::verifiedModel(const PathCondition &PC) {
     }
   }
   return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Result-cache persistence (ROADMAP "persisted solver cache").
+//===----------------------------------------------------------------------===//
+
+long Solver::saveCache(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out)
+    return -1;
+  long N = 0;
+  // One line per entry: verdict, tab, the canonical condition rendered
+  // through Expr::toString() (which round-trips through parseGilExpr).
+  // Unknown is never cached, so only decided verdicts ever reach here.
+  Cache->forEachEntry([&](const PathCondition &PC, SatResult R) {
+    if (R != SatResult::Sat && R != SatResult::Unsat)
+      return;
+    Out << (R == SatResult::Sat ? "SAT" : "UNSAT") << '\t'
+        << PC.asExpr().toString() << '\n';
+    ++N;
+  });
+  return Out ? N : -1;
+}
+
+long Solver::loadCache(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return -1;
+  long N = 0;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t Tab = Line.find('\t');
+    if (Tab == std::string::npos)
+      continue;
+    std::string_view Verdict(Line.data(), Tab);
+    SatResult R;
+    if (Verdict == "SAT")
+      R = SatResult::Sat;
+    else if (Verdict == "UNSAT")
+      R = SatResult::Unsat;
+    else
+      continue; // Unknown (or garbage) is never persisted nor loaded
+    Result<Expr> E = parseGilExpr(std::string_view(Line).substr(Tab + 1));
+    if (!E.ok())
+      continue; // stale syntax from an older build: skip, don't fail
+    // Re-canonicalise through add(): conjunctions split, conjuncts sort
+    // and dedup, so the key matches what today's solver would build.
+    PathCondition PC;
+    PC.add(*E);
+    if (PC.empty() || PC.isTriviallyFalse())
+      continue; // trivial conditions are answered upstream of the cache
+    Cache->insert(PC, R);
+    ++N;
+  }
+  return N;
 }

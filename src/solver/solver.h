@@ -42,12 +42,12 @@
 #ifndef GILLIAN_SOLVER_SOLVER_H
 #define GILLIAN_SOLVER_SOLVER_H
 
+#include "obs/counters.h"
 #include "solver/model.h"
 #include "solver/path_condition.h"
 #include "solver/solver_cache.h"
 #include "solver/syntactic.h"
 
-#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -90,53 +90,73 @@ struct SolverOptions {
 /// they accumulate *across* workers, so they measure cumulative solver
 /// effort, not elapsed wall-clock.
 ///
+/// SolverStats is an obs::CounterSet: every counter self-registers its
+/// JSON key and layer category, so copy / merge / delta / JSON emission
+/// are schema walks (solverStatsJson appends only the derived rates).
 /// Counters are relaxed atomics so concurrent workers hitting one shared
 /// Solver sum exactly (no lost increments); copies and arithmetic
 /// (snapshot, +=, -) read and write with relaxed ordering — they are meant
 /// for quiescent aggregation points, not for cross-thread synchronisation.
-struct SolverStats {
-  std::atomic<uint64_t> Queries{0};
-  std::atomic<uint64_t> TrivialAnswers{0}; ///< empty / trivially-false
+struct SolverStats : obs::CounterSet<SolverStats> {
+  obs::Counter Queries{*this, "queries", "solver"};
+  /// Empty / trivially-false queries.
+  obs::Counter TrivialAnswers{*this, "trivial", "solver"};
 
   // Cache layer (canonical full-query keys and per-slice keys).
-  std::atomic<uint64_t> CacheLookups{0};
-  std::atomic<uint64_t> CacheHits{0};        ///< full-query hits
-  std::atomic<uint64_t> SliceCacheLookups{0};
-  std::atomic<uint64_t> SliceCacheHits{0};   ///< per-slice hits
+  obs::Counter CacheLookups{*this, "cache_lookups", "cache"};
+  obs::Counter CacheHits{*this, "cache_hits", "cache"}; ///< full-query hits
+  obs::Counter SliceCacheLookups{*this, "slice_cache_lookups", "cache"};
+  obs::Counter SliceCacheHits{*this, "slice_cache_hits", "cache"};
 
   // Slicing layer.
-  std::atomic<uint64_t> SlicedQueries{0}; ///< queries split into >= 2
-  std::atomic<uint64_t> Slices{0};        ///< total slices examined
+  /// Queries split into >= 2 slices.
+  obs::Counter SlicedQueries{*this, "sliced_queries", "slice"};
+  obs::Counter Slices{*this, "slices", "slice"}; ///< slices examined
 
   // Syntactic core and SMT layers.
-  std::atomic<uint64_t> SyntacticUnsat{0};
-  std::atomic<uint64_t> SyntacticSat{0}; ///< verified syntactic models
-  std::atomic<uint64_t> Z3Calls{0};
+  obs::Counter SyntacticUnsat{*this, "syntactic_unsat", "syntactic"};
+  /// Verified syntactic models.
+  obs::Counter SyntacticSat{*this, "syntactic_sat", "syntactic"};
+  obs::Counter Z3Calls{*this, "z3_calls", "z3"};
 
   // Incremental session layer (scoped Z3 push/pop; layer 2).
-  std::atomic<uint64_t> IncQueries{0}; ///< queries routed to a session
-  std::atomic<uint64_t> IncExtends{0}; ///< answered on a reused prefix
-  std::atomic<uint64_t> IncResets{0};  ///< discarded the asserted prefix
-  std::atomic<uint64_t> IncPoppedFrames{0};    ///< scopes popped (divergence)
-  std::atomic<uint64_t> IncReusedConjuncts{0}; ///< conjuncts not re-asserted
-  std::atomic<uint64_t> IncPrefixDepth{0};     ///< summed reused frame depth
-  std::atomic<uint64_t> EncodeMemoHits{0};     ///< GIL→Z3 memo subterm hits
-  std::atomic<uint64_t> EncodeMemoMisses{0};
+  /// Queries routed to a session.
+  obs::Counter IncQueries{*this, "inc_queries", "incremental"};
+  /// Answered on a reused prefix.
+  obs::Counter IncExtends{*this, "inc_extends", "incremental"};
+  /// Discarded the asserted prefix.
+  obs::Counter IncResets{*this, "inc_resets", "incremental"};
+  /// Scopes popped (divergence).
+  obs::Counter IncPoppedFrames{*this, "inc_popped_frames", "incremental"};
+  /// Conjuncts not re-asserted.
+  obs::Counter IncReusedConjuncts{*this, "inc_reused_conjuncts",
+                                  "incremental"};
+  /// Summed reused frame depth.
+  obs::Counter IncPrefixDepth{*this, "inc_prefix_depth", "incremental"};
+  /// GIL→Z3 memo subterm hits.
+  obs::Counter EncodeMemoHits{*this, "encode_memo_hits", "incremental"};
+  obs::Counter EncodeMemoMisses{*this, "encode_memo_misses", "incremental"};
 
-  std::atomic<uint64_t> Sat{0}, Unsat{0}, Unknown{0};
-  std::atomic<uint64_t> ModelsProposed{0};
-  std::atomic<uint64_t> ModelsVerified{0};
+  obs::Counter Sat{*this, "sat", "verdict"};
+  obs::Counter Unsat{*this, "unsat", "verdict"};
+  obs::Counter Unknown{*this, "unknown", "verdict"};
+  obs::Counter ModelsProposed{*this, "models_proposed", "verdict"};
+  obs::Counter ModelsVerified{*this, "models_verified", "verdict"};
 
-  // Per-layer wall-time (ns), cumulative across threads.
-  std::atomic<uint64_t> SliceNs{0};     ///< connected-component split
-  std::atomic<uint64_t> CanonNs{0};     ///< canonical slice keys
-  std::atomic<uint64_t> SyntacticNs{0}; ///< syntactic core + models
-  std::atomic<uint64_t> Z3Ns{0};        ///< SMT round-trips
-  std::atomic<uint64_t> TotalNs{0};     ///< total time inside the solver
+  // Per-layer wall-time (ns), cumulative across threads; fed by the obs
+  // span slots so the per-solver numbers and the global span table agree.
+  obs::Counter SliceNs{*this, "slice_ns", "time"};     ///< slicing split
+  obs::Counter CanonNs{*this, "canon_ns", "time"};     ///< slice keys
+  obs::Counter SyntacticNs{*this, "syntactic_ns", "time"};
+  obs::Counter Z3Ns{*this, "z3_ns", "time"};           ///< SMT round-trips
+  obs::Counter TotalNs{*this, "total_ns", "time"};     ///< inside checkSat
 
   SolverStats() = default;
-  SolverStats(const SolverStats &O) { *this = O; }
-  SolverStats &operator=(const SolverStats &O);
+  SolverStats(const SolverStats &O) { copyFrom(O); }
+  SolverStats &operator=(const SolverStats &O) {
+    copyFrom(O);
+    return *this;
+  }
 
   /// Fraction of cache lookups (full-query and slice) answered from the
   /// cache; 0 when no lookup happened.
@@ -162,11 +182,14 @@ struct SolverStats {
              : 0.0;
   }
 
-  SolverStats &operator+=(const SolverStats &O);
+  SolverStats &operator+=(const SolverStats &O) {
+    addFrom(O);
+    return *this;
+  }
   /// Explicit name for summing per-worker snapshots into an aggregate.
   void merge(const SolverStats &O) { *this += O; }
   /// Counter-wise delta (for before/after snapshots around one test).
-  SolverStats operator-(const SolverStats &O) const;
+  SolverStats operator-(const SolverStats &O) const { return deltaSince(O); }
 };
 
 /// Renders \p S as a JSON object (single line, no trailing newline) for
@@ -214,6 +237,17 @@ public:
   /// genuinely cold solver.
   void resetCache();
   SolverCache &cache() { return *Cache; }
+
+  /// Persists the attached result cache to \p Path (one `SAT`/`UNSAT` +
+  /// tab + canonical-condition line per entry; Unknown is never cached so
+  /// never persisted). Returns the number of entries written, or -1 on
+  /// I/O failure.
+  long saveCache(const std::string &Path) const;
+  /// Seeds the attached result cache from a file written by saveCache().
+  /// Entries are re-parsed and re-canonicalised, so a warm start stays
+  /// valid across simplifier changes (unparseable lines are skipped).
+  /// Returns the number of entries loaded, or -1 if \p Path can't be read.
+  long loadCache(const std::string &Path);
 
 private:
   /// The syntactic-core + Z3 pipeline on one (sub-)condition; no caching.

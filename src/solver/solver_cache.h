@@ -61,6 +61,17 @@ public:
   /// Total entries across shards (approximate under concurrent writes).
   size_t size() const;
 
+  /// Applies \p F to every (condition, verdict) entry, one shard at a
+  /// time under that shard's lock. Used by the persistence layer
+  /// (Solver::saveCache); \p F must not call back into this cache.
+  template <typename Fn> void forEachEntry(Fn F) const {
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.Mu);
+      for (const auto &[PC, R] : S.Map)
+        F(PC, R);
+    }
+  }
+
   /// The process-wide shared instance used by the suite runners, so
   /// repeated runSuite calls start warm (ROADMAP "cache sharing across
   /// suite runs").

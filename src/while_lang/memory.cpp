@@ -3,6 +3,7 @@
 #include "while_lang/memory.h"
 
 #include "engine/action_args.h"
+#include "obs/action_counters.h"
 #include "solver/simplifier.h"
 #include "while_lang/compiler.h"
 
@@ -134,6 +135,7 @@ void WhileSMem::setProp(const Expr &Loc, InternedString P, Expr V) {
 Result<std::vector<SymActionBranch<WhileSMem>>>
 WhileSMem::execAction(InternedString Act, const Expr &Arg,
                       const PathCondition &PC, Solver &S) const {
+  obs::ActionCounters::bump("while", Act);
   if (Act == actLookup()) {
     Result<std::vector<Expr>> A = splitArgsE(Arg, 2);
     if (!A)

@@ -1,0 +1,373 @@
+//===- tests/obs/obs_test.cpp ---------------------------------------------===//
+//
+// Unit tests of the observability core: the streaming JSON writer, the
+// self-registering counter sets, RAII span nesting (self vs total time),
+// the flight-recorder ring (wrap keeps the newest events), the recorder's
+// drain ordering, and the chrome://tracing exporter's output shape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/action_counters.h"
+#include "obs/counters.h"
+#include "obs/exporters.h"
+#include "obs/json_writer.h"
+#include "obs/obs_config.h"
+#include "obs/span.h"
+#include "obs/trace_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace gillian;
+using namespace gillian::obs;
+
+namespace {
+
+/// Restores the global obs switches after a test that flips them.
+class ObsConfigGuard {
+public:
+  ObsConfigGuard() : Saved(ObsConfig::get()) {}
+  ~ObsConfigGuard() { ObsConfig::set(Saved); }
+
+private:
+  ObsOptions Saved;
+};
+
+//===----------------------------------------------------------------------===//
+// JsonWriter
+//===----------------------------------------------------------------------===//
+
+TEST(JsonWriterTest, ObjectsArraysAndCommaPlacement) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("a", static_cast<uint64_t>(1));
+  W.field("b", "two");
+  W.key("c");
+  W.beginArray();
+  W.value(static_cast<uint64_t>(3));
+  W.value(false);
+  W.beginObject();
+  W.field("d", 2.5, 2);
+  W.endObject();
+  W.endArray();
+  W.endObject();
+  EXPECT_EQ(W.str(), "{\"a\":1,\"b\":\"two\",\"c\":[3,false,{\"d\":2.50}]}");
+  EXPECT_TRUE(validateJson(W.str()));
+}
+
+TEST(JsonWriterTest, EscapesControlCharactersAndQuotes) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("k\"1", "a\\b\n\t\r");
+  W.field("k2", std::string_view("\x01", 1));
+  W.endObject();
+  EXPECT_EQ(W.str(),
+            "{\"k\\\"1\":\"a\\\\b\\n\\t\\r\",\"k2\":\"\\u0001\"}");
+  EXPECT_TRUE(validateJson(W.str()));
+}
+
+TEST(JsonWriterTest, RawSplicesPreRenderedValues) {
+  JsonWriter Inner;
+  Inner.beginObject();
+  Inner.field("x", static_cast<uint64_t>(7));
+  Inner.endObject();
+  JsonWriter W;
+  W.beginObject();
+  W.key("first");
+  W.raw(Inner.str());
+  W.key("second");
+  W.raw(Inner.str());
+  W.endObject();
+  EXPECT_EQ(W.str(), "{\"first\":{\"x\":7},\"second\":{\"x\":7}}");
+  EXPECT_TRUE(validateJson(W.str()));
+}
+
+TEST(JsonValidateTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(validateJson("{"));
+  EXPECT_FALSE(validateJson("{\"a\":}"));
+  EXPECT_FALSE(validateJson("{\"a\":1,}"));
+  EXPECT_FALSE(validateJson("[1 2]"));
+  EXPECT_FALSE(validateJson("{\"a\":1}garbage"));
+  EXPECT_FALSE(validateJson("\"unterminated"));
+  EXPECT_TRUE(validateJson("{\"a\":[1,2.5,-3e2,null,true,\"s\"]}"));
+}
+
+//===----------------------------------------------------------------------===//
+// CounterSet
+//===----------------------------------------------------------------------===//
+
+struct ProbeStats : CounterSet<ProbeStats> {
+  Counter Alpha{*this, "alpha", "one"};
+  Counter Beta{*this, "beta", "one"};
+  Counter Gamma{*this, "gamma", "two"};
+
+  ProbeStats() = default;
+  ProbeStats(const ProbeStats &O) { copyFrom(O); }
+  ProbeStats &operator=(const ProbeStats &O) {
+    copyFrom(O);
+    return *this;
+  }
+};
+
+TEST(CounterSetTest, SchemaRegistersEveryFieldOnce) {
+  const CounterSchema &S = ProbeStats::schema();
+  ASSERT_EQ(S.fields().size(), 3u);
+  EXPECT_STREQ(S.fields()[0].Name, "alpha");
+  EXPECT_STREQ(S.fields()[0].Category, "one");
+  EXPECT_STREQ(S.fields()[1].Name, "beta");
+  EXPECT_STREQ(S.fields()[2].Name, "gamma");
+  EXPECT_STREQ(S.fields()[2].Category, "two");
+  // Constructing more instances must not grow the schema (the probe runs
+  // once, under the build scope).
+  ProbeStats A, B;
+  (void)A;
+  (void)B;
+  EXPECT_EQ(ProbeStats::schema().fields().size(), 3u);
+}
+
+TEST(CounterSetTest, CopyMergeDeltaResetAreSchemaWalks) {
+  ProbeStats A;
+  ++A.Alpha;
+  A.Beta += 5;
+  A.Gamma.fetch_add(2);
+  ProbeStats B = A; // copyFrom
+  EXPECT_EQ(B.Alpha.load(), 1u);
+  EXPECT_EQ(B.Beta.load(), 5u);
+  EXPECT_EQ(B.Gamma.load(), 2u);
+  B.addFrom(A);
+  EXPECT_EQ(B.Alpha.load(), 2u);
+  EXPECT_EQ(B.Beta.load(), 10u);
+  ProbeStats D = B.deltaSince(A);
+  EXPECT_EQ(D.Alpha.load(), 1u);
+  EXPECT_EQ(D.Beta.load(), 5u);
+  EXPECT_EQ(D.Gamma.load(), 2u);
+  B.resetCounters();
+  EXPECT_EQ(B.Alpha.load(), 0u);
+  EXPECT_EQ(B.Gamma.load(), 0u);
+}
+
+TEST(CounterSetTest, CountersJsonEmitsEveryRegisteredField) {
+  ProbeStats A;
+  A.Alpha += 41;
+  ++A.Alpha;
+  std::string J = A.countersJson();
+  EXPECT_TRUE(validateJson(J));
+  EXPECT_EQ(J, "{\"alpha\":42,\"beta\":0,\"gamma\":0}");
+}
+
+//===----------------------------------------------------------------------===//
+// Spans
+//===----------------------------------------------------------------------===//
+
+TEST(SpanTest, NestedSelfTimesSumToOuterTotal) {
+  ObsConfigGuard Guard;
+  ObsOptions O;
+  O.Timing = true;
+  O.Trace = false;
+  ObsConfig::set(O);
+  SpanSnapshot Before = SpanTable::global().snapshot();
+  {
+    Span Outer(SpanKind::Explore);
+    {
+      Span Inner(SpanKind::Solver);
+      // A little busy-work so the inner span is non-zero.
+      volatile uint64_t Sink = 0;
+      for (int I = 0; I < 10000; ++I)
+        Sink = Sink + static_cast<uint64_t>(I);
+    }
+  }
+  SpanSnapshot D = SpanTable::global().snapshot() - Before;
+  EXPECT_EQ(D.count(SpanKind::Explore), 1u);
+  EXPECT_EQ(D.count(SpanKind::Solver), 1u);
+  // The inner span has no children: self == total.
+  EXPECT_EQ(D.selfNs(SpanKind::Solver), D.totalNs(SpanKind::Solver));
+  // The outer span's self time excludes the nested span exactly, so the
+  // two layers' self times reconstruct the outer wall time.
+  EXPECT_GE(D.totalNs(SpanKind::Explore), D.totalNs(SpanKind::Solver));
+  EXPECT_EQ(D.selfNs(SpanKind::Explore) + D.selfNs(SpanKind::Solver),
+            D.totalNs(SpanKind::Explore));
+  EXPECT_EQ(D.sumSelfNs(), D.totalNs(SpanKind::Explore));
+  EXPECT_TRUE(validateJson(D.json()));
+}
+
+TEST(SpanTest, SlotReceivesTotalNanoseconds) {
+  ObsConfigGuard Guard;
+  ObsOptions O;
+  O.Timing = true;
+  ObsConfig::set(O);
+  ProbeStats S;
+  SpanSnapshot Before = SpanTable::global().snapshot();
+  {
+    Span Sp(SpanKind::ColdZ3, &S.Alpha);
+  }
+  SpanSnapshot D = SpanTable::global().snapshot() - Before;
+  EXPECT_EQ(S.Alpha.load(), D.totalNs(SpanKind::ColdZ3));
+}
+
+TEST(SpanTest, DisabledTimingRecordsNothing) {
+  ObsConfigGuard Guard;
+  ObsOptions O;
+  O.Timing = false;
+  ObsConfig::set(O);
+  SpanSnapshot Before = SpanTable::global().snapshot();
+  {
+    Span Sp(SpanKind::Explore);
+    DetailSpan DS(SpanKind::Step);
+  }
+  SpanSnapshot D = SpanTable::global().snapshot() - Before;
+  EXPECT_EQ(D.count(SpanKind::Explore), 0u);
+  EXPECT_EQ(D.count(SpanKind::Step), 0u);
+}
+
+TEST(SpanTest, DetailSpansFireOnlyWhenEnabled) {
+  ObsConfigGuard Guard;
+  ObsOptions O;
+  O.Timing = true;
+  O.DetailedSpans = false;
+  ObsConfig::set(O);
+  SpanSnapshot Before = SpanTable::global().snapshot();
+  {
+    DetailSpan DS(SpanKind::Step);
+  }
+  SpanSnapshot D1 = SpanTable::global().snapshot() - Before;
+  EXPECT_EQ(D1.count(SpanKind::Step), 0u);
+  ObsConfig::setDetailedSpans(true);
+  {
+    DetailSpan DS(SpanKind::Step);
+  }
+  SpanSnapshot D2 = SpanTable::global().snapshot() - Before;
+  EXPECT_EQ(D2.count(SpanKind::Step), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Flight recorder
+//===----------------------------------------------------------------------===//
+
+TEST(TraceRingTest, WrapOverwritesOldestKeepsNewest) {
+  TraceRing Ring(8);
+  for (uint64_t I = 0; I < 20; ++I) {
+    TraceEvent E{};
+    E.TsNs = I;
+    E.Kind = TraceEventKind::BranchTaken;
+    Ring.record(E);
+  }
+  EXPECT_EQ(Ring.size(), 8u);
+  EXPECT_EQ(Ring.recorded(), 20u);
+  std::vector<TraceEvent> Out;
+  Ring.drainInto(Out);
+  ASSERT_EQ(Out.size(), 8u);
+  // Oldest first, and the survivors are exactly the 8 newest events.
+  for (size_t I = 0; I < 8; ++I)
+    EXPECT_EQ(Out[I].TsNs, 12 + I);
+  EXPECT_EQ(Ring.size(), 0u);
+}
+
+TEST(TraceRingTest, PartialFillDrainsInOrder) {
+  TraceRing Ring(8);
+  for (uint64_t I = 0; I < 3; ++I) {
+    TraceEvent E{};
+    E.TsNs = 100 + I;
+    Ring.record(E);
+  }
+  std::vector<TraceEvent> Out;
+  Ring.drainInto(Out);
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_EQ(Out[0].TsNs, 100u);
+  EXPECT_EQ(Out[2].TsNs, 102u);
+}
+
+TEST(TraceRecorderTest, RecordsGateOnConfigAndDrainSortsByTime) {
+  ObsConfigGuard Guard;
+  TraceRecorder &R = TraceRecorder::instance();
+  R.reset();
+  // Disabled: record() must be a no-op.
+  ObsConfig::setTrace(false);
+  TraceRecorder::record(TraceEventKind::Steal, 0, 1, 2);
+  EXPECT_TRUE(R.drain().empty());
+
+  R.enable();
+  TraceRecorder::record(TraceEventKind::BranchTaken, 0, 2);
+  TraceRecorder::record(TraceEventKind::PathFinished, 1);
+  TraceRecorder::record(TraceEventKind::Steal, 0, 3, 7);
+  std::vector<TraceEvent> Events = R.drain();
+  R.disable();
+  ASSERT_EQ(Events.size(), 3u);
+  EXPECT_EQ(Events[0].Kind, TraceEventKind::BranchTaken);
+  EXPECT_EQ(Events[0].A, 2u);
+  EXPECT_EQ(Events[1].Kind, TraceEventKind::PathFinished);
+  EXPECT_EQ(Events[1].Arg0, 1u);
+  EXPECT_EQ(Events[2].Kind, TraceEventKind::Steal);
+  EXPECT_EQ(Events[2].B, 7u);
+  for (size_t I = 1; I < Events.size(); ++I)
+    EXPECT_LE(Events[I - 1].TsNs, Events[I].TsNs);
+  // Drained means drained.
+  EXPECT_TRUE(R.drain().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Exporters
+//===----------------------------------------------------------------------===//
+
+TEST(ExportersTest, ChromeTraceIsValidJsonWithBalancedSpans) {
+  ObsConfigGuard Guard;
+  TraceRecorder &R = TraceRecorder::instance();
+  R.reset();
+  R.enable();
+  {
+    Span Outer(SpanKind::Explore);
+    {
+      Span Inner(SpanKind::Solver);
+    }
+    TraceRecorder::record(TraceEventKind::BranchTaken, 0, 2);
+  }
+  std::vector<TraceEvent> Events = R.drain();
+  R.disable();
+  ASSERT_FALSE(Events.empty());
+  std::string J = chromeTraceJson(Events);
+  EXPECT_TRUE(validateJson(J)) << J;
+  // Two spans -> two "B" and two "E" phase records; the instant event
+  // renders as phase "i".
+  auto countSub = [&](const std::string &Needle) {
+    size_t N = 0;
+    for (size_t P = J.find(Needle); P != std::string::npos;
+         P = J.find(Needle, P + Needle.size()))
+      ++N;
+    return N;
+  };
+  EXPECT_EQ(countSub("\"ph\":\"B\""), 2u);
+  EXPECT_EQ(countSub("\"ph\":\"E\""), 2u);
+  EXPECT_EQ(countSub("\"ph\":\"i\""), 1u);
+  EXPECT_NE(J.find("\"explore\""), std::string::npos);
+  EXPECT_NE(J.find("\"solver\""), std::string::npos);
+}
+
+TEST(ExportersTest, ObsStatsJsonIsValid) {
+  std::string J = obsStatsJson(SpanTable::global().snapshot());
+  EXPECT_TRUE(validateJson(J)) << J;
+  EXPECT_NE(J.find("\"spans\""), std::string::npos);
+  EXPECT_NE(J.find("\"actions\""), std::string::npos);
+  EXPECT_NE(J.find("\"scheduler\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Action counters
+//===----------------------------------------------------------------------===//
+
+TEST(ActionCountersTest, BumpSnapshotAndJson) {
+  ObsConfigGuard Guard;
+  ObsOptions O;
+  ObsConfig::set(O); // ActionCounters defaults on
+  InternedString Act = InternedString::get("obs_test_action");
+  ActionCounters::bump("obs_test_lang", Act);
+  ActionCounters::bump("obs_test_lang", Act);
+  auto Snap = ActionCounters::instance().snapshot();
+  ASSERT_TRUE(Snap.count("obs_test_lang"));
+  EXPECT_GE(Snap["obs_test_lang"]["obs_test_action"], 2u);
+  std::string J = ActionCounters::instance().json();
+  EXPECT_TRUE(validateJson(J)) << J;
+  EXPECT_NE(J.find("\"obs_test_action\""), std::string::npos);
+}
+
+} // namespace

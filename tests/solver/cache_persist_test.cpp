@@ -1,0 +1,132 @@
+//===- tests/solver/cache_persist_test.cpp --------------------------------===//
+//
+// Persistence of the canonical solver result cache: saveCache/loadCache
+// round-trip decided verdicts through a text file, re-canonicalising on
+// load so the keys match what the current solver would build; Unknown is
+// never persisted; a loaded cache answers queries without touching the
+// deeper layers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gil/parser.h"
+#include "solver/solver.h"
+#include "solver/solver_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace gillian;
+
+namespace {
+
+Expr parse(const char *S) {
+  Result<Expr> R = parseGilExpr(S);
+  EXPECT_TRUE(R.ok()) << S << ": " << (R.ok() ? "" : R.error());
+  return *R;
+}
+
+PathCondition satPc() {
+  PathCondition PC;
+  PC.add(parse("typeof(#x) == ^Int"));
+  PC.add(parse("0 <= #x"));
+  PC.add(parse("#x < 32"));
+  return PC;
+}
+
+PathCondition unsatPc() {
+  PathCondition PC;
+  PC.add(parse("typeof(#y) == ^Int"));
+  PC.add(parse("#y < 0"));
+  PC.add(parse("0 < #y"));
+  return PC;
+}
+
+std::string tempPath(const char *Name) {
+  return ::testing::TempDir() + Name;
+}
+
+} // namespace
+
+TEST(CachePersistTest, SaveLoadRoundTripServesFromCache) {
+  const std::string Path = tempPath("gillian_cache_roundtrip.txt");
+  {
+    Solver S;
+    EXPECT_EQ(S.checkSat(satPc()), SatResult::Sat);
+    EXPECT_EQ(S.checkSat(unsatPc()), SatResult::Unsat);
+    long Saved = S.saveCache(Path);
+    EXPECT_GE(Saved, 2);
+  }
+
+  // A solver whose only decision procedure is the cache: syntactic, Z3
+  // and slicing are all off, so a decided answer proves the loaded entry
+  // matched the re-canonicalised key.
+  SolverOptions CacheOnly;
+  CacheOnly.UseSyntactic = false;
+  CacheOnly.UseZ3 = false;
+  CacheOnly.UseSlicing = false;
+  SolverCache Fresh;
+  Solver Loaded(CacheOnly, Fresh);
+  long N = Loaded.loadCache(Path);
+  EXPECT_GE(N, 2);
+  EXPECT_EQ(Fresh.size(), static_cast<size_t>(N));
+  EXPECT_EQ(Loaded.checkSat(satPc()), SatResult::Sat);
+  EXPECT_EQ(Loaded.checkSat(unsatPc()), SatResult::Unsat);
+  EXPECT_EQ(Loaded.stats().Z3Calls.load(), 0u);
+  EXPECT_GE(Loaded.stats().CacheHits.load(), 2u);
+}
+
+TEST(CachePersistTest, FileHoldsOnlyDecidedVerdictLines) {
+  const std::string Path = tempPath("gillian_cache_verdicts.txt");
+  Solver S;
+  S.checkSat(satPc());
+  S.checkSat(unsatPc());
+  ASSERT_GE(S.saveCache(Path), 2);
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::string Line;
+  size_t Lines = 0;
+  while (std::getline(In, Line)) {
+    ++Lines;
+    bool Decided = Line.rfind("SAT\t", 0) == 0 ||
+                   Line.rfind("UNSAT\t", 0) == 0;
+    EXPECT_TRUE(Decided) << "line " << Lines << ": " << Line;
+    EXPECT_EQ(Line.find("UNKNOWN"), std::string::npos);
+  }
+  EXPECT_GE(Lines, 2u);
+}
+
+TEST(CachePersistTest, UndecidedQueriesAreNeverPersisted) {
+  // With every decision layer off the solver can only answer Unknown —
+  // and Unknown must not reach the persisted file.
+  const std::string Path = tempPath("gillian_cache_unknown.txt");
+  SolverOptions NoLayers;
+  NoLayers.UseSyntactic = false;
+  NoLayers.UseZ3 = false;
+  NoLayers.UseSlicing = false;
+  Solver S(NoLayers);
+  EXPECT_EQ(S.checkSat(satPc()), SatResult::Unknown);
+  EXPECT_EQ(S.saveCache(Path), 0);
+}
+
+TEST(CachePersistTest, LoadSkipsGarbageAndMissingFilesFail) {
+  Solver S;
+  EXPECT_EQ(S.loadCache(::testing::TempDir() +
+                        "gillian_no_such_cache_file.txt"),
+            -1);
+
+  const std::string Path = tempPath("gillian_cache_garbage.txt");
+  {
+    std::ofstream Out(Path, std::ios::trunc);
+    Out << "SAT\t(0 <= #z) && (typeof(#z) == ^Int)\n"; // good
+    Out << "MAYBE\t(0 <= #w)\n";                       // bad verdict
+    Out << "no tab separator on this line\n";          // bad shape
+    Out << "UNSAT\t)(not an expression\n";             // bad syntax
+  }
+  SolverCache Fresh;
+  Solver Loaded(SolverOptions(), Fresh);
+  EXPECT_EQ(Loaded.loadCache(Path), 1);
+  EXPECT_EQ(Fresh.size(), 1u);
+}

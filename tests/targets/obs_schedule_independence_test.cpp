@@ -1,0 +1,215 @@
+//===- tests/targets/obs_schedule_independence_test.cpp -------------------===//
+//
+// Schedule-independence of the observability counters: exploring the same
+// evaluation suite at workers ∈ {1, 2, 8} yields identical ExecStats
+// counter totals (modulo cache-hit attribution and wall times, which are
+// schedule-dependent by construction) and identical per-language action
+// counter totals — on an MJS (Buckets) suite and an MC (Collections)
+// suite.
+//
+// Also the budget-cut regression: Interpreter::run used to push Bound
+// results into the result vector directly while bumping PathsBounded
+// inline, bypassing finish(); the parallel scheduler always routed cuts
+// through finish(). On a deterministically-cut single-path program the
+// stats of workers 1 and 4 must now be identical.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/buckets_mjs.h"
+#include "targets/collections_mc.h"
+
+#include "engine/test_runner.h"
+#include "mc/compiler.h"
+#include "mc/memory.h"
+#include "mjs/compiler.h"
+#include "mjs/memory.h"
+#include "obs/action_counters.h"
+#include "obs/exporters.h"
+#include "obs/trace_ring.h"
+#include "targets/suite_runner.h"
+#include "while_lang/compiler.h"
+#include "while_lang/memory.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+using namespace gillian;
+using namespace gillian::targets;
+
+namespace {
+
+/// The ExecStats counters whose totals depend only on the explored paths.
+/// Excluded: solver_cache_hits / solver_inc_reuses (two workers can miss
+/// the same entry concurrently where one worker would hit) and the
+/// solver_ns / engine_ns wall times.
+std::map<std::string, uint64_t> deterministicCounters(const ExecStats &S) {
+  return {{"cmds_executed", S.CmdsExecuted.load()},
+          {"branches", S.Branches.load()},
+          {"paths_finished", S.PathsFinished.load()},
+          {"paths_vanished", S.PathsVanished.load()},
+          {"paths_errored", S.PathsErrored.load()},
+          {"paths_bounded", S.PathsBounded.load()},
+          {"action_calls", S.ActionCalls.load()},
+          {"proc_calls", S.ProcCalls.load()}};
+}
+
+using ActionSnapshot = std::map<std::string, std::map<std::string, uint64_t>>;
+
+/// Per-(language, action) counts added between two global snapshots.
+ActionSnapshot actionDelta(const ActionSnapshot &Before,
+                           const ActionSnapshot &After) {
+  ActionSnapshot D;
+  for (const auto &[Lang, Actions] : After)
+    for (const auto &[Act, N] : Actions) {
+      uint64_t Prev = 0;
+      auto LangIt = Before.find(Lang);
+      if (LangIt != Before.end()) {
+        auto ActIt = LangIt->second.find(Act);
+        if (ActIt != LangIt->second.end())
+          Prev = ActIt->second;
+      }
+      if (N != Prev)
+        D[Lang][Act] = N - Prev;
+    }
+  return D;
+}
+
+struct SuiteCounters {
+  std::map<std::string, uint64_t> Exec;
+  ActionSnapshot Actions;
+};
+
+/// Explores every `test_*` procedure of \p P at the given worker count and
+/// returns the deterministic ExecStats totals plus the action-counter
+/// totals the run added.
+template <typename M>
+SuiteCounters suiteCounters(const Prog &P, uint32_t Workers) {
+  EngineOptions Opts;
+  Opts.Scheduler.Workers = Workers;
+  Solver Slv(Opts.Solver); // private cache: runs are independent
+  ExecStats Stats;
+  using St = SymbolicState<M>;
+  ActionSnapshot Before = obs::ActionCounters::instance().snapshot();
+  for (const std::string &T : testProcs(P)) {
+    St Init(M(), &Slv, &Opts);
+    Interpreter<St> Interp(P, Opts, Stats);
+    Result<std::vector<TraceResult<St>>> Traces = runExploration(
+        Interp, InternedString::get(T), Expr::list({}), std::move(Init));
+    EXPECT_TRUE(Traces.ok()) << T << ": "
+                             << (Traces.ok() ? "" : Traces.error());
+  }
+  ActionSnapshot After = obs::ActionCounters::instance().snapshot();
+  return {deterministicCounters(Stats), actionDelta(Before, After)};
+}
+
+template <typename M>
+void expectCountersScheduleIndependent(const Prog &P,
+                                       std::string_view Name) {
+  SuiteCounters Seq = suiteCounters<M>(P, 1);
+  EXPECT_GT(Seq.Exec.at("cmds_executed"), 0u) << Name;
+  EXPECT_FALSE(Seq.Actions.empty()) << Name;
+  for (uint32_t Workers : {2u, 8u}) {
+    SuiteCounters Par = suiteCounters<M>(P, Workers);
+    EXPECT_EQ(Seq.Exec, Par.Exec) << Name << " at workers=" << Workers;
+    EXPECT_EQ(Seq.Actions, Par.Actions)
+        << Name << " at workers=" << Workers;
+  }
+}
+
+} // namespace
+
+TEST(ObsScheduleIndependence, MjsSuiteCounterTotalsAreWorkerInvariant) {
+  // "bag" exercises branches, actions and all solver layers (including
+  // incremental Z3 sessions) while staying fast enough to run thrice.
+  for (const BucketsSuite &S : bucketsSuites()) {
+    if (std::string_view(S.Name) != "bag")
+      continue;
+    std::string Src =
+        std::string(bucketsLibrary()) + "\n" + std::string(S.Source);
+    Result<Prog> P = mjs::compileMjsSource(Src);
+    ASSERT_TRUE(P.ok()) << P.error();
+    expectCountersScheduleIndependent<mjs::MjsSMem>(*P, S.Name);
+    return;
+  }
+  FAIL() << "bag suite not found";
+}
+
+TEST(ObsScheduleIndependence, FlightRecorderSurvivesParallelExploration) {
+  // Eight workers record branch/steal/span events into their lock-free
+  // rings concurrently; the drain at quiescence must yield a consistent,
+  // exporter-ready event stream. (This is the TSan coverage of the trace
+  // ring.)
+  for (const BucketsSuite &S : bucketsSuites()) {
+    if (std::string_view(S.Name) != "bag")
+      continue;
+    std::string Src =
+        std::string(bucketsLibrary()) + "\n" + std::string(S.Source);
+    Result<Prog> P = mjs::compileMjsSource(Src);
+    ASSERT_TRUE(P.ok()) << P.error();
+    obs::TraceRecorder &R = obs::TraceRecorder::instance();
+    R.reset();
+    R.enable();
+    suiteCounters<mjs::MjsSMem>(*P, 8);
+    std::vector<obs::TraceEvent> Events = R.drain();
+    R.disable();
+    EXPECT_FALSE(Events.empty());
+    for (size_t I = 1; I < Events.size(); ++I)
+      EXPECT_LE(Events[I - 1].TsNs, Events[I].TsNs);
+    EXPECT_TRUE(obs::validateJson(obs::chromeTraceJson(Events)));
+    return;
+  }
+  FAIL() << "bag suite not found";
+}
+
+TEST(ObsScheduleIndependence, McSuiteCounterTotalsAreWorkerInvariant) {
+  const CollectionsSuite &S = collectionsSuites().front();
+  std::string Src = std::string(collectionsLibrary()) + "\n" +
+                    std::string(S.Source);
+  Result<Prog> P = mc::compileMcSource(Src);
+  ASSERT_TRUE(P.ok()) << P.error();
+  expectCountersScheduleIndependent<mc::McSMem>(*P, S.Name);
+}
+
+TEST(ObsScheduleIndependence, BudgetCutStatsMatchAcrossWorkerCounts) {
+  // A single concrete path much longer than the budget: no branching, so
+  // the cut point is deterministic at every worker count, and the one
+  // path must be accounted as Bound — through finish() — identically by
+  // the sequential worklist (workers=1) and the scheduler (workers=4).
+  Result<Prog> P = whilelang::compileWhileSource(R"(
+    function main() {
+      i := 0;
+      while (i < 100000) { i := i + 1; }
+      return i;
+    })");
+  ASSERT_TRUE(P.ok()) << P.error();
+
+  auto boundedStats = [&](uint32_t Workers) {
+    EngineOptions Opts;
+    Opts.MaxSteps = 100;
+    Opts.Scheduler.Workers = Workers;
+    Solver Slv(Opts.Solver);
+    ExecStats Stats;
+    using St = SymbolicState<whilelang::WhileSMem>;
+    St Init(whilelang::WhileSMem(), &Slv, &Opts);
+    Interpreter<St> Interp(*P, Opts, Stats);
+    Result<std::vector<TraceResult<St>>> Traces =
+        runExploration(Interp, InternedString::get("main"),
+                       Expr::list({}), std::move(Init));
+    EXPECT_TRUE(Traces.ok()) << (Traces.ok() ? "" : Traces.error());
+    if (Traces.ok()) {
+      EXPECT_EQ(Traces->size(), 1u);
+      if (Traces->size() == 1) {
+        EXPECT_EQ((*Traces)[0].Kind, OutcomeKind::Bound);
+      }
+    }
+    return deterministicCounters(Stats);
+  };
+
+  std::map<std::string, uint64_t> Seq = boundedStats(1);
+  std::map<std::string, uint64_t> Par = boundedStats(4);
+  EXPECT_EQ(Seq.at("paths_bounded"), 1u);
+  EXPECT_EQ(Seq.at("paths_finished"), 0u);
+  EXPECT_EQ(Seq, Par);
+}
