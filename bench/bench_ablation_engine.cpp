@@ -13,6 +13,7 @@
 #include "bench_common.h"
 #include "mjs/compiler.h"
 #include "mjs/memory.h"
+#include "obs/coverage.h"
 #include "obs/json_writer.h"
 #include "targets/buckets_mjs.h"
 #include "targets/suite_runner.h"
@@ -148,6 +149,8 @@ int main(int argc, char **argv) {
     W.beginArray();
     W.raw(ConfigsJson);
     W.endArray();
+    W.key("coverage");
+    W.raw(obs::BranchCoverage::instance().json());
     W.key("obs");
     W.raw(obs::obsStatsJson(obs::SpanTable::global().snapshot()));
     W.endObject();

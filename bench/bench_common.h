@@ -21,6 +21,18 @@
 ///                               across invocations: load FILE at startup
 ///                               (and re-seed it after every coldStart()),
 ///                               save the cache back at exit
+///   --serve=HOST:PORT           start the live introspection HTTP server
+///                               (/metrics /stats /trace /progress
+///                               /healthz); PORT 0 binds an ephemeral port,
+///                               announced on stderr for CI discovery
+///   --serve-linger-ms=N         keep the process alive up to N ms after
+///                               the workload so a scraper can connect;
+///                               exits early once >= 1 request was served
+///                               and ~1.5 s passed since the last one
+///   --heartbeat-out=FILE        append one progress JSONL line per
+///                               sampling interval (rates from snapshot
+///                               deltas; see EXPERIMENTS.md for plotting)
+///   --metrics-interval=MS       heartbeat sampling cadence (default 1000)
 ///
 /// Arguments the parser consumes are removed from argv, so drivers built
 /// on google-benchmark can hand the remainder to benchmark::Initialize.
@@ -36,6 +48,8 @@
 #define GILLIAN_BENCH_BENCH_COMMON_H
 
 #include "obs/exporters.h"
+#include "obs/introspect/introspect_server.h"
+#include "obs/introspect/sampler.h"
 #include "obs/json_writer.h"
 #include "obs/obs_config.h"
 #include "obs/span.h"
@@ -51,6 +65,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 namespace gillian::bench {
 
@@ -60,6 +75,10 @@ struct BenchArgs {
   bool ObsDetail = false; ///< per-step / per-simplify detail spans
   std::string TraceOut;   ///< chrome://tracing output path ("" = off)
   std::string CacheFile;  ///< persisted solver result cache ("" = off)
+  std::string Serve;      ///< introspection server "host:port" ("" = off)
+  std::string HeartbeatOut;      ///< heartbeat JSONL path ("" = off)
+  uint64_t MetricsIntervalMs = 1000; ///< heartbeat cadence
+  uint64_t ServeLingerMs = 0;    ///< post-workload serve window
 };
 
 /// Parses (and strips from argv) the shared driver arguments; exits with a
@@ -82,6 +101,15 @@ inline BenchArgs parseBenchArgs(int &argc, char **argv) {
     }
     return argv[++In];
   };
+  auto parseMs = [](const char *Flag, const char *Value) -> uint64_t {
+    char *End = nullptr;
+    unsigned long long N = std::strtoull(Value, &End, 10);
+    if (End == Value || *End != '\0') {
+      std::fprintf(stderr, "invalid %s value: %s\n", Flag, Value);
+      std::exit(2);
+    }
+    return N;
+  };
   int Out = 1;
   for (int In = 1; In < argc; ++In) {
     const char *A = argv[In];
@@ -103,6 +131,24 @@ inline BenchArgs parseBenchArgs(int &argc, char **argv) {
       Args.CacheFile = nextValue(In, "--cache-file");
     } else if (std::strcmp(A, "--obs-detail") == 0) {
       Args.ObsDetail = true;
+    } else if (std::strncmp(A, "--serve=", 8) == 0) {
+      Args.Serve = A + 8;
+    } else if (std::strcmp(A, "--serve") == 0) {
+      Args.Serve = nextValue(In, "--serve");
+    } else if (std::strncmp(A, "--heartbeat-out=", 16) == 0) {
+      Args.HeartbeatOut = A + 16;
+    } else if (std::strcmp(A, "--heartbeat-out") == 0) {
+      Args.HeartbeatOut = nextValue(In, "--heartbeat-out");
+    } else if (std::strncmp(A, "--metrics-interval=", 19) == 0) {
+      Args.MetricsIntervalMs = parseMs("--metrics-interval", A + 19);
+    } else if (std::strcmp(A, "--metrics-interval") == 0) {
+      Args.MetricsIntervalMs =
+          parseMs("--metrics-interval", nextValue(In, "--metrics-interval"));
+    } else if (std::strncmp(A, "--serve-linger-ms=", 18) == 0) {
+      Args.ServeLingerMs = parseMs("--serve-linger-ms", A + 18);
+    } else if (std::strcmp(A, "--serve-linger-ms") == 0) {
+      Args.ServeLingerMs =
+          parseMs("--serve-linger-ms", nextValue(In, "--serve-linger-ms"));
     } else {
       argv[Out++] = argv[In];
     }
@@ -130,14 +176,34 @@ inline long savePersistedCache(const std::string &Path) {
   return S.saveCache(Path);
 }
 
+/// The driver-lifetime heartbeat sampler (started by setupObs under
+/// --heartbeat-out, stopped by finishObs).
+inline obs::HeartbeatSampler &processHeartbeat() {
+  static obs::HeartbeatSampler S;
+  return S;
+}
+
 /// Applies the observability and persistence flags: detail spans, the
-/// flight recorder, and the warm-start cache load. Call once after
-/// parseBenchArgs.
+/// flight recorder, the live introspection server, the heartbeat sampler,
+/// and the warm-start cache load. Call once after parseBenchArgs.
 inline void setupObs(const BenchArgs &Args) {
   if (Args.ObsDetail)
     obs::ObsConfig::setDetailedSpans(true);
   if (!Args.TraceOut.empty())
     obs::TraceRecorder::instance().enable();
+  if (!Args.Serve.empty())
+    obs::startProcessIntrospection(Args.Serve);
+  if (!Args.HeartbeatOut.empty()) {
+    if (processHeartbeat().start(Args.HeartbeatOut, Args.MetricsIntervalMs))
+      std::fprintf(stderr, "[bench] heartbeat JSONL -> %s (every %llu ms)\n",
+                   Args.HeartbeatOut.c_str(),
+                   static_cast<unsigned long long>(
+                       Args.MetricsIntervalMs < 10 ? 10
+                                                   : Args.MetricsIntervalMs));
+    else
+      std::fprintf(stderr, "[bench] failed to open heartbeat file %s\n",
+                   Args.HeartbeatOut.c_str());
+  }
   if (!Args.CacheFile.empty()) {
     persistedCacheFile() = Args.CacheFile;
     long N = loadPersistedCache(Args.CacheFile);
@@ -148,9 +214,34 @@ inline void setupObs(const BenchArgs &Args) {
   }
 }
 
-/// Writes the chrome trace and saves the persisted cache (per Args). Call
-/// once before exiting.
+/// Writes the chrome trace, saves the persisted cache, stops the
+/// heartbeat sampler, and rides out the --serve-linger-ms window (per
+/// Args). Call once before exiting.
 inline void finishObs(const BenchArgs &Args) {
+  if (!Args.HeartbeatOut.empty())
+    processHeartbeat().stop();
+  if (!Args.Serve.empty() && Args.ServeLingerMs > 0 &&
+      obs::processIntrospectServer().running()) {
+    // Keep serving so an out-of-process scraper (CI's curl loop) can
+    // still connect after the workload; exit early once somebody has
+    // scraped and then gone quiet for ~1.5 s.
+    obs::IntrospectServer &S = obs::processIntrospectServer();
+    auto now = [] {
+      return static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count());
+    };
+    constexpr uint64_t QuietNs = 1500ull * 1000 * 1000;
+    uint64_t Deadline = now() + Args.ServeLingerMs * 1000000ull;
+    while (now() < Deadline) {
+      uint64_t Last = S.lastRequestNs();
+      if (S.requestsServed() > 0 && Last != 0 && now() - Last > QuietNs)
+        break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    S.stop();
+  }
   if (!Args.TraceOut.empty()) {
     if (obs::writeChromeTrace(Args.TraceOut))
       std::fprintf(stderr, "[bench] chrome trace written to %s\n",

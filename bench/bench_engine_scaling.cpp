@@ -9,6 +9,7 @@
 
 #include "bench_common.h"
 #include "engine/test_runner.h"
+#include "obs/coverage.h"
 #include "obs/json_writer.h"
 #include "while_lang/compiler.h"
 #include "while_lang/memory.h"
@@ -197,6 +198,8 @@ int main(int argc, char **argv) {
   W.beginArray();
   W.raw(SweepJson);
   W.endArray();
+  W.key("coverage");
+  W.raw(obs::BranchCoverage::instance().json());
   W.key("obs");
   W.raw(obs::obsStatsJson(obs::SpanTable::global().snapshot()));
   W.endObject();

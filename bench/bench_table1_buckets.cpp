@@ -20,7 +20,9 @@
 #include "bench_common.h"
 #include "mjs/compiler.h"
 #include "mjs/memory.h"
+#include "obs/coverage.h"
 #include "obs/json_writer.h"
+#include "obs/query_profile.h"
 #include "obs/span.h"
 #include "targets/buckets_mjs.h"
 #include "targets/suite_runner.h"
@@ -204,6 +206,62 @@ int main(int argc, char **argv) {
               "within 10%%)\n",
               SpanSelfSum, Total.TimeGjs, 100.0 * SpanCover);
 
+  // Hot-query attribution check (ISSUE 5 acceptance): the profiler's
+  // per-site wall times, summed over the top-N table, must account for
+  // >= 80% of the solver wall time the span table measured — i.e. the
+  // thread-local origin published by the interpreter reaches essentially
+  // every query, and the top sites dominate.
+  obs::QueryProfiler &QP = obs::QueryProfiler::instance();
+  obs::SpanSnapshot AllSpans = obs::SpanTable::global().snapshot();
+  double SolverWall = (AllSpans.totalNs(obs::SpanKind::Solver) +
+                       AllSpans.totalNs(obs::SpanKind::ModelSearch)) /
+                      1e9;
+  constexpr size_t HotTableN = 32;
+  uint64_t TopNs = 0;
+  std::vector<obs::QueryProfiler::Site> All = QP.topN(SIZE_MAX);
+  std::vector<obs::QueryProfiler::Site> Top(
+      All.begin(), All.begin() + std::min(All.size(), HotTableN));
+  for (const obs::QueryProfiler::Site &S : Top)
+    TopNs += S.WallNs;
+  // The smallest prefix of the wall-time-sorted site list that reaches
+  // the 80% target — how concentrated the solver budget actually is.
+  size_t K80 = 0;
+  for (uint64_t Acc = 0; K80 < All.size() && Acc < SolverWall * 0.8e9;
+       ++K80)
+    Acc += All[K80].WallNs;
+  double TopCover = SolverWall > 0 ? (TopNs / 1e9) / SolverWall : 0.0;
+  double AttrCover =
+      SolverWall > 0 ? (QP.attributedNs() / 1e9) / SolverWall : 0.0;
+  std::printf("Hot-query attribution: top-%zu of %zu sites carry %.3fs of "
+              "%.3fs measured solver wall = %.1f%% (target >= 80%%, reached "
+              "at top-%zu); attributed total %.1f%%, unattributed %.3fs\n",
+              Top.size(), All.size(), TopNs / 1e9, SolverWall,
+              100.0 * TopCover, K80, 100.0 * AttrCover,
+              QP.unattributedNs() / 1e9);
+  if (!Top.empty()) {
+    std::printf("%-28s %6s %10s %8s %8s %8s\n", "Hot site (proc:cmd)",
+                "calls", "wall", "sat", "unsat", "miss");
+    size_t Shown = std::min<size_t>(Top.size(), 8);
+    for (size_t I = 0; I < Shown; ++I) {
+      const obs::QueryProfiler::Site &S = Top[I];
+      std::printf("%-28s %6llu %9.3fs %8llu %8llu %8llu\n",
+                  (S.Proc + ":" + std::to_string(S.CmdIdx)).c_str(),
+                  static_cast<unsigned long long>(S.Calls), S.WallNs / 1e9,
+                  static_cast<unsigned long long>(S.Sat),
+                  static_cast<unsigned long long>(S.Unsat),
+                  static_cast<unsigned long long>(S.CacheMisses));
+    }
+  }
+
+  // Target branch coverage over the whole run (all three configurations
+  // explore the same programs, so this is the union).
+  uint64_t CovCovered = 0, CovTotal = 0;
+  obs::BranchCoverage::instance().totals(CovCovered, CovTotal);
+  std::printf("Target branch coverage: %llu / %llu outcomes (%.1f%%)\n",
+              static_cast<unsigned long long>(CovCovered),
+              static_cast<unsigned long long>(CovTotal),
+              CovTotal ? 100.0 * CovCovered / CovTotal : 0.0);
+
   if (Args.Json) {
     obs::JsonWriter W;
     W.beginObject();
@@ -222,6 +280,18 @@ int main(int argc, char **argv) {
     W.key("spans");
     W.raw(GjsSpans.json());
     W.endObject();
+    W.key("hot_query_check");
+    W.beginObject();
+    W.field("solver_wall_s", SolverWall, 6);
+    W.field("top_n", static_cast<uint64_t>(Top.size()));
+    W.field("sites", static_cast<uint64_t>(All.size()));
+    W.field("top_sites_s", TopNs / 1e9, 6);
+    W.field("top_cover", TopCover, 4);
+    W.field("sites_for_80pct", static_cast<uint64_t>(K80));
+    W.field("attributed_cover", AttrCover, 4);
+    W.endObject();
+    W.key("coverage");
+    W.raw(obs::BranchCoverage::instance().json());
     W.key("obs");
     W.raw(obs::obsStatsJson(obs::SpanTable::global().snapshot()));
     W.endObject();

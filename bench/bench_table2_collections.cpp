@@ -17,6 +17,7 @@
 #include "bench_common.h"
 #include "mc/compiler.h"
 #include "mc/memory.h"
+#include "obs/coverage.h"
 #include "obs/json_writer.h"
 #include "targets/collections_mc.h"
 #include "targets/suite_runner.h"
@@ -163,6 +164,8 @@ int main(int argc, char **argv) {
     W.key("solver");
     W.raw(solverStatsJson(TotalSolver));
     W.endObject();
+    W.key("coverage");
+    W.raw(obs::BranchCoverage::instance().json());
     W.key("obs");
     W.raw(obs::obsStatsJson(obs::SpanTable::global().snapshot()));
     W.endObject();

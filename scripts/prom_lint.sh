@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+#===- scripts/prom_lint.sh - Prometheus exposition linter ----------------===#
+#
+# Grep-level lint of a Prometheus text-exposition (version 0.0.4) file, as
+# scraped from the /metrics endpoint. Checks:
+#
+#   1. the file is non-empty;
+#   2. every line is a comment or a "name[{labels}] value" sample;
+#   3. no metric family has two TYPE lines;
+#   4. every sample's family was TYPE-declared before use;
+#   5. counter samples carry the _total suffix, and no gauge does
+#      (by the TYPE declarations themselves);
+#   6. no two samples share the same name + label set.
+#
+# Usage: prom_lint.sh <exposition-file>
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+f="${1:?usage: prom_lint.sh <exposition-file>}"
+fail() { echo "prom_lint: $f: $1" >&2; exit 1; }
+
+[ -s "$f" ] || fail "empty or missing"
+
+# 2. Line shapes: "# ..." comments, or "name value" / "name{labels} value"
+# with a numeric value (int, float, exponent, +/-Inf, NaN).
+bad=$(grep -vE '^(#|[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? ([-+]?[0-9][0-9.eE+-]*|[-+]?Inf|NaN)$)' "$f" || true)
+[ -z "$bad" ] || fail "malformed lines:
+$bad"
+
+# 3. One TYPE line per family.
+dup=$(grep '^# TYPE ' "$f" | awk '{print $3}' | sort | uniq -d)
+[ -z "$dup" ] || fail "families with duplicate TYPE lines: $dup"
+
+# 4. Every sample's family is TYPE-declared.
+undeclared=$(grep -v '^#' "$f" | sed -E 's/\{.*//; s/ .*//' | sort -u |
+  while read -r name; do
+    grep -q "^# TYPE $name " "$f" || echo "$name"
+  done)
+[ -z "$undeclared" ] || fail "samples without a TYPE line: $undeclared"
+
+# 5. Counter families end in _total; gauge families do not.
+badctr=$(grep '^# TYPE ' "$f" | awk '$4 == "counter" && $3 !~ /_total$/ {print $3}')
+[ -z "$badctr" ] || fail "counter families missing _total suffix: $badctr"
+badgauge=$(grep '^# TYPE ' "$f" | awk '$4 == "gauge" && $3 ~ /_total$/ {print $3}')
+[ -z "$badgauge" ] || fail "gauge families with counter suffix: $badgauge"
+
+# 6. No duplicate series (same name + labels).
+dupseries=$(grep -v '^#' "$f" | sed -E 's/ [^ ]+$//' | sort | uniq -d)
+[ -z "$dupseries" ] || fail "duplicate series:
+$dupseries"
+
+echo "prom_lint: $f: OK ($(grep -c '^# TYPE ' "$f") families, $(grep -vc '^#' "$f") samples)"

@@ -33,6 +33,9 @@
 #include "engine/state.h"
 #include "engine/stats.h"
 #include "gil/prog.h"
+#include "obs/coverage.h"
+#include "obs/progress.h"
+#include "obs/query_profile.h"
 #include "obs/span.h"
 #include "obs/trace_ring.h"
 
@@ -113,7 +116,19 @@ public:
   };
 
   Interpreter(const Prog &P, const EngineOptions &Opts, ExecStats &Stats)
-      : P(P), Opts(Opts), Stats(Stats) {}
+      : P(P), Opts(Opts), Stats(Stats) {
+    // Register every procedure's IfGoto sites up front so branch-coverage
+    // totals are static: a branch no path ever reaches reports as
+    // uncovered instead of silently missing from the denominator.
+    if (obs::ObsConfig::coverage())
+      for (const auto &[Name, Proc] : P.procs()) {
+        uint32_t Sites = 0;
+        for (const Cmd &C : Proc.Body)
+          if (C.Kind == CmdKind::IfGoto)
+            ++Sites;
+        obs::BranchCoverage::instance().registerProc(Name.id(), Sites);
+      }
+  }
 
   const EngineOptions &options() const { return Opts; }
   ExecStats &stats() { return Stats; }
@@ -198,6 +213,11 @@ public:
     }
     const Cmd &Command = Cur->Body[C.I];
     ++Stats.CmdsExecuted;
+    // Publish the executing GIL site so the solver's hot-query profiler
+    // can attribute every query this command issues (three word-sized
+    // thread-local writes; restored when the command completes).
+    obs::QueryOriginScope QueryOrigin(C.CurProc.id(),
+                                      static_cast<uint32_t>(C.I));
 
     switch (Command.Kind) {
     case CmdKind::Assign: {
@@ -242,6 +262,10 @@ public:
         ++Stats.Branches;
         obs::TraceRecorder::record(obs::TraceEventKind::BranchTaken, 0, 2);
       }
+      obs::BranchCoverage::recordBranch(
+          C.CurProc.id(), static_cast<uint32_t>(C.I),
+          (FalseSt.has_value() ? obs::BranchFalseBit : 0) |
+              (TrueSt->has_value() ? obs::BranchTrueBit : 0));
 
       if (FalseSt.has_value()) {
         Config FC = C;
@@ -415,6 +439,7 @@ public:
     }
     obs::TraceRecorder::record(obs::TraceEventKind::PathFinished,
                                static_cast<uint8_t>(K));
+    ++obs::progressCounters().PathsFinished;
     S.done(K, std::move(V), std::move(State));
   }
 

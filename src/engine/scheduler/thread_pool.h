@@ -35,6 +35,7 @@
 #ifndef GILLIAN_ENGINE_SCHEDULER_THREAD_POOL_H
 #define GILLIAN_ENGINE_SCHEDULER_THREAD_POOL_H
 
+#include "obs/progress.h"
 #include "obs/sched_counters.h"
 #include "obs/trace_ring.h"
 
@@ -67,7 +68,14 @@ public:
 
   ThreadPool(size_t NumWorkers, size_t StealBatch)
       : Deques(NumWorkers ? NumWorkers : 1),
-        StealBatch(StealBatch ? StealBatch : 1) {}
+        StealBatch(StealBatch ? StealBatch : 1) {
+    // Publish the pool shape for the live-introspection gauges. One pool
+    // is live at a time (explore() constructs, runs, destroys), so the
+    // process-wide gauges describe "the" pool.
+    obs::schedCounters().PoolWorkers.set(workers());
+    obs::WorkerDepthGauges::instance().configure(
+        static_cast<uint32_t>(workers()));
+  }
 
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
@@ -91,7 +99,8 @@ public:
   /// Enqueues a root task on the global injection queue. Thread-safe, but
   /// intended for seeding the pool before run().
   void inject(Task T) {
-    Pending.fetch_add(1, std::memory_order_acq_rel);
+    obs::schedCounters().FrontierSize.set(
+        Pending.fetch_add(1, std::memory_order_acq_rel) + 1);
     {
       std::lock_guard<std::mutex> Lock(Global.Mu);
       Global.Q.push_back(std::move(T));
@@ -119,11 +128,13 @@ private:
   };
 
   void pushLocal(size_t Idx, Task T) {
-    Pending.fetch_add(1, std::memory_order_acq_rel);
+    obs::schedCounters().FrontierSize.set(
+        Pending.fetch_add(1, std::memory_order_acq_rel) + 1);
     ++obs::schedCounters().TasksSpawned;
     {
       std::lock_guard<std::mutex> Lock(Deques[Idx].Mu);
       Deques[Idx].Q.push_back(std::move(T));
+      obs::WorkerDepthGauges::instance().set(Idx, Deques[Idx].Q.size());
     }
     signalWork();
   }
@@ -134,6 +145,7 @@ private:
       return std::nullopt;
     Task T = std::move(Deques[Idx].Q.back());
     Deques[Idx].Q.pop_back();
+    obs::WorkerDepthGauges::instance().set(Idx, Deques[Idx].Q.size());
     return T;
   }
 
@@ -165,6 +177,8 @@ private:
           Batch.push_back(std::move(Q.front()));
           Q.pop_front();
         }
+        if (!Batch.empty())
+          obs::WorkerDepthGauges::instance().set(Victim, Q.size());
       }
       if (Batch.empty())
         continue;
@@ -179,6 +193,7 @@ private:
         std::lock_guard<std::mutex> Lock(Deques[Idx].Mu);
         for (size_t K = 1; K < Batch.size(); ++K)
           Deques[Idx].Q.push_back(std::move(Batch[K]));
+        obs::WorkerDepthGauges::instance().set(Idx, Deques[Idx].Q.size());
       }
       if (Batch.size() > 1)
         signalWork(); // surplus is now visible in our deque — wake a peer
@@ -215,7 +230,9 @@ private:
         // Decrement only after the body ran: spawns inside the body have
         // already incremented Pending, so it hits zero only at true
         // quiescence.
-        if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        uint64_t Before = Pending.fetch_sub(1, std::memory_order_acq_rel);
+        obs::schedCounters().FrontierSize.set(Before - 1);
+        if (Before == 1)
           IdleCv.notify_all();
         continue;
       }

@@ -25,6 +25,8 @@
 
 #include "engine/interpreter.h"
 #include "engine/scheduler/exploration_scheduler.h"
+#include "obs/progress.h"
+#include "obs/query_profile.h"
 
 #include <string>
 #include <vector>
@@ -71,6 +73,7 @@ runSymbolicTest(const Prog &P, std::string_view Entry,
                 M InitialMemory = M()) {
   SymbolicTestResult R;
   R.Name = std::string(Entry);
+  ++obs::progressCounters().TestsStarted;
   // Snapshot the (shared, suite-wide) solver counters so the per-layer
   // timing and hit-rate deltas of this one test can be attributed to it.
   const SolverStats Before = Slv.stats();
@@ -112,6 +115,10 @@ runSymbolicTest(const Prog &P, std::string_view Entry,
       B.Message = T.Val.toString();
       const PathCondition &PC = T.Final.pathCondition();
       B.PathCond = PC.toString();
+      // Counter-model search runs outside any interpreter step; attribute
+      // it to the test's entry procedure so the hot-query profiler still
+      // accounts the time (command index 0 = "the test itself").
+      obs::QueryOriginScope Origin(InternedString::get(Entry).id(), 0);
       if (auto Mod = Slv.verifiedModel(PC)) {
         B.Confirmed = true;
         B.CounterModel = Mod->toString();

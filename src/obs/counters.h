@@ -42,20 +42,32 @@
 
 namespace gillian::obs {
 
-/// One registered counter of a set: its JSON key, its category (grouping
-/// key of the unified stats exporter), and its byte offset within the
-/// owning struct.
+/// What a registered field *means*, which decides how the generic
+/// operations and exporters treat it:
+///  * Counter — monotone event count; merge() sums across instances and
+///    deltaSince() subtracts (Prometheus type "counter").
+///  * Gauge — sampled last-value (frontier size, queue depth); summation
+///    across threads or snapshots is meaningless, so merge() skips gauges
+///    and deltaSince() carries the current value through (Prometheus type
+///    "gauge").
+enum class FieldKind : uint8_t { Counter, Gauge };
+
+/// One registered field of a set: its JSON key, its category (grouping
+/// key of the unified stats exporter), its byte offset within the owning
+/// struct, and its kind.
 struct CounterField {
   const char *Name;
   const char *Category;
   size_t Offset;
+  FieldKind Kind;
 };
 
 /// The per-set-type field list, built once by a probe construction.
 class CounterSchema {
 public:
-  void add(const char *Name, const char *Category, size_t Offset) {
-    Fields.push_back({Name, Category, Offset});
+  void add(const char *Name, const char *Category, size_t Offset,
+           FieldKind Kind) {
+    Fields.push_back({Name, Category, Offset, Kind});
   }
   const std::vector<CounterField> &fields() const { return Fields; }
 
@@ -84,14 +96,7 @@ class Counter {
 public:
   template <typename Owner>
   Counter(CounterSet<Owner> &Set, const char *Name, const char *Category) {
-    detail::SchemaBuildScope *B = detail::activeSchemaBuild();
-    if (B && *B->Type == typeid(Owner)) {
-      auto *Base = reinterpret_cast<const char *>(
-          static_cast<const Owner *>(&Set));
-      B->Schema->add(Name, Category,
-                     static_cast<size_t>(
-                         reinterpret_cast<const char *>(this) - Base));
-    }
+    registerField(Set, Name, Category, FieldKind::Counter);
   }
 
   Counter(const Counter &O) : V(O.load()) {}
@@ -124,8 +129,47 @@ public:
 
   operator uint64_t() const { return load(); }
 
+protected:
+  /// For subclasses (Gauge) and standalone instances that never register.
+  Counter() = default;
+
+  template <typename Owner>
+  void registerField(CounterSet<Owner> &Set, const char *Name,
+                     const char *Category, FieldKind Kind) {
+    detail::SchemaBuildScope *B = detail::activeSchemaBuild();
+    if (B && *B->Type == typeid(Owner)) {
+      auto *Base = reinterpret_cast<const char *>(
+          static_cast<const Owner *>(&Set));
+      B->Schema->add(Name, Category,
+                     static_cast<size_t>(
+                         reinterpret_cast<const char *>(this) - Base),
+                     Kind);
+    }
+  }
+
 private:
   std::atomic<uint64_t> V{0};
+};
+
+/// A sampled last-value slot (frontier size, per-worker deque depth, pool
+/// occupancy). Same storage and relaxed-atomic access as Counter, but it
+/// registers as FieldKind::Gauge, so the generic set operations treat it
+/// with last-value semantics: merge()/addFrom() leave the destination's
+/// gauges untouched (cross-thread summation of instantaneous values is
+/// meaningless), and deltaSince() carries the newer snapshot's value
+/// through unchanged. A default-constructed Gauge is standalone
+/// (unregistered) — used for dynamically-sized families like the
+/// per-worker depth array, which cannot be static schema fields.
+class Gauge : public Counter {
+public:
+  Gauge() = default;
+  template <typename Owner>
+  Gauge(CounterSet<Owner> &Set, const char *Name, const char *Category) {
+    registerField(Set, Name, Category, FieldKind::Gauge);
+  }
+
+  /// Last-value write (alias of store, named for call-site clarity).
+  void set(uint64_t V) { store(V); }
 };
 
 /// CRTP base providing the schema and the generic operations. The Derived
@@ -146,14 +190,21 @@ public:
   }
   void addFrom(const Derived &O) {
     for (const CounterField &F : schema().fields())
-      at(F.Offset).fetch_add(O.at(F.Offset).load());
+      if (F.Kind == FieldKind::Counter)
+        at(F.Offset).fetch_add(O.at(F.Offset).load());
+    // Gauges are sampled last-values: summing two instantaneous readings
+    // is meaningless, so merge() leaves the destination's gauges alone.
   }
-  /// Counter-wise `*this - Earlier` (for before/after snapshots).
+  /// Counter-wise `*this - Earlier` (for before/after snapshots). Gauges
+  /// carry the *newer* snapshot's value through unchanged — the last
+  /// sampled value is the meaningful "delta" of a last-value slot.
   Derived deltaSince(const Derived &Earlier) const {
     Derived D;
     for (const CounterField &F : schema().fields())
-      D.at(F.Offset).store(at(F.Offset).load() -
-                           Earlier.at(F.Offset).load());
+      D.at(F.Offset).store(F.Kind == FieldKind::Gauge
+                               ? at(F.Offset).load()
+                               : at(F.Offset).load() -
+                                     Earlier.at(F.Offset).load());
     return D;
   }
   void resetCounters() {
@@ -167,6 +218,14 @@ public:
   void countersInto(JsonWriter &W) const {
     for (const CounterField &F : schema().fields())
       W.field(F.Name, at(F.Offset).load());
+  }
+
+  /// Generic read-only walk: \p Fn(const CounterField &, uint64_t value)
+  /// for every registered field. The hook the generic exporters (JSON,
+  /// Prometheus text exposition) are built on.
+  template <typename Fn> void forEachField(Fn &&F) const {
+    for (const CounterField &Fd : schema().fields())
+      F(Fd, at(Fd.Offset).load());
   }
 
   /// Convenience: the full `{...}` object (counters only; derived rates

@@ -1,0 +1,367 @@
+//===- obs/introspect/http_server.cpp -------------------------------------===//
+
+#include "obs/introspect/http_server.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace gillian::obs;
+
+namespace {
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string toLower(std::string_view S) {
+  std::string Out(S);
+  std::transform(Out.begin(), Out.end(), Out.begin(), [](unsigned char C) {
+    return static_cast<char>(std::tolower(C));
+  });
+  return Out;
+}
+
+std::string_view trim(std::string_view S) {
+  while (!S.empty() && (S.front() == ' ' || S.front() == '\t'))
+    S.remove_prefix(1);
+  while (!S.empty() && (S.back() == ' ' || S.back() == '\t' ||
+                        S.back() == '\r'))
+    S.remove_suffix(1);
+  return S;
+}
+
+bool setNonBlocking(int Fd) {
+  int Flags = fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+const char *statusText(int Status) {
+  switch (Status) {
+  case 200: return "OK";
+  case 400: return "Bad Request";
+  case 404: return "Not Found";
+  case 405: return "Method Not Allowed";
+  default: return "Error";
+  }
+}
+
+} // namespace
+
+std::string_view HttpRequest::header(std::string_view Key) const {
+  for (const auto &[K, V] : Headers)
+    if (K == Key)
+      return V;
+  return {};
+}
+
+bool gillian::obs::parseHttpRequest(std::string_view Raw, HttpRequest &Out) {
+  Out = HttpRequest();
+  if (Raw.find('\0') != std::string_view::npos)
+    return false;
+
+  // Request line.
+  size_t LineEnd = Raw.find('\n');
+  if (LineEnd == std::string_view::npos)
+    return false;
+  std::string_view Line = trim(Raw.substr(0, LineEnd));
+  size_t Sp1 = Line.find(' ');
+  if (Sp1 == std::string_view::npos || Sp1 == 0)
+    return false;
+  size_t Sp2 = Line.rfind(' ');
+  if (Sp2 == Sp1) // only two tokens
+    return false;
+  Out.Method = std::string(Line.substr(0, Sp1));
+  std::string_view Target = trim(Line.substr(Sp1 + 1, Sp2 - Sp1 - 1));
+  Out.Version = std::string(trim(Line.substr(Sp2 + 1)));
+  if (Target.empty() || Target.find(' ') != std::string_view::npos)
+    return false;
+  if (Out.Version.rfind("HTTP/", 0) != 0)
+    return false;
+  size_t Q = Target.find('?');
+  if (Q == std::string_view::npos) {
+    Out.Target = std::string(Target);
+  } else {
+    Out.Target = std::string(Target.substr(0, Q));
+    Out.Query = std::string(Target.substr(Q + 1));
+  }
+
+  // Headers until the blank line.
+  size_t Pos = LineEnd + 1;
+  bool SawEnd = false;
+  while (Pos < Raw.size()) {
+    size_t End = Raw.find('\n', Pos);
+    if (End == std::string_view::npos)
+      return false; // terminating blank line never arrived
+    std::string_view H = Raw.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (trim(H).empty()) {
+      SawEnd = true;
+      break; // end of headers
+    }
+    size_t Colon = H.find(':');
+    if (Colon == std::string_view::npos || Colon == 0)
+      return false;
+    std::string Key = toLower(trim(H.substr(0, Colon)));
+    if (Key.find(' ') != std::string::npos)
+      return false; // "Bad Header : x" — obs-fold / smuggling shapes
+    Out.Headers.emplace_back(std::move(Key),
+                             std::string(trim(H.substr(Colon + 1))));
+  }
+  if (!SawEnd)
+    return false;
+
+  // No bodies in this protocol: a request advertising one is malformed.
+  std::string_view CL = Out.header("content-length");
+  if (!CL.empty() && CL != "0")
+    return false;
+  if (!Out.header("transfer-encoding").empty())
+    return false;
+
+  std::string ConnVal = toLower(Out.header("connection"));
+  if (Out.Version == "HTTP/1.1")
+    Out.KeepAlive = ConnVal.find("close") == std::string::npos;
+  else
+    Out.KeepAlive = ConnVal.find("keep-alive") != std::string::npos;
+  return true;
+}
+
+namespace {
+std::string renderResponse(const HttpResponse &R, bool KeepAlive) {
+  std::string Out;
+  Out.reserve(R.Body.size() + 160);
+  Out += "HTTP/1.1 ";
+  Out += std::to_string(R.Status);
+  Out += ' ';
+  Out += statusText(R.Status);
+  Out += "\r\nContent-Type: ";
+  Out += R.ContentType;
+  Out += "\r\nContent-Length: ";
+  Out += std::to_string(R.Body.size());
+  Out += "\r\nConnection: ";
+  Out += KeepAlive ? "keep-alive" : "close";
+  Out += "\r\n\r\n";
+  Out += R.Body;
+  return Out;
+}
+
+/// Writes the whole buffer, riding out EAGAIN with a short poll; a client
+/// that stops reading for >2s forfeits the response.
+bool writeAll(int Fd, std::string_view Buf) {
+  size_t Off = 0;
+  int SpinsLeft = 200; // 200 * 10ms = 2s budget
+  while (Off < Buf.size()) {
+    ssize_t N = ::send(Fd, Buf.data() + Off, Buf.size() - Off, MSG_NOSIGNAL);
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (--SpinsLeft <= 0)
+        return false;
+      pollfd P{Fd, POLLOUT, 0};
+      ::poll(&P, 1, 10);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+  return true;
+}
+} // namespace
+
+struct HttpServer::Conn {
+  int Fd = -1;
+  std::string Buf; ///< bytes read but not yet parsed
+};
+
+uint16_t HttpServer::start(const std::string &Host, uint16_t Port,
+                           Handler H) {
+  if (Running.load(std::memory_order_acquire))
+    return 0;
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1)
+    return 0;
+
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return 0;
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, 16) != 0 || !setNonBlocking(Fd)) {
+    ::close(Fd);
+    return 0;
+  }
+
+  // Recover the actually-bound port (Port may have been 0 = ephemeral).
+  sockaddr_in Bound{};
+  socklen_t Len = sizeof(Bound);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Bound), &Len) != 0) {
+    ::close(Fd);
+    return 0;
+  }
+
+  if (::pipe(WakePipe) != 0) {
+    ::close(Fd);
+    return 0;
+  }
+  setNonBlocking(WakePipe[0]);
+  setNonBlocking(WakePipe[1]);
+
+  ListenFd = Fd;
+  BoundPort = ntohs(Bound.sin_port);
+  Handle = std::move(H);
+  Served.store(0, std::memory_order_relaxed);
+  LastRequestNs.store(0, std::memory_order_relaxed);
+  Running.store(true, std::memory_order_release);
+  Thread = std::thread([this] { serveLoop(); });
+  return BoundPort;
+}
+
+void HttpServer::stop() {
+  if (!Running.exchange(false, std::memory_order_acq_rel)) {
+    if (Thread.joinable())
+      Thread.join();
+    return;
+  }
+  char B = 1;
+  [[maybe_unused]] ssize_t N = ::write(WakePipe[1], &B, 1);
+  if (Thread.joinable())
+    Thread.join();
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  for (int &P : WakePipe)
+    if (P >= 0)
+      ::close(P);
+  ListenFd = -1;
+  WakePipe[0] = WakePipe[1] = -1;
+  BoundPort = 0;
+}
+
+bool HttpServer::handleReadable(Conn &C) {
+  char Tmp[4096];
+  for (;;) {
+    ssize_t N = ::recv(C.Fd, Tmp, sizeof(Tmp), 0);
+    if (N > 0) {
+      C.Buf.append(Tmp, static_cast<size_t>(N));
+      if (C.Buf.size() > 64 * 1024)
+        return false; // nobody sends 64 KiB of GET; drop the connection
+      continue;
+    }
+    if (N == 0)
+      return false; // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    if (errno == EINTR)
+      continue;
+    return false;
+  }
+
+  // Serve every complete request currently buffered.
+  for (;;) {
+    size_t HdrEnd = C.Buf.find("\r\n\r\n");
+    size_t Skip = 4;
+    if (HdrEnd == std::string::npos) {
+      HdrEnd = C.Buf.find("\n\n"); // bare-LF tolerance
+      Skip = 2;
+    }
+    if (HdrEnd == std::string::npos)
+      return true; // need more bytes
+
+    std::string RawReq = C.Buf.substr(0, HdrEnd + Skip);
+    C.Buf.erase(0, HdrEnd + Skip);
+
+    HttpRequest Req;
+    HttpResponse Resp;
+    bool KeepAlive = false;
+    if (!parseHttpRequest(RawReq, Req)) {
+      Resp.Status = 400;
+      Resp.Body = "bad request\n";
+    } else if (Req.Method != "GET" && Req.Method != "HEAD") {
+      Resp.Status = 405;
+      Resp.Body = "method not allowed\n";
+      KeepAlive = Req.KeepAlive;
+    } else {
+      Resp = Handle(Req);
+      KeepAlive = Req.KeepAlive;
+      if (Req.Method == "HEAD")
+        Resp.Body.clear();
+    }
+
+    Served.fetch_add(1, std::memory_order_relaxed);
+    LastRequestNs.store(nowNs(), std::memory_order_relaxed);
+    if (!writeAll(C.Fd, renderResponse(Resp, KeepAlive)))
+      return false;
+    if (!KeepAlive || Resp.Status == 400)
+      return false;
+  }
+}
+
+void HttpServer::serveLoop() {
+  std::vector<Conn> Conns;
+  std::vector<pollfd> Pfds;
+
+  while (Running.load(std::memory_order_acquire)) {
+    Pfds.clear();
+    Pfds.push_back({WakePipe[0], POLLIN, 0});
+    Pfds.push_back({ListenFd, POLLIN, 0});
+    for (const Conn &C : Conns)
+      Pfds.push_back({C.Fd, POLLIN, 0});
+
+    int N = ::poll(Pfds.data(), Pfds.size(), 500);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (!Running.load(std::memory_order_acquire))
+      break;
+
+    if (Pfds[1].revents & POLLIN) {
+      for (;;) {
+        int Fd = ::accept(ListenFd, nullptr, nullptr);
+        if (Fd < 0)
+          break;
+        if (!setNonBlocking(Fd) || Conns.size() >= 64) {
+          ::close(Fd); // cap concurrent connections; scrapers reconnect
+          continue;
+        }
+        int One = 1;
+        ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+        Conns.push_back(Conn{Fd, {}});
+      }
+    }
+
+    // Walk connection pollfds (offset 2) back to front so erase is safe.
+    for (size_t I = Pfds.size(); I-- > 2;) {
+      if (!(Pfds[I].revents & (POLLIN | POLLERR | POLLHUP)))
+        continue;
+      Conn &C = Conns[I - 2];
+      bool Keep = (Pfds[I].revents & POLLIN) && handleReadable(C);
+      if (!Keep) {
+        ::close(C.Fd);
+        Conns.erase(Conns.begin() + static_cast<ptrdiff_t>(I - 2));
+      }
+    }
+  }
+
+  for (Conn &C : Conns)
+    ::close(C.Fd);
+}

@@ -1,0 +1,244 @@
+//===- obs/introspect/introspect_server.cpp -------------------------------===//
+
+#include "obs/introspect/introspect_server.h"
+
+#include "obs/action_counters.h"
+#include "obs/coverage.h"
+#include "obs/exporters.h"
+#include "obs/introspect/metrics_registry.h"
+#include "obs/introspect/prometheus.h"
+#include "obs/progress.h"
+#include "obs/query_profile.h"
+#include "obs/sched_counters.h"
+#include "obs/span.h"
+#include "obs/trace_ring.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+using namespace gillian::obs;
+
+namespace {
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+} // namespace
+
+RateTracker::Rates RateTracker::sample() {
+  ProgressCounters &P = progressCounters();
+  Point Now{nowNs(), P.PathsFinished.load(), P.SolverQueries.load()};
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  while (!Window.empty() && Now.Ns - Window.front().Ns > WindowNs)
+    Window.pop_front();
+  Rates R;
+  if (!Window.empty() && Now.Ns > Window.front().Ns) {
+    const Point &Old = Window.front();
+    double Dt = static_cast<double>(Now.Ns - Old.Ns) * 1e-9;
+    R.PathsPerSec = static_cast<double>(Now.Paths - Old.Paths) / Dt;
+    R.QueriesPerSec = static_cast<double>(Now.Queries - Old.Queries) / Dt;
+  }
+  Window.push_back(Now);
+  if (Window.size() > 256) // bound memory under scrape storms
+    Window.pop_front();
+  return R;
+}
+
+std::string gillian::obs::metricsExposition() {
+  PromWriter W;
+
+  // Registry-driven sets: every field appears with zero exporter edits.
+  counterSetInto(W, schedCounters());
+  counterSetInto(W, progressCounters());
+
+  // Per-worker deque depths — a dynamic gauge family.
+  WorkerDepthGauges &D = WorkerDepthGauges::instance();
+  uint32_t Tracked = D.tracked();
+  for (uint32_t I = 0; I < Tracked; ++I)
+    W.gauge("gillian_scheduler_worker_queue_depth", D.depth(I),
+            {{"worker", std::to_string(I)}});
+
+  // Span table: monotone per-layer time and counts, labelled by kind.
+  SpanSnapshot Spans = SpanTable::global().snapshot();
+  for (size_t I = 0; I < NumSpanKinds; ++I) {
+    SpanKind K = static_cast<SpanKind>(I);
+    if (Spans.count(K) == 0)
+      continue;
+    PromLabels L{{"kind", std::string(spanKindName(K))}};
+    W.counter("gillian_span_total_ns", Spans.totalNs(K), L);
+    W.counter("gillian_span_self_ns", Spans.selfNs(K), L);
+    W.counter("gillian_span_count", Spans.count(K), L);
+  }
+
+  // Per-(language, action) symbolic-memory counters.
+  for (const auto &[Lang, Actions] : ActionCounters::instance().snapshot())
+    for (const auto &[Action, N] : Actions)
+      W.counter("gillian_actions_executed", N,
+                {{"lang", Lang}, {"action", Action}});
+
+  // Solver hot-query profiler: the top sites by wall time, plus the
+  // attribution coverage pair.
+  QueryProfiler &QP = QueryProfiler::instance();
+  for (const QueryProfiler::Site &S : QP.topN(16)) {
+    PromLabels L{{"proc", S.Proc}, {"cmd_idx", std::to_string(S.CmdIdx)}};
+    W.counter("gillian_solver_hot_query_wall_ns", S.WallNs, L);
+    W.counter("gillian_solver_hot_query_calls", S.Calls, L);
+    W.counter("gillian_solver_hot_query_cache_misses", S.CacheMisses, L);
+  }
+  W.counter("gillian_solver_query_attributed_ns", QP.attributedNs());
+  W.counter("gillian_solver_query_unattributed_ns", QP.unattributedNs());
+
+  // Target-program branch coverage: totals + per-procedure series.
+  BranchCoverage &Cov = BranchCoverage::instance();
+  uint64_t Covered = 0, Total = 0;
+  for (const BranchCoverage::ProcCoverage &P : Cov.snapshot()) {
+    PromLabels L{{"proc", P.Proc}};
+    W.gauge("gillian_coverage_branch_outcomes_covered",
+            static_cast<uint64_t>(P.OutcomesCovered), L);
+    // "possible", not "total": the _total suffix is reserved for counters
+    // in the exposition format (scripts/prom_lint.sh enforces this).
+    W.gauge("gillian_coverage_branch_outcomes_possible",
+            static_cast<uint64_t>(P.outcomesTotal()), L);
+    Covered += P.OutcomesCovered;
+    Total += P.outcomesTotal();
+  }
+  W.gauge("gillian_coverage_outcomes_covered", Covered);
+  W.gauge("gillian_coverage_outcomes_possible", Total);
+
+  // Live per-run sources (ExecStats / SolverStats of whatever is running).
+  MetricsRegistry::instance().render(W);
+
+  return W.take();
+}
+
+std::string gillian::obs::progressJson(RateTracker &Rates) {
+  RateTracker::Rates R = Rates.sample();
+  ProgressCounters &P = progressCounters();
+  WorkerDepthGauges &D = WorkerDepthGauges::instance();
+  SchedCounters &Sched = schedCounters();
+
+  JsonWriter W;
+  W.beginObject();
+  W.field("paths_finished", P.PathsFinished.load());
+  W.field("solver_queries", P.SolverQueries.load());
+  W.field("tests_started", P.TestsStarted.load());
+  W.field("frontier_size", Sched.FrontierSize.load());
+  W.field("pool_workers", Sched.PoolWorkers.load());
+  W.key("workers");
+  W.beginArray();
+  uint32_t Tracked = D.tracked();
+  for (uint32_t I = 0; I < Tracked; ++I)
+    W.value(D.depth(I));
+  W.endArray();
+  W.field("paths_per_sec", R.PathsPerSec, 3);
+  W.field("queries_per_sec", R.QueriesPerSec, 3);
+  uint64_t Covered = 0, Total = 0;
+  BranchCoverage::instance().totals(Covered, Total);
+  W.key("coverage");
+  W.beginObject();
+  W.field("outcomes_covered", Covered);
+  W.field("outcomes_total", Total);
+  W.endObject();
+  W.endObject();
+  return W.take();
+}
+
+bool gillian::obs::parseHostPort(const std::string &Spec, std::string &Host,
+                                 uint16_t &Port) {
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos || Colon == 0)
+    return false;
+  Host = Spec.substr(0, Colon);
+  const std::string PortStr = Spec.substr(Colon + 1);
+  if (PortStr.empty())
+    return false;
+  char *End = nullptr;
+  unsigned long V = std::strtoul(PortStr.c_str(), &End, 10);
+  if (End == nullptr || *End != '\0' || V > 65535)
+    return false;
+  Port = static_cast<uint16_t>(V);
+  return true;
+}
+
+HttpResponse IntrospectServer::route(const HttpRequest &Req) {
+  HttpResponse R;
+  if (Req.Target == "/healthz") {
+    R.Body = "ok\n";
+  } else if (Req.Target == "/metrics") {
+    R.ContentType = "text/plain; version=0.0.4; charset=utf-8";
+    R.Body = metricsExposition();
+  } else if (Req.Target == "/stats") {
+    R.ContentType = "application/json";
+    R.Body = obsStatsJson(SpanTable::global().snapshot());
+    R.Body += '\n';
+  } else if (Req.Target == "/trace") {
+    R.ContentType = "application/json";
+    R.Body = chromeTraceJson(TraceRecorder::instance().drain());
+    R.Body += '\n';
+  } else if (Req.Target == "/progress") {
+    R.ContentType = "application/json";
+    R.Body = progressJson(Rates);
+    R.Body += '\n';
+  } else {
+    R.Status = 404;
+    R.Body = "not found\n";
+  }
+  return R;
+}
+
+uint16_t IntrospectServer::start(const std::string &Host, uint16_t Port) {
+  return Server.start(Host, Port,
+                      [this](const HttpRequest &Req) { return route(Req); });
+}
+
+uint16_t IntrospectServer::start(const std::string &Spec) {
+  std::string Host;
+  uint16_t Port = 0;
+  if (!parseHostPort(Spec, Host, Port))
+    return 0;
+  return start(Host, Port);
+}
+
+IntrospectServer &gillian::obs::processIntrospectServer() {
+  static IntrospectServer S;
+  return S;
+}
+
+uint16_t gillian::obs::startProcessIntrospection(const std::string &Spec) {
+  IntrospectServer &S = processIntrospectServer();
+  if (S.running())
+    return S.port();
+  std::string Host;
+  uint16_t Port = 0;
+  if (!parseHostPort(Spec, Host, Port)) {
+    std::fprintf(stderr, "[obs] invalid serve spec '%s' (want host:port)\n",
+                 Spec.c_str());
+    return 0;
+  }
+  uint16_t Bound = S.start(Host, Port);
+  if (Bound == 0) {
+    std::fprintf(stderr, "[obs] failed to bind introspection server on %s\n",
+                 Spec.c_str());
+    return 0;
+  }
+  // /trace is useless without events; serving implies recording.
+  TraceRecorder::instance().enable();
+  std::fprintf(stderr,
+               "[obs] introspection server listening on http://%s:%u\n",
+               Host.c_str(), static_cast<unsigned>(Bound));
+  return Bound;
+}
+
+void gillian::obs::maybeStartEnvIntrospection() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    if (const char *Spec = std::getenv("GILLIAN_SERVE"))
+      if (*Spec)
+        startProcessIntrospection(Spec);
+  });
+}

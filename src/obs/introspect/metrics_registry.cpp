@@ -1,0 +1,36 @@
+//===- obs/introspect/metrics_registry.cpp --------------------------------===//
+
+#include "obs/introspect/metrics_registry.h"
+
+#include <algorithm>
+
+using namespace gillian::obs;
+
+MetricsRegistry &MetricsRegistry::instance() {
+  static MetricsRegistry R;
+  return R;
+}
+
+uint64_t MetricsRegistry::add(MetricsFn Fn) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint64_t Token = NextToken++;
+  Sources.emplace_back(Token, std::move(Fn));
+  return Token;
+}
+
+void MetricsRegistry::remove(uint64_t Token) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Sources.erase(std::remove_if(Sources.begin(), Sources.end(),
+                               [Token](const auto &S) {
+                                 return S.first == Token;
+                               }),
+                Sources.end());
+}
+
+void MetricsRegistry::render(PromWriter &W) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &[Token, Fn] : Sources) {
+    (void)Token;
+    Fn(W);
+  }
+}

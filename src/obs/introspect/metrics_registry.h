@@ -1,0 +1,77 @@
+//===- obs/introspect/metrics_registry.h - Live metric sources -*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bridge between *per-run* counter sets and the process-wide /metrics
+/// endpoint. ExecStats and SolverStats are instances owned by whatever
+/// Interpreter / Solver is currently live — the HTTP server cannot reach
+/// them by name. A run registers its sets for the duration of the run via
+/// the RAII ScopedMetricsSource; a scrape renders every currently-live
+/// source under the registry lock. Counter reads are relaxed-atomic, so
+/// scraping mid-run is safe (and is the whole point).
+///
+/// Sources must outlive their registration — exactly what the RAII scope
+/// guarantees (the guard is declared after the stats object it exposes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_OBS_INTROSPECT_METRICS_REGISTRY_H
+#define GILLIAN_OBS_INTROSPECT_METRICS_REGISTRY_H
+
+#include "obs/introspect/prometheus.h"
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace gillian::obs {
+
+/// Renders one source's samples into the scrape in progress.
+using MetricsFn = std::function<void(PromWriter &)>;
+
+class MetricsRegistry {
+public:
+  static MetricsRegistry &instance();
+
+  /// Registers \p Fn; returns a token for remove(). The function will be
+  /// invoked under the registry lock from the HTTP serving thread.
+  uint64_t add(MetricsFn Fn);
+  void remove(uint64_t Token);
+
+  /// Invokes every registered source, registration order.
+  void render(PromWriter &W) const;
+
+private:
+  mutable std::mutex Mu;
+  std::vector<std::pair<uint64_t, MetricsFn>> Sources;
+  uint64_t NextToken = 1;
+};
+
+/// RAII registration of one counter set (or any render callback) for the
+/// enclosing scope — typically a suite run or a bench iteration:
+///
+///   ExecStats Stats;
+///   ScopedMetricsSource Live([&](PromWriter &W) {
+///     counterSetInto(W, Stats, {{"suite", Name}});
+///   });
+class ScopedMetricsSource {
+public:
+  explicit ScopedMetricsSource(MetricsFn Fn)
+      : Token(MetricsRegistry::instance().add(std::move(Fn))) {}
+  ~ScopedMetricsSource() { MetricsRegistry::instance().remove(Token); }
+
+  ScopedMetricsSource(const ScopedMetricsSource &) = delete;
+  ScopedMetricsSource &operator=(const ScopedMetricsSource &) = delete;
+
+private:
+  uint64_t Token;
+};
+
+} // namespace gillian::obs
+
+#endif // GILLIAN_OBS_INTROSPECT_METRICS_REGISTRY_H

@@ -1,0 +1,100 @@
+//===- obs/introspect/prometheus.cpp --------------------------------------===//
+
+#include "obs/introspect/prometheus.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace gillian::obs;
+
+std::string gillian::obs::promEscapeLabelValue(std::string_view V) {
+  std::string Out;
+  Out.reserve(V.size());
+  for (char C : V) {
+    switch (C) {
+    case '\\': Out += "\\\\"; break;
+    case '"': Out += "\\\""; break;
+    case '\n': Out += "\\n"; break;
+    default: Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string gillian::obs::promSanitizeName(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S)
+    Out += (std::isalnum(static_cast<unsigned char>(C)) || C == '_')
+               ? C
+               : '_';
+  // Metric names must be non-empty and must not start with a digit.
+  if (Out.empty() || std::isdigit(static_cast<unsigned char>(Out[0])))
+    Out.insert(Out.begin(), '_');
+  return Out;
+}
+
+void PromWriter::typeLine(std::string_view Family, const char *Type) {
+  auto [It, Inserted] = TypedFamilies.emplace(Family);
+  (void)It;
+  if (!Inserted)
+    return;
+  Out += "# TYPE ";
+  Out += Family;
+  Out += ' ';
+  Out += Type;
+  Out += '\n';
+}
+
+void PromWriter::sample(std::string_view Name, const PromLabels &Labels,
+                        std::string_view Rendered) {
+  Out += Name;
+  if (!Labels.empty()) {
+    Out += '{';
+    bool First = true;
+    for (const auto &[K, V] : Labels) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += K;
+      Out += "=\"";
+      Out += promEscapeLabelValue(V);
+      Out += '"';
+    }
+    Out += '}';
+  }
+  Out += ' ';
+  Out += Rendered;
+  Out += '\n';
+}
+
+void PromWriter::counter(std::string_view Family, uint64_t Value,
+                         const PromLabels &Labels) {
+  // Counter families carry the _total suffix on samples; the TYPE line
+  // names the suffixed family too (exposition-format convention for the
+  // plain counter type).
+  std::string Suffixed(Family);
+  Suffixed += "_total";
+  typeLine(Suffixed, "counter");
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%llu",
+                static_cast<unsigned long long>(Value));
+  sample(Suffixed, Labels, Buf);
+}
+
+void PromWriter::gauge(std::string_view Family, double Value,
+                       const PromLabels &Labels) {
+  typeLine(Family, "gauge");
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+  sample(Family, Labels, Buf);
+}
+
+void PromWriter::gauge(std::string_view Family, uint64_t Value,
+                       const PromLabels &Labels) {
+  typeLine(Family, "gauge");
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%llu",
+                static_cast<unsigned long long>(Value));
+  sample(Family, Labels, Buf);
+}

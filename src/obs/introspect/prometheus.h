@@ -1,0 +1,92 @@
+//===- obs/introspect/prometheus.h - Text exposition writer ----*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prometheus text-exposition (version 0.0.4) writer for the /metrics
+/// endpoint. Follows the conventions a stock Prometheus server expects:
+/// one `# TYPE` line per metric family (emitted once, before the family's
+/// first sample, regardless of how many labelled series it has), counters
+/// suffixed `_total`, gauges bare, label values escaped (backslash, quote,
+/// newline).
+///
+/// Metric names are derived mechanically from the counter registry —
+/// `gillian_<category>_<name>` — via counterSetInto(), so a counter added
+/// anywhere in the codebase appears on /metrics with zero exporter edits,
+/// the same property obsStatsJson already has for JSON.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_OBS_INTROSPECT_PROMETHEUS_H
+#define GILLIAN_OBS_INTROSPECT_PROMETHEUS_H
+
+#include "obs/counters.h"
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace gillian::obs {
+
+/// `{key, value}` pairs rendered as `{key="value",...}`. Values are
+/// escaped by the writer; keys must already be valid label names.
+using PromLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline get backslash escapes.
+std::string promEscapeLabelValue(std::string_view V);
+
+/// Sanitises an arbitrary string into a metric-name component:
+/// [a-zA-Z0-9_]; every other byte becomes '_'.
+std::string promSanitizeName(std::string_view S);
+
+/// Streaming exposition writer. counter()/gauge() take the *base* family
+/// name (no `_total`); the writer appends the counter suffix and emits the
+/// family's `# TYPE` line exactly once.
+class PromWriter {
+public:
+  void counter(std::string_view Family, uint64_t Value,
+               const PromLabels &Labels = {});
+  void gauge(std::string_view Family, double Value,
+             const PromLabels &Labels = {});
+  void gauge(std::string_view Family, uint64_t Value,
+             const PromLabels &Labels = {});
+
+  const std::string &str() const { return Out; }
+  std::string take() { return std::move(Out); }
+
+private:
+  void typeLine(std::string_view Family, const char *Type);
+  void sample(std::string_view Name, const PromLabels &Labels,
+              std::string_view Rendered);
+
+  std::string Out;
+  std::unordered_set<std::string> TypedFamilies;
+};
+
+/// Emits every registered field of \p Set as
+/// `gillian_<category>_<name>[_total]{labels...}` — counters as counter
+/// families, gauges as gauge families. The generic bridge from the
+/// CounterSet registry to /metrics.
+template <typename Derived>
+void counterSetInto(PromWriter &W, const CounterSet<Derived> &Set,
+                    const PromLabels &Labels = {}) {
+  Set.forEachField([&](const CounterField &F, uint64_t V) {
+    std::string Family = "gillian_";
+    Family += promSanitizeName(F.Category);
+    Family += '_';
+    Family += promSanitizeName(F.Name);
+    if (F.Kind == FieldKind::Gauge)
+      W.gauge(Family, V, Labels);
+    else
+      W.counter(Family, V, Labels);
+  });
+}
+
+} // namespace gillian::obs
+
+#endif // GILLIAN_OBS_INTROSPECT_PROMETHEUS_H

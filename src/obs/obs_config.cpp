@@ -15,6 +15,7 @@ void ObsConfig::set(const ObsOptions &O) {
   St.DetailedSpans.store(O.DetailedSpans, std::memory_order_relaxed);
   St.Trace.store(O.Trace, std::memory_order_relaxed);
   St.ActionCounters.store(O.ActionCounters, std::memory_order_relaxed);
+  St.Coverage.store(O.Coverage, std::memory_order_relaxed);
   size_t Cap = O.TraceRingCapacity ? O.TraceRingCapacity : 1;
   // Round up to a power of two so ring indices can mask instead of mod.
   size_t P = 1;
@@ -29,6 +30,7 @@ ObsOptions ObsConfig::get() {
   O.DetailedSpans = detailedSpans();
   O.Trace = trace();
   O.ActionCounters = actionCounters();
+  O.Coverage = coverage();
   O.TraceRingCapacity = traceRingCapacity();
   return O;
 }

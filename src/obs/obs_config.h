@@ -43,6 +43,8 @@ struct ObsOptions {
   size_t TraceRingCapacity = 1 << 12;
   /// Per-action counters in the symbolic memory models.
   bool ActionCounters = true;
+  /// Target-program branch coverage (per-IfGoto outcome masks).
+  bool Coverage = true;
 };
 
 /// Global switch registry. Reads are single relaxed atomic loads and are
@@ -57,6 +59,9 @@ public:
   static bool trace() { return S().Trace.load(std::memory_order_relaxed); }
   static bool actionCounters() {
     return S().ActionCounters.load(std::memory_order_relaxed);
+  }
+  static bool coverage() {
+    return S().Coverage.load(std::memory_order_relaxed);
   }
   static size_t traceRingCapacity() {
     return S().TraceRingCapacity.load(std::memory_order_relaxed);
@@ -81,6 +86,7 @@ private:
     std::atomic<bool> DetailedSpans{false};
     std::atomic<bool> Trace{false};
     std::atomic<bool> ActionCounters{true};
+    std::atomic<bool> Coverage{true};
     std::atomic<size_t> TraceRingCapacity{1 << 12};
   };
   static State &S();

@@ -1,0 +1,10 @@
+//===- obs/progress.cpp ---------------------------------------------------===//
+
+#include "obs/progress.h"
+
+using namespace gillian::obs;
+
+WorkerDepthGauges &WorkerDepthGauges::instance() {
+  static WorkerDepthGauges G;
+  return G;
+}

@@ -1,0 +1,144 @@
+//===- obs/query_profile.cpp ----------------------------------------------===//
+
+#include "obs/query_profile.h"
+
+#include <algorithm>
+
+using namespace gillian;
+using namespace gillian::obs;
+
+QueryOrigin &gillian::obs::detail::currentQueryOrigin() {
+  thread_local QueryOrigin O;
+  return O;
+}
+
+QueryProfiler &QueryProfiler::instance() {
+  static QueryProfiler P;
+  return P;
+}
+
+void QueryProfiler::record(uint64_t WallNs, QueryVerdict V, bool CacheHit,
+                           uint64_t SessionResets) {
+  const QueryOrigin &O = detail::currentQueryOrigin();
+  if (O.ProcId == 0) {
+    UnattributedNs.fetch_add(WallNs, std::memory_order_relaxed);
+    UnattributedQueries.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  uint64_t Key = keyOf(O);
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  SiteCell &C = S.Sites.try_emplace(Key, SiteCell{O.ProcId, O.CmdIdx})
+                    .first->second;
+  ++C.Calls;
+  C.WallNs += WallNs;
+  switch (V) {
+  case QueryVerdict::Sat: ++C.Sat; break;
+  case QueryVerdict::Unsat: ++C.Unsat; break;
+  case QueryVerdict::Unknown: ++C.Unknown; break;
+  }
+  if (CacheHit)
+    ++C.CacheHits;
+  else
+    ++C.CacheMisses;
+  C.SessionResets += SessionResets;
+}
+
+std::vector<QueryProfiler::Site> QueryProfiler::snapshotSorted() const {
+  std::vector<Site> Out;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    for (const auto &[Key, C] : S.Sites) {
+      (void)Key;
+      Site T;
+      T.Proc = std::string(InternedString::fromRaw(C.ProcId).str());
+      T.CmdIdx = C.CmdIdx;
+      T.Calls = C.Calls;
+      T.WallNs = C.WallNs;
+      T.Sat = C.Sat;
+      T.Unsat = C.Unsat;
+      T.Unknown = C.Unknown;
+      T.CacheHits = C.CacheHits;
+      T.CacheMisses = C.CacheMisses;
+      T.SessionResets = C.SessionResets;
+      Out.push_back(std::move(T));
+    }
+  }
+  std::sort(Out.begin(), Out.end(), [](const Site &A, const Site &B) {
+    if (A.WallNs != B.WallNs)
+      return A.WallNs > B.WallNs;
+    if (A.Proc != B.Proc)
+      return A.Proc < B.Proc; // deterministic tie-break
+    return A.CmdIdx < B.CmdIdx;
+  });
+  return Out;
+}
+
+std::vector<QueryProfiler::Site> QueryProfiler::topN(size_t N) const {
+  std::vector<Site> All = snapshotSorted();
+  if (All.size() > N)
+    All.resize(N);
+  return All;
+}
+
+uint64_t QueryProfiler::attributedNs() const {
+  uint64_t Sum = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    for (const auto &[Key, C] : S.Sites) {
+      (void)Key;
+      Sum += C.WallNs;
+    }
+  }
+  return Sum;
+}
+
+uint64_t QueryProfiler::unattributedNs() const {
+  return UnattributedNs.load(std::memory_order_relaxed);
+}
+
+uint64_t QueryProfiler::queries() const {
+  uint64_t Q = UnattributedQueries.load(std::memory_order_relaxed);
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    for (const auto &[Key, C] : S.Sites) {
+      (void)Key;
+      Q += C.Calls;
+    }
+  }
+  return Q;
+}
+
+void QueryProfiler::jsonInto(JsonWriter &W, size_t N) const {
+  W.beginArray();
+  for (const Site &T : topN(N)) {
+    W.beginObject();
+    W.field("proc", T.Proc);
+    W.field("cmd_idx", static_cast<uint64_t>(T.CmdIdx));
+    W.field("calls", T.Calls);
+    W.field("wall_ns", T.WallNs);
+    W.field("sat", T.Sat);
+    W.field("unsat", T.Unsat);
+    W.field("unknown", T.Unknown);
+    W.field("cache_hits", T.CacheHits);
+    W.field("cache_misses", T.CacheMisses);
+    W.field("session_resets", T.SessionResets);
+    W.endObject();
+  }
+  W.endArray();
+}
+
+std::string QueryProfiler::json(size_t N) const {
+  JsonWriter W;
+  jsonInto(W, N);
+  return W.take();
+}
+
+void QueryProfiler::reset() {
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Sites.clear();
+  }
+  UnattributedNs.store(0, std::memory_order_relaxed);
+  UnattributedQueries.store(0, std::memory_order_relaxed);
+}

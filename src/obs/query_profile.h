@@ -1,0 +1,162 @@
+//===- obs/query_profile.h - Solver hot-query attribution ------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The solver hot-query profiler (DESIGN.md §4d): attributes solver wall
+/// time, verdicts, and cache / incremental-session misses to the
+/// *originating GIL site* — the (procedure, command index) whose
+/// execution issued the query. "Which assume in which procedure is eating
+/// the Z3 budget" is the first question of every long-run investigation,
+/// and neither SolverStats (per layer, no location) nor the span table
+/// (per layer, no location) can answer it.
+///
+/// Attribution is a thread-local origin slot: the interpreter's step()
+/// publishes (current procedure id, command index) before executing a
+/// command via the RAII QueryOriginScope (three word-sized writes — cheap
+/// enough for the per-command path), and Solver::checkSat /
+/// verifiedModel read it when they record. Queries issued outside any
+/// command (e.g. warm-start cache loads) fall into the "unattributed"
+/// bucket, so coverage of the attribution itself is measurable — the
+/// bench acceptance check compares attributed time against the solver
+/// span's wall time.
+///
+/// Sites are keyed by the dense InternedString id of the procedure plus
+/// the command index, sharded 16 ways; record() is one shard-mutex
+/// acquisition + a handful of plain adds, noise next to the query it
+/// accounts (simplifier + cache + possibly an SMT round-trip).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_OBS_QUERY_PROFILE_H
+#define GILLIAN_OBS_QUERY_PROFILE_H
+
+#include "obs/json_writer.h"
+#include "support/interner.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gillian::obs {
+
+/// The GIL site on whose behalf the current thread is querying the
+/// solver. Proc is an InternedString id (0 = none).
+struct QueryOrigin {
+  uint32_t ProcId = 0;
+  uint32_t CmdIdx = 0;
+};
+
+namespace detail {
+QueryOrigin &currentQueryOrigin();
+} // namespace detail
+
+/// RAII publication of the executing GIL site. Constructed by the
+/// interpreter at the top of step() (and by the test runner around
+/// counter-model search); nested scopes restore the outer origin, so a
+/// procedure call's inner commands attribute to the *inner* site.
+class QueryOriginScope {
+public:
+  QueryOriginScope(uint32_t ProcId, uint32_t CmdIdx)
+      : Slot(detail::currentQueryOrigin()), Saved(Slot) {
+    Slot.ProcId = ProcId;
+    Slot.CmdIdx = CmdIdx;
+  }
+  ~QueryOriginScope() { Slot = Saved; }
+
+  QueryOriginScope(const QueryOriginScope &) = delete;
+  QueryOriginScope &operator=(const QueryOriginScope &) = delete;
+
+private:
+  QueryOrigin &Slot;
+  QueryOrigin Saved;
+};
+
+/// Solver verdict as seen by the profiler (mirror of SatResult, kept here
+/// so obs does not depend on the solver library).
+enum class QueryVerdict : uint8_t { Sat, Unsat, Unknown };
+
+class QueryProfiler {
+public:
+  static QueryProfiler &instance();
+
+  /// Records one solver query of \p WallNs nanoseconds against the
+  /// calling thread's current origin. \p CacheHit marks a full-query
+  /// result-cache hit; \p SessionResets counts incremental sessions that
+  /// had to discard their asserted prefix during this query.
+  void record(uint64_t WallNs, QueryVerdict V, bool CacheHit,
+              uint64_t SessionResets);
+
+  /// One site's accumulated profile.
+  struct Site {
+    std::string Proc;
+    uint32_t CmdIdx = 0;
+    uint64_t Calls = 0;
+    uint64_t WallNs = 0;
+    uint64_t Sat = 0;
+    uint64_t Unsat = 0;
+    uint64_t Unknown = 0;
+    uint64_t CacheHits = 0;
+    uint64_t CacheMisses = 0;
+    uint64_t SessionResets = 0;
+  };
+
+  /// The \p N sites with the largest accumulated wall time, descending.
+  std::vector<Site> topN(size_t N) const;
+
+  /// Total wall time recorded against a known site / against no site.
+  uint64_t attributedNs() const;
+  uint64_t unattributedNs() const;
+  /// Total queries recorded (attributed or not).
+  uint64_t queries() const;
+
+  /// `[{"proc":...,"cmd_idx":...,"calls":...,"wall_ns":...,...},...]` —
+  /// the top-\p N table, wall-time descending, spliced into
+  /// solverStatsJson and the bench JSON lines.
+  void jsonInto(JsonWriter &W, size_t N) const;
+  std::string json(size_t N) const;
+
+  void reset();
+
+private:
+  struct SiteCell {
+    uint32_t ProcId;
+    uint32_t CmdIdx;
+    uint64_t Calls = 0;
+    uint64_t WallNs = 0;
+    uint64_t Sat = 0;
+    uint64_t Unsat = 0;
+    uint64_t Unknown = 0;
+    uint64_t CacheHits = 0;
+    uint64_t CacheMisses = 0;
+    uint64_t SessionResets = 0;
+  };
+  struct Shard {
+    mutable std::mutex Mu;
+    std::unordered_map<uint64_t, SiteCell> Sites; ///< key: ProcId<<32|Cmd
+  };
+
+  static uint64_t keyOf(const QueryOrigin &O) {
+    return (static_cast<uint64_t>(O.ProcId) << 32) | O.CmdIdx;
+  }
+  Shard &shardFor(uint64_t Key) {
+    return Shards[(Key * 0x9E3779B97F4A7C15ull) >> 60];
+  }
+
+  std::vector<Site> snapshotSorted() const;
+
+  static constexpr size_t NumShards = 16;
+  std::array<Shard, NumShards> Shards;
+  std::atomic<uint64_t> UnattributedNs{0};
+  std::atomic<uint64_t> UnattributedQueries{0};
+};
+
+} // namespace gillian::obs
+
+#endif // GILLIAN_OBS_QUERY_PROFILE_H

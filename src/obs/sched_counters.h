@@ -35,6 +35,12 @@ struct SchedCounters : CounterSet<SchedCounters> {
   Counter StealQueueDepth{*this, "steal_queue_depth_sum", "scheduler"};
   /// Tasks pushed to worker-local queues.
   Counter TasksSpawned{*this, "tasks_spawned", "scheduler"};
+  /// Sampled frontier size: tasks queued or executing across the pool
+  /// (the thread pool's Pending count). A Gauge, so it never enters
+  /// cross-instance merges — an instantaneous depth cannot be summed.
+  Gauge FrontierSize{*this, "frontier_size", "scheduler"};
+  /// Sampled worker count of the live (or last) pool.
+  Gauge PoolWorkers{*this, "pool_workers", "scheduler"};
 };
 
 /// The process-wide instance the thread pool records into.

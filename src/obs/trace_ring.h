@@ -6,9 +6,10 @@
 ///
 /// \file
 /// The flight recorder: a fixed-size ring buffer of structured events per
-/// thread, recorded lock-free (each ring has exactly one producer — its
-/// owning thread) and drained at quiescent points (after the exploration
-/// pool has joined, or at bench exit).
+/// thread (each ring has exactly one producer — its owning thread),
+/// drained either at quiescent points (after the exploration pool has
+/// joined, or at bench exit) or *live* by the introspection server's
+/// /trace endpoint; a per-ring mutex makes the live drain race-free.
 ///
 /// Events cover the engine-level happenings a perf investigation needs to
 /// see in order: branch taken, path finished, work steal, incremental
@@ -67,23 +68,28 @@ struct TraceEvent {
   uint8_t Arg0; ///< per-kind payload (SpanKind / OutcomeKind)
 };
 
-/// One single-producer ring. Writes are owner-thread-only; reads happen
-/// at quiescent points under the recorder's registry lock (the owner has
-/// either exited — synchronised by the free-list mutex — or is the
-/// draining thread itself).
+/// One single-producer ring. Writes are owner-thread-only; drains may now
+/// happen *live* (the introspection server's /trace endpoint scrapes while
+/// workers are recording), so each ring carries its own mutex. record()
+/// takes it uncontended in the common case — a drain holds any given ring's
+/// lock only for the microseconds its copy-out takes, and the lock is only
+/// ever reached when tracing is enabled (the ObsConfig::trace() gate sits
+/// in front of every record site).
 class TraceRing {
 public:
   explicit TraceRing(size_t CapacityPow2)
       : Buf(CapacityPow2), Mask(CapacityPow2 - 1) {}
 
   void record(const TraceEvent &E) {
+    std::lock_guard<std::mutex> Lock(Mu);
     Buf[Head & Mask] = E;
     ++Head;
   }
 
   /// Appends the ring's events (oldest first, newest last) to \p Out and
-  /// empties the ring. Caller guarantees quiescence.
+  /// empties the ring. Safe against a concurrent producer.
   void drainInto(std::vector<TraceEvent> &Out) {
+    std::lock_guard<std::mutex> Lock(Mu);
     uint64_t N = Head > Buf.size() ? Buf.size() : Head;
     uint64_t Start = Head - N;
     for (uint64_t I = 0; I < N; ++I)
@@ -93,13 +99,18 @@ public:
 
   /// Events currently held (≤ capacity).
   size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mu);
     return Head > Buf.size() ? Buf.size() : static_cast<size_t>(Head);
   }
   size_t capacity() const { return Buf.size(); }
   /// Total events ever recorded (including overwritten ones).
-  uint64_t recorded() const { return Head; }
+  uint64_t recorded() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Head;
+  }
 
 private:
+  mutable std::mutex Mu;
   std::vector<TraceEvent> Buf;
   uint64_t Mask;
   uint64_t Head = 0;

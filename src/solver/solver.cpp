@@ -3,13 +3,18 @@
 #include "solver/solver.h"
 
 #include "gil/parser.h"
+#include "obs/progress.h"
+#include "obs/query_profile.h"
 #include "obs/span.h"
 #include "solver/incremental_session.h"
 #include "solver/simplifier.h"
 #include "solver/z3_backend.h"
 
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <unistd.h>
 #include <vector>
 
 using namespace gillian;
@@ -25,6 +30,15 @@ std::string gillian::solverStatsJson(const SolverStats &S) {
   W.field("cache_hit_rate", S.cacheHitRate(), 4);
   W.field("inc_session_hit_rate", S.sessionHitRate(), 4);
   W.field("inc_mean_prefix_depth", S.meanPrefixDepth(), 2);
+  // The hot-query profiler is process-global (attribution spans every
+  // Solver instance of the run); its top sites ride along on every stats
+  // emission so a bench JSON line answers "which GIL site burnt the Z3
+  // budget" without a second tool.
+  obs::QueryProfiler &QP = obs::QueryProfiler::instance();
+  W.key("hot_queries");
+  QP.jsonInto(W, 8);
+  W.field("query_attributed_ns", QP.attributedNs());
+  W.field("query_unattributed_ns", QP.unattributedNs());
   W.endObject();
   return W.take();
 }
@@ -127,7 +141,38 @@ SatResult Solver::checkSatSliced(const PathCondition &PC) {
   return AllSat ? SatResult::Sat : SatResult::Unknown;
 }
 
+namespace {
+obs::QueryVerdict toVerdict(SatResult R) {
+  switch (R) {
+  case SatResult::Sat: return obs::QueryVerdict::Sat;
+  case SatResult::Unsat: return obs::QueryVerdict::Unsat;
+  case SatResult::Unknown: break;
+  }
+  return obs::QueryVerdict::Unknown;
+}
+} // namespace
+
 SatResult Solver::checkSat(const PathCondition &PC) {
+  auto T0 = std::chrono::steady_clock::now();
+  // Session resets are read from the shared stats; under the parallel
+  // scheduler a concurrent worker's reset can leak into this query's
+  // delta — acceptable for a profiler (resets are rare and the wall time,
+  // the ranking key, is exact).
+  uint64_t ResetsBefore = Stats.IncResets.load();
+  bool CacheHit = false;
+  SatResult R = checkSatImpl(PC, CacheHit);
+  ++obs::progressCounters().SolverQueries;
+  uint64_t WallNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count());
+  obs::QueryProfiler::instance().record(WallNs, toVerdict(R), CacheHit,
+                                        Stats.IncResets.load() -
+                                            ResetsBefore);
+  return R;
+}
+
+SatResult Solver::checkSatImpl(const PathCondition &PC, bool &CacheHit) {
   Span Total(SpanKind::Solver, &Stats.TotalNs);
   ++Stats.Queries;
   if (PC.isTriviallyFalse()) {
@@ -146,6 +191,7 @@ SatResult Solver::checkSat(const PathCondition &PC) {
     ++Stats.CacheLookups;
     if (std::optional<SatResult> Hit = Cache->lookup(PC)) {
       ++Stats.CacheHits;
+      CacheHit = true;
       return *Hit;
     }
   }
@@ -167,6 +213,23 @@ SatResult Solver::checkSat(const PathCondition &PC) {
 }
 
 std::optional<Model> Solver::verifiedModel(const PathCondition &PC) {
+  auto T0 = std::chrono::steady_clock::now();
+  uint64_t ResetsBefore = Stats.IncResets.load();
+  std::optional<Model> M = verifiedModelImpl(PC);
+  ++obs::progressCounters().SolverQueries;
+  uint64_t WallNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count());
+  // A found model is a Sat verdict; "no model" is Unknown (the search is
+  // incomplete by design — it only ever certifies, never refutes).
+  obs::QueryProfiler::instance().record(
+      WallNs, M ? obs::QueryVerdict::Sat : obs::QueryVerdict::Unknown,
+      /*CacheHit=*/false, Stats.IncResets.load() - ResetsBefore);
+  return M;
+}
+
+std::optional<Model> Solver::verifiedModelImpl(const PathCondition &PC) {
   Span Total(SpanKind::ModelSearch, &Stats.TotalNs);
   if (PC.isTriviallyFalse())
     return std::nullopt;
@@ -205,21 +268,39 @@ std::optional<Model> Solver::verifiedModel(const PathCondition &PC) {
 //===----------------------------------------------------------------------===//
 
 long Solver::saveCache(const std::string &Path) const {
-  std::ofstream Out(Path, std::ios::trunc);
-  if (!Out)
-    return -1;
+  // Crash-safe: write a sibling temp file, then rename(2) over the target.
+  // A crash (or ENOSPC) mid-write leaves the previous cache file intact —
+  // a truncated cache is not just lossy, its last line is usually a
+  // half-written condition that loadCache would silently skip, shrinking
+  // warm starts forever after.
+  const std::string Tmp =
+      Path + "." + std::to_string(::getpid()) + ".tmp";
   long N = 0;
-  // One line per entry: verdict, tab, the canonical condition rendered
-  // through Expr::toString() (which round-trips through parseGilExpr).
-  // Unknown is never cached, so only decided verdicts ever reach here.
-  Cache->forEachEntry([&](const PathCondition &PC, SatResult R) {
-    if (R != SatResult::Sat && R != SatResult::Unsat)
-      return;
-    Out << (R == SatResult::Sat ? "SAT" : "UNSAT") << '\t'
-        << PC.asExpr().toString() << '\n';
-    ++N;
-  });
-  return Out ? N : -1;
+  {
+    std::ofstream Out(Tmp, std::ios::trunc);
+    if (!Out)
+      return -1;
+    // One line per entry: verdict, tab, the canonical condition rendered
+    // through Expr::toString() (which round-trips through parseGilExpr).
+    // Unknown is never cached, so only decided verdicts ever reach here.
+    Cache->forEachEntry([&](const PathCondition &PC, SatResult R) {
+      if (R != SatResult::Sat && R != SatResult::Unsat)
+        return;
+      Out << (R == SatResult::Sat ? "SAT" : "UNSAT") << '\t'
+          << PC.asExpr().toString() << '\n';
+      ++N;
+    });
+    Out.flush();
+    if (!Out) {
+      std::remove(Tmp.c_str());
+      return -1;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return -1;
+  }
+  return N;
 }
 
 long Solver::loadCache(const std::string &Path) {

@@ -250,6 +250,11 @@ public:
   long loadCache(const std::string &Path);
 
 private:
+  /// checkSat minus the per-query accounting wrapper (hot-query profiler,
+  /// progress counter). \p CacheHit reports a full-query cache hit.
+  SatResult checkSatImpl(const PathCondition &PC, bool &CacheHit);
+  /// verifiedModel minus the same accounting wrapper.
+  std::optional<Model> verifiedModelImpl(const PathCondition &PC);
   /// The syntactic-core + Z3 pipeline on one (sub-)condition; no caching.
   SatResult solveLayers(const PathCondition &PC);
   /// One slice: per-slice cache, then solveLayers; caches Sat/Unsat.

@@ -16,6 +16,8 @@
 #define GILLIAN_TARGETS_SUITE_RUNNER_H
 
 #include "engine/test_runner.h"
+#include "obs/introspect/introspect_server.h"
+#include "obs/introspect/metrics_registry.h"
 #include "solver/solver_cache.h"
 
 #include <string>
@@ -54,11 +56,22 @@ SuiteResult runSuite(std::string_view Name, const Prog &P,
                      const EngineOptions &Opts) {
   SuiteResult R;
   R.Name = std::string(Name);
+  // GILLIAN_SERVE=host:port turns on live introspection for any process
+  // that runs a suite (the test runner has no CLI of its own).
+  obs::maybeStartEnvIntrospection();
   // The query cache is the process-wide shared instance: canonical path
   // conditions are program-independent facts, so warm re-runs of a suite
   // (and parallel workers within one) reuse each other's verdicts. Tests
   // needing cold-cache numbers call SolverCache::process().clear().
   Solver Slv(Opts.Solver, SolverCache::process());
+  // While this suite runs, its live engine/solver counters are scrapeable
+  // on /metrics, labelled by suite (relaxed-atomic reads, so mid-run
+  // scrapes are safe). The RAII scope unregisters before R/Slv die.
+  obs::ScopedMetricsSource LiveMetrics([&R, &Slv](obs::PromWriter &W) {
+    obs::PromLabels L{{"suite", R.Name}};
+    obs::counterSetInto(W, R.Exec, L);
+    obs::counterSetInto(W, Slv.stats(), L);
+  });
   for (const std::string &T : testProcs(P)) {
     SymbolicTestResult TR = runSymbolicTest<M>(P, T, Opts, Slv);
     ++R.Tests;

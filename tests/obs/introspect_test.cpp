@@ -1,0 +1,470 @@
+//===- tests/obs/introspect_test.cpp --------------------------------------===//
+//
+// Unit tests of the live-introspection layer: HTTP request parsing
+// (including the malformed shapes the server must 400), the Prometheus
+// text-exposition writer (TYPE lines, counter suffixing, label escaping),
+// the /metrics exposition's format and monotonicity across scrapes, the
+// serve-spec parser, the rolling rate tracker, the heartbeat JSONL
+// sampler, the live-source registry, and a real loopback round-trip
+// through the poll-based server.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/introspect/http_server.h"
+#include "obs/introspect/introspect_server.h"
+#include "obs/introspect/metrics_registry.h"
+#include "obs/introspect/prometheus.h"
+#include "obs/introspect/sampler.h"
+#include "obs/json_writer.h"
+#include "obs/progress.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace gillian;
+using namespace gillian::obs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// parseHttpRequest
+//===----------------------------------------------------------------------===//
+
+TEST(HttpParseTest, ParsesGetWithQueryAndHeaders) {
+  HttpRequest R;
+  ASSERT_TRUE(parseHttpRequest(
+      "GET /metrics?seconds=5 HTTP/1.1\r\nHost: localhost:9090\r\n"
+      "Accept: */*\r\n\r\n",
+      R));
+  EXPECT_EQ(R.Method, "GET");
+  EXPECT_EQ(R.Target, "/metrics");
+  EXPECT_EQ(R.Query, "seconds=5");
+  EXPECT_EQ(R.Version, "HTTP/1.1");
+  EXPECT_EQ(R.header("host"), "localhost:9090");
+  EXPECT_EQ(R.header("accept"), "*/*");
+  EXPECT_EQ(R.header("absent"), "");
+  EXPECT_TRUE(R.KeepAlive); // HTTP/1.1 defaults to keep-alive
+}
+
+TEST(HttpParseTest, KeepAliveFollowsVersionAndConnectionHeader) {
+  HttpRequest R;
+  ASSERT_TRUE(parseHttpRequest("GET / HTTP/1.1\r\nConnection: close\r\n\r\n",
+                               R));
+  EXPECT_FALSE(R.KeepAlive);
+  ASSERT_TRUE(parseHttpRequest("GET / HTTP/1.0\r\n\r\n", R));
+  EXPECT_FALSE(R.KeepAlive); // HTTP/1.0 defaults to close
+  ASSERT_TRUE(parseHttpRequest(
+      "GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n", R));
+  EXPECT_TRUE(R.KeepAlive);
+}
+
+TEST(HttpParseTest, ToleratesBareLfLineEndings) {
+  HttpRequest R;
+  ASSERT_TRUE(parseHttpRequest("GET /healthz HTTP/1.1\nHost: a\n\n", R));
+  EXPECT_EQ(R.Target, "/healthz");
+  EXPECT_EQ(R.header("host"), "a");
+}
+
+TEST(HttpParseTest, RejectsMalformedRequests) {
+  HttpRequest R;
+  // Too few request-line tokens.
+  EXPECT_FALSE(parseHttpRequest("GET\r\n\r\n", R));
+  EXPECT_FALSE(parseHttpRequest("GET /x\r\n\r\n", R));
+  // Version token is not HTTP/*.
+  EXPECT_FALSE(parseHttpRequest("GET / FTP/1.0\r\n\r\n", R));
+  // Embedded NUL.
+  EXPECT_FALSE(parseHttpRequest(
+      std::string_view("GET /\0 HTTP/1.1\r\n\r\n", 20), R));
+  // Header without a colon, and a space inside a header name.
+  EXPECT_FALSE(parseHttpRequest(
+      "GET / HTTP/1.1\r\nno colon here\r\n\r\n", R));
+  EXPECT_FALSE(parseHttpRequest(
+      "GET / HTTP/1.1\r\nBad Header : x\r\n\r\n", R));
+  // Requests advertising a body are out of protocol.
+  EXPECT_FALSE(parseHttpRequest(
+      "GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\n", R));
+  EXPECT_FALSE(parseHttpRequest(
+      "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", R));
+  // No terminating blank line.
+  EXPECT_FALSE(parseHttpRequest("GET / HTTP/1.1\r\nHost: a\r\n", R));
+  // Content-Length: 0 is fine (no body).
+  EXPECT_TRUE(parseHttpRequest(
+      "GET / HTTP/1.1\r\nContent-Length: 0\r\n\r\n", R));
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus exposition writer
+//===----------------------------------------------------------------------===//
+
+TEST(PromWriterTest, CounterSuffixAndSingleTypeLine) {
+  PromWriter W;
+  W.counter("gillian_demo_events", 3, {{"kind", "a"}});
+  W.counter("gillian_demo_events", 4, {{"kind", "b"}});
+  std::string Out = W.take();
+  // One TYPE line for the family, before its first sample; both series
+  // carry the _total suffix.
+  EXPECT_EQ(Out, "# TYPE gillian_demo_events_total counter\n"
+                 "gillian_demo_events_total{kind=\"a\"} 3\n"
+                 "gillian_demo_events_total{kind=\"b\"} 4\n");
+}
+
+TEST(PromWriterTest, GaugeKeepsBareNameAndDoubleFormat) {
+  PromWriter W;
+  W.gauge("gillian_demo_depth", static_cast<uint64_t>(7));
+  W.gauge("gillian_demo_rate", 2.5);
+  std::string Out = W.take();
+  EXPECT_NE(Out.find("# TYPE gillian_demo_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(Out.find("gillian_demo_depth 7\n"), std::string::npos);
+  EXPECT_NE(Out.find("gillian_demo_rate 2.5\n"), std::string::npos);
+  EXPECT_EQ(Out.find("_total"), std::string::npos);
+}
+
+TEST(PromWriterTest, EscapesLabelValues) {
+  EXPECT_EQ(promEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(promEscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(promEscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(promEscapeLabelValue("two\nlines"), "two\\nlines");
+  PromWriter W;
+  W.counter("gillian_demo_x", 1, {{"proc", "we\"ird\\name"}});
+  EXPECT_NE(W.str().find("proc=\"we\\\"ird\\\\name\""), std::string::npos);
+}
+
+TEST(PromWriterTest, SanitizesMetricNameComponents) {
+  EXPECT_EQ(promSanitizeName("cmds_executed"), "cmds_executed");
+  EXPECT_EQ(promSanitizeName("per-worker.depth"), "per_worker_depth");
+  EXPECT_EQ(promSanitizeName("9lives"), "_9lives");
+  EXPECT_EQ(promSanitizeName(""), "_");
+}
+
+struct PromProbeStats : CounterSet<PromProbeStats> {
+  Counter Hits{*this, "hits", "promprobe"};
+  Gauge Depth{*this, "depth", "promprobe"};
+};
+
+TEST(PromWriterTest, CounterSetBridgeEmitsByFieldKind) {
+  PromProbeStats S;
+  S.Hits += 11;
+  S.Depth.set(4);
+  PromWriter W;
+  counterSetInto(W, S, {{"suite", "t"}});
+  std::string Out = W.take();
+  EXPECT_NE(Out.find("# TYPE gillian_promprobe_hits_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(Out.find("gillian_promprobe_hits_total{suite=\"t\"} 11\n"),
+            std::string::npos);
+  EXPECT_NE(Out.find("# TYPE gillian_promprobe_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(Out.find("gillian_promprobe_depth{suite=\"t\"} 4\n"),
+            std::string::npos);
+}
+
+/// First sample value of \p Name (exact unlabelled series) in \p Expo,
+/// or UINT64_MAX when absent.
+uint64_t metricValue(const std::string &Expo, const std::string &Name) {
+  std::string Needle = Name + " ";
+  size_t Pos = 0;
+  while ((Pos = Expo.find(Needle, Pos)) != std::string::npos) {
+    if (Pos == 0 || Expo[Pos - 1] == '\n')
+      return std::strtoull(Expo.c_str() + Pos + Needle.size(), nullptr, 10);
+    Pos += Needle.size();
+  }
+  return UINT64_MAX;
+}
+
+TEST(MetricsExpositionTest, WellFormedAndMonotoneAcrossScrapes) {
+  std::string First = metricsExposition();
+  // Every line is either a comment or "name[{labels}] value".
+  size_t Start = 0;
+  while (Start < First.size()) {
+    size_t End = First.find('\n', Start);
+    ASSERT_NE(End, std::string::npos) << "unterminated exposition line";
+    std::string_view Line(First.c_str() + Start, End - Start);
+    if (!Line.empty() && Line[0] != '#') {
+      size_t Sp = Line.rfind(' ');
+      ASSERT_NE(Sp, std::string_view::npos) << Line;
+      EXPECT_NE(Sp, 0u) << Line;
+      EXPECT_LT(Sp + 1, Line.size()) << Line;
+    }
+    Start = End + 1;
+  }
+  // The registry-driven families are present.
+  EXPECT_NE(First.find("gillian_progress_paths_finished_total"),
+            std::string::npos);
+  EXPECT_NE(First.find("# TYPE gillian_scheduler_frontier_size gauge"),
+            std::string::npos);
+
+  uint64_t Before =
+      metricValue(First, "gillian_progress_paths_finished_total");
+  ASSERT_NE(Before, UINT64_MAX);
+  progressCounters().PathsFinished += 5;
+  uint64_t After = metricValue(
+      metricsExposition(), "gillian_progress_paths_finished_total");
+  EXPECT_GE(After, Before + 5);
+}
+
+TEST(MetricsExpositionTest, TypeLinesAppearOncePerFamily) {
+  std::string Expo = metricsExposition();
+  size_t Pos = 0;
+  std::vector<std::string> Seen;
+  while ((Pos = Expo.find("# TYPE ", Pos)) != std::string::npos) {
+    size_t End = Expo.find('\n', Pos);
+    std::string Line = Expo.substr(Pos, End - Pos);
+    for (const std::string &S : Seen)
+      EXPECT_NE(S, Line) << "duplicate TYPE line";
+    Seen.push_back(Line);
+    Pos = End;
+  }
+  EXPECT_FALSE(Seen.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Serve-spec parsing
+//===----------------------------------------------------------------------===//
+
+TEST(ParseHostPortTest, AcceptsHostColonPort) {
+  std::string Host;
+  uint16_t Port = 1;
+  ASSERT_TRUE(parseHostPort("127.0.0.1:0", Host, Port));
+  EXPECT_EQ(Host, "127.0.0.1");
+  EXPECT_EQ(Port, 0);
+  ASSERT_TRUE(parseHostPort("0.0.0.0:9464", Host, Port));
+  EXPECT_EQ(Port, 9464);
+}
+
+TEST(ParseHostPortTest, RejectsMalformedSpecs) {
+  std::string Host;
+  uint16_t Port = 0;
+  EXPECT_FALSE(parseHostPort("no-colon", Host, Port));
+  EXPECT_FALSE(parseHostPort(":8080", Host, Port));
+  EXPECT_FALSE(parseHostPort("h:", Host, Port));
+  EXPECT_FALSE(parseHostPort("h:65536", Host, Port));
+  EXPECT_FALSE(parseHostPort("h:12x", Host, Port));
+}
+
+//===----------------------------------------------------------------------===//
+// Rate tracker
+//===----------------------------------------------------------------------===//
+
+TEST(RateTrackerTest, FirstSampleHasNoRateThenDeltasAppear) {
+  RateTracker T;
+  RateTracker::Rates R0 = T.sample();
+  EXPECT_EQ(R0.PathsPerSec, 0.0);
+  EXPECT_EQ(R0.QueriesPerSec, 0.0);
+  progressCounters().PathsFinished += 50;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  RateTracker::Rates R1 = T.sample();
+  EXPECT_GT(R1.PathsPerSec, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Heartbeat sampler
+//===----------------------------------------------------------------------===//
+
+TEST(HeartbeatSamplerTest, WritesValidJsonlLines) {
+  const std::string Path = ::testing::TempDir() + "gillian_hb_test.jsonl";
+  std::remove(Path.c_str());
+  HeartbeatSampler S;
+  ASSERT_TRUE(S.start(Path, 10));
+  EXPECT_TRUE(S.running());
+  EXPECT_FALSE(S.start(Path, 10)); // already running
+  progressCounters().PathsFinished += 3;
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  S.stop();
+  EXPECT_FALSE(S.running());
+  EXPECT_GE(S.ticks(), 2u); // baseline + at least one tick
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::string Line;
+  size_t Lines = 0;
+  while (std::getline(In, Line)) {
+    ++Lines;
+    EXPECT_TRUE(validateJson(Line)) << "line " << Lines << ": " << Line;
+    EXPECT_NE(Line.find("\"t_ms\":"), std::string::npos);
+    EXPECT_NE(Line.find("\"paths_finished\":"), std::string::npos);
+    EXPECT_NE(Line.find("\"paths_per_sec\":"), std::string::npos);
+    EXPECT_NE(Line.find("\"coverage_total\":"), std::string::npos);
+  }
+  EXPECT_GE(Lines, 2u);
+  std::remove(Path.c_str());
+}
+
+TEST(HeartbeatSamplerTest, StartFailsOnUnopenablePath) {
+  HeartbeatSampler S;
+  EXPECT_FALSE(S.start(::testing::TempDir() + "no_such_dir/hb.jsonl", 10));
+  EXPECT_FALSE(S.running());
+}
+
+//===----------------------------------------------------------------------===//
+// Live-source registry
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsRegistryTest, ScopedSourceAppearsOnlyWhileAlive) {
+  auto render = [] {
+    PromWriter W;
+    MetricsRegistry::instance().render(W);
+    return W.take();
+  };
+  EXPECT_EQ(render().find("gillian_registry_probe_total"),
+            std::string::npos);
+  {
+    ScopedMetricsSource Src([](PromWriter &W) {
+      W.counter("gillian_registry_probe", 1);
+    });
+    EXPECT_NE(render().find("gillian_registry_probe_total"),
+              std::string::npos);
+  }
+  EXPECT_EQ(render().find("gillian_registry_probe_total"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Live server round-trips (loopback)
+//===----------------------------------------------------------------------===//
+
+/// Connects to 127.0.0.1:\p Port, sends \p Req, reads until the peer
+/// closes or \p MaxMs elapses; returns everything read. When \p Fd is
+/// non-null the connection is kept open and its fd returned for reuse.
+std::string httpExchange(uint16_t Port, const std::string &Req,
+                         int *KeepFd = nullptr, int MaxMs = 2000) {
+  int Fd = KeepFd && *KeepFd >= 0 ? *KeepFd
+                                  : ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return {};
+  if (!KeepFd || *KeepFd < 0) {
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(Port);
+    ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                  sizeof(Addr)) != 0) {
+      ::close(Fd);
+      return {};
+    }
+  }
+  (void)::send(Fd, Req.data(), Req.size(), MSG_NOSIGNAL);
+
+  std::string Out;
+  size_t BodyStart = std::string::npos, Want = std::string::npos;
+  for (int Waited = 0; Waited < MaxMs;) {
+    pollfd P{Fd, POLLIN, 0};
+    int N = ::poll(&P, 1, 50);
+    if (N == 0) {
+      Waited += 50;
+      // A complete framed response is enough when keeping the conn open.
+      if (Want != std::string::npos && Out.size() >= BodyStart + Want)
+        break;
+      continue;
+    }
+    char Buf[4096];
+    ssize_t R = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (R <= 0)
+      break;
+    Out.append(Buf, static_cast<size_t>(R));
+    if (BodyStart == std::string::npos) {
+      size_t H = Out.find("\r\n\r\n");
+      if (H != std::string::npos) {
+        BodyStart = H + 4;
+        size_t CL = Out.find("Content-Length: ");
+        if (CL != std::string::npos && CL < H)
+          Want = std::strtoull(Out.c_str() + CL + 16, nullptr, 10);
+      }
+    }
+    if (Want != std::string::npos && Out.size() >= BodyStart + Want &&
+        KeepFd)
+      break;
+  }
+  if (KeepFd)
+    *KeepFd = Fd;
+  else
+    ::close(Fd);
+  return Out;
+}
+
+TEST(HttpServerTest, ServesKeepAliveThenRejectsBadInput) {
+  HttpServer S;
+  uint16_t Port = S.start("127.0.0.1", 0, [](const HttpRequest &Req) {
+    HttpResponse R;
+    R.Body = "echo:" + Req.Target + "\n";
+    return R;
+  });
+  ASSERT_NE(Port, 0);
+  EXPECT_TRUE(S.running());
+
+  // Two requests on one keep-alive connection.
+  int Fd = -1;
+  std::string R1 =
+      httpExchange(Port, "GET /a HTTP/1.1\r\nHost: t\r\n\r\n", &Fd);
+  EXPECT_NE(R1.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(R1.find("echo:/a\n"), std::string::npos);
+  EXPECT_NE(R1.find("Connection: keep-alive"), std::string::npos);
+  std::string R2 =
+      httpExchange(Port, "GET /b HTTP/1.1\r\nHost: t\r\n\r\n", &Fd);
+  EXPECT_NE(R2.find("echo:/b\n"), std::string::npos);
+  ::close(Fd);
+
+  // Non-GET gets 405; garbage gets 400 and the connection closed.
+  std::string R3 = httpExchange(
+      Port, "POST /a HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(R3.find("HTTP/1.1 405"), std::string::npos);
+  std::string R4 = httpExchange(Port, "utter nonsense\r\n\r\n");
+  EXPECT_NE(R4.find("HTTP/1.1 400"), std::string::npos);
+  EXPECT_NE(R4.find("Connection: close"), std::string::npos);
+
+  // HEAD returns headers only.
+  std::string R5 = httpExchange(
+      Port, "HEAD /a HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(R5.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_EQ(R5.find("echo:"), std::string::npos);
+
+  EXPECT_GE(S.requestsServed(), 5u);
+  EXPECT_NE(S.lastRequestNs(), 0u);
+  S.stop();
+  EXPECT_FALSE(S.running());
+  S.stop(); // idempotent
+}
+
+TEST(IntrospectServerTest, RoutesAllEndpoints) {
+  IntrospectServer S;
+  uint16_t Port = S.start("127.0.0.1", 0);
+  ASSERT_NE(Port, 0);
+  EXPECT_EQ(S.port(), Port);
+
+  auto get = [&](const char *Path) {
+    return httpExchange(Port, std::string("GET ") + Path +
+                                  " HTTP/1.1\r\nHost: t\r\n"
+                                  "Connection: close\r\n\r\n");
+  };
+  auto body = [](const std::string &Resp) {
+    size_t H = Resp.find("\r\n\r\n");
+    return H == std::string::npos ? std::string() : Resp.substr(H + 4);
+  };
+
+  EXPECT_EQ(body(get("/healthz")), "ok\n");
+  std::string Metrics = get("/metrics");
+  EXPECT_NE(Metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(Metrics.find("# TYPE "), std::string::npos);
+  EXPECT_TRUE(validateJson(body(get("/stats"))));
+  EXPECT_TRUE(validateJson(body(get("/trace"))));
+  std::string Progress = body(get("/progress"));
+  EXPECT_TRUE(validateJson(Progress)) << Progress;
+  EXPECT_NE(Progress.find("\"paths_finished\""), std::string::npos);
+  EXPECT_NE(Progress.find("\"paths_per_sec\""), std::string::npos);
+  EXPECT_NE(get("/nope").find("HTTP/1.1 404"), std::string::npos);
+  S.stop();
+}
+
+} // namespace

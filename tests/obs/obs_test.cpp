@@ -148,6 +148,62 @@ TEST(CounterSetTest, CopyMergeDeltaResetAreSchemaWalks) {
   EXPECT_EQ(B.Gamma.load(), 0u);
 }
 
+struct MixedStats : CounterSet<MixedStats> {
+  Counter Events{*this, "events", "mixed"};
+  Gauge Level{*this, "level", "mixed"};
+
+  MixedStats() = default;
+  MixedStats(const MixedStats &O) { copyFrom(O); }
+  MixedStats &operator=(const MixedStats &O) {
+    copyFrom(O);
+    return *this;
+  }
+};
+
+TEST(GaugeTest, SchemaRecordsFieldKind) {
+  const CounterSchema &S = MixedStats::schema();
+  ASSERT_EQ(S.fields().size(), 2u);
+  EXPECT_EQ(S.fields()[0].Kind, FieldKind::Counter);
+  EXPECT_EQ(S.fields()[1].Kind, FieldKind::Gauge);
+}
+
+TEST(GaugeTest, AddFromSkipsGauges) {
+  MixedStats A, B;
+  A.Events += 3;
+  A.Level.set(7);
+  B.Events += 10;
+  B.Level.set(2);
+  B.addFrom(A);
+  // Counters sum; the destination's sampled last-value stays put (summing
+  // two instantaneous readings is meaningless).
+  EXPECT_EQ(B.Events.load(), 13u);
+  EXPECT_EQ(B.Level.load(), 2u);
+}
+
+TEST(GaugeTest, DeltaSinceCarriesNewerGaugeValue) {
+  MixedStats Before;
+  Before.Events += 5;
+  Before.Level.set(100);
+  MixedStats After;
+  After.Events += 12;
+  After.Level.set(3);
+  MixedStats D = After.deltaSince(Before);
+  EXPECT_EQ(D.Events.load(), 7u);
+  // Not 3 - 100 underflowed: the newer sampled value passes through.
+  EXPECT_EQ(D.Level.load(), 3u);
+}
+
+TEST(GaugeTest, CopyAndResetIncludeGauges) {
+  MixedStats A;
+  A.Events += 2;
+  A.Level.set(9);
+  MixedStats B = A;
+  EXPECT_EQ(B.Level.load(), 9u);
+  B.resetCounters();
+  EXPECT_EQ(B.Events.load(), 0u);
+  EXPECT_EQ(B.Level.load(), 0u);
+}
+
 TEST(CounterSetTest, CountersJsonEmitsEveryRegisteredField) {
   ProbeStats A;
   A.Alpha += 41;

@@ -18,6 +18,9 @@
 #include <sstream>
 #include <string>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 using namespace gillian;
 
 namespace {
@@ -109,6 +112,71 @@ TEST(CachePersistTest, UndecidedQueriesAreNeverPersisted) {
   Solver S(NoLayers);
   EXPECT_EQ(S.checkSat(satPc()), SatResult::Unknown);
   EXPECT_EQ(S.saveCache(Path), 0);
+}
+
+/// The sibling temp file saveCache stages its writes through.
+std::string tempSibling(const std::string &Path) {
+  return Path + "." + std::to_string(::getpid()) + ".tmp";
+}
+
+TEST(CachePersistTest, SaveReplacesPartiallyWrittenFileAtomically) {
+  // Simulate the crash artefact of a non-atomic saver: the destination
+  // holds a truncated cache whose last line is half a condition. A fresh
+  // save must fully replace it (not append, not merge), and must leave no
+  // staging file behind.
+  const std::string Path = tempPath("gillian_cache_atomic.txt");
+  {
+    std::ofstream Out(Path, std::ios::trunc);
+    Out << "SAT\t(typeof(#old) == ^Int) && (0 <"; // cut mid-write
+  }
+  Solver S;
+  EXPECT_EQ(S.checkSat(satPc()), SatResult::Sat);
+  EXPECT_EQ(S.checkSat(unsatPc()), SatResult::Unsat);
+  long Saved = S.saveCache(Path);
+  EXPECT_GE(Saved, 2);
+
+  struct stat St;
+  EXPECT_NE(::stat(tempSibling(Path).c_str(), &St), 0)
+      << "staging temp file left behind";
+
+  // Every line of the replaced file is a decided verdict; the truncated
+  // remnant is gone, and a load round-trips the full save.
+  std::ifstream In(Path);
+  std::string Line;
+  while (std::getline(In, Line))
+    EXPECT_EQ(Line.find("#old"), std::string::npos) << Line;
+  SolverCache Fresh;
+  Solver Loaded(SolverOptions(), Fresh);
+  EXPECT_EQ(Loaded.loadCache(Path), Saved);
+}
+
+TEST(CachePersistTest, FailedSaveKeepsTargetAndRemovesTemp) {
+  // Rename onto an existing non-empty directory fails, exercising the
+  // failure path after a fully-successful temp write: saveCache must
+  // report -1, clean up its temp, and leave the target untouched.
+  const std::string Dir = tempPath("gillian_cache_dir.d");
+  ::mkdir(Dir.c_str(), 0755);
+  const std::string Inner = Dir + "/occupant";
+  {
+    std::ofstream Out(Inner, std::ios::trunc);
+    Out << "x\n";
+  }
+  Solver S;
+  EXPECT_EQ(S.checkSat(satPc()), SatResult::Sat);
+  EXPECT_EQ(S.saveCache(Dir), -1);
+
+  struct stat St;
+  EXPECT_NE(::stat(tempSibling(Dir).c_str(), &St), 0)
+      << "temp file not cleaned up after failed rename";
+  ASSERT_EQ(::stat(Dir.c_str(), &St), 0);
+  EXPECT_TRUE(S_ISDIR(St.st_mode));
+  EXPECT_EQ(::stat(Inner.c_str(), &St), 0);
+
+  // An unopenable temp location (missing parent directory) also fails
+  // cleanly with -1.
+  EXPECT_EQ(S.saveCache(::testing::TempDir() +
+                        "gillian_no_such_dir/cache.txt"),
+            -1);
 }
 
 TEST(CachePersistTest, LoadSkipsGarbageAndMissingFilesFail) {
