@@ -11,6 +11,9 @@
 ///   --workers=N / --workers N   worker count of the parallel
 ///                               configurations (default 4, the acceptance
 ///                               target's core count)
+///   --strategy=NAME             path-selection strategy of the parallel
+///                               configurations: oldest (default), random,
+///                               subtree, coverage — see DESIGN.md §4e
 ///   --json / --no-json          emit / suppress the trailing
 ///                               machine-readable JSON line (default on)
 ///   --trace-out=FILE            enable the flight recorder and write a
@@ -47,6 +50,7 @@
 #ifndef GILLIAN_BENCH_BENCH_COMMON_H
 #define GILLIAN_BENCH_BENCH_COMMON_H
 
+#include "engine/scheduler/scheduler_options.h"
 #include "obs/exporters.h"
 #include "obs/introspect/introspect_server.h"
 #include "obs/introspect/sampler.h"
@@ -71,6 +75,10 @@ namespace gillian::bench {
 
 struct BenchArgs {
   uint32_t Workers = 4; ///< worker count of the parallel configurations
+  /// Path-selection strategy of the parallel configurations; drivers
+  /// echo strategyName(Strategy) into their JSON lines so downstream
+  /// tooling can tell ablation rows apart.
+  SelectionStrategy Strategy = SelectionStrategy::OldestFirst;
   bool Json = true;     ///< emit the trailing machine-readable JSON line
   bool ObsDetail = false; ///< per-step / per-simplify detail spans
   std::string TraceOut;   ///< chrome://tracing output path ("" = off)
@@ -101,6 +109,15 @@ inline BenchArgs parseBenchArgs(int &argc, char **argv) {
     }
     return argv[++In];
   };
+  auto parseStrategyArg = [](const char *Value) -> SelectionStrategy {
+    if (auto S = parseStrategy(Value))
+      return *S;
+    std::fprintf(stderr,
+                 "invalid --strategy value: %s "
+                 "(want oldest|random|subtree|coverage)\n",
+                 Value);
+    std::exit(2);
+  };
   auto parseMs = [](const char *Flag, const char *Value) -> uint64_t {
     char *End = nullptr;
     unsigned long long N = std::strtoull(Value, &End, 10);
@@ -117,6 +134,10 @@ inline BenchArgs parseBenchArgs(int &argc, char **argv) {
       Args.Workers = parseWorkers(A + 10);
     } else if (std::strcmp(A, "--workers") == 0) {
       Args.Workers = parseWorkers(nextValue(In, "--workers"));
+    } else if (std::strncmp(A, "--strategy=", 11) == 0) {
+      Args.Strategy = parseStrategyArg(A + 11);
+    } else if (std::strcmp(A, "--strategy") == 0) {
+      Args.Strategy = parseStrategyArg(nextValue(In, "--strategy"));
     } else if (std::strcmp(A, "--json") == 0) {
       Args.Json = true;
     } else if (std::strcmp(A, "--no-json") == 0) {

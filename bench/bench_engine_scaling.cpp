@@ -63,13 +63,16 @@ std::string deadCodeProgram(int L) {
   return Src;
 }
 
-SymbolicTestResult runProgram(const std::string &Src, uint32_t Workers = 1) {
+SymbolicTestResult
+runProgram(const std::string &Src, uint32_t Workers = 1,
+           SelectionStrategy Strategy = SelectionStrategy::OldestFirst) {
   Result<Prog> P = compileWhileSource(Src);
   if (!P)
     std::abort();
   EngineOptions Opts;
   Opts.LoopBound = 64;
   Opts.Scheduler.Workers = Workers;
+  Opts.Scheduler.Strategy = Strategy;
   Solver Slv(Opts.Solver);
   SymbolicTestResult R = runSymbolicTest<WhileSMem>(*P, "main", Opts, Slv);
   if (!R.ok())
@@ -168,7 +171,7 @@ int main(int argc, char **argv) {
   for (uint32_t Workers : Sweep) {
     bench::coldStart(); // cold per count: same starting state for all
     auto T0 = std::chrono::steady_clock::now();
-    SymbolicTestResult R = runProgram(Src, Workers);
+    SymbolicTestResult R = runProgram(Src, Workers, Args.Strategy);
     double Sec = bench::seconds(T0);
     if (Workers == 1)
       BaseSec = Sec;
@@ -194,6 +197,7 @@ int main(int argc, char **argv) {
   W.field("bench", "engine_scaling");
   W.field("workload", "diamond_10");
   W.field("paths", 1024);
+  W.field("strategy", strategyName(Args.Strategy));
   W.key("worker_sweep");
   W.beginArray();
   W.raw(SweepJson);

@@ -56,6 +56,8 @@ using bench::seconds;
 /// Worker count of the parallel configuration; set from --workers
 /// (default 4, the acceptance target's core count).
 uint32_t ParWorkers = 4;
+/// Path-selection strategy of the parallel configuration (--strategy).
+SelectionStrategy ParStrategy = SelectionStrategy::OldestFirst;
 
 std::string rowJson(const Row &R) {
   obs::JsonWriter W;
@@ -67,6 +69,7 @@ std::string rowJson(const Row &R) {
   W.field("time_gjs_s", R.TimeGjs, 6);
   W.field("time_par_s", R.TimePar, 6);
   W.field("par_workers", ParWorkers);
+  W.field("par_strategy", strategyName(ParStrategy));
   W.key("solver_j2");
   W.raw(solverStatsJson(R.SolverJ2));
   W.key("solver_gjs");
@@ -93,6 +96,7 @@ int main(int argc, char **argv) {
   const bench::BenchArgs Args = bench::parseBenchArgs(argc, argv);
   bench::setupObs(Args);
   ParWorkers = Args.Workers;
+  ParStrategy = Args.Strategy;
   std::printf("Table 1: Buckets.js-style symbolic test suites "
               "(Gillian-JS / MJS)\n");
   std::printf("%-8s %4s %12s %10s %10s %8s %10s %8s %9s\n", "Name", "#T",
@@ -138,6 +142,7 @@ int main(int argc, char **argv) {
     coldStart();
     EngineOptions Par;
     Par.Scheduler.Workers = ParWorkers;
+    Par.Scheduler.Strategy = ParStrategy;
     T0 = std::chrono::steady_clock::now();
     SuiteResult RPar = runSuite<MjsSMem>(S.Name, *P, Par);
     R.TimePar = seconds(T0);
@@ -266,6 +271,7 @@ int main(int argc, char **argv) {
     obs::JsonWriter W;
     W.beginObject();
     W.field("bench", "table1_buckets");
+    W.field("strategy", strategyName(ParStrategy));
     W.key("suites");
     W.beginArray();
     W.raw(SuitesJson);

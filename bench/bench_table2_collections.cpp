@@ -49,6 +49,8 @@ int main(int argc, char **argv) {
   // Worker count of the parallel configuration (--workers; default 4, the
   // acceptance target's core count).
   const uint32_t ParWorkers = Args.Workers;
+  // Path-selection strategy of the parallel configuration (--strategy).
+  const SelectionStrategy ParStrategy = Args.Strategy;
   std::printf("Table 2: Collections-C-style symbolic test suites "
               "(Gillian-C / MC)\n");
   std::printf("%-8s %4s %12s %10s %10s %8s %9s\n", "Name", "#T", "GIL Cmds",
@@ -75,6 +77,7 @@ int main(int argc, char **argv) {
     coldStart();
     EngineOptions ParOpts;
     ParOpts.Scheduler.Workers = ParWorkers;
+    ParOpts.Scheduler.Strategy = ParStrategy;
     T0 = std::chrono::steady_clock::now();
     SuiteResult RPar = runSuite<McSMem>(S.Name, *P, ParOpts);
     double SecPar = seconds(T0);
@@ -93,6 +96,7 @@ int main(int argc, char **argv) {
     Row.field("time_s", Sec, 6);
     Row.field("time_par_s", SecPar, 6);
     Row.field("par_workers", ParWorkers);
+    Row.field("par_strategy", strategyName(ParStrategy));
     Row.key("solver");
     Row.raw(solverStatsJson(R.Solver));
     Row.endObject();
@@ -150,6 +154,7 @@ int main(int argc, char **argv) {
     obs::JsonWriter W;
     W.beginObject();
     W.field("bench", "table2_collections");
+    W.field("strategy", strategyName(ParStrategy));
     W.key("suites");
     W.beginArray();
     W.raw(SuitesJson);
@@ -161,6 +166,7 @@ int main(int argc, char **argv) {
     W.field("time_s", TotalTime, 6);
     W.field("time_par_s", TotalTimePar, 6);
     W.field("par_workers", ParWorkers);
+    W.field("par_strategy", strategyName(ParStrategy));
     W.key("solver");
     W.raw(solverStatsJson(TotalSolver));
     W.endObject();

@@ -39,7 +39,9 @@
 #include "obs/span.h"
 #include "obs/trace_ring.h"
 
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gillian {
@@ -148,6 +150,34 @@ public:
     return Config{std::move(Init), {}, Entry, 0, 0};
   }
 
+  /// The IfGoto site control will reach from \p C without branching or
+  /// transferring control: scans forward from C.I over straight-line
+  /// commands (assignments, symbol allocations) in the current procedure
+  /// and returns the first IfGoto as (procedure id, command index), or
+  /// nullopt if a call/return/action/terminal comes first. Pure
+  /// inspection — no evaluation, no solver queries — so path-selection
+  /// strategies (the coverage-guided frontier) can score a configuration
+  /// without stepping it.
+  std::optional<std::pair<uint32_t, uint32_t>>
+  nextBranchSite(const Config &C) const {
+    const Proc *Cur = P.find(C.CurProc);
+    if (!Cur)
+      return std::nullopt;
+    for (size_t I = C.I; I < Cur->Body.size(); ++I) {
+      switch (Cur->Body[I].Kind) {
+      case CmdKind::IfGoto:
+        return std::make_pair(C.CurProc.id(), static_cast<uint32_t>(I));
+      case CmdKind::Assign:
+      case CmdKind::USym:
+      case CmdKind::ISym:
+        continue; // straight-line: cannot branch or leave the procedure
+      default:
+        return std::nullopt;
+      }
+    }
+    return std::nullopt;
+  }
+
   /// Runs procedure \p Entry with argument \p Arg from state \p Init,
   /// exploring all paths with the sequential depth-first worklist.
   /// Err(...) reports engine-level misuse (unknown entry procedure);
@@ -177,15 +207,20 @@ public:
     } Sink{Work, Results};
 
     while (!Work.empty()) {
-      if ((Opts.MaxSteps && Steps >= Opts.MaxSteps) ||
-          (Opts.MaxPaths && Results.size() >= Opts.MaxPaths)) {
+      bool StepsOut = Opts.MaxSteps && Steps >= Opts.MaxSteps;
+      bool PathsOut =
+          Opts.MaxPaths && Results.size() >= Opts.MaxPaths;
+      if (StepsOut || PathsOut) {
         // Out of budget: remaining configurations become Bound outcomes,
         // routed through finish() so outcome accounting has exactly one
         // code path (it used to bump PathsBounded inline here, duplicating
-        // the counting logic).
+        // the counting logic). The outcome value names *which* budget
+        // tripped — a MaxPaths cut used to masquerade as "step budget
+        // exhausted" (steps win when both trip at once).
         for (Config &C : Work)
           finish(Sink, OutcomeKind::Bound,
-                 St::errorValue("step budget exhausted"),
+                 St::errorValue(StepsOut ? "step budget exhausted"
+                                         : "path budget exhausted"),
                  std::move(C.State));
         break;
       }

@@ -1,0 +1,165 @@
+//===- engine/scheduler/frontier.h - Strategy-owned frontiers --*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-worker frontier of the exploration pool, owned by the
+/// selection strategy: what push, pop and steal *mean* is a strategy
+/// property, not a pool property (the engine-level search-strategy
+/// pluggability of the Gillian/Soteria platform papers).
+///
+///   * OldestFirst — a deque: LIFO pop (depth-first locality, bounded
+///     frontier), FIFO steal (thieves take the oldest/shallowest forks,
+///     which head the largest untapped subtrees). Bit-identical to the
+///     pre-strategy pool.
+///   * RandomPath — a bag: pop and steal swap-remove uniformly random
+///     elements from a deterministic per-frontier xorshift generator, so
+///     a seeded run reproduces its pick sequence exactly.
+///   * SubtreeSize / CoverageGuided — a binary max-heap on the caller-
+///     computed priority: pop takes the highest-priority configuration;
+///     thieves also steal from the top (the largest estimated subtree /
+///     the most coverage-promising work is exactly what an idle worker
+///     should take over).
+///
+/// A Frontier is NOT thread-safe; the pool guards each worker's instance
+/// with that worker's mutex, exactly as it guarded the raw deques.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_ENGINE_SCHEDULER_FRONTIER_H
+#define GILLIAN_ENGINE_SCHEDULER_FRONTIER_H
+
+#include "engine/scheduler/scheduler_options.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace gillian {
+
+/// splitmix64: the seed mixer used to derive independent per-worker
+/// generator states from one SchedulerOptions::Seed.
+inline uint64_t mixSeed(uint64_t Seed, uint64_t Salt) {
+  uint64_t Z = Seed + Salt * 0x9E3779B97F4A7C15ull + 0x9E3779B97F4A7C15ull;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+template <typename Task> class Frontier {
+public:
+  /// One queued configuration with the priority the scheduler computed
+  /// for it at push time (0 and unused for OldestFirst / RandomPath).
+  struct Entry {
+    Task T;
+    uint64_t Pri = 0;
+  };
+
+  Frontier() = default;
+  Frontier(SelectionStrategy S, uint64_t Seed)
+      : Strat(S), RngState(mixSeed(Seed, 0x5EED) | 1) {}
+
+  SelectionStrategy strategy() const { return Strat; }
+  size_t size() const { return Q.size(); }
+  bool empty() const { return Q.empty(); }
+
+  void push(Task T, uint64_t Pri) {
+    Q.push_back(Entry{std::move(T), Pri});
+    if (isHeap())
+      std::push_heap(Q.begin(), Q.end(), heapLess);
+    // OldestFirst / RandomPath keep plain insertion order; pop decides.
+  }
+
+  /// The strategy's pick: LIFO back for OldestFirst, a seeded uniform
+  /// pick for RandomPath, the max-priority root for the heap strategies.
+  std::optional<Task> pop() {
+    if (Q.empty())
+      return std::nullopt;
+    switch (Strat) {
+    case SelectionStrategy::OldestFirst:
+      break; // back of the deque
+    case SelectionStrategy::RandomPath:
+      swapToBack(nextRandom(Q.size()));
+      break;
+    case SelectionStrategy::SubtreeSize:
+    case SelectionStrategy::CoverageGuided:
+      std::pop_heap(Q.begin(), Q.end(), heapLess);
+      break;
+    }
+    Task T = std::move(Q.back().T);
+    Q.pop_back();
+    return T;
+  }
+
+  /// Steal semantics, per strategy: moves up to \p K entries into \p Out
+  /// (priorities preserved so the thief can re-queue the surplus).
+  /// OldestFirst takes from the *front* (the oldest, shallowest forks);
+  /// RandomPath takes seeded random picks (the victim's generator — the
+  /// call runs under the victim's lock); the heap strategies take from
+  /// the top, handing the thief the best-ranked work.
+  size_t stealInto(size_t K, std::vector<Entry> &Out) {
+    size_t N = std::min(K, Q.size());
+    for (size_t I = 0; I < N; ++I) {
+      switch (Strat) {
+      case SelectionStrategy::OldestFirst:
+        Out.push_back(std::move(Q.front()));
+        Q.pop_front();
+        continue;
+      case SelectionStrategy::RandomPath:
+        swapToBack(nextRandom(Q.size()));
+        break;
+      case SelectionStrategy::SubtreeSize:
+      case SelectionStrategy::CoverageGuided:
+        std::pop_heap(Q.begin(), Q.end(), heapLess);
+        break;
+      }
+      Out.push_back(std::move(Q.back()));
+      Q.pop_back();
+    }
+    return N;
+  }
+
+private:
+  bool isHeap() const {
+    return Strat == SelectionStrategy::SubtreeSize ||
+           Strat == SelectionStrategy::CoverageGuided;
+  }
+
+  /// Max-heap on priority. std::*_heap build max-heaps from operator<,
+  /// so "less" compares priorities directly.
+  static bool heapLess(const Entry &A, const Entry &B) {
+    return A.Pri < B.Pri;
+  }
+
+  /// xorshift64*: deterministic, cheap, and good enough to spread picks
+  /// over a frontier (this is exploration-order jitter, not cryptography).
+  uint64_t nextRandom(size_t Bound) {
+    uint64_t X = RngState;
+    X ^= X >> 12;
+    X ^= X << 25;
+    X ^= X >> 27;
+    RngState = X;
+    return (X * 0x2545F4914F6CDD1Dull) % Bound;
+  }
+
+  void swapToBack(size_t Idx) {
+    if (Idx + 1 != Q.size())
+      std::swap(Q[Idx], Q.back());
+  }
+
+  SelectionStrategy Strat = SelectionStrategy::OldestFirst;
+  uint64_t RngState = 1;
+  /// Deque even for the bag/heap strategies: only OldestFirst needs the
+  /// front-pop, and the others use back/indexed access the deque also
+  /// provides — one container, no variant juggling.
+  std::deque<Entry> Q;
+};
+
+} // namespace gillian
+
+#endif // GILLIAN_ENGINE_SCHEDULER_FRONTIER_H

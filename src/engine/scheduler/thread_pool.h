@@ -10,17 +10,20 @@
 /// after a branch point produces *path-disjoint* configurations; each is a
 /// task, and stepping a task may spawn more tasks (its branch successors).
 ///
-/// Topology: one bounded-depth deque per worker plus a global injection
-/// queue for roots. A worker pops from the *back* of its own deque (LIFO:
-/// depth-first locality, bounded frontier) and steals from the *front* of
-/// a victim's deque (FIFO: thieves take the oldest — shallowest — forks,
-/// which head the largest untapped subtrees), up to `StealBatch`
-/// configurations per steal so a thief seeds itself instead of returning
-/// for every successor. The batch is adaptive: it halves while the
-/// victim's deque is shorter than it (see stealCount), so a nearly-drained
-/// victim is not stripped bare. Deques are mutex-striped rather than lock-free:
-/// exploration tasks are heavyweight (each step runs solver queries), so
-/// queue transfer cost is noise — predictable correctness wins.
+/// Topology: one strategy-owned frontier per worker (engine/scheduler/
+/// frontier.h) plus a global injection queue for roots. What push, pop and
+/// steal mean is a property of the SelectionStrategy: the OldestFirst
+/// default is the classic LIFO-pop / FIFO-steal deque (a worker pops its
+/// newest fork for depth-first locality; thieves take the oldest —
+/// shallowest — forks, which head the largest untapped subtrees), while
+/// the random/priority strategies pick per their own rules. Steals move up
+/// to `StealBatch` configurations so a thief seeds itself instead of
+/// returning for every successor; the batch is adaptive — it halves while
+/// the victim's frontier is shorter than it (see stealCount), so a
+/// nearly-drained victim is not stripped bare. Frontiers are mutex-striped
+/// rather than lock-free: exploration tasks are heavyweight (each step
+/// runs solver queries), so queue transfer cost is noise — predictable
+/// correctness wins.
 ///
 /// Quiescence: `Pending` counts tasks that are queued or executing; it is
 /// incremented before a task becomes visible and decremented only after
@@ -28,13 +31,18 @@
 /// when no task exists or can ever exist again. Idle workers sleep on a
 /// condition variable versioned by a work epoch — the epoch is read before
 /// scanning and bumped under the same mutex by every push, which makes the
-/// classic scan/sleep lost-wakeup race impossible.
+/// classic scan/sleep lost-wakeup race impossible. Every newly visible
+/// task wakes a peer, and a surplus of more than one (batch steals, burst
+/// injection) wakes everyone: a single notify_one for k new tasks used to
+/// leave k-1 sleepers parked until the next epoch bump.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GILLIAN_ENGINE_SCHEDULER_THREAD_POOL_H
 #define GILLIAN_ENGINE_SCHEDULER_THREAD_POOL_H
 
+#include "engine/scheduler/frontier.h"
+#include "engine/scheduler/scheduler_options.h"
 #include "obs/progress.h"
 #include "obs/sched_counters.h"
 #include "obs/trace_ring.h"
@@ -53,11 +61,14 @@ namespace gillian {
 template <typename Task> class ThreadPool {
 public:
   /// Handle passed to the task body: identifies the executing worker and
-  /// lets the body spawn successor tasks onto that worker's own deque.
+  /// lets the body spawn successor tasks onto that worker's own frontier,
+  /// with the strategy priority the caller computed for them.
   class Worker {
   public:
     size_t index() const { return Idx; }
-    void spawn(Task T) { Pool.pushLocal(Idx, std::move(T)); }
+    void spawn(Task T, uint64_t Priority = 0) {
+      Pool.pushLocal(Idx, std::move(T), Priority);
+    }
 
   private:
     friend class ThreadPool;
@@ -66,13 +77,21 @@ public:
     size_t Idx;
   };
 
-  ThreadPool(size_t NumWorkers, size_t StealBatch)
-      : Deques(NumWorkers ? NumWorkers : 1),
+  ThreadPool(size_t NumWorkers, size_t StealBatch,
+             SelectionStrategy Strategy = SelectionStrategy::OldestFirst,
+             uint64_t Seed = 0)
+      : Workers_(NumWorkers ? NumWorkers : 1),
         StealBatch(StealBatch ? StealBatch : 1) {
+    for (size_t I = 0; I < Workers_; ++I)
+      Frontiers.emplace_back(Strategy, mixSeed(Seed, I));
     // Publish the pool shape for the live-introspection gauges. One pool
     // is live at a time (explore() constructs, runs, destroys), so the
     // process-wide gauges describe "the" pool.
-    obs::schedCounters().PoolWorkers.set(workers());
+    obs::SchedCounters &SC = obs::schedCounters();
+    SC.PoolWorkers.set(workers());
+    SC.Strategy.set(static_cast<uint64_t>(Strategy));
+    SC.FrontierSize.set(0); // fresh pool: mirror of Pending restarts at 0
+    obs::setScheduleStrategyLabel(strategyName(Strategy));
     obs::WorkerDepthGauges::instance().configure(
         static_cast<uint32_t>(workers()));
   }
@@ -80,12 +99,12 @@ public:
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
 
-  size_t workers() const { return Deques.size(); }
+  size_t workers() const { return Workers_; }
 
-  /// Tasks a thief takes from a victim whose deque holds \p QueueLen
+  /// Tasks a thief takes from a victim whose frontier holds \p QueueLen
   /// tasks, with configured batch \p Batch: the batch halves while it
-  /// exceeds the victim's queue (adaptive — a short deque is not stolen
-  /// bare, leaving the victim its depth-first locality), and the result is
+  /// exceeds the victim's queue (adaptive — a short frontier is not
+  /// stolen bare, leaving the victim its local work), and the result is
   /// clamped to the queue length. Static so the clamp is unit-testable.
   static size_t stealCount(size_t QueueLen, size_t Batch) {
     if (QueueLen == 0)
@@ -99,13 +118,13 @@ public:
   /// Enqueues a root task on the global injection queue. Thread-safe, but
   /// intended for seeding the pool before run().
   void inject(Task T) {
-    obs::schedCounters().FrontierSize.set(
-        Pending.fetch_add(1, std::memory_order_acq_rel) + 1);
+    Pending.fetch_add(1, std::memory_order_acq_rel);
+    obs::schedCounters().FrontierSize.add(1);
     {
       std::lock_guard<std::mutex> Lock(Global.Mu);
       Global.Q.push_back(std::move(T));
     }
-    signalWork();
+    signalWork(1);
   }
 
   /// Runs \p Body(Task, Worker&) over every injected task and everything
@@ -122,30 +141,37 @@ public:
   }
 
 private:
-  struct TaskDeque {
+  using Entry = typename Frontier<Task>::Entry;
+
+  struct GlobalQueue {
     std::mutex Mu;
     std::deque<Task> Q;
   };
+  /// A worker's frontier plus its stripe lock, cache-line padded so two
+  /// workers' hot locks do not false-share.
+  struct alignas(64) WorkerFrontier {
+    WorkerFrontier(SelectionStrategy S, uint64_t Seed) : F(S, Seed) {}
+    std::mutex Mu;
+    Frontier<Task> F;
+  };
 
-  void pushLocal(size_t Idx, Task T) {
-    obs::schedCounters().FrontierSize.set(
-        Pending.fetch_add(1, std::memory_order_acq_rel) + 1);
+  void pushLocal(size_t Idx, Task T, uint64_t Pri) {
+    Pending.fetch_add(1, std::memory_order_acq_rel);
+    obs::schedCounters().FrontierSize.add(1);
     ++obs::schedCounters().TasksSpawned;
     {
-      std::lock_guard<std::mutex> Lock(Deques[Idx].Mu);
-      Deques[Idx].Q.push_back(std::move(T));
-      obs::WorkerDepthGauges::instance().set(Idx, Deques[Idx].Q.size());
+      std::lock_guard<std::mutex> Lock(Frontiers[Idx].Mu);
+      Frontiers[Idx].F.push(std::move(T), Pri);
+      obs::WorkerDepthGauges::instance().set(Idx, Frontiers[Idx].F.size());
     }
-    signalWork();
+    signalWork(1);
   }
 
   std::optional<Task> popLocal(size_t Idx) {
-    std::lock_guard<std::mutex> Lock(Deques[Idx].Mu);
-    if (Deques[Idx].Q.empty())
-      return std::nullopt;
-    Task T = std::move(Deques[Idx].Q.back());
-    Deques[Idx].Q.pop_back();
-    obs::WorkerDepthGauges::instance().set(Idx, Deques[Idx].Q.size());
+    std::lock_guard<std::mutex> Lock(Frontiers[Idx].Mu);
+    std::optional<Task> T = Frontiers[Idx].F.pop();
+    if (T)
+      obs::WorkerDepthGauges::instance().set(Idx, Frontiers[Idx].F.size());
     return T;
   }
 
@@ -158,27 +184,25 @@ private:
     return T;
   }
 
-  /// Scans the other workers' deques round-robin from our right-hand
+  /// Scans the other workers' frontiers round-robin from our right-hand
   /// neighbour; takes up to stealCount(len, StealBatch) tasks from the
-  /// first non-empty victim (the batch adapts down for short deques). The
-  /// first stolen task is returned for execution, the rest land on our
-  /// own deque.
+  /// first non-empty victim, with *which* tasks defined by the strategy
+  /// (oldest for the DFS deque, random picks, or the top of the priority
+  /// heap). The first stolen task is returned for execution, the rest
+  /// land on our own frontier with their priorities preserved.
   std::optional<Task> steal(size_t Idx) {
     size_t N = workers();
     for (size_t Off = 1; Off < N; ++Off) {
       size_t Victim = (Idx + Off) % N;
-      std::vector<Task> Batch;
+      std::vector<Entry> Batch;
       size_t VictimDepth = 0;
       {
-        std::lock_guard<std::mutex> Lock(Deques[Victim].Mu);
-        auto &Q = Deques[Victim].Q;
-        VictimDepth = Q.size();
-        for (size_t K = stealCount(Q.size(), StealBatch); K > 0; --K) {
-          Batch.push_back(std::move(Q.front()));
-          Q.pop_front();
-        }
+        std::lock_guard<std::mutex> Lock(Frontiers[Victim].Mu);
+        Frontier<Task> &F = Frontiers[Victim].F;
+        VictimDepth = F.size();
+        F.stealInto(stealCount(F.size(), StealBatch), Batch);
         if (!Batch.empty())
-          obs::WorkerDepthGauges::instance().set(Victim, Q.size());
+          obs::WorkerDepthGauges::instance().set(Victim, F.size());
       }
       if (Batch.empty())
         continue;
@@ -190,24 +214,36 @@ private:
                                  static_cast<uint32_t>(Batch.size()),
                                  VictimDepth);
       if (Batch.size() > 1) {
-        std::lock_guard<std::mutex> Lock(Deques[Idx].Mu);
-        for (size_t K = 1; K < Batch.size(); ++K)
-          Deques[Idx].Q.push_back(std::move(Batch[K]));
-        obs::WorkerDepthGauges::instance().set(Idx, Deques[Idx].Q.size());
+        {
+          std::lock_guard<std::mutex> Lock(Frontiers[Idx].Mu);
+          for (size_t K = 1; K < Batch.size(); ++K)
+            Frontiers[Idx].F.push(std::move(Batch[K].T), Batch[K].Pri);
+          obs::WorkerDepthGauges::instance().set(Idx,
+                                                 Frontiers[Idx].F.size());
+        }
+        // The surplus is now visible in our frontier: wake enough peers
+        // to drain it. A single notify_one here used to park the other
+        // sleepers until the next epoch bump — lost parallelism after
+        // every batch steal.
+        signalWork(Batch.size() - 1);
       }
-      if (Batch.size() > 1)
-        signalWork(); // surplus is now visible in our deque — wake a peer
-      return std::move(Batch.front());
+      return std::move(Batch.front().T);
     }
     return std::nullopt;
   }
 
-  void signalWork() {
+  /// Publishes \p NewTasks newly visible tasks: bumps the work epoch (so
+  /// no concurrent scanner can sleep through them) and wakes one sleeper
+  /// per task — all of them when more than one task appeared at once.
+  void signalWork(size_t NewTasks) {
     {
       std::lock_guard<std::mutex> Lock(IdleMu);
       ++WorkEpoch;
     }
-    IdleCv.notify_one();
+    if (NewTasks > 1)
+      IdleCv.notify_all();
+    else
+      IdleCv.notify_one();
   }
 
   template <typename Body> void workerLoop(size_t Idx, Body &B) {
@@ -229,9 +265,11 @@ private:
         B(std::move(*T), W);
         // Decrement only after the body ran: spawns inside the body have
         // already incremented Pending, so it hits zero only at true
-        // quiescence.
+        // quiescence. The gauge mirrors Pending with a commutative sub —
+        // racing a set(load - 1) against concurrent pushes published
+        // stale frontier sizes to /progress and /metrics.
         uint64_t Before = Pending.fetch_sub(1, std::memory_order_acq_rel);
-        obs::schedCounters().FrontierSize.set(Before - 1);
+        obs::schedCounters().FrontierSize.sub(1);
         if (Before == 1)
           IdleCv.notify_all();
         continue;
@@ -246,8 +284,11 @@ private:
     }
   }
 
-  std::vector<TaskDeque> Deques;
-  TaskDeque Global; ///< injection queue (roots)
+  size_t Workers_;
+  /// deque, not vector: WorkerFrontier holds a mutex (immovable), and
+  /// deque::emplace_back constructs in place without requiring moves.
+  std::deque<WorkerFrontier> Frontiers;
+  GlobalQueue Global; ///< injection queue (roots)
   size_t StealBatch;
   /// Tasks queued or executing; zero <=> quiescent.
   std::atomic<uint64_t> Pending{0};

@@ -170,6 +170,15 @@ public:
 
   /// Last-value write (alias of store, named for call-site clarity).
   void set(uint64_t V) { store(V); }
+
+  /// Relative updates for gauges that mirror an external atomic counter
+  /// (the exploration pool's frontier size): increments and decrements
+  /// are commutative atomic RMWs, so concurrent updates can never
+  /// publish a stale absolute value the way racing set(load ± 1) pairs
+  /// can — after balanced add/sub traffic the gauge reads exactly the
+  /// mirrored count.
+  void add(uint64_t N) { fetch_add(N); }
+  void sub(uint64_t N) { fetch_add(~N + 1); } // two's-complement -N
 };
 
 /// CRTP base providing the schema and the generic operations. The Derived

@@ -66,6 +66,18 @@ public:
     instance().recordImpl(ProcId, CmdIdx, Bits);
   }
 
+  /// Outcome bits recorded so far at site (\p ProcId, \p CmdIdx): 0,
+  /// BranchFalseBit, BranchTrueBit, or their union. One shard-mutex
+  /// acquisition and a hash lookup — cheap enough for the coverage-guided
+  /// selection strategy to score every spawned configuration with it.
+  uint8_t coveredBits(uint32_t ProcId, uint32_t CmdIdx) const;
+
+  /// True when some outcome of the site is still uncovered (including
+  /// sites never recorded at all).
+  bool hasUncoveredOutcome(uint32_t ProcId, uint32_t CmdIdx) const {
+    return coveredBits(ProcId, CmdIdx) != (BranchFalseBit | BranchTrueBit);
+  }
+
   /// One procedure's coverage snapshot.
   struct ProcCoverage {
     std::string Proc;

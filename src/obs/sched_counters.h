@@ -38,15 +38,37 @@ struct SchedCounters : CounterSet<SchedCounters> {
   /// Sampled frontier size: tasks queued or executing across the pool
   /// (the thread pool's Pending count). A Gauge, so it never enters
   /// cross-instance merges — an instantaneous depth cannot be summed.
+  /// Maintained with commutative add/sub mirroring Pending (never a raw
+  /// set), so concurrent pushes cannot publish out-of-order stale values
+  /// and the gauge reads 0 once the pool has quiesced.
   Gauge FrontierSize{*this, "frontier_size", "scheduler"};
   /// Sampled worker count of the live (or last) pool.
   Gauge PoolWorkers{*this, "pool_workers", "scheduler"};
+  /// Numeric SelectionStrategy id of the live (or last) pool; the
+  /// human-readable name is published via scheduleStrategyLabel().
+  Gauge Strategy{*this, "strategy", "scheduler"};
 };
 
 /// The process-wide instance the thread pool records into.
 inline SchedCounters &schedCounters() {
   static SchedCounters C;
   return C;
+}
+
+/// The human-readable selection-strategy name of the live (or last)
+/// exploration pool — a pointer to a string literal, so a relaxed atomic
+/// pointer is a safe process-wide slot. Set by the pool constructor (the
+/// engine layer owns the strategy names; obs only republishes the label
+/// on /metrics and /progress).
+inline std::atomic<const char *> &scheduleStrategyLabelSlot() {
+  static std::atomic<const char *> L{"oldest"};
+  return L;
+}
+inline void setScheduleStrategyLabel(const char *Name) {
+  scheduleStrategyLabelSlot().store(Name, std::memory_order_relaxed);
+}
+inline const char *scheduleStrategyLabel() {
+  return scheduleStrategyLabelSlot().load(std::memory_order_relaxed);
 }
 
 } // namespace gillian::obs

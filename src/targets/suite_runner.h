@@ -15,11 +15,14 @@
 #ifndef GILLIAN_TARGETS_SUITE_RUNNER_H
 #define GILLIAN_TARGETS_SUITE_RUNNER_H
 
+#include "engine/scheduler/scheduler_options.h"
 #include "engine/test_runner.h"
 #include "obs/introspect/introspect_server.h"
 #include "obs/introspect/metrics_registry.h"
 #include "solver/solver_cache.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -59,6 +62,19 @@ SuiteResult runSuite(std::string_view Name, const Prog &P,
   // GILLIAN_SERVE=host:port turns on live introspection for any process
   // that runs a suite (the test runner has no CLI of its own).
   obs::maybeStartEnvIntrospection();
+  // GILLIAN_STRATEGY=oldest|random|subtree|coverage overrides the
+  // exploration order the same way — e.g. running the whole ctest tier
+  // under a non-default strategy without recompiling.
+  EngineOptions EOpts = Opts;
+  if (const char *Env = std::getenv("GILLIAN_STRATEGY")) {
+    if (auto S = parseStrategy(Env))
+      EOpts.Scheduler.Strategy = *S;
+    else
+      std::fprintf(stderr,
+                   "[suite] ignoring unknown GILLIAN_STRATEGY=%s "
+                   "(want oldest|random|subtree|coverage)\n",
+                   Env);
+  }
   // The query cache is the process-wide shared instance: canonical path
   // conditions are program-independent facts, so warm re-runs of a suite
   // (and parallel workers within one) reuse each other's verdicts. Tests
@@ -73,7 +89,7 @@ SuiteResult runSuite(std::string_view Name, const Prog &P,
     obs::counterSetInto(W, Slv.stats(), L);
   });
   for (const std::string &T : testProcs(P)) {
-    SymbolicTestResult TR = runSymbolicTest<M>(P, T, Opts, Slv);
+    SymbolicTestResult TR = runSymbolicTest<M>(P, T, EOpts, Slv);
     ++R.Tests;
     R.GilCmds += TR.Stats.CmdsExecuted;
     R.PathsExplored += TR.Stats.PathsFinished + TR.Stats.PathsErrored +

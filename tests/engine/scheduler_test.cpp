@@ -10,9 +10,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "engine/scheduler/exploration_scheduler.h"
+#include "engine/scheduler/frontier.h"
 #include "engine/scheduler/thread_pool.h"
 
 #include "engine/test_runner.h"
+#include "obs/sched_counters.h"
 #include "while_lang/compiler.h"
 #include "while_lang/memory.h"
 
@@ -20,6 +22,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -100,6 +106,116 @@ TEST(ThreadPool, QuiescesWithNoTasks) {
   bool Ran = false;
   Pool.run([&Ran](int, ThreadPool<int>::Worker &) { Ran = true; });
   EXPECT_FALSE(Ran);
+}
+
+TEST(ThreadPool, AllWorkersParticipateAfterLargeBatchSpawn) {
+  // Wakeup regression: a burst of spawns (and the batch-steal surplus a
+  // thief re-queues from them) makes many tasks visible at once; every
+  // sleeping peer must wake — the old single notify_one could strand
+  // sleepers. Each task blocks until all workers have executed at least
+  // one task, so a stranded worker deadlocks the rest up to the deadline.
+  constexpr size_t NWorkers = 4;
+  ThreadPool<int> Pool(NWorkers, 8);
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::set<size_t> Seen;
+  const auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  Pool.inject(1); // the root; spawns the burst
+  Pool.run([&](int IsRoot, ThreadPool<int>::Worker &W) {
+    if (IsRoot)
+      for (int I = 0; I < 64; ++I)
+        W.spawn(0);
+    std::unique_lock<std::mutex> Lock(Mu);
+    Seen.insert(W.index());
+    Cv.notify_all();
+    Cv.wait_until(Lock, Deadline,
+                  [&] { return Seen.size() >= NWorkers; });
+  });
+  EXPECT_EQ(Seen.size(), NWorkers)
+      << "a worker never woke up to take its share of the batch";
+}
+
+TEST(ThreadPool, FrontierSizeGaugeReadsZeroAfterRun) {
+  // Gauge-race regression: FrontierSize mirrors Pending with commutative
+  // add/sub (a racing set(load-1) published stale values); at quiescence
+  // the mirror must land exactly on zero.
+  ThreadPool<int> Pool(4, 4);
+  for (int I = 0; I < 32; ++I)
+    Pool.inject(3);
+  Pool.run([](int Depth, ThreadPool<int>::Worker &W) {
+    for (int I = 0; I < Depth; ++I)
+      W.spawn(Depth - 1);
+  });
+  EXPECT_EQ(obs::schedCounters().FrontierSize.load(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Frontier
+//===----------------------------------------------------------------------===//
+
+TEST(Frontier, OldestFirstPopsLifoStealsFifo) {
+  Frontier<int> F(SelectionStrategy::OldestFirst, 0);
+  for (int I = 1; I <= 4; ++I)
+    F.push(I, 0);
+  std::vector<Frontier<int>::Entry> Stolen;
+  EXPECT_EQ(F.stealInto(2, Stolen), 2u);
+  ASSERT_EQ(Stolen.size(), 2u);
+  EXPECT_EQ(Stolen[0].T, 1); // FIFO: the oldest forks
+  EXPECT_EQ(Stolen[1].T, 2);
+  EXPECT_EQ(F.pop().value(), 4); // LIFO: the newest fork
+  EXPECT_EQ(F.pop().value(), 3);
+  EXPECT_FALSE(F.pop().has_value());
+}
+
+TEST(Frontier, PriorityStrategiesPopAndStealHighestFirst) {
+  for (SelectionStrategy S : {SelectionStrategy::SubtreeSize,
+                              SelectionStrategy::CoverageGuided}) {
+    Frontier<int> F(S, 0);
+    F.push(10, 10);
+    F.push(30, 30);
+    F.push(20, 20);
+    F.push(40, 40);
+    std::vector<Frontier<int>::Entry> Stolen;
+    EXPECT_EQ(F.stealInto(2, Stolen), 2u);
+    ASSERT_EQ(Stolen.size(), 2u);
+    EXPECT_EQ(Stolen[0].Pri, 40u) << "thieves take the best-ranked work";
+    EXPECT_EQ(Stolen[1].Pri, 30u);
+    EXPECT_EQ(F.pop().value(), 20);
+    EXPECT_EQ(F.pop().value(), 10);
+  }
+}
+
+TEST(Frontier, RandomPathSameSeedSamePopSequence) {
+  auto popAll = [](uint64_t Seed) {
+    Frontier<int> F(SelectionStrategy::RandomPath, Seed);
+    for (int I = 0; I < 16; ++I)
+      F.push(I, 0);
+    std::vector<int> Out;
+    while (auto T = F.pop())
+      Out.push_back(*T);
+    return Out;
+  };
+  EXPECT_EQ(popAll(42), popAll(42));
+  // A different seed permutes 16 elements differently (collision odds are
+  // 1/16! for an unbiased pick sequence; these two seeds were checked).
+  EXPECT_NE(popAll(42), popAll(43));
+}
+
+TEST(Frontier, StealPreservesPriorities) {
+  // The thief re-queues the surplus with the priorities the scheduler
+  // computed — a heap frontier rebuilt from stolen entries must rank them
+  // identically.
+  Frontier<int> Victim(SelectionStrategy::SubtreeSize, 0);
+  for (int I = 1; I <= 6; ++I)
+    Victim.push(I, static_cast<uint64_t>(I) * 7);
+  std::vector<Frontier<int>::Entry> Stolen;
+  Victim.stealInto(4, Stolen);
+  Frontier<int> Thief(SelectionStrategy::SubtreeSize, 1);
+  for (auto &E : Stolen)
+    Thief.push(E.T, E.Pri);
+  EXPECT_EQ(Thief.pop().value(), 6); // Pri 42: best of the stolen four
+  EXPECT_EQ(Thief.pop().value(), 5);
 }
 
 //===----------------------------------------------------------------------===//
@@ -257,6 +373,96 @@ TEST(ExplorationScheduler, SymbolicTestRunnerHonorsSchedulerOptions) {
   EXPECT_EQ(Seq.PathsReturned, Par.PathsReturned);
   EXPECT_EQ(Seq.PathsVanished, Par.PathsVanished);
   EXPECT_EQ(Seq.hasConfirmedBug(), Par.hasConfirmedBug());
+}
+
+EngineOptions withStrategy(SelectionStrategy S, uint32_t Workers,
+                           uint64_t Seed = 0x9E3779B97F4A7C15ull) {
+  EngineOptions O;
+  O.Scheduler.Strategy = S;
+  O.Scheduler.Workers = Workers;
+  O.Scheduler.Seed = Seed;
+  // Always the pool: OldestFirst at one worker would otherwise take the
+  // sequential worklist, whose result order is the worklist's, not the
+  // branch-trace order these tests compare.
+  O.Scheduler.SequentialFallback = false;
+  return O;
+}
+
+constexpr SelectionStrategy AllStrategies[] = {
+    SelectionStrategy::OldestFirst, SelectionStrategy::RandomPath,
+    SelectionStrategy::SubtreeSize, SelectionStrategy::CoverageGuided};
+
+TEST(SelectionStrategies, ResultSequenceIsStrategyAndWorkerIndependent) {
+  // The strategy decides *when* each configuration runs, never *whether*:
+  // the branch-trace-sorted result sequence must be identical for every
+  // strategy at every worker count — bit-for-bit, not just as a multiset.
+  std::vector<std::string> Baseline = traceSigs(withWorkers(1, false));
+  ASSERT_FALSE(Baseline.empty());
+  for (SelectionStrategy S : AllStrategies)
+    for (uint32_t Workers : {1u, 2u, 8u})
+      EXPECT_EQ(Baseline, traceSigs(withStrategy(S, Workers)))
+          << "strategy=" << strategyName(S) << " workers=" << Workers;
+}
+
+TEST(SelectionStrategies, NonDefaultStrategyEngagesPoolAtOneWorker) {
+  // --strategy=random --workers=1 must run the strategy-aware pool (a
+  // pool of one), not silently fall back to the sequential worklist.
+  EXPECT_FALSE(withWorkers(1).Scheduler.parallel());
+  for (SelectionStrategy S :
+       {SelectionStrategy::RandomPath, SelectionStrategy::SubtreeSize,
+        SelectionStrategy::CoverageGuided})
+    EXPECT_TRUE(withStrategy(S, 1).Scheduler.parallel());
+}
+
+TEST(SelectionStrategies, SeededRandomPathIsReproducible) {
+  // Sorted results mask the exploration order, so observe it through a
+  // path budget: which paths finish before the cut depends on the pick
+  // sequence, and a seeded one-worker run must reproduce it exactly.
+  EngineOptions A = withStrategy(SelectionStrategy::RandomPath, 1, 42);
+  A.MaxPaths = 6;
+  EngineOptions B = withStrategy(SelectionStrategy::RandomPath, 1, 42);
+  B.MaxPaths = 6;
+  std::vector<std::string> First = traceSigs(A);
+  ASSERT_FALSE(First.empty());
+  EXPECT_EQ(First, traceSigs(B)) << "same seed, same exploration order";
+}
+
+TEST(ExplorationScheduler, BudgetCutNamesTheStepBudget) {
+  EngineOptions O = withWorkers(1, false);
+  O.MaxSteps = 10;
+  bool SawStep = false;
+  for (const std::string &Sig : traceSigs(O)) {
+    SawStep |= Sig.find("step budget exhausted") != std::string::npos;
+    EXPECT_EQ(Sig.find("path budget exhausted"), std::string::npos) << Sig;
+  }
+  EXPECT_TRUE(SawStep);
+}
+
+TEST(ExplorationScheduler, BudgetCutNamesThePathBudget) {
+  // Both the pool (strategy scheduler) and the classic sequential
+  // worklist must attribute a MaxPaths cut to the path budget — the old
+  // message blamed the step budget for every cut.
+  for (bool SequentialFallback : {false, true}) {
+    EngineOptions O = withWorkers(1, SequentialFallback);
+    O.MaxPaths = 3;
+    bool SawPath = false;
+    for (const std::string &Sig : traceSigs(O)) {
+      SawPath |= Sig.find("path budget exhausted") != std::string::npos;
+      EXPECT_EQ(Sig.find("step budget exhausted"), std::string::npos)
+          << Sig;
+    }
+    EXPECT_TRUE(SawPath) << "sequential=" << SequentialFallback;
+  }
+}
+
+TEST(SelectionStrategies, ExplorationFrontierGaugeReadsZeroAfterRun) {
+  // End-to-end mirror check: after any strategy's exploration drains,
+  // the process-wide frontier gauge is back to exactly zero.
+  for (SelectionStrategy S : AllStrategies) {
+    traceSigs(withStrategy(S, 4));
+    EXPECT_EQ(obs::schedCounters().FrontierSize.load(), 0u)
+        << "strategy=" << strategyName(S);
+  }
 }
 
 TEST(ExplorationScheduler, SharedCacheResetRestoresColdCounts) {

@@ -1,0 +1,209 @@
+//===- tests/targets/strategy_determinism_test.cpp ------------------------===//
+//
+// Path-selection strategies decide *when* a configuration runs, never
+// *whether* or *what it computes*. On the evaluation workloads (MJS
+// Buckets, MC Collections) every strategy at every worker count must
+// produce the identical branch-trace-sorted result sequence — not just
+// the same multiset, the same order — because the scheduler sorts
+// results by branch trace before returning them.
+//
+// Also covered here: seeded random-path reproducibility under a path
+// budget on a real suite, and the coverage-guided smoke property (full
+// branch coverage on a Buckets structure within no larger a path budget
+// than oldest-first needs).
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/buckets_mjs.h"
+#include "targets/collections_mc.h"
+
+#include "engine/test_runner.h"
+#include "mc/compiler.h"
+#include "mc/memory.h"
+#include "mjs/compiler.h"
+#include "mjs/memory.h"
+#include "obs/coverage.h"
+#include "targets/suite_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using namespace gillian;
+using namespace gillian::targets;
+
+namespace {
+
+/// Runs every `test_*` procedure of \p P under strategy \p S at \p Workers
+/// and renders each finished path as "test|kind|value|path-condition" in
+/// the order the scheduler returned it. SequentialFallback is disabled so
+/// every configuration — including OldestFirst at one worker — goes
+/// through the pool and shares its branch-trace result order.
+template <typename M>
+std::vector<std::string> orderedTraces(const Prog &P, SelectionStrategy S,
+                                       uint32_t Workers,
+                                       uint64_t MaxPaths = 0,
+                                       uint64_t Seed = 0x9E3779B97F4A7C15ull) {
+  EngineOptions Opts;
+  Opts.Scheduler.Strategy = S;
+  Opts.Scheduler.Workers = Workers;
+  Opts.Scheduler.Seed = Seed;
+  Opts.Scheduler.SequentialFallback = false;
+  Opts.MaxPaths = MaxPaths;
+  Solver Slv(Opts.Solver); // private cache: runs are independent
+  ExecStats Stats;
+  using St = SymbolicState<M>;
+  std::vector<std::string> Sigs;
+  for (const std::string &T : testProcs(P)) {
+    St Init(M(), &Slv, &Opts);
+    Interpreter<St> Interp(P, Opts, Stats);
+    Result<std::vector<TraceResult<St>>> Traces = runExploration(
+        Interp, InternedString::get(T), Expr::list({}), std::move(Init));
+    EXPECT_TRUE(Traces.ok()) << T << ": "
+                             << (Traces.ok() ? "" : Traces.error());
+    if (!Traces.ok())
+      continue;
+    for (TraceResult<St> &R : *Traces)
+      Sigs.push_back(T + "|" + std::string(outcomeKindName(R.Kind)) + "|" +
+                     R.Val.toString() + "|" +
+                     R.Final.pathCondition().toString());
+  }
+  return Sigs;
+}
+
+constexpr SelectionStrategy AllStrategies[] = {
+    SelectionStrategy::OldestFirst, SelectionStrategy::RandomPath,
+    SelectionStrategy::SubtreeSize, SelectionStrategy::CoverageGuided};
+
+template <typename M>
+void expectStrategyIndependent(const Prog &P, std::string_view Name) {
+  const std::vector<std::string> Baseline =
+      orderedTraces<M>(P, SelectionStrategy::OldestFirst, 1);
+  EXPECT_FALSE(Baseline.empty()) << Name;
+  for (SelectionStrategy S : AllStrategies)
+    for (uint32_t Workers : {1u, 2u, 8u}) {
+      if (S == SelectionStrategy::OldestFirst && Workers == 1)
+        continue; // that is the baseline itself
+      EXPECT_EQ(Baseline, orderedTraces<M>(P, S, Workers))
+          << Name << " strategy=" << strategyName(S)
+          << " workers=" << Workers;
+    }
+}
+
+/// Smallest geometric path budget (per test procedure) under which
+/// strategy \p S drives branch coverage to \p Achievable on \p P;
+/// UINT64_MAX if no budget up to 4096 suffices.
+template <typename M>
+uint64_t minimalBudgetForCoverage(const Prog &P, SelectionStrategy S,
+                                  uint64_t Achievable) {
+  for (uint64_t B = 1; B <= 4096; B *= 2) {
+    obs::BranchCoverage::instance().reset();
+    orderedTraces<M>(P, S, /*Workers=*/1, /*MaxPaths=*/B);
+    uint64_t Covered = 0, Total = 0;
+    obs::BranchCoverage::instance().totals(Covered, Total);
+    if (Covered >= Achievable)
+      return B;
+  }
+  return UINT64_MAX;
+}
+
+Result<Prog> compileBuckets(const BucketsSuite &S) {
+  return mjs::compileMjsSource(std::string(bucketsLibrary()) + "\n" +
+                               std::string(S.Source));
+}
+
+/// The strategy × workers product over every suite would multiply the
+/// already-thorough parallel_determinism_test by 12; two structures per
+/// language keep this binary fast while still crossing both memory
+/// models. (Worker-count invariance over *all* suites stays covered by
+/// parallel_determinism_test.)
+std::vector<BucketsSuite> bucketsSubset() {
+  const std::vector<BucketsSuite> &All = bucketsSuites();
+  return {All.begin(), All.begin() + std::min<size_t>(2, All.size())};
+}
+
+std::vector<CollectionsSuite> collectionsSubset() {
+  const std::vector<CollectionsSuite> &All = collectionsSuites();
+  return {All.begin(), All.begin() + std::min<size_t>(2, All.size())};
+}
+
+class BucketsStrategyTest : public ::testing::TestWithParam<BucketsSuite> {};
+class CollectionsStrategyTest
+    : public ::testing::TestWithParam<CollectionsSuite> {};
+
+} // namespace
+
+TEST_P(BucketsStrategyTest, ResultSequenceIsStrategyInvariant) {
+  const BucketsSuite &S = GetParam();
+  Result<Prog> P = compileBuckets(S);
+  ASSERT_TRUE(P.ok()) << P.error();
+  expectStrategyIndependent<mjs::MjsSMem>(*P, S.Name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TwoStructures, BucketsStrategyTest,
+    ::testing::ValuesIn(bucketsSubset()),
+    [](const ::testing::TestParamInfo<BucketsSuite> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+TEST_P(CollectionsStrategyTest, ResultSequenceIsStrategyInvariant) {
+  const CollectionsSuite &S = GetParam();
+  Result<Prog> P = mc::compileMcSource(std::string(collectionsLibrary()) +
+                                       "\n" + std::string(S.Source));
+  ASSERT_TRUE(P.ok()) << P.error();
+  expectStrategyIndependent<mc::McSMem>(*P, S.Name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TwoStructures, CollectionsStrategyTest,
+    ::testing::ValuesIn(collectionsSubset()),
+    [](const ::testing::TestParamInfo<CollectionsSuite> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+TEST(StrategySeeding, RandomPathIsReproducibleOnBuckets) {
+  // Under a path budget the seed decides *which* paths finish; the same
+  // seed must pick the same ones, a different seed is free to differ.
+  Result<Prog> P = compileBuckets(bucketsSuites().front());
+  ASSERT_TRUE(P.ok()) << P.error();
+  auto Run = [&](uint64_t Seed) {
+    return orderedTraces<mjs::MjsSMem>(*P, SelectionStrategy::RandomPath,
+                                       /*Workers=*/1, /*MaxPaths=*/4, Seed);
+  };
+  EXPECT_EQ(Run(42), Run(42));
+}
+
+TEST(StrategyCoverage, CoverageGuidedNeedsNoMorePathsThanOldestFirst) {
+  // Target the bst structure: the front suite (array) reaches full
+  // coverage at budget 1 for every strategy, leaving the property
+  // nothing to distinguish; bst needs several paths per procedure.
+  const std::vector<BucketsSuite> &All = bucketsSuites();
+  auto It = std::find_if(All.begin(), All.end(), [](const BucketsSuite &S) {
+    return S.Name == "bst";
+  });
+  ASSERT_NE(It, All.end());
+  Result<Prog> P = compileBuckets(*It);
+  ASSERT_TRUE(P.ok()) << P.error();
+
+  // What full coverage means for this program: whatever an unbounded run
+  // reaches (some outcomes may be statically infeasible).
+  obs::BranchCoverage::instance().reset();
+  orderedTraces<mjs::MjsSMem>(*P, SelectionStrategy::OldestFirst, 1);
+  uint64_t Achievable = 0, Total = 0;
+  obs::BranchCoverage::instance().totals(Achievable, Total);
+  ASSERT_GT(Achievable, 0u);
+
+  uint64_t Oldest = minimalBudgetForCoverage<mjs::MjsSMem>(
+      *P, SelectionStrategy::OldestFirst, Achievable);
+  uint64_t Guided = minimalBudgetForCoverage<mjs::MjsSMem>(
+      *P, SelectionStrategy::CoverageGuided, Achievable);
+  ASSERT_NE(Oldest, UINT64_MAX);
+  ASSERT_NE(Guided, UINT64_MAX);
+  EXPECT_LE(Guided, Oldest);
+  obs::BranchCoverage::instance().reset(); // leave no residue for others
+}
+
