@@ -59,6 +59,8 @@
 #include "obs/span.h"
 #include "obs/trace_ring.h"
 #include "solver/incremental_session.h"
+#include "solver/native/native_session.h"
+#include "solver/native/query_service.h"
 #include "solver/simplifier.h"
 #include "solver/solver.h"
 #include "solver/solver_cache.h"
@@ -79,6 +81,13 @@ struct BenchArgs {
   /// echo strategyName(Strategy) into their JSON lines so downstream
   /// tooling can tell ablation rows apart.
   SelectionStrategy Strategy = SelectionStrategy::OldestFirst;
+  /// Native theory layer of the default configurations (--no-native turns
+  /// it off; the ablation driver also toggles it per row).
+  bool Native = true;
+  /// Async solver service threads of the default configurations (0 =
+  /// inline solving; --async=N routes undecided queries through the
+  /// batching/deduplicating service).
+  uint32_t Async = 0;
   bool Json = true;     ///< emit the trailing machine-readable JSON line
   bool ObsDetail = false; ///< per-step / per-simplify detail spans
   std::string TraceOut;   ///< chrome://tracing output path ("" = off)
@@ -138,6 +147,13 @@ inline BenchArgs parseBenchArgs(int &argc, char **argv) {
       Args.Strategy = parseStrategyArg(A + 11);
     } else if (std::strcmp(A, "--strategy") == 0) {
       Args.Strategy = parseStrategyArg(nextValue(In, "--strategy"));
+    } else if (std::strcmp(A, "--no-native") == 0) {
+      Args.Native = false;
+    } else if (std::strncmp(A, "--async=", 8) == 0) {
+      Args.Async = static_cast<uint32_t>(parseMs("--async", A + 8));
+    } else if (std::strcmp(A, "--async") == 0) {
+      Args.Async =
+          static_cast<uint32_t>(parseMs("--async", nextValue(In, "--async")));
     } else if (std::strcmp(A, "--json") == 0) {
       Args.Json = true;
     } else if (std::strcmp(A, "--no-json") == 0) {
@@ -293,6 +309,9 @@ inline void coldStart() {
   SolverCache::process().clear();
   IncrementalSessionPool::invalidateAll();
   IncrementalSessionPool::forThread().reset();
+  native::SolverService::process().flush();
+  native::NativeSessionPool::invalidateAll();
+  native::NativeSessionPool::forThread().reset();
   if (!persistedCacheFile().empty())
     loadPersistedCache(persistedCacheFile());
 }

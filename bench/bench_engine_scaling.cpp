@@ -65,7 +65,8 @@ std::string deadCodeProgram(int L) {
 
 SymbolicTestResult
 runProgram(const std::string &Src, uint32_t Workers = 1,
-           SelectionStrategy Strategy = SelectionStrategy::OldestFirst) {
+           SelectionStrategy Strategy = SelectionStrategy::OldestFirst,
+           bool Native = true, uint32_t Async = 0) {
   Result<Prog> P = compileWhileSource(Src);
   if (!P)
     std::abort();
@@ -73,6 +74,8 @@ runProgram(const std::string &Src, uint32_t Workers = 1,
   Opts.LoopBound = 64;
   Opts.Scheduler.Workers = Workers;
   Opts.Scheduler.Strategy = Strategy;
+  Opts.Solver.UseNative = Native;
+  Opts.Solver.AsyncSolvers = Async;
   Solver Slv(Opts.Solver);
   SymbolicTestResult R = runSymbolicTest<WhileSMem>(*P, "main", Opts, Slv);
   if (!R.ok())
@@ -171,7 +174,8 @@ int main(int argc, char **argv) {
   for (uint32_t Workers : Sweep) {
     bench::coldStart(); // cold per count: same starting state for all
     auto T0 = std::chrono::steady_clock::now();
-    SymbolicTestResult R = runProgram(Src, Workers, Args.Strategy);
+    SymbolicTestResult R =
+        runProgram(Src, Workers, Args.Strategy, Args.Native, Args.Async);
     double Sec = bench::seconds(T0);
     if (Workers == 1)
       BaseSec = Sec;

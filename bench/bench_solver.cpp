@@ -258,6 +258,50 @@ static void BM_IncrementalPrefixChain(benchmark::State &State) {
 }
 BENCHMARK(BM_IncrementalPrefixChain)->Arg(0)->Arg(1);
 
+static void BM_NativeDiseqChain(benchmark::State &State) {
+  // The bst/pqueue outlier shape (EXPERIMENTS.md): Num-typed variables in
+  // a bounded real window, pairwise distinct. The syntactic layer's single
+  // model proposal collides on the disequalities, so without the native
+  // layer (Arg 0) every iteration is a full Z3 round-trip; with it (Arg 1)
+  // the query is decided in-process with a verified model and Z3 is never
+  // reached — the z3_calls_per_iter counter proves it.
+  const bool Native = State.range(0) != 0;
+  SolverOptions Opts;
+  Opts.UseCache = false; // every iteration must reach the decision layers
+  Opts.UseNative = Native;
+  Solver S(Opts);
+  // 64 structurally identical queries over disjoint variable sets, cycled:
+  // every check is fresh to the incremental session's asserted prefix and
+  // to the native frame store alike — the regime exploration produces
+  // (each branch point asks a new condition once).
+  std::vector<PathCondition> Queries;
+  for (int G = 0; G < 64; ++G) {
+    PathCondition PC;
+    for (int I = 0; I < 6; ++I) {
+      std::string V = "#k" + std::to_string(G) + "_" + std::to_string(I);
+      PC.add(parse(("0.5 <= " + V).c_str()));
+      PC.add(parse((V + " < 100.0").c_str()));
+      for (int J = 0; J < I; ++J)
+        PC.add(parse(("!(" + V + " == #k" + std::to_string(G) + "_" +
+                      std::to_string(J) + ")")
+                         .c_str()));
+    }
+    Queries.push_back(std::move(PC));
+  }
+  size_t Q = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.checkSat(Queries[Q++ % Queries.size()]));
+  State.SetLabel(Native ? "native" : "no native (Z3 fallback)");
+  State.counters["z3_calls_per_iter"] =
+      benchmark::Counter(static_cast<double>(S.stats().Z3Calls),
+                         benchmark::Counter::kAvgIterations);
+  State.counters["native_decided_per_iter"] = benchmark::Counter(
+      static_cast<double>(S.stats().NativeSat.load() +
+                          S.stats().NativeUnsat.load()),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_NativeDiseqChain)->Arg(0)->Arg(1);
+
 static void BM_VerifiedModelExtraction(benchmark::State &State) {
   Solver S;
   PathCondition PC = typicalPc();

@@ -58,6 +58,10 @@ using bench::seconds;
 uint32_t ParWorkers = 4;
 /// Path-selection strategy of the parallel configuration (--strategy).
 SelectionStrategy ParStrategy = SelectionStrategy::OldestFirst;
+/// Native theory layer of the parallel configuration (--no-native).
+bool ParNative = true;
+/// Async solver service threads of the parallel configuration (--async).
+uint32_t ParAsync = 0;
 
 std::string rowJson(const Row &R) {
   obs::JsonWriter W;
@@ -70,6 +74,8 @@ std::string rowJson(const Row &R) {
   W.field("time_par_s", R.TimePar, 6);
   W.field("par_workers", ParWorkers);
   W.field("par_strategy", strategyName(ParStrategy));
+  W.field("par_native", ParNative);
+  W.field("par_async", static_cast<uint64_t>(ParAsync));
   W.key("solver_j2");
   W.raw(solverStatsJson(R.SolverJ2));
   W.key("solver_gjs");
@@ -97,6 +103,8 @@ int main(int argc, char **argv) {
   bench::setupObs(Args);
   ParWorkers = Args.Workers;
   ParStrategy = Args.Strategy;
+  ParNative = Args.Native;
+  ParAsync = Args.Async;
   std::printf("Table 1: Buckets.js-style symbolic test suites "
               "(Gillian-JS / MJS)\n");
   std::printf("%-8s %4s %12s %10s %10s %8s %10s %8s %9s\n", "Name", "#T",
@@ -143,6 +151,8 @@ int main(int argc, char **argv) {
     EngineOptions Par;
     Par.Scheduler.Workers = ParWorkers;
     Par.Scheduler.Strategy = ParStrategy;
+    Par.Solver.UseNative = ParNative;
+    Par.Solver.AsyncSolvers = ParAsync;
     T0 = std::chrono::steady_clock::now();
     SuiteResult RPar = runSuite<MjsSMem>(S.Name, *P, Par);
     R.TimePar = seconds(T0);

@@ -78,6 +78,8 @@ int main(int argc, char **argv) {
     EngineOptions ParOpts;
     ParOpts.Scheduler.Workers = ParWorkers;
     ParOpts.Scheduler.Strategy = ParStrategy;
+    ParOpts.Solver.UseNative = Args.Native;
+    ParOpts.Solver.AsyncSolvers = Args.Async;
     T0 = std::chrono::steady_clock::now();
     SuiteResult RPar = runSuite<McSMem>(S.Name, *P, ParOpts);
     double SecPar = seconds(T0);

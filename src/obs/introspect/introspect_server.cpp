@@ -7,6 +7,7 @@
 #include "obs/exporters.h"
 #include "obs/introspect/metrics_registry.h"
 #include "obs/introspect/prometheus.h"
+#include "obs/native_stats.h"
 #include "obs/progress.h"
 #include "obs/query_profile.h"
 #include "obs/sched_counters.h"
@@ -55,6 +56,9 @@ std::string gillian::obs::metricsExposition() {
   // Registry-driven sets: every field appears with zero exporter edits.
   counterSetInto(W, schedCounters());
   counterSetInto(W, progressCounters());
+  // Native theory layer + async solver service (process-wide aggregate —
+  // still rendered after per-suite sources unregister, like the profiler).
+  counterSetInto(W, nativeGlobalStats());
 
   // The active path-selection strategy, info-metric style: the numeric
   // gillian_scheduler_strategy gauge above carries the enum value; this

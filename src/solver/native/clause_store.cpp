@@ -1,0 +1,164 @@
+//===- solver/native/clause_store.cpp -------------------------------------===//
+
+#include "solver/native/clause_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace gillian::native;
+
+BVar ClauseStore::newVar() {
+  BVar V = static_cast<BVar>(Assign.size());
+  Assign.push_back(LBool::Undef);
+  Activity.push_back(0.0);
+  Phase.push_back(1); // default phase: positive (atoms are mostly asserted)
+  Watches.emplace_back();
+  Watches.emplace_back();
+  return V;
+}
+
+bool ClauseStore::enqueue(Lit L) {
+  LBool V = valueLit(L);
+  if (V == LBool::True)
+    return true;
+  if (V == LBool::False)
+    return false;
+  Assign[litVar(L)] = litSign(L) ? LBool::False : LBool::True;
+  Trail.push_back(L);
+  return true;
+}
+
+bool ClauseStore::addClause(std::vector<Lit> Lits) {
+  std::sort(Lits.begin(), Lits.end());
+  Lits.erase(std::unique(Lits.begin(), Lits.end()), Lits.end());
+  for (size_t I = 0; I + 1 < Lits.size(); ++I)
+    if (Lits[I + 1] == litNot(Lits[I]))
+      return true; // tautology: L and ¬L are adjacent after sorting
+
+  // Move non-false literals to the front so the watched positions start
+  // on literals that can still satisfy the clause.
+  size_t NonFalse = 0;
+  for (size_t I = 0; I < Lits.size(); ++I)
+    if (valueLit(Lits[I]) != LBool::False)
+      std::swap(Lits[NonFalse++], Lits[I]);
+
+  if (NonFalse == 0)
+    return false; // all literals false: conflict at assert time
+  if (NonFalse == 1 && valueLit(Lits[0]) == LBool::Undef) {
+    if (!enqueue(Lits[0]))
+      return false;
+  }
+  if (Lits.size() == 1)
+    return enqueue(Lits[0]); // units are enqueued, never stored
+
+  uint32_t Idx = static_cast<uint32_t>(Clauses.size());
+  Clauses.push_back({std::move(Lits)});
+  Watches[Clauses.back().Lits[0]].push_back(Idx);
+  Watches[Clauses.back().Lits[1]].push_back(Idx);
+  return true;
+}
+
+bool ClauseStore::propagate() {
+  while (QHead < Trail.size()) {
+    Lit P = Trail[QHead++]; // P just became true
+    Lit FalseLit = litNot(P);
+    std::vector<uint32_t> &WL = Watches[FalseLit];
+    for (size_t I = 0; I < WL.size();) {
+      Clause &C = Clauses[WL[I]];
+      if (C.Lits[0] == FalseLit)
+        std::swap(C.Lits[0], C.Lits[1]);
+      // C.Lits[1] is the falsified watch; C.Lits[0] the other one.
+      if (valueLit(C.Lits[0]) == LBool::True) {
+        ++I;
+        continue;
+      }
+      bool Moved = false;
+      for (size_t K = 2; K < C.Lits.size(); ++K) {
+        if (valueLit(C.Lits[K]) != LBool::False) {
+          std::swap(C.Lits[1], C.Lits[K]);
+          Watches[C.Lits[1]].push_back(WL[I]);
+          WL[I] = WL.back();
+          WL.pop_back();
+          Moved = true;
+          break;
+        }
+      }
+      if (Moved)
+        continue;
+      // No replacement watch: the clause is unit on Lits[0], or false.
+      if (!enqueue(C.Lits[0]))
+        return false;
+      ++I;
+    }
+  }
+  return true;
+}
+
+void ClauseStore::shrinkTrailTo(size_t N) {
+  while (Trail.size() > N) {
+    Lit L = Trail.back();
+    Trail.pop_back();
+    Phase[litVar(L)] = litSign(L) ? 0 : 1;
+    Assign[litVar(L)] = LBool::Undef;
+  }
+  if (QHead > N)
+    QHead = N;
+}
+
+void ClauseStore::detachClause(uint32_t Idx) {
+  const Clause &C = Clauses[Idx];
+  for (size_t W = 0; W < 2; ++W) {
+    std::vector<uint32_t> &WL = Watches[C.Lits[W]];
+    for (size_t I = 0; I < WL.size(); ++I)
+      if (WL[I] == Idx) {
+        WL[I] = WL.back();
+        WL.pop_back();
+        break;
+      }
+  }
+}
+
+void ClauseStore::popTo(const Mark &M) {
+  for (uint32_t Idx = static_cast<uint32_t>(Clauses.size()); Idx > M.Clauses;)
+    detachClause(--Idx);
+  Clauses.resize(M.Clauses);
+  shrinkTrailTo(M.TrailSz);
+}
+
+void ClauseStore::clear() {
+  Clauses.clear();
+  Watches.clear();
+  Assign.clear();
+  Activity.clear();
+  Phase.clear();
+  Trail.clear();
+  QHead = 0;
+  ActivityInc = 1.0;
+}
+
+void ClauseStore::bump(BVar V) {
+  Activity[V] += ActivityInc;
+  if (Activity[V] > 1e100) { // rescale, preserving relative order
+    for (double &A : Activity)
+      A *= 1e-100;
+    ActivityInc *= 1e-100;
+  }
+}
+
+BVar ClauseStore::pickUnassigned(const std::vector<uint8_t> &Relevant) const {
+  BVar Best = InvalidBVar;
+  double BestAct = -1.0;
+  for (BVar V = 0; V < Assign.size(); ++V)
+    if (Relevant[V] && Assign[V] == LBool::Undef && Activity[V] > BestAct) {
+      Best = V;
+      BestAct = Activity[V];
+    }
+  return Best;
+}
+
+void ClauseStore::relevantVars(std::vector<uint8_t> &Out) const {
+  Out.assign(Assign.size(), 0);
+  for (const Clause &C : Clauses)
+    for (Lit L : C.Lits)
+      Out[litVar(L)] = 1;
+}

@@ -1,0 +1,132 @@
+//===- solver/native/clause_store.h - Watched-literal clauses --*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The propositional side of the native solver (DESIGN.md §4f): a CNF-ish
+/// clause store with two-watched-literal unit propagation, VSIDS-style
+/// activity scoring with phase saving, and a trail whose marks back both
+/// the session's push/pop prefix frames and the search's chronological
+/// backtracking — the architecture of the SAT-solver exemplars referenced
+/// in ROADMAP.md (watched literals, activity scores, snapshot stacks),
+/// sized for path-condition skeletons rather than industrial CNF.
+///
+/// Conventions: a literal is `var << 1 | sign` (sign bit set = negated).
+/// Unit clauses are not stored — their literal is enqueued directly; the
+/// trail mark of the owning frame removes the assignment on pop. Stored
+/// clauses always watch positions 0 and 1, swapped in place during
+/// propagation.
+///
+/// The store knows nothing about decision levels: the session records
+/// `(trail size, equality-core mark)` pairs at frame pushes and at search
+/// decisions and rolls both back together.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_SOLVER_NATIVE_CLAUSE_STORE_H
+#define GILLIAN_SOLVER_NATIVE_CLAUSE_STORE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gillian::native {
+
+using BVar = uint32_t;
+using Lit = uint32_t;
+inline constexpr BVar InvalidBVar = 0xFFFFFFFFu;
+
+inline Lit mkLit(BVar V, bool Neg = false) {
+  return (V << 1) | (Neg ? 1u : 0u);
+}
+inline BVar litVar(Lit L) { return L >> 1; }
+inline bool litSign(Lit L) { return (L & 1u) != 0; } ///< true = negated
+inline Lit litNot(Lit L) { return L ^ 1u; }
+
+enum class LBool : uint8_t { False = 0, True = 1, Undef = 2 };
+
+class ClauseStore {
+public:
+  BVar newVar();
+  size_t numVars() const { return Assign.size(); }
+  size_t numClauses() const { return Clauses.size(); }
+
+  LBool value(BVar V) const { return Assign[V]; }
+  LBool valueLit(Lit L) const {
+    LBool V = Assign[litVar(L)];
+    if (V == LBool::Undef)
+      return V;
+    return (V == LBool::True) != litSign(L) ? LBool::True : LBool::False;
+  }
+
+  /// Adds a clause (duplicates removed; tautologies dropped). Literals
+  /// already false under the current assignment stay in the clause — the
+  /// watch scheme only requires the two watched positions to be chosen
+  /// sanely, which this does. Returns false when the clause is false under
+  /// the current assignment with no unassigned literal (conflict).
+  bool addClause(std::vector<Lit> Lits);
+
+  /// Enqueues an assignment (decision, external fact, or unit). Returns
+  /// false when the literal is already false.
+  bool enqueue(Lit L);
+
+  /// Two-watched-literal propagation to fixpoint from the queue head.
+  /// Returns false on conflict (the trail keeps everything assigned up to
+  /// it; the caller rolls back via trail marks).
+  bool propagate();
+
+  const std::vector<Lit> &trail() const { return Trail; }
+  /// Unassigns every trail literal past \p N (saving phases) and rewinds
+  /// the propagation queue head.
+  void shrinkTrailTo(size_t N);
+
+  /// Snapshot for the session's push/pop frames. Only meaningful outside
+  /// a search (no live decisions).
+  struct Mark {
+    size_t Clauses = 0;
+    size_t TrailSz = 0;
+  };
+  Mark mark() const { return {Clauses.size(), Trail.size()}; }
+  /// Removes clauses added after \p M (detaching their watches) and
+  /// shrinks the trail. Variables are monotone — a popped frame's atoms
+  /// stay allocated but unassigned.
+  void popTo(const Mark &M);
+  void clear();
+
+  // VSIDS-style activity: bumped on conflicts, decayed periodically, used
+  // to order search decisions. Linear argmax scan — path-condition
+  // skeletons have few variables, so a heap would cost more than it saves.
+  void bump(BVar V);
+  void decay() { ActivityInc /= 0.95; }
+  /// Highest-activity unassigned variable among those with a set bit in
+  /// \p Relevant (variables occurring in live clauses); InvalidBVar when
+  /// every relevant variable is assigned.
+  BVar pickUnassigned(const std::vector<uint8_t> &Relevant) const;
+  bool savedPhase(BVar V) const { return Phase[V] != 0; }
+
+  /// Collects the variables occurring in live stored clauses into a
+  /// per-variable bitmap (the search's decision candidates).
+  void relevantVars(std::vector<uint8_t> &Out) const;
+
+private:
+  struct Clause {
+    std::vector<Lit> Lits; ///< Lits[0], Lits[1] are the watched positions
+  };
+
+  void detachClause(uint32_t Idx);
+
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<uint32_t>> Watches; ///< by literal
+  std::vector<LBool> Assign;                  ///< by variable
+  std::vector<double> Activity;               ///< by variable
+  std::vector<uint8_t> Phase;                 ///< by variable (last value)
+  std::vector<Lit> Trail;
+  size_t QHead = 0;
+  double ActivityInc = 1.0;
+};
+
+} // namespace gillian::native
+
+#endif // GILLIAN_SOLVER_NATIVE_CLAUSE_STORE_H

@@ -1,0 +1,184 @@
+//===- solver/native/equality_core.cpp ------------------------------------===//
+
+#include "solver/native/equality_core.h"
+
+using namespace gillian;
+using namespace gillian::native;
+
+TermId EqualityCore::intern(const Expr &E) {
+  auto It = InternMap.find(E);
+  if (It != InternMap.end())
+    return It->second;
+
+  Term T;
+  T.E = E;
+  switch (E.kind()) {
+  case ExprKind::Lit:
+  case ExprKind::LVar:
+  case ExprKind::PVar:
+    break; // atomic terms: no children, OpSig stays 0
+  case ExprKind::UnOp:
+    T.OpSig = 0x100u | static_cast<uint64_t>(E.unOpKind());
+    break;
+  case ExprKind::BinOp:
+    T.OpSig = 0x200u | static_cast<uint64_t>(E.binOpKind());
+    break;
+  case ExprKind::List:
+    // Lists of different lengths must not be congruent, so fold the arity
+    // into the signature.
+    T.OpSig = 0x300u | (static_cast<uint64_t>(E.numChildren()) << 16);
+    break;
+  }
+  if (T.OpSig != 0) {
+    T.Children.reserve(E.numChildren());
+    for (size_t I = 0; I < E.numChildren(); ++I)
+      T.Children.push_back(intern(E.child(I)));
+  }
+
+  TermId Id = static_cast<TermId>(Terms.size());
+  Terms.push_back(std::move(T));
+  Parent.push_back(Id);
+  Rank.push_back(0);
+  ClassLit.push_back(E.kind() == ExprKind::Lit ? Id : InvalidTerm);
+  if (Terms[Id].OpSig != 0)
+    Apps.push_back(Id);
+  InternMap.emplace(E, Id);
+  return Id;
+}
+
+TermId EqualityCore::find(TermId T) const {
+  // No path compression: compression writes would need their own trail
+  // entries. Chains stay short (union by rank).
+  while (Parent[T] != T)
+    T = Parent[T];
+  return T;
+}
+
+const Value *EqualityCore::classValue(TermId T) const {
+  TermId L = ClassLit[find(T)];
+  return L == InvalidTerm ? nullptr : &Terms[L].E.litValue();
+}
+
+bool EqualityCore::unionReps(TermId RA, TermId RB) {
+  if (RA == RB)
+    return true;
+  // Conflict pre-checks mutate nothing, so a failed union needs no undo of
+  // its own (earlier merges of the same assert batch still do).
+  TermId LA = ClassLit[RA], LB = ClassLit[RB];
+  if (LA != InvalidTerm && LB != InvalidTerm &&
+      !(Terms[LA].E.litValue() == Terms[LB].E.litValue()))
+    return false;
+  for (const auto &[X, Y] : Diseqs) {
+    TermId RX = find(X), RY = find(Y);
+    if ((RX == RA && RY == RB) || (RX == RB && RY == RA))
+      return false;
+  }
+
+  if (Rank[RA] < Rank[RB])
+    std::swap(RA, RB); // RA becomes the surviving root
+  Trail.push_back({TrailEntry::Union, RB, RA, Rank[RA], ClassLit[RA]});
+  Parent[RB] = RA;
+  if (Rank[RA] == Rank[RB])
+    ++Rank[RA];
+  if (ClassLit[RA] == InvalidTerm)
+    ClassLit[RA] = ClassLit[RB];
+  return true;
+}
+
+bool EqualityCore::propagateCongruence() {
+  // Fixpoint over application pairs. Quadratic in the (small) number of
+  // applications a path condition mentions; runs only when a merge
+  // happened, and each iteration performs at least one merge.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I < Apps.size(); ++I) {
+      for (size_t J = I + 1; J < Apps.size(); ++J) {
+        const Term &A = Terms[Apps[I]], &B = Terms[Apps[J]];
+        if (A.OpSig != B.OpSig || A.Children.size() != B.Children.size())
+          continue;
+        TermId RA = find(Apps[I]), RB = find(Apps[J]);
+        if (RA == RB)
+          continue;
+        bool Congruent = true;
+        for (size_t K = 0; K < A.Children.size(); ++K)
+          if (find(A.Children[K]) != find(B.Children[K])) {
+            Congruent = false;
+            break;
+          }
+        if (!Congruent)
+          continue;
+        if (!unionReps(RA, RB))
+          return false;
+        Changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+bool EqualityCore::assertEq(TermId A, TermId B) {
+  if (!unionReps(find(A), find(B)))
+    return false;
+  return propagateCongruence();
+}
+
+bool EqualityCore::assertDiseq(TermId A, TermId B) {
+  if (find(A) == find(B))
+    return false;
+  Trail.push_back({TrailEntry::Diseq});
+  Diseqs.emplace_back(A, B);
+  return true;
+}
+
+bool EqualityCore::impliedDistinct(TermId A, TermId B) const {
+  TermId RA = find(A), RB = find(B);
+  if (RA == RB)
+    return false;
+  TermId LA = ClassLit[RA], LB = ClassLit[RB];
+  if (LA != InvalidTerm && LB != InvalidTerm &&
+      !(Terms[LA].E.litValue() == Terms[LB].E.litValue()))
+    return true;
+  for (const auto &[X, Y] : Diseqs) {
+    TermId RX = find(X), RY = find(Y);
+    if ((RX == RA && RY == RB) || (RX == RB && RY == RA))
+      return true;
+  }
+  return false;
+}
+
+void EqualityCore::undoTo(size_t Mark) {
+  while (Trail.size() > Mark) {
+    const TrailEntry &E = Trail.back();
+    if (E.K == TrailEntry::Union) {
+      Parent[E.ChildRoot] = E.ChildRoot;
+      Rank[E.ParentRoot] = E.OldRank;
+      ClassLit[E.ParentRoot] = E.OldClassLit;
+    } else {
+      Diseqs.pop_back();
+    }
+    Trail.pop_back();
+  }
+}
+
+void EqualityCore::clear() {
+  Terms.clear();
+  Parent.clear();
+  Rank.clear();
+  ClassLit.clear();
+  Apps.clear();
+  Diseqs.clear();
+  Trail.clear();
+  InternMap.clear();
+}
+
+void EqualityCore::diseqNeighborReps(TermId T, std::vector<TermId> &Out) const {
+  TermId R = find(T);
+  for (const auto &[X, Y] : Diseqs) {
+    TermId RX = find(X), RY = find(Y);
+    if (RX == R)
+      Out.push_back(RY);
+    else if (RY == R)
+      Out.push_back(RX);
+  }
+}

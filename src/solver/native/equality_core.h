@@ -1,0 +1,120 @@
+//===- solver/native/equality_core.h - Union-find equality core *- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The theory side of the native solver (DESIGN.md §4f): an undoable
+/// union-find over interned terms with congruence closure and a
+/// disequality store, so disequality chains — the query class behind the
+/// `bst`/`pqueue` outliers of EXPERIMENTS.md — are decided without an SMT
+/// round-trip.
+///
+/// Terms are interned structurally from logical expressions: literals,
+/// variables, and applications (operator + child terms). The core asserts
+/// equalities and disequalities and reports conflicts from three sound
+/// sources only:
+///
+///  * two *distinct literal values* merged into one class (GIL equality is
+///    structural Value equality — including `NaN == NaN` being true — so
+///    distinct `Value`s really are unequal under every model);
+///  * a disequality whose two sides land in one class;
+///  * congruence: identical operators applied to pairwise-equal arguments
+///    are equal, because GIL evaluation is deterministic — merging them
+///    can then surface either conflict above.
+///
+/// Everything is recorded on an undo trail; `mark()`/`undoTo()` give the
+/// clause store's backtracking and the session's push/pop frames O(delta)
+/// rollback. Interning is monotone (never undone): a stale term is just an
+/// isolated singleton class, and the session resets wholesale.
+///
+/// The core never claims satisfiability — the session builds a candidate
+/// model from the final classes and verifies it by evaluation, which is
+/// what keeps false Sat impossible by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_SOLVER_NATIVE_EQUALITY_CORE_H
+#define GILLIAN_SOLVER_NATIVE_EQUALITY_CORE_H
+
+#include "gil/expr.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace gillian::native {
+
+using TermId = uint32_t;
+inline constexpr TermId InvalidTerm = 0xFFFFFFFFu;
+
+class EqualityCore {
+public:
+  /// Interns \p E structurally (same expression → same TermId). Monotone:
+  /// interning is never rolled back by undoTo(). The Expr is kept alive by
+  /// the term table, so identity-based reasoning stays valid.
+  TermId intern(const Expr &E);
+
+  /// Asserts A = B (with congruence closure). Returns false on conflict;
+  /// the caller must then undoTo() the mark it took beforehand — partial
+  /// merges performed while discovering the conflict stay on the trail.
+  bool assertEq(TermId A, TermId B);
+
+  /// Asserts A ≠ B. Returns false when A and B are already in one class.
+  bool assertDiseq(TermId A, TermId B);
+
+  bool impliedEqual(TermId A, TermId B) const { return find(A) == find(B); }
+  /// Known-unequal: recorded disequality between the classes, or the two
+  /// classes are pinned to distinct literal values.
+  bool impliedDistinct(TermId A, TermId B) const;
+
+  size_t mark() const { return Trail.size(); }
+  void undoTo(size_t Mark);
+  /// Drops every term, class and disequality (session reset).
+  void clear();
+
+  TermId find(TermId T) const;
+  /// The literal Value this class is pinned to, or nullptr.
+  const Value *classValue(TermId T) const;
+  const Expr &termExpr(TermId T) const { return Terms[T].E; }
+  size_t numTerms() const { return Terms.size(); }
+
+  /// Representatives of classes recorded unequal to T's class, in
+  /// deterministic (insertion) order; duplicates possible.
+  void diseqNeighborReps(TermId T, std::vector<TermId> &Out) const;
+
+private:
+  struct Term {
+    Expr E;
+    uint64_t OpSig = 0;           ///< nonzero for applications
+    std::vector<TermId> Children; ///< application arguments
+  };
+  struct TrailEntry {
+    enum Kind : uint8_t { Union, Diseq } K;
+    TermId ChildRoot = InvalidTerm;  ///< Union: re-root to itself
+    TermId ParentRoot = InvalidTerm; ///< Union: restore rank / class value
+    uint32_t OldRank = 0;
+    TermId OldClassLit = InvalidTerm;
+  };
+
+  /// Merges the classes of two representatives (no congruence). Performs
+  /// the sound conflict pre-checks and mutates nothing on failure.
+  bool unionReps(TermId RA, TermId RB);
+  /// Congruence fixpoint over all application terms; false on conflict.
+  bool propagateCongruence();
+
+  std::vector<Term> Terms;
+  std::vector<TermId> Parent;
+  std::vector<uint32_t> Rank;
+  /// Per-representative: term id of the literal pinned to the class.
+  std::vector<TermId> ClassLit;
+  std::vector<TermId> Apps; ///< all application terms
+  std::vector<std::pair<TermId, TermId>> Diseqs;
+  std::vector<TrailEntry> Trail;
+  std::unordered_map<Expr, TermId> InternMap;
+};
+
+} // namespace gillian::native
+
+#endif // GILLIAN_SOLVER_NATIVE_EQUALITY_CORE_H

@@ -1,0 +1,697 @@
+//===- solver/native/native_session.cpp -----------------------------------===//
+
+#include "solver/native/native_session.h"
+
+#include "solver/native/clause_store.h"
+#include "solver/native/equality_core.h"
+#include "solver/solver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+using namespace gillian;
+using namespace gillian::native;
+
+namespace {
+/// Search effort cap (decisions + conflicts per query). The boolean
+/// skeleton of a path condition is conjunction-heavy — most queries finish
+/// in one propagation pass — so the cap only guards degenerate
+/// disjunction-rich inputs, which answer Unknown and fall through to Z3.
+constexpr size_t SearchBudget = 50000;
+/// Candidate-value attempts per equivalence class during model building.
+constexpr int ModelAttempts = 64;
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// NativeSession::Impl
+//===----------------------------------------------------------------------===//
+
+struct NativeSession::Impl {
+  /// Per-boolean-variable atom payload. Aux (Tseitin) variables have a
+  /// null expression; equality atoms carry the two interned sides.
+  struct AtomInfo {
+    Expr E;
+    TermId L = InvalidTerm, R = InvalidTerm;
+  };
+
+  struct Frame {
+    std::vector<Expr> Conjuncts; ///< delta slice of the canonical order
+    ClauseStore::Mark CMark;
+    size_t EqMark = 0;
+    std::vector<Expr> NewAtoms; ///< AtomVar keys to drop on pop
+    bool Conflicted = false;    ///< conflict while asserting (query Unsat)
+    bool Dropped = false;       ///< some conjunct did not translate
+  };
+
+  ClauseStore CS;
+  EqualityCore EC;
+  std::unordered_map<Expr, BVar> AtomVar;
+  std::vector<AtomInfo> Atoms; ///< indexed by BVar
+  std::vector<Frame> Frames;
+  size_t Asserted = 0;   ///< conjuncts covered by live frames
+  size_t TheoryHead = 0; ///< trail prefix already applied to EC
+  Lit TrueLit = 0;
+  Frame *CurFrame = nullptr; ///< frame being asserted (atom bookkeeping)
+  bool AssertConflict = false;
+
+  Impl() { init(); }
+
+  void init() {
+    // A constant-true variable at trail position 0 — before any frame
+    // mark, so no pop ever unassigns it. Boolean literal leaves map to it.
+    BVar TV = CS.newVar();
+    Atoms.push_back({});
+    TrueLit = mkLit(TV);
+    CS.enqueue(TrueLit);
+    CS.propagate();
+    TheoryHead = CS.trail().size();
+  }
+
+  void rollbackTo(size_t TrailN, size_t EqM) {
+    CS.shrinkTrailTo(TrailN);
+    if (TheoryHead > TrailN)
+      TheoryHead = TrailN;
+    EC.undoTo(EqM);
+  }
+
+  /// Applies equality atoms assigned since the last sync to the equality
+  /// core. False on theory conflict (caller rolls back).
+  bool applyTheory() {
+    const std::vector<Lit> &T = CS.trail();
+    while (TheoryHead < T.size()) {
+      Lit L = T[TheoryHead++];
+      const AtomInfo &A = Atoms[litVar(L)];
+      if (A.L == InvalidTerm)
+        continue;
+      bool Ok = litSign(L) ? EC.assertDiseq(A.L, A.R) : EC.assertEq(A.L, A.R);
+      if (!Ok)
+        return false;
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Translation (exact or dropped — never approximate)
+  //===--------------------------------------------------------------------===//
+
+  BVar newAtomVar(const Expr &Key, AtomInfo Info) {
+    BVar V = CS.newVar();
+    Atoms.push_back(std::move(Info));
+    AtomVar.emplace(Key, V);
+    CurFrame->NewAtoms.push_back(Key);
+    return V;
+  }
+
+  Lit eqAtomLit(const Expr &A0, const Expr &B0) {
+    // Orient under ExprOrdering so `a == b` and `b == a` share one atom.
+    Expr A = A0, B = B0;
+    if (ExprOrdering{}(B, A))
+      std::swap(A, B);
+    Expr Key = Expr::eq(A, B);
+    auto It = AtomVar.find(Key);
+    if (It != AtomVar.end())
+      return mkLit(It->second);
+    return mkLit(newAtomVar(Key, {Key, EC.intern(A), EC.intern(B)}));
+  }
+
+  Lit opaqueAtomLit(const Expr &E) {
+    auto It = AtomVar.find(E);
+    if (It != AtomVar.end())
+      return mkLit(It->second);
+    return mkLit(newAtomVar(E, {E}));
+  }
+
+  /// Tseitin encoding of a nested and/or: an aux variable equivalent to
+  /// the connective, defined by three clauses. Exact, so Unsat stays sound.
+  std::optional<Lit> tseitinLit(const Expr &E) {
+    auto It = AtomVar.find(E);
+    if (It != AtomVar.end())
+      return mkLit(It->second);
+    bool IsAnd = E.binOpKind() == BinOpKind::And;
+    std::optional<Lit> A = litOf(E.child(0));
+    if (!A)
+      return std::nullopt;
+    std::optional<Lit> B = litOf(E.child(1));
+    if (!B)
+      return std::nullopt;
+    Lit V = mkLit(newAtomVar(E, {}));
+    bool Ok = true;
+    if (IsAnd) {
+      Ok &= CS.addClause({litNot(V), *A});
+      Ok &= CS.addClause({litNot(V), *B});
+      Ok &= CS.addClause({V, litNot(*A), litNot(*B)});
+    } else {
+      Ok &= CS.addClause({litNot(V), *A, *B});
+      Ok &= CS.addClause({V, litNot(*A)});
+      Ok &= CS.addClause({V, litNot(*B)});
+    }
+    if (!Ok)
+      AssertConflict = true;
+    return V;
+  }
+
+  /// The literal equivalent to boolean expression \p E, or nullopt when
+  /// \p E has no exact propositional translation.
+  std::optional<Lit> litOf(const Expr &E) {
+    switch (E.kind()) {
+    case ExprKind::Lit:
+      if (E.litValue().isBool())
+        return E.litValue().asBool() ? TrueLit : litNot(TrueLit);
+      return std::nullopt;
+    case ExprKind::LVar:
+      return opaqueAtomLit(E); // boolean variable used as a formula
+    case ExprKind::UnOp:
+      if (E.unOpKind() == UnOpKind::Not) {
+        std::optional<Lit> L = litOf(E.child(0));
+        if (!L)
+          return std::nullopt;
+        return litNot(*L);
+      }
+      return std::nullopt;
+    case ExprKind::BinOp:
+      switch (E.binOpKind()) {
+      case BinOpKind::And:
+      case BinOpKind::Or:
+        return tseitinLit(E);
+      case BinOpKind::Eq:
+        return eqAtomLit(E.child(0), E.child(1));
+      case BinOpKind::Lt:
+      case BinOpKind::Le:
+        // Opaque propositionally; sides double as order hints for model
+        // construction (see proposeModel).
+        return opaqueAtomLit(E);
+      default:
+        return std::nullopt;
+      }
+    case ExprKind::PVar:
+    case ExprKind::List:
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  /// Asserts one top-level conjunct. Returns false when (part of) it was
+  /// dropped as untranslatable; conflicts set AssertConflict.
+  bool assertConjunct(const Expr &C) {
+    if (C.kind() == ExprKind::BinOp && C.binOpKind() == BinOpKind::And) {
+      // Assert both sides even if one is unsupported: more asserted facts
+      // means more Unsat power, and dropping is tracked either way.
+      bool L = assertConjunct(C.child(0));
+      bool R = assertConjunct(C.child(1));
+      return L && R;
+    }
+    std::optional<Lit> L = litOf(C);
+    if (!L)
+      return false;
+    if (!CS.addClause({*L}))
+      AssertConflict = true;
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Frames
+  //===--------------------------------------------------------------------===//
+
+  bool anyConflictedFrame() const {
+    for (const Frame &F : Frames)
+      if (F.Conflicted)
+        return true;
+    return false;
+  }
+
+  void pushFrame(std::vector<Expr> Delta) {
+    Frames.emplace_back();
+    Frame &F = Frames.back();
+    F.CMark = CS.mark();
+    F.EqMark = EC.mark();
+    F.Conjuncts = std::move(Delta);
+    Asserted += F.Conjuncts.size();
+    if (anyConflictedFrame())
+      return; // prefix already Unsat: assert nothing more
+    CurFrame = &F;
+    AssertConflict = false;
+    for (const Expr &C : F.Conjuncts) {
+      if (AssertConflict)
+        break;
+      if (!assertConjunct(C))
+        F.Dropped = true;
+    }
+    if (!AssertConflict && !CS.propagate())
+      AssertConflict = true;
+    if (!AssertConflict && !applyTheory())
+      AssertConflict = true;
+    F.Conflicted = AssertConflict;
+    CurFrame = nullptr;
+  }
+
+  void popFrame() {
+    Frame &F = Frames.back();
+    CS.popTo(F.CMark);
+    if (TheoryHead > F.CMark.TrailSz)
+      TheoryHead = F.CMark.TrailSz;
+    EC.undoTo(F.EqMark);
+    for (const Expr &E : F.NewAtoms)
+      AtomVar.erase(E);
+    Asserted -= F.Conjuncts.size();
+    Frames.pop_back();
+  }
+
+  /// Longest live frame prefix matching \p PC's canonical conjunct list.
+  size_t matchingFrames(const PathCondition &PC, size_t &ConjCount) const {
+    const std::vector<Expr> &Cs = PC.conjuncts();
+    size_t Pos = 0, NF = 0;
+    for (const Frame &F : Frames) {
+      if (Pos + F.Conjuncts.size() > Cs.size() ||
+          !std::equal(F.Conjuncts.begin(), F.Conjuncts.end(),
+                      Cs.begin() + Pos))
+        break;
+      Pos += F.Conjuncts.size();
+      ++NF;
+    }
+    ConjCount = Pos;
+    return NF;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Search
+  //===--------------------------------------------------------------------===//
+
+  SatResult search(const PathCondition &PC, const TypeEnv &Types,
+                   SolverStats &Stats) {
+    const size_t Base = CS.trail().size();
+    const size_t BaseEq = EC.mark();
+    struct Decision {
+      BVar V;
+      bool Flipped;
+      bool FirstNeg;
+      size_t TrailMark;
+      size_t EqMark;
+    };
+    std::vector<Decision> Ds;
+    std::vector<uint8_t> Relevant;
+    CS.relevantVars(Relevant);
+    size_t Budget = SearchBudget, Conflicts = 0;
+
+    while (true) {
+      if (!CS.propagate() || !applyTheory()) {
+        // Chronological backtracking: flip the deepest unflipped decision.
+        if (++Conflicts % 64 == 0)
+          CS.decay();
+        while (!Ds.empty() && Ds.back().Flipped) {
+          rollbackTo(Ds.back().TrailMark, Ds.back().EqMark);
+          Ds.pop_back();
+        }
+        if (Ds.empty()) {
+          rollbackTo(Base, BaseEq);
+          return SatResult::Unsat;
+        }
+        Decision &Top = Ds.back();
+        CS.bump(Top.V);
+        rollbackTo(Top.TrailMark, Top.EqMark);
+        Top.Flipped = true;
+        CS.enqueue(mkLit(Top.V, !Top.FirstNeg));
+        continue;
+      }
+      if (--Budget == 0) {
+        rollbackTo(Base, BaseEq);
+        return SatResult::Unknown; // effort cap: delegate to Z3
+      }
+      BVar V = CS.pickUnassigned(Relevant);
+      if (V == InvalidBVar) {
+        // Theory-consistent total assignment over the live clauses: try to
+        // certify Sat with an evaluated model.
+        std::optional<Model> M = proposeModel(PC, Types);
+        bool Verified = false;
+        if (M) {
+          ++Stats.ModelsProposed;
+          Verified = M->satisfies(PC);
+          if (Verified)
+            ++Stats.ModelsVerified;
+        }
+        rollbackTo(Base, BaseEq);
+        return Verified ? SatResult::Sat : SatResult::Unknown;
+      }
+      bool Neg = !CS.savedPhase(V);
+      Ds.push_back({V, false, Neg, CS.trail().size(), EC.mark()});
+      CS.enqueue(mkLit(V, Neg));
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Model construction
+  //===--------------------------------------------------------------------===//
+
+  struct ClassPlan {
+    std::vector<InternedString> Vars;
+    const Value *Fixed = nullptr; ///< class literal (or forced boolean)
+    Value Forced;                 ///< storage when forced, Fixed points here
+    double Lo = 0.0, Hi = 0.0;
+    bool HasLo = false, LoStrict = false, HasHi = false, HiStrict = false;
+    bool NumHint = false; ///< a comparison bound literal was a Num
+    double Base = 0.0;    ///< relaxed numeric start value
+  };
+
+  GilType classType(const ClassPlan &P, const TypeEnv &Types) const {
+    for (InternedString X : P.Vars)
+      if (std::optional<GilType> T = Types.lookup(X))
+        return *T;
+    if (P.Fixed)
+      return P.Fixed->type();
+    // Type inference leaves mixed Int/Num comparisons unpinned (both are
+    // legal in GIL); a Num bound literal is the better guess then —
+    // verification by evaluation gates a wrong one either way.
+    return P.NumHint ? GilType::Num : GilType::Int;
+  }
+
+  /// K-th candidate value for a class (deterministic). Numeric candidates
+  /// respect literal bounds; everything else enumerates small distinct
+  /// values. Verification by evaluation is the actual gate.
+  std::optional<Value> candidate(const ClassPlan &P, GilType Ty,
+                                 int K) const {
+    switch (Ty) {
+    case GilType::Int: {
+      // Fractional bounds (Num literals constraining an Int variable)
+      // round inward: the candidate must be an integer inside the window.
+      double Lo = 0.0;
+      if (P.HasLo) {
+        Lo = std::ceil(P.Lo);
+        if (Lo == P.Lo && P.LoStrict)
+          Lo += 1.0;
+      }
+      double V = std::max(std::ceil(P.Base), Lo) + K;
+      if (P.HasHi) {
+        double Hi = std::floor(P.Hi);
+        if (Hi == P.Hi && P.HiStrict)
+          Hi -= 1.0;
+        if (V > Hi)
+          return std::nullopt;
+      }
+      return Value::intV(static_cast<int64_t>(V));
+    }
+    case GilType::Num: {
+      if (P.HasHi) {
+        // Fractions of the remaining open window: strictly increasing in
+        // K, never reaching the bound — infinitely many reals fit any
+        // window, which is exactly what the disequality-entangled
+        // real-number conditions of the bst/pqueue suites need.
+        double Span = P.Hi - P.Base;
+        if (Span <= 0)
+          return std::nullopt;
+        return Value::numV(P.Base +
+                           Span * (K + 1) / (ModelAttempts + 2.0));
+      }
+      return Value::numV(P.Base + K); // Base already clears a strict bound
+    }
+    case GilType::Str:
+      return Value::strV("s" + std::to_string(K));
+    case GilType::Bool:
+      if (K > 1)
+        return std::nullopt;
+      return Value::boolV(K == 1);
+    case GilType::Sym:
+      return Value::symV("n" + std::to_string(K));
+    case GilType::Type:
+      if (K >= 8)
+        return std::nullopt;
+      return Value::typeV(static_cast<GilType>(K));
+    case GilType::Proc:
+      return Value::procV("p" + std::to_string(K));
+    case GilType::List:
+      return K == 0 ? Value::listV({})
+                    : Value::listV({Value::intV(K)});
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Model> proposeModel(const PathCondition &PC,
+                                    const TypeEnv &Types) {
+    std::set<InternedString> LVars;
+    PC.collectLVars(LVars);
+    Model M;
+    if (LVars.empty())
+      return M; // ground condition: satisfies() decides on its own
+
+    // Equivalence classes of the query's variables (map order by rep id —
+    // deterministic given the session's interning history).
+    std::map<TermId, ClassPlan> Classes;
+    for (InternedString X : LVars)
+      Classes[EC.find(EC.intern(Expr::lvar(X)))].Vars.push_back(X);
+    for (auto &[Rep, P] : Classes)
+      P.Fixed = EC.classValue(Rep);
+
+    // Boolean variables used directly as formulas are pinned by their
+    // atom's truth value.
+    for (BVar V = 0; V < Atoms.size(); ++V) {
+      const AtomInfo &A = Atoms[V];
+      if (!A.E || !A.E.isLVar() || CS.value(V) == LBool::Undef)
+        continue;
+      auto It = Classes.find(EC.find(EC.intern(A.E)));
+      if (It != Classes.end() && !It->second.Fixed) {
+        It->second.Forced = Value::boolV(CS.value(V) == LBool::True);
+        It->second.Fixed = &It->second.Forced;
+      }
+    }
+
+    // Order hints from assigned comparison atoms: `x < y` false means
+    // `y <= x` over numbers (our models carry no NaN, so the complement
+    // is exact for the values we construct; evaluation verifies anyway).
+    struct Edge {
+      TermId Lo, Hi;
+      bool Strict;
+    };
+    std::vector<Edge> Edges;
+    auto classOf = [&](const Expr &E) -> ClassPlan * {
+      if (!E.isLVar())
+        return nullptr;
+      auto It = Classes.find(EC.find(EC.intern(E)));
+      return It == Classes.end() ? nullptr : &It->second;
+    };
+    auto repOf = [&](const Expr &E) { return EC.find(EC.intern(E)); };
+    for (BVar V = 0; V < Atoms.size(); ++V) {
+      const AtomInfo &A = Atoms[V];
+      if (!A.E || A.L != InvalidTerm || CS.value(V) == LBool::Undef ||
+          A.E.kind() != ExprKind::BinOp)
+        continue;
+      BinOpKind K = A.E.binOpKind();
+      if (K != BinOpKind::Lt && K != BinOpKind::Le)
+        continue;
+      bool T = CS.value(V) == LBool::True;
+      const Expr &LoE = T ? A.E.child(0) : A.E.child(1);
+      const Expr &HiE = T ? A.E.child(1) : A.E.child(0);
+      bool Strict = T ? K == BinOpKind::Lt : K == BinOpKind::Le;
+      bool LoLit = LoE.isLit() && LoE.litValue().isNumeric();
+      bool HiLit = HiE.isLit() && HiE.litValue().isNumeric();
+      if (LoLit && classOf(HiE)) {
+        ClassPlan &P = *classOf(HiE);
+        double B = LoE.litValue().asDouble();
+        if (LoE.litValue().type() == GilType::Num)
+          P.NumHint = true;
+        if (!P.HasLo || B > P.Lo || (B == P.Lo && Strict)) {
+          P.Lo = B;
+          P.LoStrict = Strict;
+          P.HasLo = true;
+        }
+      } else if (HiLit && classOf(LoE)) {
+        ClassPlan &P = *classOf(LoE);
+        double B = HiE.litValue().asDouble();
+        if (HiE.litValue().type() == GilType::Num)
+          P.NumHint = true;
+        if (!P.HasHi || B < P.Hi || (B == P.Hi && Strict)) {
+          P.Hi = B;
+          P.HiStrict = Strict;
+          P.HasHi = true;
+        }
+      } else if (classOf(LoE) && classOf(HiE)) {
+        Edges.push_back({repOf(LoE), repOf(HiE), Strict});
+      }
+    }
+
+    // Seed numeric bases at the lower bounds, then relax the var-to-var
+    // order edges to a fixpoint (bounded passes; leftover violations are
+    // caught by verification and delegated to Z3).
+    for (auto &[Rep, P] : Classes)
+      P.Base = P.HasLo ? P.Lo + (P.LoStrict ? 1.0 : 0.0) : 0.0;
+    for (size_t Pass = 0; Pass <= Classes.size(); ++Pass) {
+      bool Changed = false;
+      for (const Edge &E : Edges) {
+        auto LoIt = Classes.find(E.Lo), HiIt = Classes.find(E.Hi);
+        if (LoIt == Classes.end() || HiIt == Classes.end())
+          continue;
+        double Need = LoIt->second.Base + (E.Strict ? 1.0 : 0.0);
+        if (HiIt->second.Base < Need) {
+          HiIt->second.Base = Need;
+          Changed = true;
+        }
+      }
+      if (!Changed)
+        break;
+    }
+
+    // Assign values class by class, distinct across disequality edges.
+    std::map<TermId, Value> Chosen;
+    std::vector<TermId> Neigh;
+    for (auto &[Rep, P] : Classes) {
+      if (P.Fixed) {
+        Chosen.emplace(Rep, *P.Fixed);
+        continue;
+      }
+      Neigh.clear();
+      EC.diseqNeighborReps(Rep, Neigh);
+      auto Taken = [&](const Value &V) {
+        for (TermId N : Neigh) {
+          auto It = Chosen.find(EC.find(N));
+          if (It != Chosen.end() && It->second == V)
+            return true;
+          if (const Value *L = EC.classValue(N); L && *L == V)
+            return true;
+        }
+        return false;
+      };
+      GilType Ty = classType(P, Types);
+      bool Done = false;
+      for (int K = 0; K < ModelAttempts && !Done; ++K) {
+        std::optional<Value> C = candidate(P, Ty, K);
+        if (!C)
+          break;
+        if (!Taken(*C)) {
+          Chosen.emplace(Rep, *C);
+          Done = true;
+        }
+      }
+      if (!Done)
+        return std::nullopt; // no distinct in-bounds value: delegate
+    }
+
+    for (auto &[Rep, P] : Classes)
+      for (InternedString X : P.Vars)
+        M.bind(X, Chosen.at(Rep));
+    return M;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Entry point
+  //===--------------------------------------------------------------------===//
+
+  SatResult checkSat(const PathCondition &PC, const TypeEnv &Types,
+                     SolverStats &Stats) {
+    size_t KeepConj = 0;
+    size_t KeepFrames = matchingFrames(PC, KeepConj);
+    while (Frames.size() > KeepFrames)
+      popFrame();
+    Stats.NativeFramesReused += KeepFrames;
+    Stats.NativeConjunctsReused += KeepConj;
+
+    const std::vector<Expr> &Cs = PC.conjuncts();
+    if (KeepConj < Cs.size())
+      pushFrame(std::vector<Expr>(Cs.begin() + KeepConj, Cs.end()));
+
+    // A conflicted frame proves a subset of PC's conjuncts inconsistent —
+    // Unsat for this query and for every extension that reuses the prefix.
+    if (anyConflictedFrame())
+      return SatResult::Unsat;
+    return search(PC, Types, Stats);
+  }
+
+  void reset() {
+    CS.clear();
+    EC.clear();
+    AtomVar.clear();
+    Atoms.clear();
+    Frames.clear();
+    Asserted = 0;
+    TheoryHead = 0;
+    init();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// NativeSession
+//===----------------------------------------------------------------------===//
+
+NativeSession::NativeSession() : P(std::make_unique<Impl>()) {}
+NativeSession::~NativeSession() = default;
+
+size_t NativeSession::reusableConjuncts(const PathCondition &PC) const {
+  size_t Conj = 0;
+  P->matchingFrames(PC, Conj);
+  return Conj;
+}
+
+SatResult NativeSession::checkSat(const PathCondition &PC,
+                                  const TypeEnv &Types, SolverStats &Stats) {
+  return P->checkSat(PC, Types, Stats);
+}
+
+void NativeSession::reset() { P->reset(); }
+size_t NativeSession::depth() const { return P->Frames.size(); }
+size_t NativeSession::assertedConjuncts() const { return P->Asserted; }
+
+//===----------------------------------------------------------------------===//
+// NativeSessionPool
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::atomic<uint64_t> NativeGlobalGen{1};
+} // namespace
+
+NativeSessionPool &NativeSessionPool::forThread() {
+  thread_local NativeSessionPool Pool;
+  return Pool;
+}
+
+void NativeSessionPool::invalidateAll() {
+  NativeGlobalGen.fetch_add(1, std::memory_order_relaxed);
+}
+
+void NativeSessionPool::maybeGenerationReset() {
+  uint64_t G = NativeGlobalGen.load(std::memory_order_relaxed);
+  if (LocalGen != G) {
+    Pool.clear();
+    LocalGen = G;
+  }
+}
+
+size_t NativeSessionPool::sessions() {
+  maybeGenerationReset();
+  return Pool.size();
+}
+
+void NativeSessionPool::reset() {
+  Pool.clear();
+  LocalGen = NativeGlobalGen.load(std::memory_order_relaxed);
+}
+
+SatResult NativeSessionPool::checkSat(const PathCondition &PC,
+                                      const TypeEnv &Types,
+                                      SolverStats &Stats) {
+  maybeGenerationReset();
+
+  // Route to the session sharing the longest asserted prefix; a query
+  // sharing nothing claims a fresh session before evicting the LRU one.
+  size_t BestIdx = Pool.size();
+  size_t BestShare = 0;
+  for (size_t I = 0; I < Pool.size(); ++I) {
+    size_t S = Pool[I]->reusableConjuncts(PC);
+    if (S > BestShare) {
+      BestShare = S;
+      BestIdx = I;
+    }
+  }
+  if (BestIdx == Pool.size()) {
+    if (Pool.size() >= MaxSessions) {
+      Pool.erase(Pool.begin()); // evict LRU
+    }
+    Pool.push_back(std::make_unique<NativeSession>());
+    BestIdx = Pool.size() - 1;
+  }
+  // Move to MRU position.
+  std::unique_ptr<NativeSession> S = std::move(Pool[BestIdx]);
+  Pool.erase(Pool.begin() + BestIdx);
+  Pool.push_back(std::move(S));
+  return Pool.back()->checkSat(PC, Types, Stats);
+}

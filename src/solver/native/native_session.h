@@ -1,0 +1,122 @@
+//===- solver/native/native_session.h - Incremental native solver -*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native decision procedure for the boolean/equality/disequality
+/// skeleton of path conditions — the solver-stack layer between the
+/// syntactic core and the Z3 backends (DESIGN.md §4f). A session mirrors
+/// the IncrementalSession push/pop prefix discipline: asserted conjuncts
+/// live in a stack of frames over the query's canonical conjunct order; a
+/// query extending the asserted prefix pays only for its delta, and
+/// divergence pops frames in O(delta) (trail marks into the clause store
+/// and equality core).
+///
+/// Per query the session:
+///  1. translates conjuncts into clauses over interned atoms — equalities
+///     become theory atoms linked to the equality core, other
+///     boolean-valued expressions (comparisons, boolean variables) become
+///     opaque atoms; nested and/or/not structure is Tseitin-encoded
+///     exactly. A conjunct that does not translate exactly is dropped
+///     (recorded per frame), which only ever *weakens* the store;
+///  2. runs DPLL — watched-literal propagation, VSIDS decisions with phase
+///     saving, chronological backtracking — asserting equality atoms into
+///     the union-find core as they are assigned;
+///  3. on an exhausted search answers Unsat: sound, because every clause is
+///     implied by a subset of the query's conjuncts and every theory
+///     conflict is a valid equality-logic consequence;
+///  4. on a consistent total assignment builds a candidate model (class
+///     literals, order-hint relaxation, distinct values across
+///     disequality edges) and answers Sat only when the model *evaluates*
+///     every conjunct of the full query to true — false Sat is impossible
+///     by construction, dropped conjuncts included;
+///  5. answers Unknown otherwise, and the caller falls through to Z3 —
+///     the verdict-identity contract (never contradict the cold backend)
+///     enforced by tests/targets/native_differential_test.cpp.
+///
+/// NativeSessionPool mirrors IncrementalSessionPool: a small thread-local
+/// pool routed by longest reusable prefix, with cross-thread invalidation
+/// via a generation counter (Solver::resetCache, bench cold starts).
+/// Sessions hold no external handles, but stay thread-confined for the
+/// same reason the scheduler shares nothing hot between workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_SOLVER_NATIVE_NATIVE_SESSION_H
+#define GILLIAN_SOLVER_NATIVE_NATIVE_SESSION_H
+
+#include "solver/path_condition.h"
+#include "solver/syntactic.h"
+#include "solver/type_infer.h"
+
+#include <memory>
+#include <vector>
+
+namespace gillian {
+struct SolverStats;
+}
+
+namespace gillian::native {
+
+class NativeSession {
+public:
+  NativeSession();
+  ~NativeSession();
+  NativeSession(const NativeSession &) = delete;
+  NativeSession &operator=(const NativeSession &) = delete;
+
+  /// How many of \p PC's canonical conjuncts the live frame prefix already
+  /// asserts (0 when nothing is reusable). Pure inspection, used by the
+  /// pool to route queries.
+  size_t reusableConjuncts(const PathCondition &PC) const;
+
+  /// Decides \p PC natively where possible: Unsat on a proof, Sat only
+  /// with a model verified by evaluating every conjunct, Unknown otherwise
+  /// (caller delegates to Z3). \p Types feeds model construction only —
+  /// translation and Unsat reasoning are type-independent.
+  SatResult checkSat(const PathCondition &PC, const TypeEnv &Types,
+                     SolverStats &Stats);
+
+  /// Drops every frame, clause, term and atom.
+  void reset();
+
+  size_t depth() const;             ///< live frames
+  size_t assertedConjuncts() const; ///< conjuncts covered by live frames
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
+};
+
+/// A small per-thread pool of native sessions — the same approximate
+/// prefix trie as IncrementalSessionPool. Obtain via forThread(); never
+/// share an instance across threads.
+class NativeSessionPool {
+public:
+  static constexpr size_t MaxSessions = 4;
+
+  static NativeSessionPool &forThread();
+
+  /// Invalidates every thread's sessions (generation bump; each pool
+  /// drops its sessions lazily on next use from its own thread).
+  static void invalidateAll();
+
+  /// Routes \p PC to the best-sharing session and checks it there.
+  SatResult checkSat(const PathCondition &PC, const TypeEnv &Types,
+                     SolverStats &Stats);
+
+  size_t sessions();
+  void reset();
+
+private:
+  void maybeGenerationReset();
+
+  std::vector<std::unique_ptr<NativeSession>> Pool; ///< LRU→MRU order
+  uint64_t LocalGen = 0;
+};
+
+} // namespace gillian::native
+
+#endif // GILLIAN_SOLVER_NATIVE_NATIVE_SESSION_H

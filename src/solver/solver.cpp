@@ -3,10 +3,13 @@
 #include "solver/solver.h"
 
 #include "gil/parser.h"
+#include "obs/native_stats.h"
 #include "obs/progress.h"
 #include "obs/query_profile.h"
 #include "obs/span.h"
 #include "solver/incremental_session.h"
+#include "solver/native/native_session.h"
+#include "solver/native/query_service.h"
 #include "solver/simplifier.h"
 #include "solver/z3_backend.h"
 
@@ -65,26 +68,63 @@ SatResult Solver::solveLayers(const PathCondition &PC) {
       }
     }
   }
-  if (R == SatResult::Unknown && Opts.UseZ3 && z3Available()) {
-    Span T(Opts.UseIncremental ? SpanKind::IncExtend : SpanKind::ColdZ3,
-           &Stats.Z3Ns);
-    ++Stats.Z3Calls;
+  if (R == SatResult::Unknown &&
+      (Opts.UseNative || (Opts.UseZ3 && z3Available()))) {
+    // Type inference is shared by the native layer (model construction)
+    // and the Z3 backends (sort assignment); a type conflict among the
+    // conjuncts is Unsat without consulting either.
     TypeEnv Types;
     if (!inferTypes(PC.conjuncts(), Types)) {
       R = SatResult::Unsat;
-    } else if (Opts.UseIncremental) {
-      // Layer 2: the thread's incremental session pool pushes only the
-      // delta against an already-asserted path-condition prefix.
-      R = IncrementalSessionPool::forThread().checkSat(
-          PC, Types, Opts.IncrementalResetThreshold, Stats);
     } else {
-      R = checkSatZ3(PC, Types, /*WantModel=*/false).Verdict;
+      if (Opts.UseNative) {
+        // The native theory layer: decides the boolean/equality/
+        // disequality skeleton in-process, answers Unknown on anything
+        // arithmetic so the SMT layers below stay the authority there.
+        Span T(SpanKind::NativeSolve, &Stats.NativeNs);
+        obs::NativeGlobalStats &G = obs::nativeGlobalStats();
+        ++Stats.NativeQueries;
+        ++G.NativeQueries;
+        R = native::NativeSessionPool::forThread().checkSat(PC, Types,
+                                                            Stats);
+        switch (R) {
+        case SatResult::Sat:
+          ++Stats.NativeSat;
+          ++G.NativeSat;
+          break;
+        case SatResult::Unsat:
+          ++Stats.NativeUnsat;
+          ++G.NativeUnsat;
+          break;
+        case SatResult::Unknown:
+          ++Stats.NativeFallbacks;
+          ++G.NativeFallbacks;
+          break;
+        }
+      }
+      if (R == SatResult::Unknown && Opts.UseZ3 && z3Available()) {
+        Span T(Opts.UseIncremental ? SpanKind::IncExtend : SpanKind::ColdZ3,
+               &Stats.Z3Ns);
+        ++Stats.Z3Calls;
+        if (Opts.UseIncremental) {
+          // Layer 2: the thread's incremental session pool pushes only the
+          // delta against an already-asserted path-condition prefix.
+          R = IncrementalSessionPool::forThread().checkSat(
+              PC, Types, Opts.IncrementalResetThreshold, Stats);
+        } else {
+          R = checkSatZ3(PC, Types, /*WantModel=*/false).Verdict;
+        }
+      }
     }
   }
   return R;
 }
 
 void Solver::resetCache() {
+  // Quiesce the async service first: an in-flight solve still touches the
+  // caches and sessions being cleared below, and its verdict would be a
+  // warm answer leaking into a "cold" measurement.
+  native::SolverService::process().flush();
   Cache->clear();
   // Cold also means the upstream simplifier memo and every thread's
   // incremental sessions + encoding memos; other threads' sessions drop
@@ -92,6 +132,11 @@ void Solver::resetCache() {
   resetSimplifyCache();
   IncrementalSessionPool::invalidateAll();
   IncrementalSessionPool::forThread().reset();
+  // The native layer's clause stores and equality cores are memoised
+  // state of the same kind: invalidate every thread's sessions (lazy
+  // drop) and this thread's eagerly.
+  native::NativeSessionPool::invalidateAll();
+  native::NativeSessionPool::forThread().reset();
 }
 
 SatResult Solver::solveSlice(const PathCondition &Slice) {
@@ -196,8 +241,24 @@ SatResult Solver::checkSatImpl(const PathCondition &PC, bool &CacheHit) {
     }
   }
 
-  SatResult R = Opts.UseSlicing && PC.size() > 1 ? checkSatSliced(PC)
-                                                 : solveLayers(PC);
+  SatResult R;
+  if (Opts.AsyncSolvers > 0 && !native::SolverService::onWorkerThread()) {
+    // Route the undecided query through the async service: identical and
+    // subsumed in-flight queries from sibling scheduler workers resolve
+    // from one solve. The closure runs the exact inline pipeline, so
+    // options, caches and stats behave identically.
+    Span W(SpanKind::AsyncWait, &Stats.AsyncWaitNs);
+    R = native::SolverService::process().checkSat(
+        this, PC, Opts.AsyncSolvers,
+        [this](const PathCondition &Q) {
+          return Opts.UseSlicing && Q.size() > 1 ? checkSatSliced(Q)
+                                                 : solveLayers(Q);
+        },
+        Stats);
+  } else {
+    R = Opts.UseSlicing && PC.size() > 1 ? checkSatSliced(PC)
+                                         : solveLayers(PC);
+  }
 
   switch (R) {
   case SatResult::Sat: ++Stats.Sat; break;

@@ -71,6 +71,17 @@ struct SolverOptions {
   /// diverging query to pop frame-by-frame in place; below it the session
   /// resets entirely (fresh solver, memoised re-encode).
   double IncrementalResetThreshold = 0.25;
+  /// Try the native theory layer (src/solver/native/) on queries the
+  /// syntactic core leaves undecided, before any Z3 round-trip. The layer
+  /// decides the boolean/equality/disequality skeleton natively and
+  /// answers Unknown on anything arithmetic, so disabling it only moves
+  /// work back to Z3 — verdicts are identical by construction.
+  bool UseNative = true;
+  /// When > 0, route undecided full queries through the process-wide async
+  /// solver service: a pool of that many solver threads with a bounded
+  /// submission queue that batches and deduplicates in-flight identical or
+  /// subsumed queries across scheduler workers. 0 = solve inline.
+  uint32_t AsyncSolvers = 0;
 
   /// The paper's baseline configuration: no result caching, no slicing,
   /// no incremental sessions (JaVerT 2.0 had its own first-order layer,
@@ -137,6 +148,35 @@ struct SolverStats : obs::CounterSet<SolverStats> {
   obs::Counter EncodeMemoHits{*this, "encode_memo_hits", "incremental"};
   obs::Counter EncodeMemoMisses{*this, "encode_memo_misses", "incremental"};
 
+  // Native theory layer (boolean/equality/disequality skeleton; between
+  // the syntactic core and the Z3 backends — DESIGN.md §4f).
+  /// Queries reaching the native layer.
+  obs::Counter NativeQueries{*this, "native_queries", "solver"};
+  /// Decided Sat (verified model).
+  obs::Counter NativeSat{*this, "native_sat", "solver"};
+  /// Decided Unsat (native proof).
+  obs::Counter NativeUnsat{*this, "native_unsat", "solver"};
+  /// Unknown → delegated to Z3.
+  obs::Counter NativeFallbacks{*this, "native_fallbacks", "solver"};
+  /// Frames reused across queries.
+  obs::Counter NativeFramesReused{*this, "native_frames_reused", "solver"};
+  /// Conjuncts not re-asserted.
+  obs::Counter NativeConjunctsReused{*this, "native_conjuncts_reused",
+                                     "solver"};
+
+  // Async batched query service (SolverOptions::AsyncSolvers > 0).
+  obs::Counter AsyncSubmitted{*this, "async_submitted", "solver"};
+  /// Shared an in-flight identical query's future.
+  obs::Counter AsyncDedupHits{*this, "async_dedup_hits", "solver"};
+  /// Resolved by a completed query that subsumes this one.
+  obs::Counter AsyncSubsumedHits{*this, "async_subsumed_hits", "solver"};
+  /// Ran inline (queue full or called from a service worker).
+  obs::Counter AsyncInlineRuns{*this, "async_inline_runs", "solver"};
+  /// Batches drained by service workers.
+  obs::Counter AsyncBatches{*this, "async_batches", "solver"};
+  /// Submission-queue depth at last submit.
+  obs::Gauge AsyncQueueDepth{*this, "async_queue_depth", "solver"};
+
   obs::Counter Sat{*this, "sat", "verdict"};
   obs::Counter Unsat{*this, "unsat", "verdict"};
   obs::Counter Unknown{*this, "unknown", "verdict"};
@@ -148,6 +188,8 @@ struct SolverStats : obs::CounterSet<SolverStats> {
   obs::Counter SliceNs{*this, "slice_ns", "time"};     ///< slicing split
   obs::Counter CanonNs{*this, "canon_ns", "time"};     ///< slice keys
   obs::Counter SyntacticNs{*this, "syntactic_ns", "time"};
+  obs::Counter NativeNs{*this, "native_ns", "time"};   ///< native layer
+  obs::Counter AsyncWaitNs{*this, "async_wait_ns", "time"}; ///< future waits
   obs::Counter Z3Ns{*this, "z3_ns", "time"};           ///< SMT round-trips
   obs::Counter TotalNs{*this, "total_ns", "time"};     ///< inside checkSat
 

@@ -1,0 +1,423 @@
+//===- tests/solver/native_solver_test.cpp --------------------------------===//
+//
+// Units for the native theory solver (src/solver/native/): the watched-
+// literal clause store, the undoable equality core, the session's frame
+// reuse and verdicts, the async query service's dedup/subsumption, and the
+// Solver::resetCache regression (native state must go cold too).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/native/clause_store.h"
+#include "solver/native/equality_core.h"
+#include "solver/native/native_session.h"
+#include "solver/native/query_service.h"
+#include "solver/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace gillian;
+using namespace gillian::native;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// ClauseStore
+//===----------------------------------------------------------------------===//
+
+TEST(ClauseStoreTest, UnitPropagationChains) {
+  ClauseStore CS;
+  BVar A = CS.newVar(), B = CS.newVar(), C = CS.newVar();
+  // (a) ∧ (¬a ∨ b) ∧ (¬b ∨ c) propagates to a=b=c=true.
+  EXPECT_TRUE(CS.addClause({mkLit(A)}));
+  EXPECT_TRUE(CS.addClause({mkLit(A, true), mkLit(B)}));
+  EXPECT_TRUE(CS.addClause({mkLit(B, true), mkLit(C)}));
+  EXPECT_TRUE(CS.propagate());
+  EXPECT_EQ(CS.value(A), LBool::True);
+  EXPECT_EQ(CS.value(B), LBool::True);
+  EXPECT_EQ(CS.value(C), LBool::True);
+}
+
+TEST(ClauseStoreTest, PropagationConflict) {
+  ClauseStore CS;
+  BVar A = CS.newVar(), B = CS.newVar(), C = CS.newVar();
+  // Assert the unit last so the conflict surfaces inside propagate(), not
+  // eagerly at addClause time: a forces b forces c, contradicting ¬a ∨ ¬c.
+  EXPECT_TRUE(CS.addClause({mkLit(A, true), mkLit(B)}));
+  EXPECT_TRUE(CS.addClause({mkLit(B, true), mkLit(C)}));
+  EXPECT_TRUE(CS.addClause({mkLit(A, true), mkLit(C, true)}));
+  EXPECT_TRUE(CS.enqueue(mkLit(A)));
+  EXPECT_FALSE(CS.propagate());
+}
+
+TEST(ClauseStoreTest, ConflictDetectedAtAssertTime) {
+  ClauseStore CS;
+  BVar A = CS.newVar(), B = CS.newVar();
+  EXPECT_TRUE(CS.addClause({mkLit(A)}));
+  EXPECT_TRUE(CS.addClause({mkLit(A, true), mkLit(B)})); // eagerly forces b
+  // Every literal already false under the eager assignments: conflict now.
+  EXPECT_FALSE(CS.addClause({mkLit(A, true), mkLit(B, true)}));
+}
+
+TEST(ClauseStoreTest, TautologyAndDuplicateHandling) {
+  ClauseStore CS;
+  BVar A = CS.newVar();
+  // a ∨ ¬a is dropped; a ∨ a collapses to the unit a.
+  EXPECT_TRUE(CS.addClause({mkLit(A), mkLit(A, true)}));
+  EXPECT_EQ(CS.numClauses(), 0u);
+  EXPECT_TRUE(CS.addClause({mkLit(A), mkLit(A)}));
+  EXPECT_EQ(CS.numClauses(), 0u); // unit: enqueued, not stored
+  EXPECT_EQ(CS.value(A), LBool::True);
+}
+
+TEST(ClauseStoreTest, PopToRestoresClausesAndTrail) {
+  ClauseStore CS;
+  BVar A = CS.newVar(), B = CS.newVar();
+  EXPECT_TRUE(CS.addClause({mkLit(A), mkLit(B)}));
+  ClauseStore::Mark M = CS.mark();
+  EXPECT_TRUE(CS.addClause({mkLit(A, true)}));
+  EXPECT_TRUE(CS.propagate());
+  EXPECT_EQ(CS.value(B), LBool::True); // forced by ¬a and (a ∨ b)
+  CS.popTo(M);
+  EXPECT_EQ(CS.numClauses(), 1u);
+  EXPECT_EQ(CS.value(A), LBool::Undef);
+  EXPECT_EQ(CS.value(B), LBool::Undef);
+  // The surviving clause still propagates correctly after the pop.
+  EXPECT_TRUE(CS.enqueue(mkLit(A, true)));
+  EXPECT_TRUE(CS.propagate());
+  EXPECT_EQ(CS.value(B), LBool::True);
+}
+
+TEST(ClauseStoreTest, PhaseSavingRemembersLastValue) {
+  ClauseStore CS;
+  BVar A = CS.newVar();
+  EXPECT_TRUE(CS.savedPhase(A)); // default phase: positive
+  CS.enqueue(mkLit(A, true));
+  CS.shrinkTrailTo(0);
+  EXPECT_FALSE(CS.savedPhase(A));
+}
+
+//===----------------------------------------------------------------------===//
+// EqualityCore
+//===----------------------------------------------------------------------===//
+
+TEST(EqualityCoreTest, EqualityChainAndDiseqConflict) {
+  EqualityCore EC;
+  TermId X = EC.intern(Expr::lvar("#x"));
+  TermId Y = EC.intern(Expr::lvar("#y"));
+  TermId Z = EC.intern(Expr::lvar("#z"));
+  EXPECT_TRUE(EC.assertEq(X, Y));
+  EXPECT_TRUE(EC.assertEq(Y, Z));
+  EXPECT_TRUE(EC.impliedEqual(X, Z));
+  EXPECT_FALSE(EC.assertDiseq(X, Z)); // x=y=z contradicts x≠z
+}
+
+TEST(EqualityCoreTest, DistinctLiteralsConflict) {
+  EqualityCore EC;
+  TermId X = EC.intern(Expr::lvar("#x"));
+  TermId One = EC.intern(Expr::intE(1));
+  TermId Two = EC.intern(Expr::intE(2));
+  EXPECT_TRUE(EC.assertEq(X, One));
+  size_t M = EC.mark();
+  EXPECT_FALSE(EC.assertEq(X, Two));
+  EC.undoTo(M);
+  ASSERT_NE(EC.classValue(EC.find(X)), nullptr);
+  EXPECT_EQ(*EC.classValue(EC.find(X)), Value::intV(1));
+  EXPECT_TRUE(EC.impliedDistinct(One, Two));
+}
+
+TEST(EqualityCoreTest, CongruenceClosure) {
+  EqualityCore EC;
+  // x = y implies x+1 = y+1 by congruence; with x+1 ≠ y+1 recorded first,
+  // asserting x = y must conflict.
+  Expr X = Expr::lvar("#x"), Y = Expr::lvar("#y");
+  TermId FX = EC.intern(Expr::add(X, Expr::intE(1)));
+  TermId FY = EC.intern(Expr::add(Y, Expr::intE(1)));
+  TermId TX = EC.intern(X), TY = EC.intern(Y);
+  EXPECT_TRUE(EC.assertDiseq(FX, FY));
+  size_t M = EC.mark();
+  EXPECT_FALSE(EC.assertEq(TX, TY));
+  EC.undoTo(M);
+  EXPECT_FALSE(EC.impliedEqual(FX, FY));
+}
+
+TEST(EqualityCoreTest, UndoRestoresClassesExactly) {
+  EqualityCore EC;
+  TermId X = EC.intern(Expr::lvar("#x"));
+  TermId Y = EC.intern(Expr::lvar("#y"));
+  size_t M = EC.mark();
+  EXPECT_TRUE(EC.assertEq(X, Y));
+  EXPECT_TRUE(EC.impliedEqual(X, Y));
+  EC.undoTo(M);
+  EXPECT_FALSE(EC.impliedEqual(X, Y));
+  EXPECT_EQ(EC.find(X), X);
+  EXPECT_EQ(EC.find(Y), Y);
+}
+
+//===----------------------------------------------------------------------===//
+// NativeSession
+//===----------------------------------------------------------------------===//
+
+PathCondition pcOf(std::initializer_list<Expr> Es) {
+  PathCondition PC;
+  for (const Expr &E : Es)
+    PC.add(E);
+  return PC;
+}
+
+TEST(NativeSessionTest, DecidesEqualityConflictUnsat) {
+  NativeSession S;
+  SolverStats St;
+  TypeEnv Types;
+  PathCondition PC = pcOf({Expr::eq(Expr::lvar("#x"), Expr::intE(1)),
+                           Expr::eq(Expr::lvar("#x"), Expr::intE(2))});
+  EXPECT_EQ(S.checkSat(PC, Types, St), SatResult::Unsat);
+}
+
+TEST(NativeSessionTest, DecidesDiseqChainSat) {
+  // The bst/pqueue outlier shape: Num-typed variables in a bounded window,
+  // ordered and pairwise distinct. The syntactic core cannot certify this
+  // (its proposal collides); the native layer must, with a verified model.
+  NativeSession S;
+  SolverStats St;
+  Expr A = Expr::lvar("#a"), B = Expr::lvar("#b"), C = Expr::lvar("#c");
+  PathCondition PC = pcOf({
+      Expr::le(Expr::numE(0.5), A), Expr::lt(A, Expr::numE(100.0)),
+      Expr::le(Expr::numE(0.5), B), Expr::lt(B, Expr::numE(100.0)),
+      Expr::le(Expr::numE(0.5), C), Expr::lt(C, Expr::numE(100.0)),
+      Expr::notE(Expr::eq(A, B)), Expr::notE(Expr::eq(B, C)),
+      Expr::notE(Expr::eq(A, C))});
+  TypeEnv Types;
+  ASSERT_TRUE(inferTypes(PC.conjuncts(), Types));
+  EXPECT_EQ(S.checkSat(PC, Types, St), SatResult::Sat);
+  EXPECT_GT(St.ModelsVerified.load(), 0u);
+}
+
+TEST(NativeSessionTest, TransitiveDiseqThroughEqualitiesUnsat) {
+  NativeSession S;
+  SolverStats St;
+  TypeEnv Types;
+  Expr A = Expr::lvar("#a"), B = Expr::lvar("#b"), C = Expr::lvar("#c");
+  PathCondition PC = pcOf({Expr::eq(A, B), Expr::eq(B, C),
+                           Expr::notE(Expr::eq(A, C))});
+  EXPECT_EQ(S.checkSat(PC, Types, St), SatResult::Unsat);
+}
+
+TEST(NativeSessionTest, ReusesFramePrefixAcrossQueries) {
+  NativeSession S;
+  SolverStats St;
+  TypeEnv Types;
+  Expr A = Expr::lvar("#a"), B = Expr::lvar("#b");
+  PathCondition P1 = pcOf({Expr::eq(A, Expr::intE(1))});
+  ASSERT_TRUE(inferTypes(P1.conjuncts(), Types));
+  EXPECT_EQ(S.checkSat(P1, Types, St), SatResult::Sat);
+  EXPECT_EQ(S.depth(), 1u);
+
+  // Re-asking the identical condition reuses every frame — this holds
+  // regardless of where ExprOrdering places conjuncts.
+  uint64_t ReusedBefore = St.NativeConjunctsReused.load();
+  EXPECT_EQ(S.checkSat(P1, Types, St), SatResult::Sat);
+  EXPECT_EQ(St.NativeConjunctsReused.load(), ReusedBefore + P1.size());
+  EXPECT_EQ(S.depth(), 1u);
+
+  // Extending query: the shared canonical prefix (if any — the new
+  // conjunct may sort first) is reused, the delta pushed on top.
+  PathCondition P2 = P1;
+  P2.add(Expr::eq(B, Expr::intE(2)));
+  size_t SharedPrefix = 0;
+  while (SharedPrefix < P1.size() &&
+         P1.conjuncts()[SharedPrefix] == P2.conjuncts()[SharedPrefix])
+    ++SharedPrefix;
+  EXPECT_EQ(S.reusableConjuncts(P2), SharedPrefix);
+  ReusedBefore = St.NativeConjunctsReused.load();
+  TypeEnv T2;
+  ASSERT_TRUE(inferTypes(P2.conjuncts(), T2));
+  EXPECT_EQ(S.checkSat(P2, T2, St), SatResult::Sat);
+  EXPECT_EQ(St.NativeConjunctsReused.load(), ReusedBefore + SharedPrefix);
+  EXPECT_EQ(S.assertedConjuncts(), P2.size());
+
+  // Diverging query: frames past the shared prefix pop, verdict correct.
+  PathCondition P3 = P1;
+  P3.add(Expr::notE(Expr::eq(A, Expr::intE(1))));
+  TypeEnv T3;
+  EXPECT_EQ(S.checkSat(P3, T3, St), SatResult::Unsat);
+}
+
+TEST(NativeSessionTest, ConflictedPrefixAnswersExtensionsUnsat) {
+  NativeSession S;
+  SolverStats St;
+  TypeEnv Types;
+  Expr A = Expr::lvar("#a");
+  PathCondition P1 = pcOf({Expr::eq(A, Expr::intE(1)),
+                           Expr::eq(A, Expr::intE(2))});
+  EXPECT_EQ(S.checkSat(P1, Types, St), SatResult::Unsat);
+  PathCondition P2 = P1;
+  P2.add(Expr::eq(Expr::lvar("#b"), Expr::intE(3)));
+  EXPECT_EQ(S.checkSat(P2, Types, St), SatResult::Unsat);
+}
+
+TEST(NativeSessionTest, DisjunctionSearchFindsVerifiedModel) {
+  NativeSession S;
+  SolverStats St;
+  Expr A = Expr::lvar("#a");
+  // (a = 1 ∨ a = 2) ∧ a ≠ 1 forces a = 2 through search + theory.
+  PathCondition PC = pcOf({Expr::orE(Expr::eq(A, Expr::intE(1)),
+                                     Expr::eq(A, Expr::intE(2))),
+                           Expr::notE(Expr::eq(A, Expr::intE(1)))});
+  TypeEnv Types;
+  ASSERT_TRUE(inferTypes(PC.conjuncts(), Types));
+  EXPECT_EQ(S.checkSat(PC, Types, St), SatResult::Sat);
+}
+
+TEST(NativeSessionTest, ArithmeticFallsThroughUnknown) {
+  NativeSession S;
+  SolverStats St;
+  Expr A = Expr::lvar("#a"), B = Expr::lvar("#b");
+  // a + b == 10 is not decidable by the boolean/equality skeleton alone:
+  // the model constructor has no arithmetic, so Unknown (delegate to Z3)
+  // is the only sound answer here.
+  PathCondition PC = pcOf({Expr::eq(Expr::add(A, B), Expr::intE(10)),
+                           Expr::notE(Expr::eq(A, B)),
+                           Expr::lt(A, B)});
+  TypeEnv Types;
+  ASSERT_TRUE(inferTypes(PC.conjuncts(), Types));
+  EXPECT_NE(S.checkSat(PC, Types, St), SatResult::Unsat);
+}
+
+TEST(NativeSessionPoolTest, InvalidateAllDropsSessionsLazily) {
+  NativeSessionPool &P = NativeSessionPool::forThread();
+  P.reset();
+  SolverStats St;
+  TypeEnv Types;
+  PathCondition PC = pcOf({Expr::eq(Expr::lvar("#x"), Expr::intE(1))});
+  ASSERT_TRUE(inferTypes(PC.conjuncts(), Types));
+  P.checkSat(PC, Types, St);
+  EXPECT_GE(P.sessions(), 1u);
+  NativeSessionPool::invalidateAll();
+  EXPECT_EQ(P.sessions(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Solver integration
+//===----------------------------------------------------------------------===//
+
+SolverOptions nativeOnlyOptions() {
+  SolverOptions O;
+  O.UseCache = false;
+  O.UseSyntactic = false;
+  O.UseSlicing = false;
+  O.UseZ3 = false;
+  O.UseNative = true;
+  return O;
+}
+
+TEST(SolverNativeTest, NativeLayerDecidesWithoutZ3) {
+  Solver S(nativeOnlyOptions());
+  Expr A = Expr::lvar("#a"), B = Expr::lvar("#b");
+  PathCondition PC = pcOf({Expr::eq(A, B),
+                           Expr::notE(Expr::eq(A, B))});
+  EXPECT_EQ(S.checkSat(PC), SatResult::Unsat);
+  EXPECT_EQ(S.stats().Z3Calls.load(), 0u);
+  EXPECT_GT(S.stats().NativeQueries.load(), 0u);
+  EXPECT_GT(S.stats().NativeUnsat.load(), 0u);
+}
+
+TEST(SolverNativeTest, DiseqChainNeedsNoZ3RoundTrip) {
+  // The BM_NativeDiseqChain acceptance shape at the Solver level: the
+  // full default stack, native on — zero Z3 round-trips.
+  SolverOptions O; // defaults: everything on
+  O.UseCache = false;
+  Solver S(O);
+  S.resetCache();
+  Expr A = Expr::lvar("#a"), B = Expr::lvar("#b"), C = Expr::lvar("#c");
+  PathCondition PC = pcOf({
+      Expr::le(Expr::numE(0.5), A), Expr::lt(A, Expr::numE(100.0)),
+      Expr::le(Expr::numE(0.5), B), Expr::lt(B, Expr::numE(100.0)),
+      Expr::le(Expr::numE(0.5), C), Expr::lt(C, Expr::numE(100.0)),
+      Expr::notE(Expr::eq(A, B)), Expr::notE(Expr::eq(B, C)),
+      Expr::notE(Expr::eq(A, C))});
+  EXPECT_EQ(S.checkSat(PC), SatResult::Sat);
+  EXPECT_EQ(S.stats().Z3Calls.load(), 0u);
+}
+
+TEST(SolverNativeTest, ResetCacheColdsNativeAndAsyncState) {
+  // Regression (ISSUE 7 satellite): resetCache must also cold the native
+  // clause stores and quiesce the async service, not only the result
+  // cache and the incremental Z3 sessions.
+  SolverOptions O = nativeOnlyOptions();
+  O.AsyncSolvers = 2;
+  Solver S(O);
+  PathCondition PC = pcOf({Expr::eq(Expr::lvar("#x"), Expr::intE(1))});
+  EXPECT_EQ(S.checkSat(PC), SatResult::Sat);
+  EXPECT_GT(S.stats().AsyncSubmitted.load() +
+                S.stats().AsyncInlineRuns.load(),
+            0u);
+
+  S.resetCache();
+  // Native sessions of this thread are gone...
+  EXPECT_EQ(native::NativeSessionPool::forThread().sessions(), 0u);
+  // ...the async service is quiescent...
+  EXPECT_EQ(SolverService::process().queueDepth(), 0u);
+  // ...and the next query rebuilds state from scratch with the same
+  // verdict (no stale frames answering for a cleared store).
+  EXPECT_EQ(S.checkSat(PC), SatResult::Sat);
+}
+
+//===----------------------------------------------------------------------===//
+// Async query service
+//===----------------------------------------------------------------------===//
+
+TEST(SolverServiceTest, DeduplicatesConcurrentIdenticalQueries) {
+  SolverService &Svc = SolverService::process();
+  Svc.flush();
+
+  PathCondition PC = pcOf({Expr::eq(Expr::lvar("#q"), Expr::intE(7))});
+  std::atomic<uint64_t> Solves{0};
+  int Owner = 0;
+  SolverService::SolveFn Slow = [&](const PathCondition &) {
+    Solves.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    return SatResult::Sat;
+  };
+
+  SolverStats St;
+  constexpr int Callers = 6;
+  std::vector<std::thread> Ts;
+  std::vector<SatResult> Rs(Callers, SatResult::Unknown);
+  for (int I = 0; I < Callers; ++I)
+    Ts.emplace_back([&, I] {
+      Rs[I] = Svc.checkSat(&Owner, PC, /*MaxWorkers=*/2, Slow, St);
+    });
+  for (std::thread &T : Ts)
+    T.join();
+
+  for (SatResult R : Rs)
+    EXPECT_EQ(R, SatResult::Sat);
+  // At least one submission deduplicated onto an in-flight future; the
+  // solve count is strictly below the caller count.
+  EXPECT_LT(Solves.load(), static_cast<uint64_t>(Callers));
+  EXPECT_GT(St.AsyncDedupHits.load(), 0u);
+  Svc.flush();
+}
+
+TEST(SolverServiceTest, InlineWhenDisabledOrOnWorker) {
+  SolverService &Svc = SolverService::process();
+  SolverStats St;
+  int Owner = 0;
+  PathCondition PC = pcOf({Expr::eq(Expr::lvar("#q"), Expr::intE(1))});
+  bool Ran = false;
+  SatResult R = Svc.checkSat(&Owner, PC, /*MaxWorkers=*/0,
+                             [&](const PathCondition &) {
+                               Ran = true;
+                               return SatResult::Unsat;
+                             },
+                             St);
+  EXPECT_TRUE(Ran);
+  EXPECT_EQ(R, SatResult::Unsat);
+  EXPECT_GT(St.AsyncInlineRuns.load(), 0u);
+  EXPECT_FALSE(SolverService::onWorkerThread());
+}
+
+} // namespace
