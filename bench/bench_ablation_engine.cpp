@@ -189,6 +189,16 @@ int main(int argc, char **argv) {
          O.Solver.UseNative = false;
          return O;
        }},
+      // Every callee body re-executed at every call site — the ablation
+      // of the procedure summary cache (DESIGN.md §4g). Identical
+      // results by the summary_differential_test invariant; the delta is
+      // pure re-execution cost.
+      {"no procedure summaries", false,
+       [] {
+         EngineOptions O;
+         O.UseSummaries = false;
+         return O;
+       }},
       // The decidable (equality/disequality) subset never leaves the
       // process; arithmetic queries answer Unknown instead of reaching
       // Z3, so this row also measures how much of the workload the
@@ -247,6 +257,8 @@ int main(int argc, char **argv) {
     // solver cache, which would otherwise warm every later row.
     bench::coldStart();
     EngineOptions O = C.Make();
+    if (!Args.Summaries)
+      O.UseSummaries = false; // --no-summaries ablates every row at once
     RunResult R = runAll(O, C.AllowAlarms);
     if (Base == 0)
       Base = R.Seconds;

@@ -23,7 +23,12 @@
 ///   --cache-file=FILE           persist the canonical solver result cache
 ///                               across invocations: load FILE at startup
 ///                               (and re-seed it after every coldStart()),
-///                               save the cache back at exit
+///                               save the cache back at exit. The
+///                               procedure summary store persists
+///                               alongside, in FILE.summaries
+///   --no-summaries              disable the procedure summary cache in
+///                               the Gillian-configured rows (the
+///                               ablation of DESIGN.md §4g)
 ///   --serve=HOST:PORT           start the live introspection HTTP server
 ///                               (/metrics /stats /trace /progress
 ///                               /healthz); PORT 0 binds an ephemeral port,
@@ -51,6 +56,7 @@
 #define GILLIAN_BENCH_BENCH_COMMON_H
 
 #include "engine/scheduler/scheduler_options.h"
+#include "engine/summary/summary_store.h"
 #include "obs/exporters.h"
 #include "obs/introspect/introspect_server.h"
 #include "obs/introspect/sampler.h"
@@ -88,6 +94,9 @@ struct BenchArgs {
   /// inline solving; --async=N routes undecided queries through the
   /// batching/deduplicating service).
   uint32_t Async = 0;
+  /// Procedure summary cache of the Gillian-configured rows
+  /// (--no-summaries turns it off; the legacy rows never use it).
+  bool Summaries = true;
   bool Json = true;     ///< emit the trailing machine-readable JSON line
   bool ObsDetail = false; ///< per-step / per-simplify detail spans
   std::string TraceOut;   ///< chrome://tracing output path ("" = off)
@@ -149,6 +158,8 @@ inline BenchArgs parseBenchArgs(int &argc, char **argv) {
       Args.Strategy = parseStrategyArg(nextValue(In, "--strategy"));
     } else if (std::strcmp(A, "--no-native") == 0) {
       Args.Native = false;
+    } else if (std::strcmp(A, "--no-summaries") == 0) {
+      Args.Summaries = false;
     } else if (std::strncmp(A, "--async=", 8) == 0) {
       Args.Async = static_cast<uint32_t>(parseMs("--async", A + 8));
     } else if (std::strcmp(A, "--async") == 0) {
@@ -201,6 +212,11 @@ inline std::string &persistedCacheFile() {
   return Path;
 }
 
+/// The summary-store sibling of a --cache-file path.
+inline std::string summaryCacheFile(const std::string &CachePath) {
+  return CachePath + ".summaries";
+}
+
 /// Seeds the process-wide result cache from a persisted cache file.
 inline long loadPersistedCache(const std::string &Path) {
   Solver S(SolverOptions(), SolverCache::process());
@@ -248,6 +264,12 @@ inline void setupObs(const BenchArgs &Args) {
       std::fprintf(stderr, "[bench] warm start: %ld solver-cache entries "
                            "from %s\n",
                    N, Args.CacheFile.c_str());
+    long M =
+        ProcedureSummaryStore::process().load(summaryCacheFile(Args.CacheFile));
+    if (M > 0)
+      std::fprintf(stderr, "[bench] warm start: %ld procedure summaries "
+                           "from %s\n",
+                   M, summaryCacheFile(Args.CacheFile).c_str());
   }
 }
 
@@ -295,6 +317,14 @@ inline void finishObs(const BenchArgs &Args) {
     else
       std::fprintf(stderr, "[bench] failed to save solver cache to %s\n",
                    Args.CacheFile.c_str());
+    long M =
+        ProcedureSummaryStore::process().save(summaryCacheFile(Args.CacheFile));
+    if (M >= 0)
+      std::fprintf(stderr, "[bench] saved %ld procedure summaries to %s\n",
+                   M, summaryCacheFile(Args.CacheFile).c_str());
+    else
+      std::fprintf(stderr, "[bench] failed to save summaries to %s\n",
+                   summaryCacheFile(Args.CacheFile).c_str());
   }
 }
 
@@ -312,8 +342,12 @@ inline void coldStart() {
   native::SolverService::process().flush();
   native::NativeSessionPool::invalidateAll();
   native::NativeSessionPool::forThread().reset();
-  if (!persistedCacheFile().empty())
+  ProcedureSummaryStore::process().clear();
+  if (!persistedCacheFile().empty()) {
     loadPersistedCache(persistedCacheFile());
+    ProcedureSummaryStore::process().load(
+        summaryCacheFile(persistedCacheFile()));
+  }
 }
 
 inline double seconds(std::chrono::steady_clock::time_point From) {

@@ -66,11 +66,12 @@ std::string deadCodeProgram(int L) {
 SymbolicTestResult
 runProgram(const std::string &Src, uint32_t Workers = 1,
            SelectionStrategy Strategy = SelectionStrategy::OldestFirst,
-           bool Native = true, uint32_t Async = 0) {
+           bool Native = true, uint32_t Async = 0, bool Summaries = true) {
   Result<Prog> P = compileWhileSource(Src);
   if (!P)
     std::abort();
   EngineOptions Opts;
+  Opts.UseSummaries = Summaries;
   Opts.LoopBound = 64;
   Opts.Scheduler.Workers = Workers;
   Opts.Scheduler.Strategy = Strategy;
@@ -174,8 +175,9 @@ int main(int argc, char **argv) {
   for (uint32_t Workers : Sweep) {
     bench::coldStart(); // cold per count: same starting state for all
     auto T0 = std::chrono::steady_clock::now();
-    SymbolicTestResult R =
-        runProgram(Src, Workers, Args.Strategy, Args.Native, Args.Async);
+    SymbolicTestResult R = runProgram(Src, Workers, Args.Strategy,
+                                      Args.Native, Args.Async,
+                                      Args.Summaries);
     double Sec = bench::seconds(T0);
     if (Workers == 1)
       BaseSec = Sec;
@@ -202,6 +204,7 @@ int main(int argc, char **argv) {
   W.field("workload", "diamond_10");
   W.field("paths", 1024);
   W.field("strategy", strategyName(Args.Strategy));
+  W.field("summaries", Args.Summaries);
   W.key("worker_sweep");
   W.beginArray();
   W.raw(SweepJson);

@@ -139,6 +139,7 @@ int main(int argc, char **argv) {
     // Gillian configuration.
     coldStart();
     EngineOptions Gjs;
+    Gjs.UseSummaries = Args.Summaries;
     obs::SpanSnapshot SpansBefore = obs::SpanTable::global().snapshot();
     T0 = std::chrono::steady_clock::now();
     SuiteResult RGjs = runSuite<MjsSMem>(S.Name, *P, Gjs);
@@ -149,6 +150,7 @@ int main(int argc, char **argv) {
     // Gillian configuration, parallel exploration (4 workers).
     coldStart();
     EngineOptions Par;
+    Par.UseSummaries = Args.Summaries;
     Par.Scheduler.Workers = ParWorkers;
     Par.Scheduler.Strategy = ParStrategy;
     Par.Solver.UseNative = ParNative;
@@ -282,6 +284,7 @@ int main(int argc, char **argv) {
     W.beginObject();
     W.field("bench", "table1_buckets");
     W.field("strategy", strategyName(ParStrategy));
+    W.field("summaries", Args.Summaries);
     W.key("suites");
     W.beginArray();
     W.raw(SuitesJson);

@@ -69,6 +69,7 @@ int main(int argc, char **argv) {
     }
     coldStart();
     EngineOptions Opts;
+    Opts.UseSummaries = Args.Summaries;
     auto T0 = std::chrono::steady_clock::now();
     SuiteResult R = runSuite<McSMem>(S.Name, *P, Opts);
     double Sec = seconds(T0);
@@ -76,6 +77,7 @@ int main(int argc, char **argv) {
     // Same suite on the 4-worker scheduler, from a cold cache again.
     coldStart();
     EngineOptions ParOpts;
+    ParOpts.UseSummaries = Args.Summaries;
     ParOpts.Scheduler.Workers = ParWorkers;
     ParOpts.Scheduler.Strategy = ParStrategy;
     ParOpts.Solver.UseNative = Args.Native;
@@ -157,6 +159,7 @@ int main(int argc, char **argv) {
     W.beginObject();
     W.field("bench", "table2_collections");
     W.field("strategy", strategyName(ParStrategy));
+    W.field("summaries", Args.Summaries);
     W.key("suites");
     W.beginArray();
     W.raw(SuitesJson);

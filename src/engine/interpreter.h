@@ -32,15 +32,20 @@
 #include "engine/options.h"
 #include "engine/state.h"
 #include "engine/stats.h"
+#include "engine/summary/record.h"
+#include "engine/summary/summary_store.h"
 #include "gil/prog.h"
 #include "obs/coverage.h"
 #include "obs/progress.h"
 #include "obs/query_profile.h"
 #include "obs/span.h"
+#include "obs/summary_stats.h"
 #include "obs/trace_ring.h"
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -71,6 +76,23 @@ concept StateModel =
         CS.asProcId(V)
       } -> std::same_as<std::optional<InternedString>>;
       { St::errorValue(std::string()) } -> std::same_as<typename St::ValueT>;
+    };
+
+/// The extra surface the procedure summary cache (engine/summary/) needs
+/// from a state model: a path condition over Expr values it can slice and
+/// splice, plus the solver/options plumbing to build recording entry
+/// states. SymbolicState models it; ConcreteState does not (concrete runs
+/// never consult the store — replay is a path-condition transformation).
+template <typename St>
+concept SummarizableState =
+    StateModel<St> && std::same_as<typename St::ValueT, Expr> &&
+    requires(St S, const St CS, const Expr &E) {
+      { CS.pathCondition() } -> std::same_as<const PathCondition &>;
+      { S.spliceConjunct(E) };
+      { CS.solver() } -> std::same_as<Solver &>;
+      { CS.options() } -> std::same_as<const EngineOptions &>;
+      requires std::constructible_from<St, typename St::MemT, Solver *,
+                                       const EngineOptions *>;
     };
 
 /// Terminal outcomes o ∈ O (§2.1), extended with the bounded-exploration
@@ -115,6 +137,12 @@ public:
     InternedString CurProc;
     size_t I;
     uint32_t Backjumps;
+    /// Summary replay position (engine/summary/): while set, step()
+    /// replays one SummaryNode per call instead of executing Body[I] —
+    /// CurProc/I stay parked at the Call command until the terminal
+    /// splices its outcome back into this caller.
+    std::shared_ptr<const SummaryEntry> Replay;
+    uint32_t ReplayNode = 0;
   };
 
   Interpreter(const Prog &P, const EngineOptions &Opts, ExecStats &Stats)
@@ -130,6 +158,14 @@ public:
             ++Sites;
         obs::BranchCoverage::instance().registerProc(Name.id(), Sites);
       }
+    // Summary eligibility is syntactic and per-procedure: decide it once
+    // here (with the content fingerprint that keys the process-wide
+    // store) so the Call hot path is one hash-map probe.
+    if constexpr (SummarizableState<St>)
+      if (Opts.UseSummaries)
+        for (const auto &[Name, Proc] : P.procs())
+          if (summaryEligible(Proc))
+            SummaryFp.emplace(Name.id(), summaryFingerprint(Proc));
   }
 
   const EngineOptions &options() const { return Opts; }
@@ -147,7 +183,7 @@ public:
     typename St::StoreT Store;
     Store.set(Main->Param, std::move(Arg));
     Init.setStore(std::move(Store));
-    return Config{std::move(Init), {}, Entry, 0, 0};
+    return Config{std::move(Init), {}, Entry, 0, 0, nullptr};
   }
 
   /// The IfGoto site control will reach from \p C without branching or
@@ -237,6 +273,11 @@ public:
   /// configurations: mutable state is confined to C, the sink, and the
   /// atomic counters in Stats.
   template <typename Sink> void step(Config C, Sink &S) {
+    if constexpr (SummarizableState<St>)
+      if (C.Replay) {
+        replayStep(std::move(C), S);
+        return;
+      }
     obs::DetailSpan StepSpan(obs::SpanKind::Step);
     const Proc *Cur = P.find(C.CurProc);
     assert(Cur && "current procedure disappeared");
@@ -352,6 +393,9 @@ public:
                std::move(C.State));
         return;
       }
+      if constexpr (SummarizableState<St>)
+        if (!SummaryFp.empty() && trySummary(C, *F, PP, *Arg, S))
+          return;
       // The frame records the *caller's* procedure, store, resume index
       // and loop budget, all restored on return.
       C.Stack.push_back(Frame<St>{C.CurProc, Command.X, C.State.getStore(),
@@ -484,9 +528,196 @@ private:
     finish(S, OutcomeKind::Error, St::errorValue(Msg), std::move(C.State));
   }
 
+  //===--------------------------------------------------------------------//
+  // Procedure summary cache (engine/summary/, DESIGN.md §4g)
+  //===--------------------------------------------------------------------//
+
+  /// Answers the call `Command.X := F(Arg)` at C from the process-wide
+  /// summary store if F is eligible: looks up (fingerprint, Arg,
+  /// arg-reachable PC slice), records the execution tree on a miss, and
+  /// arms C for replay. Returns false (leaving C untouched) when F is
+  /// ineligible or negative-cached — the caller executes for real.
+  template <typename Sink>
+  bool trySummary(Config &C, InternedString F, const Proc *PP,
+                  const Expr &Arg, Sink &S) {
+    auto It = SummaryFp.find(F.id());
+    obs::SummaryGlobalStats &G = obs::summaryGlobalStats();
+    if (It == SummaryFp.end()) {
+      ++G.Ineligible;
+      return false;
+    }
+    SummaryKey Key;
+    Key.Fingerprint = It->second;
+    Key.Arg = Arg;
+    Key.Slice = summarySliceForArg(C.State.pathCondition(), Arg);
+
+    ProcedureSummaryStore &Store = ProcedureSummaryStore::process();
+    std::shared_ptr<const SummaryEntry> E = Store.lookup(Key);
+    if (E && E->Negative) {
+      ++G.Ineligible;
+      return false;
+    }
+    if (E) {
+      ++G.Hits;
+    } else {
+      ++G.Misses;
+      // Record from a synthetic entry state: the caller's solver and
+      // options, store [param -> Arg], path condition = the key slice —
+      // so recorded conjuncts and values splice back verbatim.
+      St EntrySt(typename St::MemT{}, &C.State.solver(),
+                 &C.State.options());
+      typename St::StoreT EntryStore;
+      EntryStore.set(PP->Param, Arg);
+      EntrySt.setStore(std::move(EntryStore));
+      for (const Expr &Cj : Key.Slice.conjuncts())
+        EntrySt.spliceConjunct(Cj);
+      std::shared_ptr<SummaryEntry> Rec = summary::recordSummary<St>(
+          std::move(EntrySt), *PP, F, Key.Fingerprint, Opts);
+      if (!Rec) {
+        ++G.RecordOverflows;
+        auto Neg = std::make_shared<SummaryEntry>();
+        Neg->ProcName = F;
+        Neg->Fingerprint = Key.Fingerprint;
+        Neg->Negative = true;
+        Store.insert(Key, std::move(Neg));
+        return false;
+      }
+      E = std::move(Rec);
+      Store.insert(Key, E);
+      // Fall through to replay: the recording call observes exactly what
+      // every later hit observes.
+    }
+    C.Replay = std::move(E);
+    C.ReplayNode = 0;
+    S.cont(std::move(C));
+    return true;
+  }
+
+  /// Splices one recorded conjunct batch into \p State and re-runs the
+  /// feasibility decision re-execution's assumeValue made at that point:
+  /// prune iff the full, updated path condition is trivially false or
+  /// the solver refutes it. Identical conjuncts, identical query,
+  /// identical point — so the verdict matches re-execution bit-exactly.
+  /// Empty batches run the check too: the recorded delta being empty
+  /// only means the callee added nothing new, not that the *caller's*
+  /// condition was feasible — actions can strengthen it between checks,
+  /// and the callee's assumes are where re-execution would notice.
+  static bool spliceFeasible(St &State, const std::vector<Expr> &Batch) {
+    for (const Expr &Cj : Batch)
+      State.spliceConjunct(Cj);
+    if (State.pathCondition().isTriviallyFalse())
+      return false;
+    return State.solver().maybeSat(State.pathCondition());
+  }
+
+  /// Replays one SummaryNode edge. The edge's single-feasible IfGoto
+  /// batches (batch j >= 1, pairing with Cov[j-1]) are re-checked in
+  /// order; batch 0 — the branch-in delta — was already spliced and
+  /// checked by the parent split (and is empty for the root). A Split
+  /// checks each child's branch-in batch right here, where step()'s
+  /// IfGoto would have queried, then emits the surviving children false
+  /// first, true second — step()'s emission order — so result order and
+  /// PathId assignment survive replay. Dead edges vanish silently, like
+  /// the assume-pruned original. Engine-layer stats and coverage events
+  /// produced here are bit-identical to re-executing the body; only
+  /// solver counters differ (that difference is the win).
+  template <typename Sink> void replayStep(Config C, Sink &S) {
+    obs::DetailSpan StepSpan(obs::SpanKind::Step);
+    obs::QueryOriginScope QueryOrigin(C.CurProc.id(),
+                                      static_cast<uint32_t>(C.I));
+    const SummaryEntry &E = *C.Replay;
+    const SummaryNode &N = E.Nodes[C.ReplayNode];
+    obs::SummaryGlobalStats &G = obs::summaryGlobalStats();
+
+    for (size_t J = 1; J < N.Batches.size(); ++J) {
+      if (!spliceFeasible(C.State, N.Batches[J])) {
+        // Re-execution would prune at this IfGoto: the recorded-taken
+        // side goes unsat under the caller's full condition and the
+        // other side was already infeasible at record time. It executed
+        // the commands up to and including the IfGoto and recorded a
+        // no-feasible-sides coverage event, then emitted nothing.
+        Stats.CmdsExecuted += N.Cov[J - 1].CmdsAt;
+        obs::BranchCoverage::recordBranch(E.ProcName.id(),
+                                          N.Cov[J - 1].CmdIdx, 0);
+        ++G.ReplayInfeasible;
+        return;
+      }
+      obs::BranchCoverage::recordBranch(E.ProcName.id(), N.Cov[J - 1].CmdIdx,
+                                        N.Cov[J - 1].Bits);
+    }
+    Stats.CmdsExecuted += N.Cmds;
+
+    switch (N.Kind) {
+    case SummaryNodeKind::Split: {
+      // The final Cov event is this split's IfGoto; its bits are
+      // recomputed from the children's branch-in checks, which replicate
+      // the two assumeValue queries step() would have issued here.
+      Config FC = C;
+      FC.ReplayNode = N.FalseChild;
+      bool FOk = E.Nodes[N.FalseChild].Batches.empty() ||
+                 spliceFeasible(FC.State,
+                                E.Nodes[N.FalseChild].Batches.front());
+      C.ReplayNode = N.TrueChild;
+      bool TOk = E.Nodes[N.TrueChild].Batches.empty() ||
+                 spliceFeasible(C.State,
+                                E.Nodes[N.TrueChild].Batches.front());
+      if (FOk && TOk) {
+        ++Stats.Branches;
+        obs::TraceRecorder::record(obs::TraceEventKind::BranchTaken, 0, 2);
+      }
+      if (!N.Cov.empty())
+        obs::BranchCoverage::recordBranch(
+            E.ProcName.id(), N.Cov.back().CmdIdx,
+            (FOk ? obs::BranchFalseBit : 0u) |
+                (TOk ? obs::BranchTrueBit : 0u));
+      if (!FOk)
+        ++G.ReplayInfeasible;
+      if (!TOk)
+        ++G.ReplayInfeasible;
+      if (FOk)
+        S.cont(std::move(FC));
+      if (TOk)
+        S.cont(std::move(C));
+      return;
+    }
+    case SummaryNodeKind::Dead:
+      // Both-infeasible IfGoto: re-emit its zero-bit coverage event;
+      // the path vanishes without an outcome, exactly like the
+      // assume-pruned original emits nothing.
+      if (!N.Cov.empty())
+        obs::BranchCoverage::recordBranch(E.ProcName.id(),
+                                          N.Cov.back().CmdIdx,
+                                          N.Cov.back().Bits);
+      return;
+    case SummaryNodeKind::Return: {
+      ++G.ReplayedOutcomes;
+      const Proc *Cur = P.find(C.CurProc);
+      assert(Cur && "current procedure disappeared");
+      const Cmd &Command = Cur->Body[C.I]; // still the Call command
+      C.Replay.reset();
+      C.State.setVar(Command.X, N.Val);
+      ++C.I;
+      S.cont(std::move(C));
+      return;
+    }
+    case SummaryNodeKind::Error:
+    case SummaryNodeKind::Vanish: {
+      ++G.ReplayedOutcomes;
+      OutcomeKind K = N.Kind == SummaryNodeKind::Error ? OutcomeKind::Error
+                                                       : OutcomeKind::Vanish;
+      C.Replay.reset();
+      finish(S, K, N.Val, std::move(C.State));
+      return;
+    }
+    }
+  }
+
   const Prog &P;
   const EngineOptions &Opts;
   ExecStats &Stats;
+  /// Eligible procedures of P: interned name id -> content fingerprint.
+  /// Empty when summaries are off or St is not summarizable.
+  std::unordered_map<uint32_t, uint64_t> SummaryFp;
 };
 
 } // namespace gillian

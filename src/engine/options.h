@@ -37,6 +37,17 @@ struct EngineOptions {
   /// pre-scheduler engine.
   SchedulerOptions Scheduler;
 
+  /// Memoise terminal symbolic states of eligible (loop-free, heap-free)
+  /// procedures in the process-wide ProcedureSummaryStore and replay them
+  /// at call sites instead of re-executing the body (DESIGN.md §4g).
+  /// Replay is result- and stats-identical to re-execution by
+  /// construction; only solver effort differs.
+  bool UseSummaries = true;
+  /// Recording caps: a procedure whose execution tree exceeds either cap
+  /// is negative-cached and always executed for real.
+  uint32_t SummaryMaxNodes = 512;
+  uint64_t SummaryMaxSteps = 4096;
+
   /// Bound on back-jumps (loop iterations) per path — the paper's
   /// "unrolling loops up to a bound".
   uint32_t LoopBound = 32;
@@ -55,6 +66,7 @@ struct EngineOptions {
   static EngineOptions legacyJaVerT2() {
     EngineOptions O;
     O.UseSimplifierCache = false;
+    O.UseSummaries = false; // summaries are a Gillian-side improvement
     O.Solver = SolverOptions::legacyJaVerT2();
     return O;
   }

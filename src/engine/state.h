@@ -261,6 +261,14 @@ public:
   const PathCondition &pathCondition() const { return PC; }
   void addToPathCondition(const Expr &E) { addConjunct(simplified(E)); }
 
+  /// Splices an *already-simplified* conjunct recorded by the procedure
+  /// summary cache (engine/summary/): absorbs its typing facts and adds
+  /// it to the path condition with no re-simplification and no
+  /// feasibility check — replay re-runs assumeValue's full-condition
+  /// maybeSat itself, batch by batch, at the exact points re-execution
+  /// would have queried (Interpreter::spliceFeasible).
+  void spliceConjunct(const Expr &E) { addConjunct(E); }
+
   /// The type assignment harvested from this state's path condition;
   /// drives type-guarded simplification and is reused by the solver.
   const TypeEnv &typeEnv() const { return Types; }

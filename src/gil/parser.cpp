@@ -202,7 +202,16 @@ private:
     if (cur().isPunct("-")) {
       bump();
       Expr E = parseUnary();
-      return E ? Expr::unOp(UnOpKind::Neg, E) : Expr();
+      if (!E)
+        return Expr();
+      // Fold negated numeric literals so printed negative constants
+      // ("-2") parse back to the literal the printer saw, keeping
+      // toString/parse a round trip for persisted expressions.
+      if (E.isLit() && E.litValue().isInt())
+        return Expr::intE(-E.litValue().asInt());
+      if (E.isLit() && E.litValue().isNum())
+        return Expr::numE(-E.litValue().asNum());
+      return Expr::unOp(UnOpKind::Neg, E);
     }
     if (cur().isPunct("!")) {
       bump();
@@ -263,6 +272,20 @@ private:
         }
         if (!expectPunct("]"))
           return Expr();
+        // Fold all-literal lists to a literal list value — the form the
+        // simplifier produces at runtime — so printed lists like "[3]"
+        // parse back to the expression the printer saw (persisted
+        // summary/cache keys must round-trip structurally).
+        bool AllLit = true;
+        for (const Expr &E : Elems)
+          AllLit &= E.isLit();
+        if (AllLit) {
+          std::vector<Value> Vals;
+          Vals.reserve(Elems.size());
+          for (const Expr &E : Elems)
+            Vals.push_back(E.litValue());
+          return Expr::lit(Value::listV(std::move(Vals)));
+        }
         return Expr::list(std::move(Elems));
       }
       if (T.Text == "^") {

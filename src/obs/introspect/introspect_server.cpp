@@ -12,6 +12,7 @@
 #include "obs/query_profile.h"
 #include "obs/sched_counters.h"
 #include "obs/span.h"
+#include "obs/summary_stats.h"
 #include "obs/trace_ring.h"
 
 #include <chrono>
@@ -59,6 +60,8 @@ std::string gillian::obs::metricsExposition() {
   // Native theory layer + async solver service (process-wide aggregate —
   // still rendered after per-suite sources unregister, like the profiler).
   counterSetInto(W, nativeGlobalStats());
+  // Procedure summary cache (process-wide store; DESIGN.md §4g).
+  counterSetInto(W, summaryGlobalStats());
 
   // The active path-selection strategy, info-metric style: the numeric
   // gillian_scheduler_strategy gauge above carries the enum value; this

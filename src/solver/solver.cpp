@@ -5,6 +5,7 @@
 #include "gil/parser.h"
 #include "obs/native_stats.h"
 #include "obs/progress.h"
+#include "obs/summary_stats.h"
 #include "obs/query_profile.h"
 #include "obs/span.h"
 #include "solver/incremental_session.h"
@@ -16,6 +17,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <unistd.h>
 #include <vector>
@@ -42,8 +44,36 @@ std::string gillian::solverStatsJson(const SolverStats &S) {
   QP.jsonInto(W, 8);
   W.field("query_attributed_ns", QP.attributedNs());
   W.field("query_unattributed_ns", QP.unattributedNs());
+  // The procedure summary cache is likewise process-global (one sharded
+  // store across every engine run); its counters ride along so bench
+  // JSON answers "did summaries engage" next to the solver layers they
+  // bypass.
+  const obs::SummaryGlobalStats &Sum = obs::summaryGlobalStats();
+  W.field("summary_hits", Sum.Hits.load());
+  W.field("summary_misses", Sum.Misses.load());
+  W.field("summary_ineligible", Sum.Ineligible.load());
+  W.field("summary_replayed_outcomes", Sum.ReplayedOutcomes.load());
+  W.field("summary_record_overflows", Sum.RecordOverflows.load());
+  W.field("summary_replay_infeasible", Sum.ReplayInfeasible.load());
+  W.field("summary_entries", Sum.Entries.load());
+  W.field("summary_bytes", Sum.Bytes.load());
+  W.field("summary_hit_rate", Sum.hitRate(), 4);
   W.endObject();
   return W.take();
+}
+
+//===----------------------------------------------------------------------===//
+// Auxiliary cache-reset hooks
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::mutex ResetHooksMutex;
+std::vector<void (*)()> ResetHooks;
+} // namespace
+
+void gillian::registerCacheResetHook(void (*Hook)()) {
+  std::lock_guard<std::mutex> Lock(ResetHooksMutex);
+  ResetHooks.push_back(Hook);
 }
 
 SatResult Solver::solveLayers(const PathCondition &PC) {
@@ -137,6 +167,16 @@ void Solver::resetCache() {
   // drop) and this thread's eagerly.
   native::NativeSessionPool::invalidateAll();
   native::NativeSessionPool::forThread().reset();
+  // Upper-layer memoisation stores (the engine's procedure summary
+  // store) register themselves here, so "cold" is cold for the whole
+  // stack, not just the solver's own layers.
+  std::vector<void (*)()> Hooks;
+  {
+    std::lock_guard<std::mutex> Lock(ResetHooksMutex);
+    Hooks = ResetHooks;
+  }
+  for (void (*Hook)() : Hooks)
+    Hook();
 }
 
 SatResult Solver::solveSlice(const PathCondition &Slice) {
