@@ -8,7 +8,13 @@
 //      saturating counters whose `dec` action faults below zero;
 //   2. a symbolic memory model (Def 2.4) — counters hold logical
 //      expressions; `dec` branches on whether the counter may be zero,
-//      returning the branch condition π' exactly as the Fig. 3 rules do;
+//      returning the branch condition π' exactly as the Fig. 3 rules do.
+//      The branching is written with the memory-model construction kit
+//      (engine/memlib/, DESIGN.md §4h): BranchCtx::checkOrError emits
+//      the fault world and the strengthened success world, so the model
+//      never touches the solver directly. For the full kit story —
+//      expression-keyed maps with the shared may-alias loop — see
+//      src/linear/memory.h, the repo's fourth instantiation;
 //   3. a program over the new actions, written in textual GIL;
 //   4. both engines, obtained by instantiating the same interpreter
 //      template with CSC/SSC liftings of the two memories (Defs 2.5/2.6).
@@ -18,6 +24,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "engine/action_args.h"
+#include "engine/memlib/memlib.h"
 #include "engine/test_runner.h"
 #include "gil/parser.h"
 
@@ -74,36 +81,33 @@ struct CounterSMem {
     InternedString Name = (*Args)[0].litValue().asStr();
     const Expr *CurP = Counters.lookup(Name);
     Expr Cur = CurP ? *CurP : Expr::intE(0);
-    std::vector<SymActionBranch<CounterSMem>> Out;
+    memlib::BranchCtx<CounterSMem> C(*this, PC, S);
 
     if (Act == actRead()) {
-      Out.push_back({*this, Cur, Expr(), false});
-      return Out;
+      C.ok(*this, Cur);
+      return std::move(C.Out);
     }
     if (Act == actInc()) {
       CounterSMem Next = *this;
       Expr NewV = Expr::add(Cur, Expr::intE(1));
       Next.Counters.set(Name, NewV);
-      Out.push_back({std::move(Next), NewV, Expr(), false});
-      return Out;
+      C.ok(std::move(Next), NewV);
+      return std::move(C.Out);
     }
     if (Act == actDec()) {
-      Expr IsZero = Expr::eq(Cur, Expr::intE(0));
-      PathCondition ZeroPc = PC;
-      ZeroPc.add(IsZero);
-      if (S.maybeSat(ZeroPc))
-        Out.push_back({*this, Expr::strE("counter fault: decrement of "
-                                         "zero counter"),
-                       IsZero, /*IsError=*/true});
-      PathCondition PosPc = PC;
-      PosPc.add(Expr::notE(IsZero));
-      if (S.maybeSat(PosPc)) {
-        CounterSMem Next = *this;
-        Expr NewV = Expr::sub(Cur, Expr::intE(1));
-        Next.Counters.set(Name, NewV);
-        Out.push_back({std::move(Next), NewV, Expr::notE(IsZero), false});
-      }
-      return Out;
+      // One kit call replaces the hand-rolled two-world split: the fault
+      // branch is emitted for the worlds where the counter may be zero,
+      // and the success branch runs under the strengthened condition.
+      C.checkOrError(Expr::notE(Expr::eq(Cur, Expr::intE(0))),
+                     Expr::boolE(true),
+                     "counter fault: decrement of zero counter",
+                     [&](Expr Under) {
+                       CounterSMem Next = *this;
+                       Expr NewV = Expr::sub(Cur, Expr::intE(1));
+                       Next.Counters.set(Name, NewV);
+                       C.ok(std::move(Next), NewV, std::move(Under));
+                     });
+      return std::move(C.Out);
     }
     return Err("unknown counter action");
   }

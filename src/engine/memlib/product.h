@@ -1,0 +1,140 @@
+//===- engine/memlib/product.h - Product combinator ------------*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Product<A, B>: two independent memory components side by side. Actions
+/// route by name — A is consulted first, so its action set shadows B's on
+/// a clash. Equality, printing, and the §3.3 interpretation all derive
+/// componentwise; a Product never branches by itself, it only forwards the
+/// branch sets of its components (rewrapping their memories).
+///
+/// This is the combinator behind "a heap plus a metadata table" (MJS) and
+/// "a cell array plus a size register" (linear).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_ENGINE_MEMLIB_PRODUCT_H
+#define GILLIAN_ENGINE_MEMLIB_PRODUCT_H
+
+#include "engine/memlib/branch.h"
+#include "engine/state.h"
+#include "solver/model.h"
+
+#include <string>
+#include <utility>
+
+namespace gillian::memlib {
+
+template <typename A, typename B> struct Product {
+  static bool hasAction(InternedString Act) {
+    return A::hasAction(Act) || B::hasAction(Act);
+  }
+
+  class Concrete {
+  public:
+    using FirstT = typename A::Concrete;
+    using SecondT = typename B::Concrete;
+
+    Concrete() = default;
+    Concrete(FirstT F, SecondT S)
+        : First(std::move(F)), Second(std::move(S)) {}
+
+    const FirstT &first() const { return First; }
+    FirstT &first() { return First; }
+    const SecondT &second() const { return Second; }
+    SecondT &second() { return Second; }
+
+    Result<Value> execAction(InternedString Act, const Value &Arg) {
+      if (A::hasAction(Act))
+        return First.execAction(Act, Arg);
+      return Second.execAction(Act, Arg);
+    }
+
+    std::string toString() const {
+      return "<" + First.toString() + ", " + Second.toString() + ">";
+    }
+
+    friend bool operator==(const Concrete &X, const Concrete &Y) {
+      return X.First == Y.First && X.Second == Y.Second;
+    }
+
+  private:
+    FirstT First;
+    SecondT Second;
+  };
+
+  class Symbolic {
+  public:
+    using FirstT = typename A::Symbolic;
+    using SecondT = typename B::Symbolic;
+
+    Symbolic() = default;
+    Symbolic(FirstT F, SecondT S)
+        : First(std::move(F)), Second(std::move(S)) {}
+
+    const FirstT &first() const { return First; }
+    FirstT &first() { return First; }
+    const SecondT &second() const { return Second; }
+    SecondT &second() { return Second; }
+
+    Result<std::vector<SymActionBranch<Symbolic>>>
+    execAction(InternedString Act, const Expr &Arg, const PathCondition &PC,
+               Solver &S) const {
+      std::vector<SymActionBranch<Symbolic>> Out;
+      if (A::hasAction(Act)) {
+        Result<std::vector<SymActionBranch<FirstT>>> Inner =
+            First.execAction(Act, Arg, PC, S);
+        if (!Inner)
+          return Err(Inner.error());
+        for (SymActionBranch<FirstT> &Br : *Inner) {
+          Symbolic Next = *this;
+          Next.First = std::move(Br.Mem);
+          Out.push_back({std::move(Next), std::move(Br.Ret),
+                         std::move(Br.Cond), Br.IsError});
+        }
+        return Out;
+      }
+      Result<std::vector<SymActionBranch<SecondT>>> Inner =
+          Second.execAction(Act, Arg, PC, S);
+      if (!Inner)
+        return Err(Inner.error());
+      for (SymActionBranch<SecondT> &Br : *Inner) {
+        Symbolic Next = *this;
+        Next.Second = std::move(Br.Mem);
+        Out.push_back({std::move(Next), std::move(Br.Ret),
+                       std::move(Br.Cond), Br.IsError});
+      }
+      return Out;
+    }
+
+    /// Componentwise I(·).
+    Result<Concrete> interpret(const Model &Eps) const {
+      Result<typename A::Concrete> F = First.interpret(Eps);
+      if (!F)
+        return Err(F.error());
+      Result<typename B::Concrete> Sc = Second.interpret(Eps);
+      if (!Sc)
+        return Err(Sc.error());
+      return Concrete(F.take(), Sc.take());
+    }
+
+    std::string toString() const {
+      return "<" + First.toString() + ", " + Second.toString() + ">";
+    }
+
+    friend bool operator==(const Symbolic &X, const Symbolic &Y) {
+      return X.First == Y.First && X.Second == Y.Second;
+    }
+
+  private:
+    FirstT First;
+    SecondT Second;
+  };
+};
+
+} // namespace gillian::memlib
+
+#endif // GILLIAN_ENGINE_MEMLIB_PRODUCT_H

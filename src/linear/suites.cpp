@@ -1,0 +1,163 @@
+//===- linear/suites.cpp --------------------------------------------------===//
+
+#include "linear/suites.h"
+
+using namespace gillian::linear;
+
+namespace {
+
+// ---------- basic: concrete grow/size/load/store -------------------------
+constexpr std::string_view Basic = R"gil(
+proc test_grow_returns_old_size(args) {
+  0: a := @grow([4]);
+  1: b := @grow([2]);
+  2: ifgoto (a == 0) 4;
+  3: fail ["grow must return the old size", a];
+  4: ifgoto (b == 4) 6;
+  5: fail ["second grow sees the grown size", b];
+  6: s := @msize([]);
+  7: ifgoto (s == 6) 9;
+  8: fail ["size after two grows", s];
+  9: return true;
+}
+proc test_zero_init(args) {
+  0: r := @grow([8]);
+  1: v := @load([3]);
+  2: ifgoto (v == 0) 4;
+  3: fail ["linear memory is zero-initialised", v];
+  4: return true;
+}
+proc test_concrete_roundtrip(args) {
+  0: r := @grow([4]);
+  1: t := @store([2, 42]);
+  2: v := @load([2]);
+  3: ifgoto (v == 42) 5;
+  4: fail ["store/load roundtrip", v];
+  5: w := @load([1]);
+  6: ifgoto (w == 0) 8;
+  7: fail ["neighbour cell must stay zero", w];
+  8: return true;
+}
+)gil";
+
+// ---------- symbolic: symbolic offsets through the alias loop ------------
+constexpr std::string_view Symbolic = R"gil(
+proc test_symbolic_store_load(args) {
+  0: r := @grow([8]);
+  1: i := isym(0);
+  2: ifgoto (typeof(i) == ^Int) 4;
+  3: vanish;
+  4: ifgoto (0 <= i) 6;
+  5: vanish;
+  6: ifgoto (i < 8) 8;
+  7: vanish;
+  8: t := @store([i, 42]);
+  9: v := @load([i]);
+  10: ifgoto (v == 42) 12;
+  11: fail ["load after store at the same symbolic offset", v];
+  12: return true;
+}
+proc test_symbolic_alias(args) {
+  0: r := @grow([4]);
+  1: i := isym(0);
+  2: ifgoto (typeof(i) == ^Int) 4;
+  3: vanish;
+  4: j := isym(1);
+  5: ifgoto (typeof(j) == ^Int) 7;
+  6: vanish;
+  7: ifgoto (0 <= i) 9;
+  8: vanish;
+  9: ifgoto (i < 4) 11;
+  10: vanish;
+  11: ifgoto (0 <= j) 13;
+  12: vanish;
+  13: ifgoto (j < 4) 15;
+  14: vanish;
+  15: t := @store([i, 1]);
+  16: u := @store([j, 2]);
+  17: v := @load([i]);
+  18: ifgoto (i == j) 22;
+  19: ifgoto (v == 1) 21;
+  20: fail ["distinct offsets must not alias", v];
+  21: return true;
+  22: ifgoto (v == 2) 24;
+  23: fail ["aliased store must shadow the earlier one", v];
+  24: return true;
+}
+proc test_unwritten_symbolic_reads_zero(args) {
+  0: r := @grow([4]);
+  1: i := isym(0);
+  2: ifgoto (typeof(i) == ^Int) 4;
+  3: vanish;
+  4: ifgoto (0 <= i) 6;
+  5: vanish;
+  6: ifgoto (i < 4) 8;
+  7: vanish;
+  8: v := @load([i]);
+  9: ifgoto (v == 0) 11;
+  10: fail ["unwritten memory must read 0", v];
+  11: return true;
+}
+)gil";
+
+// ---------- bounds: edge offsets and grow interaction ---------------------
+constexpr std::string_view Bounds = R"gil(
+proc test_last_cell(args) {
+  0: r := @grow([4]);
+  1: t := @store([3, 7]);
+  2: v := @load([3]);
+  3: ifgoto (v == 7) 5;
+  4: fail ["last cell must be addressable", v];
+  5: return true;
+}
+proc test_grow_preserves_contents(args) {
+  0: r := @grow([2]);
+  1: t := @store([1, 5]);
+  2: g := @grow([2]);
+  3: v := @load([1]);
+  4: ifgoto (v == 5) 6;
+  5: fail ["grow must preserve contents", v];
+  6: w := @load([3]);
+  7: ifgoto (w == 0) 9;
+  8: fail ["grown region must read 0", w];
+  9: return true;
+}
+)gil";
+
+// ---------- seeded: faults the engine must re-detect ----------------------
+constexpr std::string_view Seeded = R"gil(
+proc test_off_by_one_load(args) {
+  0: r := @grow([4]);
+  1: i := isym(0);
+  2: ifgoto (typeof(i) == ^Int) 4;
+  3: vanish;
+  4: ifgoto (0 <= i) 6;
+  5: vanish;
+  6: ifgoto (i <= 4) 8;
+  7: vanish;
+  8: v := @load([i]);
+  9: return v;
+}
+proc test_negative_grow(args) {
+  0: r := @grow([-1]);
+  1: return r;
+}
+)gil";
+
+} // namespace
+
+const std::vector<LinearSuite> &gillian::linear::linearSuites() {
+  static const std::vector<LinearSuite> Suites = {
+      {"basic", Basic},
+      {"symbolic", Symbolic},
+      {"bounds", Bounds},
+  };
+  return Suites;
+}
+
+const std::vector<LinearSuite> &gillian::linear::linearSeededSuites() {
+  static const std::vector<LinearSuite> Suites = {
+      {"seeded", Seeded},
+  };
+  return Suites;
+}

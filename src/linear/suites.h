@@ -1,0 +1,39 @@
+//===- linear/suites.h - Linear-memory symbolic test suites ----*- C++ -*-===//
+//
+// Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic test suites for the linear memory model, written directly in
+/// textual GIL (the linear "language" has no front end of its own — its
+/// programs are GIL over the grow/msize/load/store actions, which is the
+/// point of the one-file-model quickstart). linearSuites() is clean;
+/// linearSeededSuites() seeds an off-by-one out-of-bounds read and a
+/// negative grow, which the engine must re-detect with verified
+/// counter-models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILLIAN_LINEAR_SUITES_H
+#define GILLIAN_LINEAR_SUITES_H
+
+#include <string_view>
+#include <vector>
+
+namespace gillian::linear {
+
+struct LinearSuite {
+  std::string_view Name;
+  std::string_view Source;
+};
+
+/// Clean suites (expected: zero bug reports, all paths returned).
+const std::vector<LinearSuite> &linearSuites();
+
+/// Suites with seeded faults (expected: each test finds its bug).
+const std::vector<LinearSuite> &linearSeededSuites();
+
+} // namespace gillian::linear
+
+#endif // GILLIAN_LINEAR_SUITES_H

@@ -4,10 +4,11 @@
 
 #include "engine/action_args.h"
 #include "obs/action_counters.h"
-#include "solver/simplifier.h"
 
 using namespace gillian;
 using namespace gillian::mjs;
+using memlib::BranchCtx;
+using memlib::resolveAliases;
 
 InternedString gillian::mjs::actNewObj() { return InternedString::get("newObj"); }
 InternedString gillian::mjs::actDelObj() { return InternedString::get("delObj"); }
@@ -70,7 +71,7 @@ Result<Value> MjsCMem::execAction(InternedString Act, const Value &Arg) {
       return Err(L.error());
     Heap.erase(*L);
     Meta.erase(*L);
-    Deleted.set(*L, true);
+    Deleted.mark(*L);
     return Value::boolV(true);
   }
   if (Act == actGetProp()) {
@@ -148,43 +149,18 @@ Result<Value> MjsCMem::execAction(InternedString Act, const Value &Arg) {
 }
 
 std::string MjsCMem::toString() const {
-  std::string Out = "{";
-  for (const auto &[Loc, Props] : Heap) {
-    Out += " " + std::string(Loc.str()) + " -> {";
-    for (const auto &[P, V] : Props)
-      Out += " " + std::string(P.str()) + ": " + V.toString() + ";";
-    Out += " }";
-  }
-  return Out + " }";
+  return memlib::printEntries(Heap, [](InternedString Loc,
+                                       const PropMap &Props) {
+    return std::string(Loc.str()) + " -> " +
+           memlib::printObject(
+               Props, [](InternedString P) { return std::string(P.str()); },
+               [](const Value &V) { return V.toString(); });
+  });
 }
 
 //===----------------------------------------------------------------------===//
 // Symbolic memory
 //===----------------------------------------------------------------------===//
-
-namespace {
-
-enum class Tri { Yes, No, Maybe };
-
-/// Classifies A == B under PC.
-Tri equalUnder(const Expr &A, const Expr &B, const PathCondition &PC,
-               Solver &S, Expr &CondOut) {
-  Expr C = simplify(Expr::eq(A, B));
-  if (C.isTrue())
-    return Tri::Yes;
-  if (C.isFalse())
-    return Tri::No;
-  PathCondition Ext = PC;
-  Ext.add(C);
-  if (!S.maybeSat(Ext))
-    return Tri::No;
-  CondOut = C;
-  return Tri::Maybe;
-}
-
-Expr conj(const Expr &A, const Expr &B) { return simplify(Expr::andE(A, B)); }
-
-} // namespace
 
 void MjsSMem::defineObject(const Expr &Loc, Expr MetaVal) {
   Heap.set(Loc, PropMap());
@@ -197,78 +173,6 @@ void MjsSMem::setProp(const Expr &Loc, const Expr &P, Expr V) {
   NewProps.set(P, std::move(V));
   Heap.set(Loc, std::move(NewProps));
 }
-
-/// Per-action context: resolves which stored objects a location expression
-/// may denote, handling deletion faults uniformly.
-struct MjsSMem::Ctx {
-  const MjsSMem &M;
-  const PathCondition &PC;
-  Solver &S;
-  std::vector<SymActionBranch<MjsSMem>> Out;
-
-  /// Condition accumulated so far excluding deleted aliases.
-  Expr LiveCond = Expr::boolE(true);
-  bool DefinitelyDeleted = false;
-
-  Ctx(const MjsSMem &M, const PathCondition &PC, Solver &S)
-      : M(M), PC(PC), S(S) {}
-
-  /// Emits fault branches for deleted-object aliases of \p Loc; afterwards
-  /// LiveCond holds the "not any deleted object" constraint.
-  void checkDeleted(const Expr &Loc, const char *What) {
-    for (const auto &[D, _] : M.Deleted) {
-      Expr Cond;
-      switch (equalUnder(Loc, D, PC, S, Cond)) {
-      case Tri::Yes:
-        Out.push_back({M,
-                       Expr::strE(std::string("TypeError: ") + What +
-                                  " on deleted object"),
-                       Expr(), /*IsError=*/true});
-        DefinitelyDeleted = true;
-        return;
-      case Tri::No:
-        break;
-      case Tri::Maybe:
-        Out.push_back({M,
-                       Expr::strE(std::string("TypeError: ") + What +
-                                  " on deleted object"),
-                       Cond, /*IsError=*/true});
-        LiveCond = conj(LiveCond, Expr::notE(Cond));
-        break;
-      }
-    }
-  }
-
-  /// Calls \p Fn(objectKey, props, takenCond) for every stored object the
-  /// location may alias; afterwards emits a fault branch for the
-  /// no-object case under \p What.
-  template <typename Fn>
-  void forEachAlias(const Expr &Loc, const char *What, Fn Body) {
-    if (DefinitelyDeleted)
-      return;
-    Expr MissCond = LiveCond;
-    for (const auto &[Key, Props] : M.Heap) {
-      Expr Cond;
-      Tri T = equalUnder(Loc, Key, PC, S, Cond);
-      if (T == Tri::No)
-        continue;
-      Expr Taken = T == Tri::Yes ? LiveCond : conj(LiveCond, Cond);
-      Body(Key, Props, Taken);
-      if (T == Tri::Yes)
-        return; // definite alias: nothing else reachable
-      MissCond = conj(MissCond, Expr::notE(Cond));
-    }
-    if (MissCond.isFalse())
-      return;
-    PathCondition Ext = PC;
-    Ext.add(MissCond);
-    if (S.maybeSat(Ext))
-      Out.push_back({M,
-                     Expr::strE(std::string("TypeError: ") + What +
-                                " on unknown object"),
-                     MissCond, /*IsError=*/true});
-  }
-};
 
 Result<std::vector<SymActionBranch<MjsSMem>>>
 MjsSMem::execAction(InternedString Act, const Expr &Arg,
@@ -299,191 +203,147 @@ MjsSMem::execAction(InternedString Act, const Expr &Arg,
     return Err(A.error());
   const Expr &Loc = (*A)[0];
 
-  Ctx C(*this, PC, S);
+  BranchCtx<MjsSMem> Ctx(*this, PC, S);
   std::string ActName(Act.str());
-  C.checkDeleted(Loc, ActName.c_str());
+  Expr Live = Expr::boolE(true);
+  if (!Deleted.guard(Ctx, Loc, "TypeError: " + ActName + " on deleted object",
+                     Live))
+    return Ctx.Out;
+
+  /// Runs \p Body(objectKey, props, takenCond) for every stored object the
+  /// location may alias (the outer resolveAliases level); the no-object
+  /// world is a TypeError.
+  auto forEachAlias = [&](const char *What, auto Body) {
+    resolveAliases(
+        Ctx, Heap, Loc, Live, {},
+        [&](const Expr &Key, const PropMap &Props, const Expr &Taken, bool) {
+          Body(Key, Props, Taken);
+        },
+        [&](const Expr &Miss) {
+          Ctx.error(std::string("TypeError: ") + What + " on unknown object",
+                    Miss);
+        });
+  };
 
   if (Act == actGetProp()) {
     const Expr &P = (*A)[1];
-    C.forEachAlias(Loc, "getProp", [&](const Expr &Key,
-                                       const PropMap &Props,
-                                       const Expr &Taken) {
-      // [SGetProp]: branch over stored properties this name may equal.
-      Expr Absent = Taken;
-      for (const auto &[PK, V] : Props) {
-        Expr Cond;
-        Tri T = equalUnder(P, PK, PC, S, Cond);
-        if (T == Tri::No)
-          continue;
-        Expr Br = T == Tri::Yes ? Taken : conj(Taken, Cond);
-        C.Out.push_back({*this, V, Br, false});
-        if (T == Tri::Yes) {
-          Absent = Expr::boolE(false);
-          break;
-        }
-        Absent = conj(Absent, Expr::notE(Cond));
-      }
-      // Absent property on an existing object: undefined (JS semantics).
-      if (!Absent.isFalse()) {
-        PathCondition Ext = PC;
-        Ext.add(Absent);
-        if (S.maybeSat(Ext))
-          C.Out.push_back({*this, Expr::lit(jsUndefined()), Absent, false});
-      }
-      (void)Key;
+    forEachAlias("getProp", [&](const Expr &, const PropMap &Props,
+                                const Expr &Taken) {
+      // [SGetProp]: the inner resolveAliases level branches over stored
+      // properties this name may equal; an absent property on an existing
+      // object is $undefined (JS semantics), not a fault.
+      resolveAliases(
+          Ctx, Props, P, Taken, {},
+          [&](const Expr &, const Expr &V, const Expr &Br, bool) {
+            Ctx.ok(*this, V, Br);
+          },
+          [&](const Expr &Absent) {
+            Ctx.ok(*this, Expr::lit(jsUndefined()), Absent);
+          });
     });
-    return C.Out;
+    return Ctx.Out;
   }
 
   if (Act == actSetProp()) {
     const Expr &P = (*A)[1];
     const Expr &V = (*A)[2];
-    C.forEachAlias(Loc, "setProp", [&](const Expr &Key,
-                                       const PropMap &Props,
-                                       const Expr &Taken) {
-      Expr Fresh = Taken;
-      for (const auto &[PK, Old] : Props) {
-        (void)Old;
-        Expr Cond;
-        Tri T = equalUnder(P, PK, PC, S, Cond);
-        if (T == Tri::No)
-          continue;
-        MjsSMem Next = *this;
-        Next.setProp(Key, PK, V);
-        Expr Br = T == Tri::Yes ? Taken : conj(Taken, Cond);
-        C.Out.push_back({std::move(Next), V, Br, false});
-        if (T == Tri::Yes) {
-          Fresh = Expr::boolE(false);
-          break;
-        }
-        Fresh = conj(Fresh, Expr::notE(Cond));
-      }
-      if (!Fresh.isFalse()) {
-        PathCondition Ext = PC;
-        Ext.add(Fresh);
-        if (S.maybeSat(Ext)) {
-          MjsSMem Next = *this;
-          Next.setProp(Key, P, V);
-          C.Out.push_back({std::move(Next), V, Fresh, false});
-        }
-      }
+    forEachAlias("setProp", [&](const Expr &Key, const PropMap &Props,
+                                const Expr &Taken) {
+      resolveAliases(
+          Ctx, Props, P, Taken, {},
+          [&](const Expr &PK, const Expr &, const Expr &Br, bool) {
+            MjsSMem Next = *this;
+            Next.setProp(Key, PK, V);
+            Ctx.ok(std::move(Next), V, Br);
+          },
+          [&](const Expr &Fresh) {
+            MjsSMem Next = *this;
+            Next.setProp(Key, P, V);
+            Ctx.ok(std::move(Next), V, Fresh);
+          });
     });
-    return C.Out;
+    return Ctx.Out;
   }
 
   if (Act == actDelProp()) {
     const Expr &P = (*A)[1];
-    C.forEachAlias(Loc, "delProp", [&](const Expr &Key,
-                                       const PropMap &Props,
-                                       const Expr &Taken) {
-      Expr Untouched = Taken;
-      for (const auto &[PK, Old] : Props) {
-        (void)Old;
-        Expr Cond;
-        Tri T = equalUnder(P, PK, PC, S, Cond);
-        if (T == Tri::No)
-          continue;
-        MjsSMem Next = *this;
-        PropMap NewProps = Props;
-        NewProps.erase(PK);
-        Next.Heap.set(Key, std::move(NewProps));
-        Expr Br = T == Tri::Yes ? Taken : conj(Taken, Cond);
-        C.Out.push_back({std::move(Next), Expr::boolE(true), Br, false});
-        if (T == Tri::Yes) {
-          Untouched = Expr::boolE(false);
-          break;
-        }
-        Untouched = conj(Untouched, Expr::notE(Cond));
-      }
-      if (!Untouched.isFalse()) {
-        PathCondition Ext = PC;
-        Ext.add(Untouched);
-        if (S.maybeSat(Ext))
-          C.Out.push_back({*this, Expr::boolE(true), Untouched, false});
-      }
+    forEachAlias("delProp", [&](const Expr &Key, const PropMap &Props,
+                                const Expr &Taken) {
+      resolveAliases(
+          Ctx, Props, P, Taken, {},
+          [&](const Expr &PK, const Expr &, const Expr &Br, bool) {
+            MjsSMem Next = *this;
+            PropMap NewProps = Props;
+            NewProps.erase(PK);
+            Next.Heap.set(Key, std::move(NewProps));
+            Ctx.ok(std::move(Next), Expr::boolE(true), Br);
+          },
+          [&](const Expr &Untouched) {
+            Ctx.ok(*this, Expr::boolE(true), Untouched);
+          });
     });
-    return C.Out;
+    return Ctx.Out;
   }
 
   if (Act == actHasProp()) {
     const Expr &P = (*A)[1];
-    C.forEachAlias(Loc, "hasProp", [&](const Expr &Key,
-                                       const PropMap &Props,
-                                       const Expr &Taken) {
-      (void)Key;
-      Expr Absent = Taken;
-      for (const auto &[PK, Old] : Props) {
-        (void)Old;
-        Expr Cond;
-        Tri T = equalUnder(P, PK, PC, S, Cond);
-        if (T == Tri::No)
-          continue;
-        Expr Br = T == Tri::Yes ? Taken : conj(Taken, Cond);
-        C.Out.push_back({*this, Expr::boolE(true), Br, false});
-        if (T == Tri::Yes) {
-          Absent = Expr::boolE(false);
-          break;
-        }
-        Absent = conj(Absent, Expr::notE(Cond));
-      }
-      if (!Absent.isFalse()) {
-        PathCondition Ext = PC;
-        Ext.add(Absent);
-        if (S.maybeSat(Ext))
-          C.Out.push_back({*this, Expr::boolE(false), Absent, false});
-      }
+    forEachAlias("hasProp", [&](const Expr &, const PropMap &Props,
+                                const Expr &Taken) {
+      resolveAliases(
+          Ctx, Props, P, Taken, {},
+          [&](const Expr &, const Expr &, const Expr &Br, bool) {
+            Ctx.ok(*this, Expr::boolE(true), Br);
+          },
+          [&](const Expr &Absent) {
+            Ctx.ok(*this, Expr::boolE(false), Absent);
+          });
     });
-    return C.Out;
+    return Ctx.Out;
   }
 
   if (Act == actDelObj()) {
-    C.forEachAlias(Loc, "delObj", [&](const Expr &Key, const PropMap &Props,
-                                      const Expr &Taken) {
-      (void)Props;
+    forEachAlias("delObj", [&](const Expr &Key, const PropMap &,
+                               const Expr &Taken) {
       MjsSMem Next = *this;
       Next.Heap.erase(Key);
       Next.Meta.erase(Key);
-      Next.Deleted.set(Key, true);
-      C.Out.push_back({std::move(Next), Expr::boolE(true), Taken, false});
+      Next.Deleted.mark(Key);
+      Ctx.ok(std::move(Next), Expr::boolE(true), Taken);
     });
-    return C.Out;
+    return Ctx.Out;
   }
 
   if (Act == actGetMeta()) {
-    C.forEachAlias(Loc, "getMeta", [&](const Expr &Key, const PropMap &Props,
-                                       const Expr &Taken) {
-      (void)Props;
+    forEachAlias("getMeta", [&](const Expr &Key, const PropMap &,
+                                const Expr &Taken) {
       const Expr *MV = Meta.lookup(Key);
-      C.Out.push_back(
-          {*this, MV ? *MV : Expr::lit(jsUndefined()), Taken, false});
+      Ctx.ok(*this, MV ? *MV : Expr::lit(jsUndefined()), Taken);
     });
-    return C.Out;
+    return Ctx.Out;
   }
 
   if (Act == actSetMeta()) {
     const Expr &V = (*A)[1];
-    C.forEachAlias(Loc, "setMeta", [&](const Expr &Key, const PropMap &Props,
-                                       const Expr &Taken) {
-      (void)Props;
+    forEachAlias("setMeta", [&](const Expr &Key, const PropMap &,
+                                const Expr &Taken) {
       MjsSMem Next = *this;
       Next.Meta.set(Key, V);
-      C.Out.push_back({std::move(Next), V, Taken, false});
+      Ctx.ok(std::move(Next), V, Taken);
     });
-    return C.Out;
+    return Ctx.Out;
   }
 
   return Err("unknown MJS action '" + std::string(Act.str()) + "'");
 }
 
 std::string MjsSMem::toString() const {
-  std::string Out = "{";
-  for (const auto &[Loc, Props] : Heap) {
-    Out += " " + Loc.toString() + " -> {";
-    for (const auto &[P, V] : Props)
-      Out += " " + P.toString() + ": " + V.toString() + ";";
-    Out += " }";
-  }
-  return Out + " }";
+  return memlib::printEntries(Heap, [](const Expr &Loc,
+                                       const PropMap &Props) {
+    return Loc.toString() + " -> " +
+           memlib::printObject(
+               Props, [](const Expr &P) { return P.toString(); },
+               [](const Expr &V) { return V.toString(); });
+  });
 }
 
 //===----------------------------------------------------------------------===//

@@ -4,11 +4,12 @@
 
 #include "engine/action_args.h"
 #include "obs/action_counters.h"
-#include "solver/simplifier.h"
 #include "while_lang/compiler.h"
 
 using namespace gillian;
 using namespace gillian::whilelang;
+using memlib::BranchCtx;
+using memlib::resolveAliases;
 
 //===----------------------------------------------------------------------===//
 // Concrete memory
@@ -82,48 +83,23 @@ Result<Value> WhileCMem::dispose(const Value &Loc) {
   if (!Objects.contains(Loc.asSym()))
     return Err("memory fault: dispose of unknown object " + Loc.toString());
   Objects.erase(Loc.asSym());
-  Disposed.set(Loc.asSym(), true);
+  Disposed.mark(Loc.asSym());
   return Value::boolV(true);
 }
 
 std::string WhileCMem::toString() const {
-  std::string Out = "{";
-  for (const auto &[Loc, Props] : Objects) {
-    Out += " " + std::string(Loc.str()) + " -> {";
-    for (const auto &[P, V] : Props)
-      Out += " " + std::string(P.str()) + ": " + V.toString() + ";";
-    Out += " }";
-  }
-  return Out + " }";
+  return memlib::printEntries(Objects, [](InternedString Loc,
+                                          const PropMap &Props) {
+    return std::string(Loc.str()) + " -> " +
+           memlib::printObject(
+               Props, [](InternedString P) { return std::string(P.str()); },
+               [](const Value &V) { return V.toString(); });
+  });
 }
 
 //===----------------------------------------------------------------------===//
 // Symbolic memory
 //===----------------------------------------------------------------------===//
-
-namespace {
-
-/// Classifies the aliasing condition Loc == Key under PC: definitely true,
-/// definitely false, or contingent (in which case the branch carries the
-/// equality as its π', per [S-Lookup]).
-enum class AliasKind { Yes, No, Maybe };
-
-AliasKind aliasKind(const Expr &Loc, const Expr &Key, const PathCondition &PC,
-                    Solver &S, Expr &CondOut) {
-  Expr C = simplify(Expr::eq(Loc, Key));
-  if (C.isTrue())
-    return AliasKind::Yes;
-  if (C.isFalse())
-    return AliasKind::No;
-  PathCondition Ext = PC;
-  Ext.add(C);
-  if (!S.maybeSat(Ext))
-    return AliasKind::No;
-  CondOut = C;
-  return AliasKind::Maybe;
-}
-
-} // namespace
 
 void WhileSMem::setProp(const Expr &Loc, InternedString P, Expr V) {
   const PropMap *Props = Objects.lookup(Loc);
@@ -166,183 +142,85 @@ WhileSMem::execAction(InternedString Act, const Expr &Arg,
 std::vector<SymActionBranch<WhileSMem>>
 WhileSMem::lookup(const Expr &Loc, InternedString Prop,
                   const PathCondition &PC, Solver &S) const {
-  std::vector<SymActionBranch<WhileSMem>> Out;
-  // Disposed aliases fault.
-  Expr NotDisposedCond = Expr::boolE(true);
-  for (const auto &[D, _] : Disposed) {
-    Expr Cond;
-    switch (aliasKind(Loc, D, PC, S, Cond)) {
-    case AliasKind::Yes:
-      Out.push_back({*this,
-                     Expr::strE("memory fault: lookup on disposed object"),
-                     Expr(), /*IsError=*/true});
-      return Out;
-    case AliasKind::No:
-      break;
-    case AliasKind::Maybe:
-      Out.push_back({*this,
-                     Expr::strE("memory fault: lookup on disposed object"),
-                     Cond, /*IsError=*/true});
-      NotDisposedCond =
-          simplify(Expr::andE(NotDisposedCond, Expr::notE(Cond)));
-      break;
-    }
-  }
+  BranchCtx<WhileSMem> Ctx(*this, PC, S);
+  Expr Live = Expr::boolE(true);
+  if (!Disposed.guard(Ctx, Loc, "memory fault: lookup on disposed object",
+                      Live))
+    return std::move(Ctx.Out);
 
-  // [S-Lookup]: branch over every potentially-aliasing stored location.
-  Expr MissCond = NotDisposedCond;
-  for (const auto &[Key, Props] : Objects) {
-    Expr Cond;
-    AliasKind K = aliasKind(Loc, Key, PC, S, Cond);
-    if (K == AliasKind::No)
-      continue;
-    Expr Taken = K == AliasKind::Yes
-                     ? NotDisposedCond
-                     : simplify(Expr::andE(NotDisposedCond, Cond));
-    const Expr *V = Props.lookup(Prop);
-    if (V) {
-      Out.push_back({*this, *V, Taken, /*IsError=*/false});
-    } else {
-      Out.push_back({*this,
-                     Expr::strE("memory fault: object has no property " +
-                                std::string(Prop.str())),
-                     Taken, /*IsError=*/true});
-    }
-    if (K == AliasKind::Yes)
-      return Out; // a definite alias: no other branch is reachable
-    MissCond = simplify(Expr::andE(MissCond, Expr::notE(Cond)));
-  }
-  // Residual branch: no stored location matches -> fault.
-  if (!MissCond.isFalse()) {
-    PathCondition Ext = PC;
-    Ext.add(MissCond);
-    if (S.maybeSat(Ext))
-      Out.push_back({*this, Expr::strE("memory fault: lookup on unknown object"),
-                     MissCond, /*IsError=*/true});
-  }
-  return Out;
+  // [S-Lookup]: branch over every potentially-aliasing stored location;
+  // the residual (no stored location matches) is a fault.
+  resolveAliases(
+      Ctx, Objects, Loc, Live, {},
+      [&](const Expr &, const PropMap &Props, const Expr &Taken, bool) {
+        if (const Expr *V = Props.lookup(Prop))
+          Ctx.ok(*this, *V, Taken);
+        else
+          Ctx.error("memory fault: object has no property " +
+                        std::string(Prop.str()),
+                    Taken);
+      },
+      [&](const Expr &Miss) {
+        Ctx.error("memory fault: lookup on unknown object", Miss);
+      });
+  return std::move(Ctx.Out);
 }
 
 std::vector<SymActionBranch<WhileSMem>>
 WhileSMem::mutate(const Expr &Loc, InternedString Prop, const Expr &V,
                   const PathCondition &PC, Solver &S) const {
-  std::vector<SymActionBranch<WhileSMem>> Out;
-  Expr NotDisposedCond = Expr::boolE(true);
-  for (const auto &[D, _] : Disposed) {
-    Expr Cond;
-    switch (aliasKind(Loc, D, PC, S, Cond)) {
-    case AliasKind::Yes:
-      Out.push_back({*this,
-                     Expr::strE("memory fault: mutate on disposed object"),
-                     Expr(), /*IsError=*/true});
-      return Out;
-    case AliasKind::No:
-      break;
-    case AliasKind::Maybe:
-      Out.push_back({*this,
-                     Expr::strE("memory fault: mutate on disposed object"),
-                     Cond, /*IsError=*/true});
-      NotDisposedCond =
-          simplify(Expr::andE(NotDisposedCond, Expr::notE(Cond)));
-      break;
-    }
-  }
+  BranchCtx<WhileSMem> Ctx(*this, PC, S);
+  Expr Live = Expr::boolE(true);
+  if (!Disposed.guard(Ctx, Loc, "memory fault: mutate on disposed object",
+                      Live))
+    return std::move(Ctx.Out);
 
-  // [S-Mutate-Present]: update every potentially-aliasing object.
-  Expr AbsentCond = NotDisposedCond;
-  for (const auto &[Key, Props] : Objects) {
-    (void)Props;
-    Expr Cond;
-    AliasKind K = aliasKind(Loc, Key, PC, S, Cond);
-    if (K == AliasKind::No)
-      continue;
-    WhileSMem Next = *this;
-    Next.setProp(Key, Prop, V);
-    Expr Taken = K == AliasKind::Yes
-                     ? NotDisposedCond
-                     : simplify(Expr::andE(NotDisposedCond, Cond));
-    Out.push_back({std::move(Next), Expr::boolE(true), Taken,
-                   /*IsError=*/false});
-    if (K == AliasKind::Yes)
-      return Out;
-    AbsentCond = simplify(Expr::andE(AbsentCond, Expr::notE(Cond)));
-  }
-  // [S-Mutate-Absent]: the location is new; extend the memory.
-  if (!AbsentCond.isFalse()) {
-    PathCondition Ext = PC;
-    Ext.add(AbsentCond);
-    if (S.maybeSat(Ext)) {
-      WhileSMem Next = *this;
-      Next.setProp(Loc, Prop, V);
-      Out.push_back({std::move(Next), Expr::boolE(true), AbsentCond,
-                     /*IsError=*/false});
-    }
-  }
-  return Out;
+  // [S-Mutate-Present] per alias; [S-Mutate-Absent] extends on the miss.
+  resolveAliases(
+      Ctx, Objects, Loc, Live, {},
+      [&](const Expr &Key, const PropMap &, const Expr &Taken, bool) {
+        WhileSMem Next = *this;
+        Next.setProp(Key, Prop, V);
+        Ctx.ok(std::move(Next), Expr::boolE(true), Taken);
+      },
+      [&](const Expr &Absent) {
+        WhileSMem Next = *this;
+        Next.setProp(Loc, Prop, V);
+        Ctx.ok(std::move(Next), Expr::boolE(true), Absent);
+      });
+  return std::move(Ctx.Out);
 }
 
 std::vector<SymActionBranch<WhileSMem>>
 WhileSMem::dispose(const Expr &Loc, const PathCondition &PC,
                    Solver &S) const {
-  std::vector<SymActionBranch<WhileSMem>> Out;
-  Expr NotDisposedCond = Expr::boolE(true);
-  for (const auto &[D, _] : Disposed) {
-    Expr Cond;
-    switch (aliasKind(Loc, D, PC, S, Cond)) {
-    case AliasKind::Yes:
-      Out.push_back({*this, Expr::strE("memory fault: double dispose"),
-                     Expr(), /*IsError=*/true});
-      return Out;
-    case AliasKind::No:
-      break;
-    case AliasKind::Maybe:
-      Out.push_back({*this, Expr::strE("memory fault: double dispose"), Cond,
-                     /*IsError=*/true});
-      NotDisposedCond =
-          simplify(Expr::andE(NotDisposedCond, Expr::notE(Cond)));
-      break;
-    }
-  }
+  BranchCtx<WhileSMem> Ctx(*this, PC, S);
+  Expr Live = Expr::boolE(true);
+  if (!Disposed.guard(Ctx, Loc, "memory fault: double dispose", Live))
+    return std::move(Ctx.Out);
 
-  Expr MissCond = NotDisposedCond;
-  for (const auto &[Key, Props] : Objects) {
-    (void)Props;
-    Expr Cond;
-    AliasKind K = aliasKind(Loc, Key, PC, S, Cond);
-    if (K == AliasKind::No)
-      continue;
-    WhileSMem Next = *this;
-    Next.Objects.erase(Key);
-    Next.Disposed.set(Key, true);
-    Expr Taken = K == AliasKind::Yes
-                     ? NotDisposedCond
-                     : simplify(Expr::andE(NotDisposedCond, Cond));
-    Out.push_back({std::move(Next), Expr::boolE(true), Taken,
-                   /*IsError=*/false});
-    if (K == AliasKind::Yes)
-      return Out;
-    MissCond = simplify(Expr::andE(MissCond, Expr::notE(Cond)));
-  }
-  if (!MissCond.isFalse()) {
-    PathCondition Ext = PC;
-    Ext.add(MissCond);
-    if (S.maybeSat(Ext))
-      Out.push_back({*this,
-                     Expr::strE("memory fault: dispose of unknown object"),
-                     MissCond, /*IsError=*/true});
-  }
-  return Out;
+  resolveAliases(
+      Ctx, Objects, Loc, Live, {},
+      [&](const Expr &Key, const PropMap &, const Expr &Taken, bool) {
+        WhileSMem Next = *this;
+        Next.Objects.erase(Key);
+        Next.Disposed.mark(Key);
+        Ctx.ok(std::move(Next), Expr::boolE(true), Taken);
+      },
+      [&](const Expr &Miss) {
+        Ctx.error("memory fault: dispose of unknown object", Miss);
+      });
+  return std::move(Ctx.Out);
 }
 
 std::string WhileSMem::toString() const {
-  std::string Out = "{";
-  for (const auto &[Loc, Props] : Objects) {
-    Out += " " + Loc.toString() + " -> {";
-    for (const auto &[P, V] : Props)
-      Out += " " + std::string(P.str()) + ": " + V.toString() + ";";
-    Out += " }";
-  }
-  return Out + " }";
+  return memlib::printEntries(Objects, [](const Expr &Loc,
+                                          const PropMap &Props) {
+    return Loc.toString() + " -> " +
+           memlib::printObject(
+               Props, [](InternedString P) { return std::string(P.str()); },
+               [](const Expr &V) { return V.toString(); });
+  });
 }
 
 //===----------------------------------------------------------------------===//

@@ -8,6 +8,8 @@
 
 #include "mc/memory.h"
 
+#include "engine/memlib/branch.h"
+
 #include <gtest/gtest.h>
 
 using namespace gillian;
@@ -174,6 +176,24 @@ TEST(McCMemT, ValidPtrAndBlockSize) {
 }
 
 // --- Symbolic ---------------------------------------------------------------
+
+TEST(McSMemT, SymbolicAllocSizeIsTheStructuredDiagnostic) {
+  // The combinator-layer symbolic-size message, verbatim — shared with
+  // linear grow (see memlib/branch.h and the matching assertion in
+  // linear/linear_test.cpp).
+  McSMem M;
+  Solver S;
+  PathCondition PC;
+  Expr B = Expr::lit(Value::symV("$b"));
+  Expr N = Expr::lvar("#n");
+  auto R = M.execAction(actAlloc(), eargs({B, N}), PC, S);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error(), memlib::symbolicSizeError("alloc", N));
+  EXPECT_NE(R.error().find("unsupported: alloc with symbolic size #n"),
+            std::string::npos);
+  EXPECT_NE(R.error().find("EXPERIMENTS.md 'Known deviations'"),
+            std::string::npos);
+}
 
 TEST(McSMemT, SymbolicStoreLoadFragmentRoundTrip) {
   McSMem M;

@@ -1,44 +1,51 @@
+//===- tests/targets/legacy/mc_memory.cpp ---------------------------------===//
+//
+// VERBATIM SNAPSHOT of src/mc/memory.cpp as of the memlib refactor, kept
+// solely so memlib_differential_test can replay suites on the pre-memlib
+// action implementations and assert bit-identical branch sequences.
+// Namespace renamed gillian::mc -> gillian::legacy (Chunk types shared).
+// Do not edit: this file intentionally preserves the old code paths.
+//
+//===----------------------------------------------------------------------===//
+
 //===- mc/memory.cpp ------------------------------------------------------===//
 
-#include "mc/memory.h"
+#include "mc_memory.h"
 
 #include "engine/action_args.h"
-#include "engine/memlib/memlib.h"
 #include "obs/action_counters.h"
 #include "solver/simplifier.h"
 
 #include <cstring>
 
 using namespace gillian;
-using namespace gillian::mc;
-using memlib::BranchCtx;
-using memlib::Tri;
+using namespace gillian::legacy;
 
-InternedString gillian::mc::actAlloc() { return InternedString::get("alloc"); }
-InternedString gillian::mc::actFree() { return InternedString::get("free"); }
-InternedString gillian::mc::actLoad() { return InternedString::get("load"); }
-InternedString gillian::mc::actStore() { return InternedString::get("store"); }
-InternedString gillian::mc::actMemcpy() { return InternedString::get("memcpy"); }
-InternedString gillian::mc::actMemset() { return InternedString::get("memset"); }
-InternedString gillian::mc::actBlockSize() {
+InternedString gillian::legacy::actAlloc() { return InternedString::get("alloc"); }
+InternedString gillian::legacy::actFree() { return InternedString::get("free"); }
+InternedString gillian::legacy::actLoad() { return InternedString::get("load"); }
+InternedString gillian::legacy::actStore() { return InternedString::get("store"); }
+InternedString gillian::legacy::actMemcpy() { return InternedString::get("memcpy"); }
+InternedString gillian::legacy::actMemset() { return InternedString::get("memset"); }
+InternedString gillian::legacy::actBlockSize() {
   return InternedString::get("blockSize");
 }
-InternedString gillian::mc::actDropPerm() {
+InternedString gillian::legacy::actDropPerm() {
   return InternedString::get("dropPerm");
 }
-InternedString gillian::mc::actComparePtr() {
+InternedString gillian::legacy::actComparePtr() {
   return InternedString::get("comparePtr");
 }
-InternedString gillian::mc::actValidPtr() {
+InternedString gillian::legacy::actValidPtr() {
   return InternedString::get("validPtr");
 }
 
-Value gillian::mc::nullPtr() {
+Value gillian::legacy::nullPtr() {
   return Value::listV({Value::symV("$null"), Value::intV(0)});
 }
-Expr gillian::mc::nullPtrE() { return Expr::lit(nullPtr()); }
+Expr gillian::legacy::nullPtrE() { return Expr::lit(nullPtr()); }
 
-Value gillian::mc::chunkValue(const Chunk &C) {
+Value gillian::legacy::chunkValue(const Chunk &C) {
   return Value::listV({Value::intV(C.Size), Value::intV(C.Align),
                        Value::intV(static_cast<int64_t>(C.Kind))});
 }
@@ -418,11 +425,12 @@ Result<Value> McCMem::execAction(InternedString Act, const Value &Arg) {
 }
 
 std::string McCMem::toString() const {
-  return memlib::printEntries(
-      Blocks, [](InternedString B, const std::shared_ptr<const CBlock> &Blk) {
-        return std::string(B.str()) + "[" + std::to_string(Blk->Size) +
-               (Blk->Freed ? ", freed" : "") + "]";
-      });
+  std::string Out = "{";
+  for (const auto &[B, Blk] : Blocks) {
+    Out += " " + std::string(B.str()) + "[" + std::to_string(Blk->Size) +
+           (Blk->Freed ? ", freed" : "") + "]";
+  }
+  return Out + " }";
 }
 
 //===----------------------------------------------------------------------===//
@@ -430,6 +438,22 @@ std::string McCMem::toString() const {
 //===----------------------------------------------------------------------===//
 
 namespace {
+
+enum class Tri { Yes, No, Maybe };
+
+Tri condTri(Expr C, const PathCondition &PC, Solver &S, Expr &CondOut) {
+  C = simplify(C);
+  if (C.isTrue())
+    return Tri::Yes;
+  if (C.isFalse())
+    return Tri::No;
+  PathCondition Ext = PC;
+  Ext.add(C);
+  if (!S.maybeSat(Ext))
+    return Tri::No;
+  CondOut = C;
+  return Tri::Maybe;
+}
 
 Result<Chunk> chunkFromExpr(const Expr &E) {
   if (E.isLit())
@@ -529,30 +553,85 @@ bool permOk(const SBlock &B, int64_t O, int64_t N, Perm Needed) {
 
 constexpr int64_t MaxSymbolicOffsetBlock = 1 << 12;
 
-/// Resolves the block expression to stored blocks through the shared
-/// memlib alias loop (structural fast path on: blocks are distinct uSym
-/// symbols in practice); calls Body(key, block, takenCond) per alias and
-/// emits an unknown-block fault for the residual world.
-template <typename Fn>
-void forEachBlock(BranchCtx<McSMem> &C, const Expr &B, const char *What,
-                  Fn Body) {
-  memlib::resolveAliases(
-      C, C.Self.blocks(), B, Expr::boolE(true),
-      memlib::ResolveOpts{/*StructuralFastPath=*/true},
-      [&](const Expr &Key, const std::shared_ptr<const SBlock> &Blk,
-          const Expr &Taken, bool) { Body(Key, Blk, Taken); },
-      [&](const Expr &Miss) {
-        C.error(std::string("UB: ") + What + " on unallocated memory", Miss);
-      });
-}
-
 } // namespace
+
+/// Per-action helper bundling the branching plumbing.
+struct McSMem::ActionCtx {
+  const McSMem &M;
+  const PathCondition &PC;
+  Solver &S;
+  std::vector<SymActionBranch<McSMem>> Out;
+
+  ActionCtx(const McSMem &M, const PathCondition &PC, Solver &S)
+      : M(M), PC(PC), S(S) {}
+
+  void error(const std::string &Msg, Expr Cond = Expr()) {
+    Out.push_back({M, Expr::strE(Msg), std::move(Cond), /*IsError=*/true});
+  }
+  void ok(McSMem Next, Expr Ret, Expr Cond = Expr()) {
+    Out.push_back({std::move(Next), std::move(Ret), std::move(Cond), false});
+  }
+
+  /// Resolves the block expression to stored blocks; calls Body(key,
+  /// block, takenCond) per alias; emits an unknown-block fault for the
+  /// residual world.
+  template <typename Fn>
+  void forEachBlock(const Expr &B, const char *What, Fn Body) {
+    Expr MissCond = Expr::boolE(true);
+    // Fast path: structural hit (blocks are uSym symbols in practice).
+    if (M.blocks().lookup(B)) {
+      Body(B, *M.blocks().lookup(B), Expr::boolE(true));
+      return;
+    }
+    for (const auto &[Key, Blk] : M.blocks()) {
+      Expr Cond;
+      Tri T = condTri(Expr::eq(B, Key), PC, S, Cond);
+      if (T == Tri::No)
+        continue;
+      if (T == Tri::Yes) {
+        Body(Key, Blk, Expr::boolE(true));
+        return;
+      }
+      Body(Key, Blk, Cond);
+      MissCond = simplify(Expr::andE(MissCond, Expr::notE(Cond)));
+    }
+    if (MissCond.isFalse())
+      return;
+    PathCondition Ext = PC;
+    Ext.add(MissCond);
+    if (S.maybeSat(Ext))
+      error(std::string("UB: ") + What + " on unallocated memory", MissCond);
+  }
+
+  /// Splits on a boolean condition: OnTrue under Cond, error under ¬Cond.
+  /// Returns the condition to thread into the success branch (null if
+  /// definite).
+  template <typename Fn>
+  void checkOrError(Expr Cond, const Expr &Under, const std::string &Msg,
+                    Fn OnTrue) {
+    Expr C;
+    Tri T = condTri(Cond, PC, S, C);
+    if (T == Tri::No) {
+      error(Msg, Under);
+      return;
+    }
+    Expr NotC;
+    if (T == Tri::Maybe) {
+      Tri TN = condTri(Expr::notE(Cond), PC, S, NotC);
+      if (TN != Tri::No)
+        error(Msg, simplify(Expr::andE(Under, Expr::notE(Cond))));
+      OnTrue(simplify(Expr::andE(Under, Cond)));
+      return;
+    }
+    OnTrue(Under);
+  }
+};
 
 Result<std::vector<SymActionBranch<McSMem>>>
 McSMem::execAction(InternedString Act, const Expr &Arg,
                    const PathCondition &PC, Solver &S) const {
   obs::ActionCounters::bump("mc", Act);
-  BranchCtx<McSMem> C(*this, PC, S);
+  ActionCtx C(*this, PC, S);
 
   if (Act == actAlloc()) {
     Result<std::vector<Expr>> A = splitArgsE(Arg, 2);
@@ -563,7 +642,8 @@ McSMem::execAction(InternedString Act, const Expr &Arg,
     if (!B.isLit() || !B.litValue().isSym())
       return Err("alloc expects a fresh block symbol");
     if (!SizeE.isLit() || !SizeE.litValue().isInt())
-      return Err(memlib::symbolicSizeError("alloc", SizeE));
+      return Err("allocation of symbolic size is not supported (see "
+                 "DESIGN.md / paper §4.2 'Current Limitations')");
     int64_t Size = SizeE.litValue().asInt();
     if (Size < 0) {
       C.error("UB: allocation of negative size");
@@ -591,10 +671,10 @@ McSMem::execAction(InternedString Act, const Expr &Arg,
       C.error(BO.error());
       return C.Out;
     }
-    forEachBlock(C, BO->first, "free", [&](const Expr &Key,
-                                           const std::shared_ptr<const SBlock>
-                                               &Blk,
-                                           const Expr &Taken) {
+    C.forEachBlock(BO->first, "free", [&](const Expr &Key,
+                                          const std::shared_ptr<const SBlock>
+                                              &Blk,
+                                          const Expr &Taken) {
       if (Blk->Freed) {
         C.error("UB: double free", Taken);
         return;
@@ -625,9 +705,9 @@ McSMem::execAction(InternedString Act, const Expr &Arg,
     Expr StoredVal = IsStore ? (*A)[3] : Expr();
     const char *What = IsStore ? "store" : "load";
 
-    forEachBlock(C, B, What, [&](const Expr &Key,
-                                 const std::shared_ptr<const SBlock> &Blk,
-                                 const Expr &Taken) {
+    C.forEachBlock(B, What, [&](const Expr &Key,
+                                const std::shared_ptr<const SBlock> &Blk,
+                                const Expr &Taken) {
       if (Blk->Freed) {
         C.error(std::string("UB: ") + What + " after free", Taken);
         return;
@@ -667,7 +747,7 @@ McSMem::execAction(InternedString Act, const Expr &Arg,
             Expr Under = U2;
             if (!(OffS.isLit() && OffS.litValue().isInt())) {
               Expr Cond;
-              Tri T = memlib::decide(Expr::eq(Off, Expr::intE(O)), PC, S, Cond);
+              Tri T = condTri(Expr::eq(Off, Expr::intE(O)), PC, S, Cond);
               if (T == Tri::No)
                 continue;
               if (T == Tri::Maybe)
@@ -882,18 +962,18 @@ McSMem::execAction(InternedString Act, const Expr &Arg,
 }
 
 std::string McSMem::toString() const {
-  return memlib::printEntries(
-      Blocks, [](const Expr &B, const std::shared_ptr<const SBlock> &Blk) {
-        return B.toString() + "[" + std::to_string(Blk->Size) +
-               (Blk->Freed ? ", freed" : "") + "]";
-      });
+  std::string Out = "{";
+  for (const auto &[B, Blk] : Blocks)
+    Out += " " + B.toString() + "[" + std::to_string(Blk->Size) +
+           (Blk->Freed ? ", freed" : "") + "]";
+  return Out + " }";
 }
 
 //===----------------------------------------------------------------------===//
 // Memory interpretation I_C
 //===----------------------------------------------------------------------===//
 
-Result<McCMem> gillian::mc::interpretMemory(const Model &Eps,
+Result<McCMem> gillian::legacy::interpretMemory(const Model &Eps,
                                             const McSMem &SMem) {
   McCMem Out;
   for (const auto &[BE, SBlk] : SMem.blocks()) {

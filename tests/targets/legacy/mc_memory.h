@@ -1,3 +1,13 @@
+//===- tests/targets/legacy/mc_memory.h ---------------------------------===//
+//
+// VERBATIM SNAPSHOT of src/mc/memory.h as of the memlib refactor, kept
+// solely so memlib_differential_test can replay suites on the pre-memlib
+// action implementations and assert bit-identical branch sequences.
+// Namespace renamed gillian::mc -> gillian::legacy (Chunk types shared).
+// Do not edit: this file intentionally preserves the old code paths.
+//
+//===----------------------------------------------------------------------===//
+
 //===- mc/memory.h - MC memories (CompCert-style, §4.2) --------*- C++ -*-===//
 //
 // Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
@@ -33,8 +43,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef GILLIAN_MC_MEMORY_H
-#define GILLIAN_MC_MEMORY_H
+#ifndef GILLIAN_LEGACY_MC_MEMORY_H
+#define GILLIAN_LEGACY_MC_MEMORY_H
 
 #include "engine/state.h"
 #include "mc/types.h"
@@ -43,7 +53,10 @@
 
 #include <memory>
 
-namespace gillian::mc {
+namespace gillian::legacy {
+
+using gillian::mc::Chunk;    // shared chunk descriptor (mc/types.h)
+using gillian::mc::ChunkKind;
 
 // Action names.
 InternedString actAlloc();
@@ -158,6 +171,8 @@ public:
   std::string toString() const;
 
 private:
+  struct ActionCtx;
+
   CowMap<Expr, std::shared_ptr<const SBlock>, ExprOrdering> Blocks;
 };
 
@@ -168,6 +183,6 @@ static_assert(SymbolicMemoryModel<McSMem>);
 /// stored fragments under ε.
 Result<McCMem> interpretMemory(const Model &Eps, const McSMem &SMem);
 
-} // namespace gillian::mc
+} // namespace gillian::legacy
 
-#endif // GILLIAN_MC_MEMORY_H
+#endif // GILLIAN_LEGACY_MC_MEMORY_H

@@ -1,0 +1,540 @@
+//===- tests/targets/legacy/mjs_memory.cpp ---------------------------------===//
+//
+// VERBATIM SNAPSHOT of src/mjs/memory.cpp as of the memlib refactor, kept
+// solely so memlib_differential_test can replay suites on the pre-memlib
+// action implementations and assert bit-identical branch sequences.
+// Namespace renamed gillian::mjs -> gillian::legacy.
+// Do not edit: this file intentionally preserves the old code paths.
+//
+//===----------------------------------------------------------------------===//
+
+//===- mjs/memory.cpp -----------------------------------------------------===//
+
+#include "mjs_memory.h"
+
+#include "engine/action_args.h"
+#include "obs/action_counters.h"
+#include "solver/simplifier.h"
+
+using namespace gillian;
+using namespace gillian::legacy;
+
+InternedString gillian::legacy::actNewObj() { return InternedString::get("newObj"); }
+InternedString gillian::legacy::actDelObj() { return InternedString::get("delObj"); }
+InternedString gillian::legacy::actGetProp() { return InternedString::get("getProp"); }
+InternedString gillian::legacy::actSetProp() { return InternedString::get("setProp"); }
+InternedString gillian::legacy::actDelProp() { return InternedString::get("delProp"); }
+InternedString gillian::legacy::actHasProp() { return InternedString::get("hasProp"); }
+InternedString gillian::legacy::actGetMeta() { return InternedString::get("getMeta"); }
+InternedString gillian::legacy::actSetMeta() { return InternedString::get("setMeta"); }
+
+Value gillian::legacy::jsUndefined() { return Value::symV("$undefined"); }
+Value gillian::legacy::jsNull() { return Value::symV("$null"); }
+
+//===----------------------------------------------------------------------===//
+// Concrete memory
+//===----------------------------------------------------------------------===//
+
+void MjsCMem::defineObject(InternedString Loc, Value MetaVal) {
+  Heap.set(Loc, PropMap());
+  Meta.set(Loc, std::move(MetaVal));
+}
+
+void MjsCMem::setProp(InternedString Loc, InternedString P, Value V) {
+  const PropMap *Props = Heap.lookup(Loc);
+  PropMap NewProps = Props ? *Props : PropMap();
+  NewProps.set(P, std::move(V));
+  Heap.set(Loc, std::move(NewProps));
+}
+
+Result<InternedString> MjsCMem::liveLoc(const Value &Loc,
+                                        const char *What) const {
+  if (!Loc.isSym())
+    return Err(std::string("TypeError: ") + What + " on non-object " +
+               Loc.toString());
+  if (Deleted.contains(Loc.asSym()))
+    return Err(std::string("TypeError: ") + What + " on deleted object " +
+               Loc.toString());
+  if (!Heap.contains(Loc.asSym()))
+    return Err(std::string("TypeError: ") + What + " on unknown object " +
+               Loc.toString());
+  return Loc.asSym();
+}
+
+Result<Value> MjsCMem::execAction(InternedString Act, const Value &Arg) {
+  if (Act == actNewObj()) {
+    Result<std::vector<Value>> A = splitArgs(Arg, 2);
+    if (!A)
+      return Err(A.error());
+    if (!(*A)[0].isSym())
+      return Err("newObj expects a fresh location symbol");
+    defineObject((*A)[0].asSym(), (*A)[1]);
+    return (*A)[0];
+  }
+  if (Act == actDelObj()) {
+    Result<std::vector<Value>> A = splitArgs(Arg, 1);
+    if (!A)
+      return Err(A.error());
+    Result<InternedString> L = liveLoc((*A)[0], "delObj");
+    if (!L)
+      return Err(L.error());
+    Heap.erase(*L);
+    Meta.erase(*L);
+    Deleted.set(*L, true);
+    return Value::boolV(true);
+  }
+  if (Act == actGetProp()) {
+    Result<std::vector<Value>> A = splitArgs(Arg, 2);
+    if (!A)
+      return Err(A.error());
+    Result<InternedString> L = liveLoc((*A)[0], "getProp");
+    if (!L)
+      return Err(L.error());
+    if (!(*A)[1].isStr())
+      return Err("TypeError: property name " + (*A)[1].toString() +
+                 " is not a string");
+    const Value *V = Heap.lookup(*L)->lookup((*A)[1].asStr());
+    return V ? *V : jsUndefined();
+  }
+  if (Act == actSetProp()) {
+    Result<std::vector<Value>> A = splitArgs(Arg, 3);
+    if (!A)
+      return Err(A.error());
+    Result<InternedString> L = liveLoc((*A)[0], "setProp");
+    if (!L)
+      return Err(L.error());
+    if (!(*A)[1].isStr())
+      return Err("TypeError: property name " + (*A)[1].toString() +
+                 " is not a string");
+    setProp(*L, (*A)[1].asStr(), (*A)[2]);
+    return (*A)[2];
+  }
+  if (Act == actDelProp()) {
+    Result<std::vector<Value>> A = splitArgs(Arg, 2);
+    if (!A)
+      return Err(A.error());
+    Result<InternedString> L = liveLoc((*A)[0], "delProp");
+    if (!L)
+      return Err(L.error());
+    if (!(*A)[1].isStr())
+      return Err("TypeError: property name is not a string");
+    PropMap Props = *Heap.lookup(*L);
+    Props.erase((*A)[1].asStr()); // deleting an absent property is a no-op
+    Heap.set(*L, std::move(Props));
+    return Value::boolV(true);
+  }
+  if (Act == actHasProp()) {
+    Result<std::vector<Value>> A = splitArgs(Arg, 2);
+    if (!A)
+      return Err(A.error());
+    Result<InternedString> L = liveLoc((*A)[0], "hasProp");
+    if (!L)
+      return Err(L.error());
+    if (!(*A)[1].isStr())
+      return Err("TypeError: property name is not a string");
+    return Value::boolV(Heap.lookup(*L)->contains((*A)[1].asStr()));
+  }
+  if (Act == actGetMeta()) {
+    Result<std::vector<Value>> A = splitArgs(Arg, 1);
+    if (!A)
+      return Err(A.error());
+    Result<InternedString> L = liveLoc((*A)[0], "getMeta");
+    if (!L)
+      return Err(L.error());
+    const Value *V = Meta.lookup(*L);
+    return V ? *V : jsUndefined();
+  }
+  if (Act == actSetMeta()) {
+    Result<std::vector<Value>> A = splitArgs(Arg, 2);
+    if (!A)
+      return Err(A.error());
+    Result<InternedString> L = liveLoc((*A)[0], "setMeta");
+    if (!L)
+      return Err(L.error());
+    Meta.set(*L, (*A)[1]);
+    return (*A)[1];
+  }
+  return Err("unknown MJS action '" + std::string(Act.str()) + "'");
+}
+
+std::string MjsCMem::toString() const {
+  std::string Out = "{";
+  for (const auto &[Loc, Props] : Heap) {
+    Out += " " + std::string(Loc.str()) + " -> {";
+    for (const auto &[P, V] : Props)
+      Out += " " + std::string(P.str()) + ": " + V.toString() + ";";
+    Out += " }";
+  }
+  return Out + " }";
+}
+
+//===----------------------------------------------------------------------===//
+// Symbolic memory
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+enum class Tri { Yes, No, Maybe };
+
+/// Classifies A == B under PC.
+Tri equalUnder(const Expr &A, const Expr &B, const PathCondition &PC,
+               Solver &S, Expr &CondOut) {
+  Expr C = simplify(Expr::eq(A, B));
+  if (C.isTrue())
+    return Tri::Yes;
+  if (C.isFalse())
+    return Tri::No;
+  PathCondition Ext = PC;
+  Ext.add(C);
+  if (!S.maybeSat(Ext))
+    return Tri::No;
+  CondOut = C;
+  return Tri::Maybe;
+}
+
+Expr conj(const Expr &A, const Expr &B) { return simplify(Expr::andE(A, B)); }
+
+} // namespace
+
+void MjsSMem::defineObject(const Expr &Loc, Expr MetaVal) {
+  Heap.set(Loc, PropMap());
+  Meta.set(Loc, std::move(MetaVal));
+}
+
+void MjsSMem::setProp(const Expr &Loc, const Expr &P, Expr V) {
+  const PropMap *Props = Heap.lookup(Loc);
+  PropMap NewProps = Props ? *Props : PropMap();
+  NewProps.set(P, std::move(V));
+  Heap.set(Loc, std::move(NewProps));
+}
+
+/// Per-action context: resolves which stored objects a location expression
+/// may denote, handling deletion faults uniformly.
+struct MjsSMem::Ctx {
+  const MjsSMem &M;
+  const PathCondition &PC;
+  Solver &S;
+  std::vector<SymActionBranch<MjsSMem>> Out;
+
+  /// Condition accumulated so far excluding deleted aliases.
+  Expr LiveCond = Expr::boolE(true);
+  bool DefinitelyDeleted = false;
+
+  Ctx(const MjsSMem &M, const PathCondition &PC, Solver &S)
+      : M(M), PC(PC), S(S) {}
+
+  /// Emits fault branches for deleted-object aliases of \p Loc; afterwards
+  /// LiveCond holds the "not any deleted object" constraint.
+  void checkDeleted(const Expr &Loc, const char *What) {
+    for (const auto &[D, _] : M.Deleted) {
+      Expr Cond;
+      switch (equalUnder(Loc, D, PC, S, Cond)) {
+      case Tri::Yes:
+        Out.push_back({M,
+                       Expr::strE(std::string("TypeError: ") + What +
+                                  " on deleted object"),
+                       Expr(), /*IsError=*/true});
+        DefinitelyDeleted = true;
+        return;
+      case Tri::No:
+        break;
+      case Tri::Maybe:
+        Out.push_back({M,
+                       Expr::strE(std::string("TypeError: ") + What +
+                                  " on deleted object"),
+                       Cond, /*IsError=*/true});
+        LiveCond = conj(LiveCond, Expr::notE(Cond));
+        break;
+      }
+    }
+  }
+
+  /// Calls \p Fn(objectKey, props, takenCond) for every stored object the
+  /// location may alias; afterwards emits a fault branch for the
+  /// no-object case under \p What.
+  template <typename Fn>
+  void forEachAlias(const Expr &Loc, const char *What, Fn Body) {
+    if (DefinitelyDeleted)
+      return;
+    Expr MissCond = LiveCond;
+    for (const auto &[Key, Props] : M.Heap) {
+      Expr Cond;
+      Tri T = equalUnder(Loc, Key, PC, S, Cond);
+      if (T == Tri::No)
+        continue;
+      Expr Taken = T == Tri::Yes ? LiveCond : conj(LiveCond, Cond);
+      Body(Key, Props, Taken);
+      if (T == Tri::Yes)
+        return; // definite alias: nothing else reachable
+      MissCond = conj(MissCond, Expr::notE(Cond));
+    }
+    if (MissCond.isFalse())
+      return;
+    PathCondition Ext = PC;
+    Ext.add(MissCond);
+    if (S.maybeSat(Ext))
+      Out.push_back({M,
+                     Expr::strE(std::string("TypeError: ") + What +
+                                " on unknown object"),
+                     MissCond, /*IsError=*/true});
+  }
+};
+
+Result<std::vector<SymActionBranch<MjsSMem>>>
+MjsSMem::execAction(InternedString Act, const Expr &Arg,
+                    const PathCondition &PC, Solver &S) const {
+  obs::ActionCounters::bump("mjs", Act);
+  // newObj: registration of a freshly-allocated location; never branches.
+  if (Act == actNewObj()) {
+    Result<std::vector<Expr>> A = splitArgsE(Arg, 2);
+    if (!A)
+      return Err(A.error());
+    MjsSMem Next = *this;
+    Next.defineObject((*A)[0], (*A)[1]);
+    std::vector<SymActionBranch<MjsSMem>> Out;
+    Out.push_back({std::move(Next), (*A)[0], Expr(), false});
+    return Out;
+  }
+
+  auto argCount = [&]() -> size_t {
+    if (Act == actGetProp() || Act == actDelProp() || Act == actHasProp() ||
+        Act == actSetMeta())
+      return 2;
+    if (Act == actSetProp())
+      return 3;
+    return 1; // delObj / getMeta
+  };
+  Result<std::vector<Expr>> A = splitArgsE(Arg, argCount());
+  if (!A)
+    return Err(A.error());
+  const Expr &Loc = (*A)[0];
+
+  Ctx C(*this, PC, S);
+  std::string ActName(Act.str());
+  C.checkDeleted(Loc, ActName.c_str());
+
+  if (Act == actGetProp()) {
+    const Expr &P = (*A)[1];
+    C.forEachAlias(Loc, "getProp", [&](const Expr &Key,
+                                       const PropMap &Props,
+                                       const Expr &Taken) {
+      // [SGetProp]: branch over stored properties this name may equal.
+      Expr Absent = Taken;
+      for (const auto &[PK, V] : Props) {
+        Expr Cond;
+        Tri T = equalUnder(P, PK, PC, S, Cond);
+        if (T == Tri::No)
+          continue;
+        Expr Br = T == Tri::Yes ? Taken : conj(Taken, Cond);
+        C.Out.push_back({*this, V, Br, false});
+        if (T == Tri::Yes) {
+          Absent = Expr::boolE(false);
+          break;
+        }
+        Absent = conj(Absent, Expr::notE(Cond));
+      }
+      // Absent property on an existing object: undefined (JS semantics).
+      if (!Absent.isFalse()) {
+        PathCondition Ext = PC;
+        Ext.add(Absent);
+        if (S.maybeSat(Ext))
+          C.Out.push_back({*this, Expr::lit(jsUndefined()), Absent, false});
+      }
+      (void)Key;
+    });
+    return C.Out;
+  }
+
+  if (Act == actSetProp()) {
+    const Expr &P = (*A)[1];
+    const Expr &V = (*A)[2];
+    C.forEachAlias(Loc, "setProp", [&](const Expr &Key,
+                                       const PropMap &Props,
+                                       const Expr &Taken) {
+      Expr Fresh = Taken;
+      for (const auto &[PK, Old] : Props) {
+        (void)Old;
+        Expr Cond;
+        Tri T = equalUnder(P, PK, PC, S, Cond);
+        if (T == Tri::No)
+          continue;
+        MjsSMem Next = *this;
+        Next.setProp(Key, PK, V);
+        Expr Br = T == Tri::Yes ? Taken : conj(Taken, Cond);
+        C.Out.push_back({std::move(Next), V, Br, false});
+        if (T == Tri::Yes) {
+          Fresh = Expr::boolE(false);
+          break;
+        }
+        Fresh = conj(Fresh, Expr::notE(Cond));
+      }
+      if (!Fresh.isFalse()) {
+        PathCondition Ext = PC;
+        Ext.add(Fresh);
+        if (S.maybeSat(Ext)) {
+          MjsSMem Next = *this;
+          Next.setProp(Key, P, V);
+          C.Out.push_back({std::move(Next), V, Fresh, false});
+        }
+      }
+    });
+    return C.Out;
+  }
+
+  if (Act == actDelProp()) {
+    const Expr &P = (*A)[1];
+    C.forEachAlias(Loc, "delProp", [&](const Expr &Key,
+                                       const PropMap &Props,
+                                       const Expr &Taken) {
+      Expr Untouched = Taken;
+      for (const auto &[PK, Old] : Props) {
+        (void)Old;
+        Expr Cond;
+        Tri T = equalUnder(P, PK, PC, S, Cond);
+        if (T == Tri::No)
+          continue;
+        MjsSMem Next = *this;
+        PropMap NewProps = Props;
+        NewProps.erase(PK);
+        Next.Heap.set(Key, std::move(NewProps));
+        Expr Br = T == Tri::Yes ? Taken : conj(Taken, Cond);
+        C.Out.push_back({std::move(Next), Expr::boolE(true), Br, false});
+        if (T == Tri::Yes) {
+          Untouched = Expr::boolE(false);
+          break;
+        }
+        Untouched = conj(Untouched, Expr::notE(Cond));
+      }
+      if (!Untouched.isFalse()) {
+        PathCondition Ext = PC;
+        Ext.add(Untouched);
+        if (S.maybeSat(Ext))
+          C.Out.push_back({*this, Expr::boolE(true), Untouched, false});
+      }
+    });
+    return C.Out;
+  }
+
+  if (Act == actHasProp()) {
+    const Expr &P = (*A)[1];
+    C.forEachAlias(Loc, "hasProp", [&](const Expr &Key,
+                                       const PropMap &Props,
+                                       const Expr &Taken) {
+      (void)Key;
+      Expr Absent = Taken;
+      for (const auto &[PK, Old] : Props) {
+        (void)Old;
+        Expr Cond;
+        Tri T = equalUnder(P, PK, PC, S, Cond);
+        if (T == Tri::No)
+          continue;
+        Expr Br = T == Tri::Yes ? Taken : conj(Taken, Cond);
+        C.Out.push_back({*this, Expr::boolE(true), Br, false});
+        if (T == Tri::Yes) {
+          Absent = Expr::boolE(false);
+          break;
+        }
+        Absent = conj(Absent, Expr::notE(Cond));
+      }
+      if (!Absent.isFalse()) {
+        PathCondition Ext = PC;
+        Ext.add(Absent);
+        if (S.maybeSat(Ext))
+          C.Out.push_back({*this, Expr::boolE(false), Absent, false});
+      }
+    });
+    return C.Out;
+  }
+
+  if (Act == actDelObj()) {
+    C.forEachAlias(Loc, "delObj", [&](const Expr &Key, const PropMap &Props,
+                                      const Expr &Taken) {
+      (void)Props;
+      MjsSMem Next = *this;
+      Next.Heap.erase(Key);
+      Next.Meta.erase(Key);
+      Next.Deleted.set(Key, true);
+      C.Out.push_back({std::move(Next), Expr::boolE(true), Taken, false});
+    });
+    return C.Out;
+  }
+
+  if (Act == actGetMeta()) {
+    C.forEachAlias(Loc, "getMeta", [&](const Expr &Key, const PropMap &Props,
+                                       const Expr &Taken) {
+      (void)Props;
+      const Expr *MV = Meta.lookup(Key);
+      C.Out.push_back(
+          {*this, MV ? *MV : Expr::lit(jsUndefined()), Taken, false});
+    });
+    return C.Out;
+  }
+
+  if (Act == actSetMeta()) {
+    const Expr &V = (*A)[1];
+    C.forEachAlias(Loc, "setMeta", [&](const Expr &Key, const PropMap &Props,
+                                       const Expr &Taken) {
+      (void)Props;
+      MjsSMem Next = *this;
+      Next.Meta.set(Key, V);
+      C.Out.push_back({std::move(Next), V, Taken, false});
+    });
+    return C.Out;
+  }
+
+  return Err("unknown MJS action '" + std::string(Act.str()) + "'");
+}
+
+std::string MjsSMem::toString() const {
+  std::string Out = "{";
+  for (const auto &[Loc, Props] : Heap) {
+    Out += " " + Loc.toString() + " -> {";
+    for (const auto &[P, V] : Props)
+      Out += " " + P.toString() + ": " + V.toString() + ";";
+    Out += " }";
+  }
+  return Out + " }";
+}
+
+//===----------------------------------------------------------------------===//
+// Memory interpretation
+//===----------------------------------------------------------------------===//
+
+Result<MjsCMem> gillian::legacy::interpretMemory(const Model &Eps,
+                                              const MjsSMem &SMem) {
+  MjsCMem Out;
+  for (const auto &[LocE, Props] : SMem.heap()) {
+    Result<Value> Loc = Eps.eval(LocE);
+    if (!Loc)
+      return Err("interpretation failure on location " + LocE.toString());
+    if (!Loc->isSym())
+      return Err("location interprets to a non-symbol: " + Loc->toString());
+    if (Out.heap().contains(Loc->asSym()))
+      return Err("locations collapse under the model");
+    Out.defineObject(Loc->asSym(), jsUndefined());
+    for (const auto &[PE, VE] : Props) {
+      Result<Value> P = Eps.eval(PE);
+      Result<Value> V = Eps.eval(VE);
+      if (!P || !V)
+        return Err("interpretation failure on property of " +
+                   LocE.toString());
+      if (!P->isStr())
+        return Err("property name interprets to a non-string");
+      Out.setProp(Loc->asSym(), P->asStr(), V.take());
+    }
+  }
+  for (const auto &[LocE, MetaE] : SMem.metadata()) {
+    Result<Value> Loc = Eps.eval(LocE);
+    Result<Value> MV = Eps.eval(MetaE);
+    if (!Loc || !MV || !Loc->isSym())
+      return Err("interpretation failure on metadata");
+    Out.setMetaValue(Loc->asSym(), MV.take());
+  }
+  for (const auto &[DE, _] : SMem.deleted()) {
+    Result<Value> D = Eps.eval(DE);
+    if (!D || !D->isSym())
+      return Err("interpretation failure on deleted location");
+    Out.markDeleted(D->asSym());
+  }
+  return Out;
+}

@@ -1,3 +1,13 @@
+//===- tests/targets/legacy/mjs_memory.h ---------------------------------===//
+//
+// VERBATIM SNAPSHOT of src/mjs/memory.h as of the memlib refactor, kept
+// solely so memlib_differential_test can replay suites on the pre-memlib
+// action implementations and assert bit-identical branch sequences.
+// Namespace renamed gillian::mjs -> gillian::legacy.
+// Do not edit: this file intentionally preserves the old code paths.
+//
+//===----------------------------------------------------------------------===//
+
 //===- mjs/memory.h - MJS memories (§4.1) ----------------------*- C++ -*-===//
 //
 // Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
@@ -22,16 +32,15 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef GILLIAN_MJS_MEMORY_H
-#define GILLIAN_MJS_MEMORY_H
+#ifndef GILLIAN_LEGACY_MJS_MEMORY_H
+#define GILLIAN_LEGACY_MJS_MEMORY_H
 
-#include "engine/memlib/memlib.h"
 #include "engine/state.h"
 #include "gil/expr.h"
 #include "solver/model.h"
 #include "support/cow_map.h"
 
-namespace gillian::mjs {
+namespace gillian::legacy {
 
 // Action names.
 InternedString actNewObj();
@@ -62,7 +71,7 @@ public:
   void defineObject(InternedString Loc, Value MetaVal);
   void setProp(InternedString Loc, InternedString P, Value V);
   void setMetaValue(InternedString Loc, Value V) { Meta.set(Loc, std::move(V)); }
-  void markDeleted(InternedString Loc) { Deleted.mark(Loc); }
+  void markDeleted(InternedString Loc) { Deleted.set(Loc, true); }
 
   std::string toString() const;
 
@@ -71,14 +80,10 @@ private:
 
   CowMap<InternedString, PropMap> Heap;
   CowMap<InternedString, Value> Meta;
-  memlib::CFreedSet Deleted;
+  CowMap<InternedString, bool> Deleted;
 };
 
-/// Symbolic JS memory: ĥ : Ê × Ê ⇀ Ê plus metadata and deletion tracking,
-/// founded on the memlib combinators. The heap is a two-level PMap shape —
-/// the shared resolveAliases loop runs over the object table *and* over
-/// each object's property table (JS computed property names make the inner
-/// keys symbolic too) — and deletion is the memlib freed-key index.
+/// Symbolic JS memory: ĥ : Ê × Ê ⇀ Ê plus metadata and deletion tracking.
 class MjsSMem {
 public:
   using PropMap = CowMap<Expr, Expr, ExprOrdering>;
@@ -90,9 +95,7 @@ public:
 
   const ObjMap &heap() const { return Heap; }
   const CowMap<Expr, Expr, ExprOrdering> &metadata() const { return Meta; }
-  const CowMap<Expr, bool, ExprOrdering> &deleted() const {
-    return Deleted.keys();
-  }
+  const CowMap<Expr, bool, ExprOrdering> &deleted() const { return Deleted; }
 
   void defineObject(const Expr &Loc, Expr MetaVal);
   void setProp(const Expr &Loc, const Expr &P, Expr V);
@@ -100,9 +103,11 @@ public:
   std::string toString() const;
 
 private:
+  struct Ctx; // per-action helper (defined in memory.cpp)
+
   ObjMap Heap;
   CowMap<Expr, Expr, ExprOrdering> Meta;
-  memlib::SFreedSet Deleted;
+  CowMap<Expr, bool, ExprOrdering> Deleted;
 };
 
 static_assert(ConcreteMemoryModel<MjsCMem>);
@@ -112,6 +117,6 @@ static_assert(SymbolicMemoryModel<MjsSMem>);
 /// values under ε (Def 3.7 instance for the JS memory).
 Result<MjsCMem> interpretMemory(const Model &Eps, const MjsSMem &SMem);
 
-} // namespace gillian::mjs
+} // namespace gillian::legacy
 
-#endif // GILLIAN_MJS_MEMORY_H
+#endif // GILLIAN_LEGACY_MJS_MEMORY_H

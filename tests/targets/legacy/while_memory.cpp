@@ -1,0 +1,398 @@
+//===- tests/targets/legacy/while_memory.cpp ---------------------------------===//
+//
+// VERBATIM SNAPSHOT of src/while_lang/memory.cpp as of the memlib refactor, kept
+// solely so memlib_differential_test can replay suites on the pre-memlib
+// action implementations and assert bit-identical branch sequences.
+// Namespace renamed gillian::whilelang -> gillian::legacy.
+// Do not edit: this file intentionally preserves the old code paths.
+//
+//===----------------------------------------------------------------------===//
+
+//===- while_lang/memory.cpp ----------------------------------------------===//
+
+#include "while_memory.h"
+
+#include "engine/action_args.h"
+#include "obs/action_counters.h"
+#include "solver/simplifier.h"
+#include "while_lang/compiler.h"
+
+using namespace gillian;
+using namespace gillian::whilelang; // action names (compiler.h)
+using namespace gillian::legacy;
+
+//===----------------------------------------------------------------------===//
+// Concrete memory
+//===----------------------------------------------------------------------===//
+
+void WhileCMem::setProp(InternedString Loc, InternedString P, Value V) {
+  const PropMap *Props = Objects.lookup(Loc);
+  PropMap NewProps = Props ? *Props : PropMap();
+  NewProps.set(P, std::move(V));
+  Objects.set(Loc, std::move(NewProps));
+}
+
+Result<Value> WhileCMem::execAction(InternedString Act, const Value &Arg) {
+  if (Act == actLookup()) {
+    Result<std::vector<Value>> A = splitArgs(Arg, 2);
+    if (!A)
+      return Err(A.error());
+    return lookup((*A)[0], (*A)[1]);
+  }
+  if (Act == actMutate()) {
+    Result<std::vector<Value>> A = splitArgs(Arg, 3);
+    if (!A)
+      return Err(A.error());
+    return mutate((*A)[0], (*A)[1], (*A)[2]);
+  }
+  if (Act == actDispose()) {
+    Result<std::vector<Value>> A = splitArgs(Arg, 1);
+    if (!A)
+      return Err(A.error());
+    return dispose((*A)[0]);
+  }
+  return Err("unknown While action '" + std::string(Act.str()) + "'");
+}
+
+Result<Value> WhileCMem::lookup(const Value &Loc, const Value &Prop) {
+  // [C-Lookup]: µ = _ ⊎ l.p -> v.
+  if (!Loc.isSym())
+    return Err("memory fault: lookup on non-location " + Loc.toString());
+  if (!Prop.isStr())
+    return Err("memory fault: non-string property " + Prop.toString());
+  if (Disposed.contains(Loc.asSym()))
+    return Err("memory fault: lookup on disposed object " + Loc.toString());
+  const PropMap *Props = Objects.lookup(Loc.asSym());
+  if (!Props)
+    return Err("memory fault: lookup on unknown object " + Loc.toString());
+  const Value *V = Props->lookup(Prop.asStr());
+  if (!V)
+    return Err("memory fault: object " + Loc.toString() +
+               " has no property " + Prop.toString());
+  return *V;
+}
+
+Result<Value> WhileCMem::mutate(const Value &Loc, const Value &Prop,
+                                const Value &V) {
+  // [C-Mutate-Present] / [C-Mutate-Absent].
+  if (!Loc.isSym())
+    return Err("memory fault: mutate on non-location " + Loc.toString());
+  if (!Prop.isStr())
+    return Err("memory fault: non-string property " + Prop.toString());
+  if (Disposed.contains(Loc.asSym()))
+    return Err("memory fault: mutate on disposed object " + Loc.toString());
+  setProp(Loc.asSym(), Prop.asStr(), V);
+  return V;
+}
+
+Result<Value> WhileCMem::dispose(const Value &Loc) {
+  if (!Loc.isSym())
+    return Err("memory fault: dispose on non-location " + Loc.toString());
+  if (Disposed.contains(Loc.asSym()))
+    return Err("memory fault: double dispose of " + Loc.toString());
+  if (!Objects.contains(Loc.asSym()))
+    return Err("memory fault: dispose of unknown object " + Loc.toString());
+  Objects.erase(Loc.asSym());
+  Disposed.set(Loc.asSym(), true);
+  return Value::boolV(true);
+}
+
+std::string WhileCMem::toString() const {
+  std::string Out = "{";
+  for (const auto &[Loc, Props] : Objects) {
+    Out += " " + std::string(Loc.str()) + " -> {";
+    for (const auto &[P, V] : Props)
+      Out += " " + std::string(P.str()) + ": " + V.toString() + ";";
+    Out += " }";
+  }
+  return Out + " }";
+}
+
+//===----------------------------------------------------------------------===//
+// Symbolic memory
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Classifies the aliasing condition Loc == Key under PC: definitely true,
+/// definitely false, or contingent (in which case the branch carries the
+/// equality as its π', per [S-Lookup]).
+enum class AliasKind { Yes, No, Maybe };
+
+AliasKind aliasKind(const Expr &Loc, const Expr &Key, const PathCondition &PC,
+                    Solver &S, Expr &CondOut) {
+  Expr C = simplify(Expr::eq(Loc, Key));
+  if (C.isTrue())
+    return AliasKind::Yes;
+  if (C.isFalse())
+    return AliasKind::No;
+  PathCondition Ext = PC;
+  Ext.add(C);
+  if (!S.maybeSat(Ext))
+    return AliasKind::No;
+  CondOut = C;
+  return AliasKind::Maybe;
+}
+
+} // namespace
+
+void WhileSMem::setProp(const Expr &Loc, InternedString P, Expr V) {
+  const PropMap *Props = Objects.lookup(Loc);
+  PropMap NewProps = Props ? *Props : PropMap();
+  NewProps.set(P, std::move(V));
+  Objects.set(Loc, std::move(NewProps));
+}
+
+Result<std::vector<SymActionBranch<WhileSMem>>>
+WhileSMem::execAction(InternedString Act, const Expr &Arg,
+                      const PathCondition &PC, Solver &S) const {
+  obs::ActionCounters::bump("while", Act);
+  if (Act == actLookup()) {
+    Result<std::vector<Expr>> A = splitArgsE(Arg, 2);
+    if (!A)
+      return Err(A.error());
+    Result<InternedString> P = concreteStr((*A)[1]);
+    if (!P)
+      return Err(P.error());
+    return lookup((*A)[0], *P, PC, S);
+  }
+  if (Act == actMutate()) {
+    Result<std::vector<Expr>> A = splitArgsE(Arg, 3);
+    if (!A)
+      return Err(A.error());
+    Result<InternedString> P = concreteStr((*A)[1]);
+    if (!P)
+      return Err(P.error());
+    return mutate((*A)[0], *P, (*A)[2], PC, S);
+  }
+  if (Act == actDispose()) {
+    Result<std::vector<Expr>> A = splitArgsE(Arg, 1);
+    if (!A)
+      return Err(A.error());
+    return dispose((*A)[0], PC, S);
+  }
+  return Err("unknown While action '" + std::string(Act.str()) + "'");
+}
+
+std::vector<SymActionBranch<WhileSMem>>
+WhileSMem::lookup(const Expr &Loc, InternedString Prop,
+                  const PathCondition &PC, Solver &S) const {
+  std::vector<SymActionBranch<WhileSMem>> Out;
+  // Disposed aliases fault.
+  Expr NotDisposedCond = Expr::boolE(true);
+  for (const auto &[D, _] : Disposed) {
+    Expr Cond;
+    switch (aliasKind(Loc, D, PC, S, Cond)) {
+    case AliasKind::Yes:
+      Out.push_back({*this,
+                     Expr::strE("memory fault: lookup on disposed object"),
+                     Expr(), /*IsError=*/true});
+      return Out;
+    case AliasKind::No:
+      break;
+    case AliasKind::Maybe:
+      Out.push_back({*this,
+                     Expr::strE("memory fault: lookup on disposed object"),
+                     Cond, /*IsError=*/true});
+      NotDisposedCond =
+          simplify(Expr::andE(NotDisposedCond, Expr::notE(Cond)));
+      break;
+    }
+  }
+
+  // [S-Lookup]: branch over every potentially-aliasing stored location.
+  Expr MissCond = NotDisposedCond;
+  for (const auto &[Key, Props] : Objects) {
+    Expr Cond;
+    AliasKind K = aliasKind(Loc, Key, PC, S, Cond);
+    if (K == AliasKind::No)
+      continue;
+    Expr Taken = K == AliasKind::Yes
+                     ? NotDisposedCond
+                     : simplify(Expr::andE(NotDisposedCond, Cond));
+    const Expr *V = Props.lookup(Prop);
+    if (V) {
+      Out.push_back({*this, *V, Taken, /*IsError=*/false});
+    } else {
+      Out.push_back({*this,
+                     Expr::strE("memory fault: object has no property " +
+                                std::string(Prop.str())),
+                     Taken, /*IsError=*/true});
+    }
+    if (K == AliasKind::Yes)
+      return Out; // a definite alias: no other branch is reachable
+    MissCond = simplify(Expr::andE(MissCond, Expr::notE(Cond)));
+  }
+  // Residual branch: no stored location matches -> fault.
+  if (!MissCond.isFalse()) {
+    PathCondition Ext = PC;
+    Ext.add(MissCond);
+    if (S.maybeSat(Ext))
+      Out.push_back({*this, Expr::strE("memory fault: lookup on unknown object"),
+                     MissCond, /*IsError=*/true});
+  }
+  return Out;
+}
+
+std::vector<SymActionBranch<WhileSMem>>
+WhileSMem::mutate(const Expr &Loc, InternedString Prop, const Expr &V,
+                  const PathCondition &PC, Solver &S) const {
+  std::vector<SymActionBranch<WhileSMem>> Out;
+  Expr NotDisposedCond = Expr::boolE(true);
+  for (const auto &[D, _] : Disposed) {
+    Expr Cond;
+    switch (aliasKind(Loc, D, PC, S, Cond)) {
+    case AliasKind::Yes:
+      Out.push_back({*this,
+                     Expr::strE("memory fault: mutate on disposed object"),
+                     Expr(), /*IsError=*/true});
+      return Out;
+    case AliasKind::No:
+      break;
+    case AliasKind::Maybe:
+      Out.push_back({*this,
+                     Expr::strE("memory fault: mutate on disposed object"),
+                     Cond, /*IsError=*/true});
+      NotDisposedCond =
+          simplify(Expr::andE(NotDisposedCond, Expr::notE(Cond)));
+      break;
+    }
+  }
+
+  // [S-Mutate-Present]: update every potentially-aliasing object.
+  Expr AbsentCond = NotDisposedCond;
+  for (const auto &[Key, Props] : Objects) {
+    (void)Props;
+    Expr Cond;
+    AliasKind K = aliasKind(Loc, Key, PC, S, Cond);
+    if (K == AliasKind::No)
+      continue;
+    WhileSMem Next = *this;
+    Next.setProp(Key, Prop, V);
+    Expr Taken = K == AliasKind::Yes
+                     ? NotDisposedCond
+                     : simplify(Expr::andE(NotDisposedCond, Cond));
+    Out.push_back({std::move(Next), Expr::boolE(true), Taken,
+                   /*IsError=*/false});
+    if (K == AliasKind::Yes)
+      return Out;
+    AbsentCond = simplify(Expr::andE(AbsentCond, Expr::notE(Cond)));
+  }
+  // [S-Mutate-Absent]: the location is new; extend the memory.
+  if (!AbsentCond.isFalse()) {
+    PathCondition Ext = PC;
+    Ext.add(AbsentCond);
+    if (S.maybeSat(Ext)) {
+      WhileSMem Next = *this;
+      Next.setProp(Loc, Prop, V);
+      Out.push_back({std::move(Next), Expr::boolE(true), AbsentCond,
+                     /*IsError=*/false});
+    }
+  }
+  return Out;
+}
+
+std::vector<SymActionBranch<WhileSMem>>
+WhileSMem::dispose(const Expr &Loc, const PathCondition &PC,
+                   Solver &S) const {
+  std::vector<SymActionBranch<WhileSMem>> Out;
+  Expr NotDisposedCond = Expr::boolE(true);
+  for (const auto &[D, _] : Disposed) {
+    Expr Cond;
+    switch (aliasKind(Loc, D, PC, S, Cond)) {
+    case AliasKind::Yes:
+      Out.push_back({*this, Expr::strE("memory fault: double dispose"),
+                     Expr(), /*IsError=*/true});
+      return Out;
+    case AliasKind::No:
+      break;
+    case AliasKind::Maybe:
+      Out.push_back({*this, Expr::strE("memory fault: double dispose"), Cond,
+                     /*IsError=*/true});
+      NotDisposedCond =
+          simplify(Expr::andE(NotDisposedCond, Expr::notE(Cond)));
+      break;
+    }
+  }
+
+  Expr MissCond = NotDisposedCond;
+  for (const auto &[Key, Props] : Objects) {
+    (void)Props;
+    Expr Cond;
+    AliasKind K = aliasKind(Loc, Key, PC, S, Cond);
+    if (K == AliasKind::No)
+      continue;
+    WhileSMem Next = *this;
+    Next.Objects.erase(Key);
+    Next.Disposed.set(Key, true);
+    Expr Taken = K == AliasKind::Yes
+                     ? NotDisposedCond
+                     : simplify(Expr::andE(NotDisposedCond, Cond));
+    Out.push_back({std::move(Next), Expr::boolE(true), Taken,
+                   /*IsError=*/false});
+    if (K == AliasKind::Yes)
+      return Out;
+    MissCond = simplify(Expr::andE(MissCond, Expr::notE(Cond)));
+  }
+  if (!MissCond.isFalse()) {
+    PathCondition Ext = PC;
+    Ext.add(MissCond);
+    if (S.maybeSat(Ext))
+      Out.push_back({*this,
+                     Expr::strE("memory fault: dispose of unknown object"),
+                     MissCond, /*IsError=*/true});
+  }
+  return Out;
+}
+
+std::string WhileSMem::toString() const {
+  std::string Out = "{";
+  for (const auto &[Loc, Props] : Objects) {
+    Out += " " + Loc.toString() + " -> {";
+    for (const auto &[P, V] : Props)
+      Out += " " + std::string(P.str()) + ": " + V.toString() + ";";
+    Out += " }";
+  }
+  return Out + " }";
+}
+
+//===----------------------------------------------------------------------===//
+// Memory interpretation I_W (§3.3)
+//===----------------------------------------------------------------------===//
+
+Result<WhileCMem> gillian::legacy::interpretMemory(const Model &Eps,
+                                                      const WhileSMem &SMem) {
+  WhileCMem Out;
+  for (const auto &[LocE, Props] : SMem.objects()) {
+    Result<Value> Loc = Eps.eval(LocE);
+    if (!Loc)
+      return Err("interpretation failure on location " + LocE.toString() +
+                 ": " + Loc.error());
+    if (!Loc->isSym())
+      return Err("location " + LocE.toString() +
+                 " interprets to a non-symbol " + Loc->toString());
+    if (Out.objects().contains(Loc->asSym()))
+      return Err("locations collapse under the model: " + Loc->toString());
+    // Ensure the object exists even when it has no properties.
+    for (const auto &[P, VE] : Props) {
+      Result<Value> V = Eps.eval(VE);
+      if (!V)
+        return Err("interpretation failure on " + VE.toString() + ": " +
+                   V.error());
+      Out.setProp(Loc->asSym(), P, V.take());
+    }
+    if (Props.empty())
+      Out.setProp(Loc->asSym(), InternedString::get("__exists"),
+                  Value::boolV(true));
+  }
+  for (const auto &[DE, _] : SMem.disposed()) {
+    Result<Value> D = Eps.eval(DE);
+    if (!D)
+      return Err("interpretation failure on disposed location " +
+                 DE.toString());
+    if (!D->isSym())
+      return Err("disposed location interprets to a non-symbol");
+    Out.markDisposed(D->asSym());
+  }
+  return Out;
+}

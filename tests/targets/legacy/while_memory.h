@@ -1,3 +1,13 @@
+//===- tests/targets/legacy/while_memory.h ---------------------------------===//
+//
+// VERBATIM SNAPSHOT of src/while_lang/memory.h as of the memlib refactor, kept
+// solely so memlib_differential_test can replay suites on the pre-memlib
+// action implementations and assert bit-identical branch sequences.
+// Namespace renamed gillian::whilelang -> gillian::legacy.
+// Do not edit: this file intentionally preserves the old code paths.
+//
+//===----------------------------------------------------------------------===//
+
 //===- while_lang/memory.h - While memories (Fig. 3, §3.3) -----*- C++ -*-===//
 //
 // Part of the Gillian-C++ reproduction of "Gillian, Part I" (PLDI 2020).
@@ -22,17 +32,16 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef GILLIAN_WHILE_MEMORY_H
-#define GILLIAN_WHILE_MEMORY_H
+#ifndef GILLIAN_LEGACY_WHILE_MEMORY_H
+#define GILLIAN_LEGACY_WHILE_MEMORY_H
 
-#include "engine/memlib/memlib.h"
 #include "engine/state.h"
 #include "gil/expr.h"
 #include "solver/model.h"
 #include "solver/solver.h"
 #include "support/cow_map.h"
 
-namespace gillian::whilelang {
+namespace gillian::legacy {
 
 /// Concrete While memory (Def 2.3 instance).
 class WhileCMem {
@@ -46,7 +55,7 @@ public:
   const CowMap<InternedString, PropMap> &objects() const { return Objects; }
   bool isDisposed(InternedString Loc) const { return Disposed.contains(Loc); }
   void setProp(InternedString Loc, InternedString P, Value V);
-  void markDisposed(InternedString Loc) { Disposed.mark(Loc); }
+  void markDisposed(InternedString Loc) { Disposed.set(Loc, true); }
 
   friend bool operator==(const WhileCMem &A, const WhileCMem &B) {
     return A.Objects == B.Objects && A.Disposed == B.Disposed;
@@ -60,14 +69,10 @@ private:
   Result<Value> dispose(const Value &Loc);
 
   CowMap<InternedString, PropMap> Objects;
-  memlib::CFreedSet Disposed;
+  CowMap<InternedString, bool> Disposed;
 };
 
-/// Symbolic While memory (Def 2.4 instance), founded on the memlib
-/// combinators: the object table is a PMap-shaped map whose actions run
-/// the shared resolveAliases loop, and dispose tracking is the memlib
-/// freed-key index (SFreedSet). Each action below is a miss-policy over
-/// those two primitives.
+/// Symbolic While memory (Def 2.4 instance).
 class WhileSMem {
 public:
   using PropMap = CowMap<InternedString, Expr>;
@@ -79,7 +84,7 @@ public:
 
   const ObjMap &objects() const { return Objects; }
   const CowMap<Expr, bool, ExprOrdering> &disposed() const {
-    return Disposed.keys();
+    return Disposed;
   }
   void setProp(const Expr &Loc, InternedString P, Expr V);
 
@@ -96,7 +101,7 @@ private:
   dispose(const Expr &Loc, const PathCondition &PC, Solver &S) const;
 
   ObjMap Objects;
-  memlib::SFreedSet Disposed;
+  CowMap<Expr, bool, ExprOrdering> Disposed;
 };
 
 static_assert(ConcreteMemoryModel<WhileCMem>);
@@ -109,6 +114,6 @@ static_assert(SymbolicMemoryModel<WhileSMem>);
 /// location — the ⊎ of the [Union] rule being undefined).
 Result<WhileCMem> interpretMemory(const Model &Eps, const WhileSMem &SMem);
 
-} // namespace gillian::whilelang
+} // namespace gillian::legacy
 
-#endif // GILLIAN_WHILE_MEMORY_H
+#endif // GILLIAN_LEGACY_WHILE_MEMORY_H
