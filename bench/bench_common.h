@@ -41,6 +41,12 @@
 ///                               sampling interval (rates from snapshot
 ///                               deltas; see EXPERIMENTS.md for plotting)
 ///   --metrics-interval=MS       heartbeat sampling cadence (default 1000)
+///   --metrics-window=MS         rolling-rate window of /progress and the
+///                               heartbeat's *_window rates (default
+///                               10000, clamped to >= 100)
+///   --journal-out=FILE          enable the lossless execution journal and
+///                               write it (binary, DESIGN.md §4i) at exit;
+///                               inspect with tools/gillian-inspect
 ///
 /// Arguments the parser consumes are removed from argv, so drivers built
 /// on google-benchmark can hand the remainder to benchmark::Initialize.
@@ -60,6 +66,8 @@
 #include "obs/exporters.h"
 #include "obs/introspect/introspect_server.h"
 #include "obs/introspect/sampler.h"
+#include "obs/journal/journal.h"
+#include "obs/journal/journal_io.h"
 #include "obs/json_writer.h"
 #include "obs/obs_config.h"
 #include "obs/span.h"
@@ -103,7 +111,9 @@ struct BenchArgs {
   std::string CacheFile;  ///< persisted solver result cache ("" = off)
   std::string Serve;      ///< introspection server "host:port" ("" = off)
   std::string HeartbeatOut;      ///< heartbeat JSONL path ("" = off)
+  std::string JournalOut;        ///< execution-journal path ("" = off)
   uint64_t MetricsIntervalMs = 1000; ///< heartbeat cadence
+  uint64_t MetricsWindowMs = 0;  ///< rolling-rate window (0 = default)
   uint64_t ServeLingerMs = 0;    ///< post-workload serve window
 };
 
@@ -192,6 +202,15 @@ inline BenchArgs parseBenchArgs(int &argc, char **argv) {
     } else if (std::strcmp(A, "--metrics-interval") == 0) {
       Args.MetricsIntervalMs =
           parseMs("--metrics-interval", nextValue(In, "--metrics-interval"));
+    } else if (std::strncmp(A, "--metrics-window=", 17) == 0) {
+      Args.MetricsWindowMs = parseMs("--metrics-window", A + 17);
+    } else if (std::strcmp(A, "--metrics-window") == 0) {
+      Args.MetricsWindowMs =
+          parseMs("--metrics-window", nextValue(In, "--metrics-window"));
+    } else if (std::strncmp(A, "--journal-out=", 14) == 0) {
+      Args.JournalOut = A + 14;
+    } else if (std::strcmp(A, "--journal-out") == 0) {
+      Args.JournalOut = nextValue(In, "--journal-out");
     } else if (std::strncmp(A, "--serve-linger-ms=", 18) == 0) {
       Args.ServeLingerMs = parseMs("--serve-linger-ms", A + 18);
     } else if (std::strcmp(A, "--serve-linger-ms") == 0) {
@@ -242,6 +261,10 @@ inline obs::HeartbeatSampler &processHeartbeat() {
 inline void setupObs(const BenchArgs &Args) {
   if (Args.ObsDetail)
     obs::ObsConfig::setDetailedSpans(true);
+  if (Args.MetricsWindowMs > 0)
+    obs::setMetricsWindowMs(Args.MetricsWindowMs);
+  if (!Args.JournalOut.empty())
+    obs::journal::setEnabled(true);
   if (!Args.TraceOut.empty())
     obs::TraceRecorder::instance().enable();
   if (!Args.Serve.empty())
@@ -279,6 +302,16 @@ inline void setupObs(const BenchArgs &Args) {
 inline void finishObs(const BenchArgs &Args) {
   if (!Args.HeartbeatOut.empty())
     processHeartbeat().stop();
+  if (!Args.JournalOut.empty()) {
+    obs::journal::JournalData D = obs::journal::capture();
+    std::string Err;
+    if (obs::journal::writeJournalFile(D, Args.JournalOut, nullptr, &Err))
+      std::fprintf(stderr, "[bench] wrote journal (%zu events) to %s\n",
+                   D.Events.size(), Args.JournalOut.c_str());
+    else
+      std::fprintf(stderr, "[bench] failed to write journal to %s: %s\n",
+                   Args.JournalOut.c_str(), Err.c_str());
+  }
   if (!Args.Serve.empty() && Args.ServeLingerMs > 0 &&
       obs::processIntrospectServer().running()) {
     // Keep serving so an out-of-process scraper (CI's curl loop) can

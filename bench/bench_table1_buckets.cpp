@@ -279,6 +279,65 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(CovTotal),
               CovTotal ? 100.0 * CovCovered / CovTotal : 0.0);
 
+  // Journal-overhead check (ISSUE 10 acceptance; EXPERIMENTS.md): the
+  // lossless execution journal must cost <= 3% wall. The first suite is
+  // re-run journal-off and journal-on, interleaved, best-of-3 each (the
+  // min filters scheduler noise). The check toggles and resets the
+  // process journal, so any --journal-out capture of the measured run
+  // above is written out first and finishObs is told not to rewrite it.
+  bench::BenchArgs FinishArgs = Args;
+  if (!Args.JournalOut.empty()) {
+    obs::journal::JournalData JD = obs::journal::capture();
+    std::string JErr;
+    if (obs::journal::writeJournalFile(JD, Args.JournalOut, nullptr, &JErr))
+      std::fprintf(stderr, "[bench] wrote journal (%zu events) to %s\n",
+                   JD.Events.size(), Args.JournalOut.c_str());
+    else
+      std::fprintf(stderr, "[bench] failed to write journal to %s: %s\n",
+                   Args.JournalOut.c_str(), JErr.c_str());
+    FinishArgs.JournalOut.clear();
+  }
+  double JOff = 1e99, JOn = 1e99;
+  uint64_t JEvents = 0;
+  {
+    // One sequential GJS pass over every suite per measurement: single
+    // suites finish in milliseconds, below timer noise at a 3% bound.
+    std::vector<std::pair<std::string_view, Prog>> Progs;
+    for (const BucketsSuite &S : bucketsSuites()) {
+      Result<Prog> P = compileMjsSource(std::string(bucketsLibrary()) + "\n" +
+                                        std::string(S.Source));
+      if (P.ok())
+        Progs.emplace_back(S.Name, std::move(*P));
+    }
+    auto MeasureOnce = [&](bool JournalOn) {
+      coldStart();
+      obs::journal::reset();
+      obs::journal::setEnabled(JournalOn);
+      EngineOptions G;
+      G.UseSummaries = Args.Summaries;
+      auto T0 = std::chrono::steady_clock::now();
+      for (auto &[Name, P] : Progs)
+        runSuite<MjsSMem>(Name, P, G);
+      double T = seconds(T0);
+      if (JournalOn)
+        JEvents = obs::journal::eventsEmitted();
+      obs::journal::setEnabled(false);
+      obs::journal::reset();
+      return T;
+    };
+    for (int I = 0; I < 3 && !Progs.empty(); ++I) {
+      JOff = std::min(JOff, MeasureOnce(false));
+      JOn = std::min(JOn, MeasureOnce(true));
+    }
+  }
+  double JOverhead = JOff > 0 && JOff < 1e98 ? (JOn - JOff) / JOff : 0.0;
+  bool JOk = JOverhead <= 0.03;
+  std::printf("Journal overhead (all suites, sequential GJS, best of 3): "
+              "off %.3fs, on %.3fs (%llu events) = %+.2f%% "
+              "(target <= 3%%: %s)\n",
+              JOff, JOn, static_cast<unsigned long long>(JEvents),
+              100.0 * JOverhead, JOk ? "ok" : "EXCEEDED");
+
   if (Args.Json) {
     obs::JsonWriter W;
     W.beginObject();
@@ -309,6 +368,15 @@ int main(int argc, char **argv) {
     W.field("sites_for_80pct", static_cast<uint64_t>(K80));
     W.field("attributed_cover", AttrCover, 4);
     W.endObject();
+    W.key("journal_check");
+    W.beginObject();
+    W.field("wall_off_s", JOff, 6);
+    W.field("wall_on_s", JOn, 6);
+    W.field("events", JEvents);
+    W.field("overhead_frac", JOverhead, 4);
+    W.field("bound", 0.03, 2);
+    W.field("ok", JOk);
+    W.endObject();
     W.key("coverage");
     W.raw(obs::BranchCoverage::instance().json());
     W.key("obs");
@@ -316,6 +384,6 @@ int main(int argc, char **argv) {
     W.endObject();
     std::printf("\n%s\n", W.take().c_str());
   }
-  bench::finishObs(Args);
+  bench::finishObs(FinishArgs);
   return Total.Bugs == 0 ? 0 : 1;
 }

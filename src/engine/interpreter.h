@@ -36,6 +36,7 @@
 #include "engine/summary/summary_store.h"
 #include "gil/prog.h"
 #include "obs/coverage.h"
+#include "obs/journal/journal.h"
 #include "obs/progress.h"
 #include "obs/query_profile.h"
 #include "obs/span.h"
@@ -143,6 +144,13 @@ public:
     /// splices its outcome back into this caller.
     std::shared_ptr<const SummaryEntry> Replay;
     uint32_t ReplayNode = 0;
+    /// Execution-journal path-node id (obs/journal/): extended with k
+    /// fresh ids at every k>=2-output step, mirroring the scheduler's
+    /// branch-trace PathId rules. 0 while the journal is disabled.
+    uint64_t JPath = 0;
+    /// Cumulative step() count from the root along this path's lineage —
+    /// the journal events' intra-path clock.
+    uint32_t JSteps = 0;
   };
 
   Interpreter(const Prog &P, const EngineOptions &Opts, ExecStats &Stats)
@@ -183,7 +191,12 @@ public:
     typename St::StoreT Store;
     Store.set(Main->Param, std::move(Arg));
     Init.setStore(std::move(Store));
-    return Config{std::move(Init), {}, Entry, 0, 0, nullptr};
+    Config C{std::move(Init), {}, Entry, 0, 0, nullptr};
+    if (obs::journal::enabled()) {
+      C.JPath = obs::journal::allocPathIds(1);
+      obs::journal::emitRoot(C.JPath, Entry.id());
+    }
+    return C;
   }
 
   /// The IfGoto site control will reach from \p C without branching or
@@ -253,11 +266,15 @@ public:
         // the counting logic). The outcome value names *which* budget
         // tripped — a MaxPaths cut used to masquerade as "step budget
         // exhausted" (steps win when both trip at once).
-        for (Config &C : Work)
+        for (Config &C : Work) {
+          journalEnd(C, OutcomeKind::Bound,
+                     StepsOut ? obs::journal::BudgetKind::Steps
+                              : obs::journal::BudgetKind::Paths);
           finish(Sink, OutcomeKind::Bound,
                  St::errorValue(StepsOut ? "step budget exhausted"
                                          : "path budget exhausted"),
                  std::move(C.State));
+        }
         break;
       }
       Config C = std::move(Work.back());
@@ -273,6 +290,7 @@ public:
   /// configurations: mutable state is confined to C, the sink, and the
   /// atomic counters in Stats.
   template <typename Sink> void step(Config C, Sink &S) {
+    ++C.JSteps;
     if constexpr (SummarizableState<St>)
       if (C.Replay) {
         replayStep(std::move(C), S);
@@ -319,10 +337,34 @@ public:
       Result<typename St::ValueT> CondF =
           C.State.evalExpr(Expr::notE(Command.E));
 
+      // Journal attribution: snapshot the thread's solver query sequence
+      // around each assume so the decision's verdict layer / wall / PC
+      // delta can be recorded (a few thread-local reads; skipped when
+      // the journal is off).
+      const bool JOn = obs::journal::enabled();
+      obs::journal::QueryAttribution &QA = obs::journal::queryAttribution();
+      uint32_t JPc0 = 0;
+      uint64_t TSeq0 = 0, TWall0 = 0;
+      if (JOn) {
+        JPc0 = journalPcSize(C.State);
+        TSeq0 = QA.Seq;
+        TWall0 = QA.CumWallNs;
+      }
       Result<std::optional<St>> TrueSt = C.State.assumeValue(*CondT);
       if (!TrueSt) {
         fail(S, std::move(C), TrueSt.error());
         return;
+      }
+      uint64_t TWall = 0, FSeq0 = 0, FWall0 = 0;
+      uint8_t TLayer = 0, TVerd = 0, FLayer = 0, FVerd = 0;
+      if (JOn) {
+        TWall = QA.CumWallNs - TWall0;
+        if (QA.Seq != TSeq0) {
+          TLayer = QA.Layer;
+          TVerd = QA.Verdict;
+        }
+        FSeq0 = QA.Seq;
+        FWall0 = QA.CumWallNs;
       }
       std::optional<St> FalseSt;
       if (CondF) {
@@ -331,6 +373,14 @@ public:
           FalseSt = std::move(*FS);
         // An error evaluating ¬e after e evaluated cleanly cannot happen
         // (Not of a Bool); a failed assume is simply an infeasible branch.
+      }
+      uint64_t FWall = 0;
+      if (JOn) {
+        FWall = QA.CumWallNs - FWall0;
+        if (QA.Seq != FSeq0) {
+          FLayer = QA.Layer;
+          FVerd = QA.Verdict;
+        }
       }
 
       bool TookBoth = TrueSt->has_value() && FalseSt.has_value();
@@ -343,15 +393,48 @@ public:
           (FalseSt.has_value() ? obs::BranchFalseBit : 0) |
               (TrueSt->has_value() ? obs::BranchTrueBit : 0));
 
+      // Both-feasible is a 2-output step: allocate the children's journal
+      // node ids in production order (false first), mirroring the
+      // scheduler's PathId extension.
+      uint64_t JChild = 0;
+      if (JOn) {
+        if (TookBoth)
+          JChild = obs::journal::allocPathIds(2);
+        obs::journal::emitBranch(
+            C.JPath, C.JSteps, C.CurProc.id(), static_cast<uint32_t>(C.I),
+            /*Side=*/0, FalseSt.has_value(),
+            static_cast<obs::journal::Verdict>(FVerd),
+            static_cast<obs::journal::VerdictLayer>(FLayer),
+            FalseSt.has_value() ? journalPcSize(*FalseSt) - JPc0 : 0, FWall,
+            TookBoth ? JChild : 0);
+        obs::journal::emitBranch(
+            C.JPath, C.JSteps, C.CurProc.id(), static_cast<uint32_t>(C.I),
+            /*Side=*/1, TrueSt->has_value(),
+            static_cast<obs::journal::Verdict>(TVerd),
+            static_cast<obs::journal::VerdictLayer>(TLayer),
+            TrueSt->has_value() ? journalPcSize(**TrueSt) - JPc0 : 0, TWall,
+            TookBoth ? JChild + 1 : 0);
+      }
+
       if (FalseSt.has_value()) {
         Config FC = C;
         FC.State = std::move(*FalseSt);
+        if (TookBoth)
+          FC.JPath = JChild;
         ++FC.I;
         S.cont(std::move(FC));
       }
       if (TrueSt->has_value()) {
+        if (TookBoth)
+          C.JPath = JChild + 1;
         bool Backjump = Command.Target <= C.I;
         if (Backjump && ++C.Backjumps > Opts.LoopBound) {
+          if (JOn)
+            obs::journal::emitPathEnd(
+                C.JPath, C.JSteps, C.CurProc.id(),
+                static_cast<uint32_t>(C.I),
+                static_cast<uint8_t>(OutcomeKind::Bound),
+                obs::journal::BudgetKind::Loop);
           finish(S, OutcomeKind::Bound,
                  St::errorValue("loop bound reached"), std::move(C.State));
           return;
@@ -388,6 +471,7 @@ public:
         return;
       }
       if (C.Stack.size() >= Opts.MaxCallDepth) {
+        journalEnd(C, OutcomeKind::Bound, obs::journal::BudgetKind::Depth);
         finish(S, OutcomeKind::Bound,
                St::errorValue("call depth bound reached"),
                std::move(C.State));
@@ -418,6 +502,7 @@ public:
       }
       if (C.Stack.empty()) {
         // [Top Return]: N(v).
+        journalEnd(C, OutcomeKind::Return, obs::journal::BudgetKind::None);
         finish(S, OutcomeKind::Return, V.take(), std::move(C.State));
         return;
       }
@@ -440,11 +525,13 @@ public:
         fail(S, std::move(C), V.error());
         return;
       }
+      journalEnd(C, OutcomeKind::Error, obs::journal::BudgetKind::None);
       finish(S, OutcomeKind::Error, V.take(), std::move(C.State));
       return;
     }
 
     case CmdKind::Vanish:
+      journalEnd(C, OutcomeKind::Vanish, obs::journal::BudgetKind::None);
       finish(S, OutcomeKind::Vanish, St::errorValue("vanish"),
              std::move(C.State));
       return;
@@ -457,6 +544,8 @@ public:
         fail(S, std::move(C), Arg.error());
         return;
       }
+      const bool JOn = obs::journal::enabled();
+      uint32_t JPc0 = JOn ? journalPcSize(C.State) : 0;
       Result<std::vector<StateBranch<St>>> Branches =
           C.State.execAction(Command.Action, *Arg);
       if (!Branches) {
@@ -468,8 +557,39 @@ public:
         obs::TraceRecorder::record(obs::TraceEventKind::BranchTaken, 0,
                                    static_cast<uint32_t>(Branches->size()));
       }
+      // k >= 2 action outputs (error finishes included, production order)
+      // are a multi-output step: allocate k child node ids, one per
+      // branch, and record the action plus one Branch edge per output.
+      const size_t NOut = Branches->size();
+      uint64_t JChild = 0;
+      if (JOn) {
+        uint32_t NErr = 0;
+        for (const StateBranch<St> &B : *Branches)
+          NErr += B.IsError ? 1 : 0;
+        if (NOut >= 2)
+          JChild = obs::journal::allocPathIds(static_cast<uint32_t>(NOut));
+        obs::journal::emitAction(C.JPath, C.JSteps, C.CurProc.id(),
+                                 static_cast<uint32_t>(C.I),
+                                 Command.Action.id(),
+                                 static_cast<uint32_t>(NOut), NErr,
+                                 NOut >= 2 ? JChild : 0);
+      }
+      uint32_t JIdx = 0;
       for (StateBranch<St> &B : *Branches) {
+        uint64_t JP = NOut >= 2 ? JChild + JIdx : C.JPath;
+        if (JOn && NOut >= 2)
+          obs::journal::emitBranch(
+              C.JPath, C.JSteps, C.CurProc.id(), static_cast<uint32_t>(C.I),
+              static_cast<uint8_t>(JIdx > 255 ? 255 : JIdx), /*Taken=*/true,
+              obs::journal::Verdict::None, obs::journal::VerdictLayer::None,
+              journalPcSize(B.State) - JPc0, 0, JP);
+        ++JIdx;
         if (B.IsError) {
+          if (JOn)
+            obs::journal::emitPathEnd(JP, C.JSteps, C.CurProc.id(),
+                                      static_cast<uint32_t>(C.I),
+                                      static_cast<uint8_t>(OutcomeKind::Error),
+                                      obs::journal::BudgetKind::None);
           finish(S, OutcomeKind::Error, std::move(B.Ret),
                  std::move(B.State));
           continue;
@@ -477,6 +597,7 @@ public:
         Config NC = C;
         NC.State = std::move(B.State);
         NC.State.setVar(Command.X, std::move(B.Ret));
+        NC.JPath = JP;
         ++NC.I;
         S.cont(std::move(NC));
       }
@@ -522,9 +643,30 @@ public:
     S.done(K, std::move(V), std::move(State));
   }
 
+public:
+  /// Journal PathEnd emission for a config about to finish. Public so the
+  /// parallel scheduler's budget cuts record their terminations too.
+  static void journalEnd(const Config &C, OutcomeKind K,
+                         obs::journal::BudgetKind Budget) {
+    if (obs::journal::enabled())
+      obs::journal::emitPathEnd(C.JPath, C.JSteps, C.CurProc.id(),
+                                static_cast<uint32_t>(C.I),
+                                static_cast<uint8_t>(K), Budget);
+  }
+
 private:
+  /// Path-condition size for journal PC-delta accounting (0 for state
+  /// models without a path condition — concrete runs).
+  static uint32_t journalPcSize([[maybe_unused]] const St &S) {
+    if constexpr (SummarizableState<St>)
+      return static_cast<uint32_t>(S.pathCondition().conjuncts().size());
+    else
+      return 0;
+  }
+
   template <typename Sink>
   void fail(Sink &S, Config C, const std::string &Msg) {
+    journalEnd(C, OutcomeKind::Error, obs::journal::BudgetKind::None);
     finish(S, OutcomeKind::Error, St::errorValue(Msg), std::move(C.State));
   }
 
@@ -557,6 +699,7 @@ private:
       ++G.Ineligible;
       return false;
     }
+    bool WasHit = E != nullptr;
     if (E) {
       ++G.Hits;
     } else {
@@ -587,6 +730,11 @@ private:
       // Fall through to replay: the recording call observes exactly what
       // every later hit observes.
     }
+    // Journal: one Summary event per armed replay, sited at the callee
+    // (the spliced summary's procedure) and the caller's Call index.
+    if (obs::journal::enabled())
+      obs::journal::emitSummary(C.JPath, C.JSteps, F.id(),
+                                static_cast<uint32_t>(C.I), WasHit);
     C.Replay = std::move(E);
     C.ReplayNode = 0;
     S.cont(std::move(C));
@@ -628,9 +776,38 @@ private:
     const SummaryEntry &E = *C.Replay;
     const SummaryNode &N = E.Nodes[C.ReplayNode];
     obs::SummaryGlobalStats &G = obs::summaryGlobalStats();
+    const bool JOn = obs::journal::enabled();
+    obs::journal::QueryAttribution &QA = obs::journal::queryAttribution();
 
     for (size_t J = 1; J < N.Batches.size(); ++J) {
-      if (!spliceFeasible(C.State, N.Batches[J])) {
+      uint32_t JPc0 = JOn ? journalPcSize(C.State) : 0;
+      uint64_t JSeq0 = JOn ? QA.Seq : 0, JWall0 = JOn ? QA.CumWallNs : 0;
+      bool Ok = spliceFeasible(C.State, N.Batches[J]);
+      if (JOn) {
+        // Mirror re-execution's two per-side events for this recorded
+        // single-feasible IfGoto: the recorded-taken side carries the
+        // splice query's attribution; the other side was infeasible at
+        // record time (hence under the stronger caller condition too).
+        uint8_t Layer = 0, Verd = 0;
+        if (QA.Seq != JSeq0) {
+          Layer = QA.Layer;
+          Verd = QA.Verdict;
+        }
+        uint8_t TakenSide =
+            (N.Cov[J - 1].Bits & obs::BranchTrueBit) ? 1 : 0;
+        obs::journal::emitBranch(
+            C.JPath, C.JSteps, E.ProcName.id(), N.Cov[J - 1].CmdIdx,
+            TakenSide, Ok, static_cast<obs::journal::Verdict>(Verd),
+            static_cast<obs::journal::VerdictLayer>(Layer),
+            Ok ? journalPcSize(C.State) - JPc0 : 0, QA.CumWallNs - JWall0,
+            0);
+        obs::journal::emitBranch(C.JPath, C.JSteps, E.ProcName.id(),
+                                 N.Cov[J - 1].CmdIdx, TakenSide ^ 1,
+                                 /*Taken=*/false,
+                                 obs::journal::Verdict::None,
+                                 obs::journal::VerdictLayer::None, 0, 0, 0);
+      }
+      if (!Ok) {
         // Re-execution would prune at this IfGoto: the recorded-taken
         // side goes unsat under the caller's full condition and the
         // other side was already infeasible at record time. It executed
@@ -652,18 +829,56 @@ private:
       // The final Cov event is this split's IfGoto; its bits are
       // recomputed from the children's branch-in checks, which replicate
       // the two assumeValue queries step() would have issued here.
+      uint32_t JSite = N.Cov.empty() ? 0 : N.Cov.back().CmdIdx;
       Config FC = C;
       FC.ReplayNode = N.FalseChild;
+      uint32_t FPc0 = JOn ? journalPcSize(FC.State) : 0;
+      uint64_t FSeq0 = JOn ? QA.Seq : 0, FWall0 = JOn ? QA.CumWallNs : 0;
       bool FOk = E.Nodes[N.FalseChild].Batches.empty() ||
                  spliceFeasible(FC.State,
                                 E.Nodes[N.FalseChild].Batches.front());
+      uint64_t FWall = JOn ? QA.CumWallNs - FWall0 : 0;
+      uint8_t FLayer = 0, FVerd = 0;
+      if (JOn && QA.Seq != FSeq0) {
+        FLayer = QA.Layer;
+        FVerd = QA.Verdict;
+      }
       C.ReplayNode = N.TrueChild;
+      uint32_t TPc0 = JOn ? journalPcSize(C.State) : 0;
+      uint64_t TSeq0 = JOn ? QA.Seq : 0, TWall0 = JOn ? QA.CumWallNs : 0;
       bool TOk = E.Nodes[N.TrueChild].Batches.empty() ||
                  spliceFeasible(C.State,
                                 E.Nodes[N.TrueChild].Batches.front());
       if (FOk && TOk) {
         ++Stats.Branches;
         obs::TraceRecorder::record(obs::TraceEventKind::BranchTaken, 0, 2);
+      }
+      if (JOn) {
+        uint64_t TWall = QA.CumWallNs - TWall0;
+        uint8_t TLayer = 0, TVerd = 0;
+        if (QA.Seq != TSeq0) {
+          TLayer = QA.Layer;
+          TVerd = QA.Verdict;
+        }
+        uint64_t JChild = 0;
+        if (FOk && TOk)
+          JChild = obs::journal::allocPathIds(2);
+        obs::journal::emitBranch(
+            C.JPath, C.JSteps, E.ProcName.id(), JSite, 0, FOk,
+            static_cast<obs::journal::Verdict>(FVerd),
+            static_cast<obs::journal::VerdictLayer>(FLayer),
+            FOk ? journalPcSize(FC.State) - FPc0 : 0, FWall,
+            (FOk && TOk) ? JChild : 0);
+        obs::journal::emitBranch(
+            C.JPath, C.JSteps, E.ProcName.id(), JSite, 1, TOk,
+            static_cast<obs::journal::Verdict>(TVerd),
+            static_cast<obs::journal::VerdictLayer>(TLayer),
+            TOk ? journalPcSize(C.State) - TPc0 : 0, TWall,
+            (FOk && TOk) ? JChild + 1 : 0);
+        if (FOk && TOk) {
+          FC.JPath = JChild;
+          C.JPath = JChild + 1;
+        }
       }
       if (!N.Cov.empty())
         obs::BranchCoverage::recordBranch(
@@ -684,6 +899,16 @@ private:
       // Both-infeasible IfGoto: re-emit its zero-bit coverage event;
       // the path vanishes without an outcome, exactly like the
       // assume-pruned original emits nothing.
+      if (JOn && !N.Cov.empty()) {
+        obs::journal::emitBranch(C.JPath, C.JSteps, E.ProcName.id(),
+                                 N.Cov.back().CmdIdx, 0, /*Taken=*/false,
+                                 obs::journal::Verdict::None,
+                                 obs::journal::VerdictLayer::None, 0, 0, 0);
+        obs::journal::emitBranch(C.JPath, C.JSteps, E.ProcName.id(),
+                                 N.Cov.back().CmdIdx, 1, /*Taken=*/false,
+                                 obs::journal::Verdict::None,
+                                 obs::journal::VerdictLayer::None, 0, 0, 0);
+      }
       if (!N.Cov.empty())
         obs::BranchCoverage::recordBranch(E.ProcName.id(),
                                           N.Cov.back().CmdIdx,
@@ -705,6 +930,7 @@ private:
       ++G.ReplayedOutcomes;
       OutcomeKind K = N.Kind == SummaryNodeKind::Error ? OutcomeKind::Error
                                                        : OutcomeKind::Vanish;
+      journalEnd(C, K, obs::journal::BudgetKind::None);
       C.Replay.reset();
       finish(S, K, N.Val, std::move(C.State));
       return;

@@ -56,6 +56,7 @@
 #include "engine/scheduler/scheduler_options.h"
 #include "engine/scheduler/thread_pool.h"
 #include "obs/coverage.h"
+#include "obs/journal/journal.h"
 
 #include <algorithm>
 #include <atomic>
@@ -239,6 +240,10 @@ private:
     while (true) {
       BudgetKind Cut = overBudget();
       if (Cut != BudgetKind::None) {
+        Interpreter<St>::journalEnd(T.C, OutcomeKind::Bound,
+                                    Cut == BudgetKind::Steps
+                                        ? obs::journal::BudgetKind::Steps
+                                        : obs::journal::BudgetKind::Paths);
         BoundSink BS{*this, W.index(), std::move(T.Id)};
         I.finish(BS, OutcomeKind::Bound,
                  St::errorValue(Cut == BudgetKind::Steps
@@ -315,6 +320,10 @@ private:
         if (J == Keep)
           continue;
         uint64_t Pri = priorityOf(Live[J]);
+        if (obs::journal::enabled())
+          obs::journal::emitSpawn(Live[J].C.JPath, Live[J].C.JSteps,
+                                  Live[J].C.CurProc.id(),
+                                  static_cast<uint32_t>(Live[J].C.I), Pri);
         W.spawn(std::move(Live[J]), Pri);
       }
       T = std::move(Live[Keep]);

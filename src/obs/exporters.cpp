@@ -3,12 +3,15 @@
 #include "obs/exporters.h"
 
 #include "obs/action_counters.h"
+#include "obs/journal/journal.h"
 #include "obs/sched_counters.h"
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <vector>
 
 using namespace gillian::obs;
@@ -149,6 +152,26 @@ bool gillian::obs::writeChromeTrace(const std::string &Path) {
   return static_cast<bool>(Out);
 }
 
+void gillian::obs::maybeEnableEnvTrace() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    const char *Path = std::getenv("GILLIAN_TRACE_OUT");
+    if (!Path || !*Path)
+      return;
+    TraceRecorder::instance().enable();
+    static std::string Out;
+    Out = Path;
+    std::atexit([] {
+      if (writeChromeTrace(Out))
+        std::fprintf(stderr, "[obs] wrote chrome trace to %s\n",
+                     Out.c_str());
+      else
+        std::fprintf(stderr, "[obs] failed to write chrome trace to %s\n",
+                     Out.c_str());
+    });
+  });
+}
+
 std::string gillian::obs::obsStatsJson(const SpanSnapshot &Spans) {
   JsonWriter W;
   W.beginObject();
@@ -158,6 +181,8 @@ std::string gillian::obs::obsStatsJson(const SpanSnapshot &Spans) {
   W.raw(ActionCounters::instance().json());
   W.key("scheduler");
   W.raw(schedCounters().countersJson());
+  W.key("journal");
+  W.raw(journal::statsJson());
   W.endObject();
   return W.take();
 }

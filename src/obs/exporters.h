@@ -44,6 +44,12 @@ std::string chromeTraceJson(const std::vector<TraceEvent> &Events);
 /// Returns false (and leaves no partial file behind) on I/O failure.
 bool writeChromeTrace(const std::string &Path);
 
+/// GILLIAN_TRACE_OUT=path: enables the flight recorder now and registers
+/// an atexit writer for the chrome trace — the env-var twin of the bench
+/// drivers' --trace-out=, for processes without a CLI (ctest suite runs,
+/// like GILLIAN_SERVE / GILLIAN_STRATEGY). Checked once per process.
+void maybeEnableEnvTrace();
+
 /// The unified observability object: {"spans":{...},"actions":{...},
 /// "scheduler":{...}}. \p Spans is typically a delta between two
 /// SpanTable snapshots (one bench row) or a full snapshot (whole run).

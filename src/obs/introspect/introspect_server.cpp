@@ -7,6 +7,8 @@
 #include "obs/exporters.h"
 #include "obs/introspect/metrics_registry.h"
 #include "obs/introspect/prometheus.h"
+#include "obs/journal/analysis.h"
+#include "obs/journal/journal.h"
 #include "obs/native_stats.h"
 #include "obs/progress.h"
 #include "obs/query_profile.h"
@@ -29,11 +31,22 @@ uint64_t nowNs() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+std::atomic<uint64_t> MetricsWindow{10000}; // ms
 } // namespace
+
+void gillian::obs::setMetricsWindowMs(uint64_t Ms) {
+  MetricsWindow.store(Ms < 100 ? 100 : Ms, std::memory_order_relaxed);
+}
+
+uint64_t gillian::obs::metricsWindowMs() {
+  return MetricsWindow.load(std::memory_order_relaxed);
+}
 
 RateTracker::Rates RateTracker::sample() {
   ProgressCounters &P = progressCounters();
   Point Now{nowNs(), P.PathsFinished.load(), P.SolverQueries.load()};
+  const uint64_t WindowNs = metricsWindowMs() * 1000000ull;
 
   std::lock_guard<std::mutex> Lock(Mu);
   while (!Window.empty() && Now.Ns - Window.front().Ns > WindowNs)
@@ -62,6 +75,8 @@ std::string gillian::obs::metricsExposition() {
   counterSetInto(W, nativeGlobalStats());
   // Procedure summary cache (process-wide store; DESIGN.md §4g).
   counterSetInto(W, summaryGlobalStats());
+  // Execution journal self-accounting (DESIGN.md §4i).
+  counterSetInto(W, journal::journalStats());
 
   // The active path-selection strategy, info-metric style: the numeric
   // gillian_scheduler_strategy gauge above carries the enum value; this
@@ -151,6 +166,7 @@ std::string gillian::obs::progressJson(RateTracker &Rates) {
   W.endArray();
   W.field("paths_per_sec", R.PathsPerSec, 3);
   W.field("queries_per_sec", R.QueriesPerSec, 3);
+  W.field("window_ms", metricsWindowMs());
   uint64_t Covered = 0, Total = 0;
   BranchCoverage::instance().totals(Covered, Total);
   W.key("coverage");
@@ -197,6 +213,19 @@ HttpResponse IntrospectServer::route(const HttpRequest &Req) {
   } else if (Req.Target == "/progress") {
     R.ContentType = "application/json";
     R.Body = progressJson(Rates);
+    R.Body += '\n';
+  } else if (Req.Target == "/tree") {
+    // Live path tree from the in-process journal: /tree?depth=N (default
+    // 4). {"enabled":false,...} when the journal is off.
+    size_t Depth = 4;
+    size_t Q = Req.Query.find("depth=");
+    if (Q != std::string::npos) {
+      unsigned long V = std::strtoul(Req.Query.c_str() + Q + 6, nullptr, 10);
+      if (V > 0)
+        Depth = V;
+    }
+    R.ContentType = "application/json";
+    R.Body = journal::liveTreeJson(Depth);
     R.Body += '\n';
   } else {
     R.Status = 404;

@@ -41,10 +41,17 @@
 
 namespace gillian::obs {
 
+/// The process-global rolling-rate window, in milliseconds (default
+/// 10000, clamped to >= 100). Every RateTracker reads it at each
+/// sample(), so changing it mid-run takes effect on the next scrape —
+/// the --metrics-window= bench flag sets it once at startup.
+void setMetricsWindowMs(uint64_t Ms);
+uint64_t metricsWindowMs();
+
 /// Rolling paths/s and queries/s from the process-wide progress counters:
 /// each sample() appends (now, paths, queries) and reports the mean rate
-/// over the retained window (~10 s). Thread-safe; 0.0 until two samples
-/// exist.
+/// over the retained window (metricsWindowMs()). Thread-safe; 0.0 until
+/// two samples exist.
 class RateTracker {
 public:
   struct Rates {
@@ -59,7 +66,6 @@ private:
     uint64_t Paths;
     uint64_t Queries;
   };
-  static constexpr uint64_t WindowNs = 10ull * 1000 * 1000 * 1000;
   std::mutex Mu;
   std::deque<Point> Window;
 };

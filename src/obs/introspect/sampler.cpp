@@ -82,6 +82,10 @@ void HeartbeatSampler::writeLine(const Snapshot &Prev, const Snapshot &Now) {
           Dt > 0.0 ? static_cast<double>(Now.Queries - Prev.Queries) / Dt
                    : 0.0,
           3);
+  RateTracker::Rates WR = WindowRates.sample();
+  W.field("paths_per_sec_window", WR.PathsPerSec, 3);
+  W.field("queries_per_sec_window", WR.QueriesPerSec, 3);
+  W.field("window_ms", metricsWindowMs());
   W.field("frontier_size", Sched.FrontierSize.load());
   W.field("pool_workers", Sched.PoolWorkers.load());
   W.field("strategy", scheduleStrategyLabel());

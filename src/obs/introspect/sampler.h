@@ -31,6 +31,8 @@
 #ifndef GILLIAN_OBS_INTROSPECT_SAMPLER_H
 #define GILLIAN_OBS_INTROSPECT_SAMPLER_H
 
+#include "obs/introspect/introspect_server.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -74,6 +76,10 @@ private:
   Snapshot snap() const;
 
   std::thread Thread;
+  /// Rolling rates over the process-global metricsWindowMs() window,
+  /// alongside the per-tick delta rates (which keep their meaning — a
+  /// stalled tick is still a zero-rate line).
+  RateTracker WindowRates;
   std::atomic<bool> Running{false};
   std::atomic<uint64_t> Ticks{0};
   std::mutex Mu; ///< wake-for-stop CV protection

@@ -3,6 +3,7 @@
 #include "solver/solver.h"
 
 #include "gil/parser.h"
+#include "obs/journal/journal.h"
 #include "obs/native_stats.h"
 #include "obs/progress.h"
 #include "obs/summary_stats.h"
@@ -81,8 +82,10 @@ SatResult Solver::solveLayers(const PathCondition &PC) {
   if (Opts.UseSyntactic) {
     Span T(SpanKind::Syntactic, &Stats.SyntacticNs);
     R = checkSatSyntactic(PC);
-    if (R == SatResult::Unsat)
+    if (R == SatResult::Unsat) {
       ++Stats.SyntacticUnsat;
+      obs::journal::noteLayer(obs::journal::VerdictLayer::Syntactic);
+    }
     // SAT certification without SMT: propose a candidate model from the
     // syntactic analysis and verify it by evaluating every conjunct —
     // sound by construction, and it short-circuits the Z3 round-trip on
@@ -94,6 +97,7 @@ SatResult Solver::solveLayers(const PathCondition &PC) {
           ++Stats.ModelsVerified;
           ++Stats.SyntacticSat;
           R = SatResult::Sat;
+          obs::journal::noteLayer(obs::journal::VerdictLayer::Syntactic);
         }
       }
     }
@@ -106,6 +110,7 @@ SatResult Solver::solveLayers(const PathCondition &PC) {
     TypeEnv Types;
     if (!inferTypes(PC.conjuncts(), Types)) {
       R = SatResult::Unsat;
+      obs::journal::noteLayer(obs::journal::VerdictLayer::Syntactic);
     } else {
       if (Opts.UseNative) {
         // The native theory layer: decides the boolean/equality/
@@ -121,10 +126,12 @@ SatResult Solver::solveLayers(const PathCondition &PC) {
         case SatResult::Sat:
           ++Stats.NativeSat;
           ++G.NativeSat;
+          obs::journal::noteLayer(obs::journal::VerdictLayer::Native);
           break;
         case SatResult::Unsat:
           ++Stats.NativeUnsat;
           ++G.NativeUnsat;
+          obs::journal::noteLayer(obs::journal::VerdictLayer::Native);
           break;
         case SatResult::Unknown:
           ++Stats.NativeFallbacks;
@@ -141,8 +148,13 @@ SatResult Solver::solveLayers(const PathCondition &PC) {
           // delta against an already-asserted path-condition prefix.
           R = IncrementalSessionPool::forThread().checkSat(
               PC, Types, Opts.IncrementalResetThreshold, Stats);
+          if (R != SatResult::Unknown)
+            obs::journal::noteLayer(
+                obs::journal::VerdictLayer::Incremental);
         } else {
           R = checkSatZ3(PC, Types, /*WantModel=*/false).Verdict;
+          if (R != SatResult::Unknown)
+            obs::journal::noteLayer(obs::journal::VerdictLayer::Z3);
         }
       }
     }
@@ -185,6 +197,7 @@ SatResult Solver::solveSlice(const PathCondition &Slice) {
     ++Stats.SliceCacheLookups;
     if (std::optional<SatResult> Hit = Cache->lookup(Slice)) {
       ++Stats.SliceCacheHits;
+      obs::journal::noteLayer(obs::journal::VerdictLayer::Cache);
       return *Hit;
     }
   }
@@ -244,6 +257,8 @@ SatResult Solver::checkSat(const PathCondition &PC) {
   // delta — acceptable for a profiler (resets are rare and the wall time,
   // the ranking key, is exact).
   uint64_t ResetsBefore = Stats.IncResets.load();
+  obs::journal::QueryAttribution &QA = obs::journal::queryAttribution();
+  QA.Layer = static_cast<uint8_t>(obs::journal::VerdictLayer::None);
   bool CacheHit = false;
   SatResult R = checkSatImpl(PC, CacheHit);
   ++obs::progressCounters().SolverQueries;
@@ -251,6 +266,14 @@ SatResult Solver::checkSat(const PathCondition &PC) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - T0)
           .count());
+  // Publish the journal's per-thread attribution: one decided query with
+  // the last-noted layer as its provenance.
+  ++QA.Seq;
+  QA.CumWallNs += WallNs;
+  QA.Verdict = static_cast<uint8_t>(
+      R == SatResult::Sat ? obs::journal::Verdict::Sat
+      : R == SatResult::Unsat ? obs::journal::Verdict::Unsat
+                              : obs::journal::Verdict::Unknown);
   obs::QueryProfiler::instance().record(WallNs, toVerdict(R), CacheHit,
                                         Stats.IncResets.load() -
                                             ResetsBefore);
@@ -263,11 +286,13 @@ SatResult Solver::checkSatImpl(const PathCondition &PC, bool &CacheHit) {
   if (PC.isTriviallyFalse()) {
     ++Stats.TrivialAnswers;
     ++Stats.Unsat;
+    obs::journal::noteLayer(obs::journal::VerdictLayer::Trivial);
     return SatResult::Unsat;
   }
   if (PC.empty()) {
     ++Stats.TrivialAnswers;
     ++Stats.Sat;
+    obs::journal::noteLayer(obs::journal::VerdictLayer::Trivial);
     return SatResult::Sat;
   }
 
@@ -277,6 +302,7 @@ SatResult Solver::checkSatImpl(const PathCondition &PC, bool &CacheHit) {
     if (std::optional<SatResult> Hit = Cache->lookup(PC)) {
       ++Stats.CacheHits;
       CacheHit = true;
+      obs::journal::noteLayer(obs::journal::VerdictLayer::Cache);
       return *Hit;
     }
   }
@@ -295,6 +321,9 @@ SatResult Solver::checkSatImpl(const PathCondition &PC, bool &CacheHit) {
                                                  : solveLayers(Q);
         },
         Stats);
+    // The in-layer decision happened on a service thread; its noteLayer
+    // landed on that thread's attribution, not this caller's.
+    obs::journal::noteLayer(obs::journal::VerdictLayer::Async);
   } else {
     R = Opts.UseSlicing && PC.size() > 1 ? checkSatSliced(PC)
                                          : solveLayers(PC);
@@ -316,6 +345,8 @@ SatResult Solver::checkSatImpl(const PathCondition &PC, bool &CacheHit) {
 std::optional<Model> Solver::verifiedModel(const PathCondition &PC) {
   auto T0 = std::chrono::steady_clock::now();
   uint64_t ResetsBefore = Stats.IncResets.load();
+  obs::journal::QueryAttribution &QA = obs::journal::queryAttribution();
+  QA.Layer = static_cast<uint8_t>(obs::journal::VerdictLayer::None);
   std::optional<Model> M = verifiedModelImpl(PC);
   ++obs::progressCounters().SolverQueries;
   uint64_t WallNs = static_cast<uint64_t>(
@@ -324,6 +355,10 @@ std::optional<Model> Solver::verifiedModel(const PathCondition &PC) {
           .count());
   // A found model is a Sat verdict; "no model" is Unknown (the search is
   // incomplete by design — it only ever certifies, never refutes).
+  ++QA.Seq;
+  QA.CumWallNs += WallNs;
+  QA.Verdict = static_cast<uint8_t>(M ? obs::journal::Verdict::Sat
+                                      : obs::journal::Verdict::Unknown);
   obs::QueryProfiler::instance().record(
       WallNs, M ? obs::QueryVerdict::Sat : obs::QueryVerdict::Unknown,
       /*CacheHit=*/false, Stats.IncResets.load() - ResetsBefore);
@@ -342,6 +377,7 @@ std::optional<Model> Solver::verifiedModelImpl(const PathCondition &PC) {
       ++Stats.ModelsProposed;
       if (M->satisfies(PC)) {
         ++Stats.ModelsVerified;
+        obs::journal::noteLayer(obs::journal::VerdictLayer::Syntactic);
         return M;
       }
     }
@@ -357,6 +393,7 @@ std::optional<Model> Solver::verifiedModelImpl(const PathCondition &PC) {
       ++Stats.ModelsProposed;
       if (Out.CandidateModel->satisfies(PC)) {
         ++Stats.ModelsVerified;
+        obs::journal::noteLayer(obs::journal::VerdictLayer::Z3);
         return Out.CandidateModel;
       }
     }

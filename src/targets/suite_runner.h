@@ -17,8 +17,11 @@
 
 #include "engine/scheduler/scheduler_options.h"
 #include "engine/test_runner.h"
+#include "obs/exporters.h"
 #include "obs/introspect/introspect_server.h"
 #include "obs/introspect/metrics_registry.h"
+#include "obs/journal/journal.h"
+#include "obs/trace_ring.h"
 #include "solver/solver_cache.h"
 
 #include <cstdio>
@@ -62,6 +65,13 @@ SuiteResult runSuite(std::string_view Name, const Prog &P,
   // GILLIAN_SERVE=host:port turns on live introspection for any process
   // that runs a suite (the test runner has no CLI of its own).
   obs::maybeStartEnvIntrospection();
+  // GILLIAN_TRACE_OUT=path enables the flight recorder and writes the
+  // chrome://tracing JSON at process exit — the --trace-out= of processes
+  // without a CLI, like GILLIAN_SERVE above.
+  obs::maybeEnableEnvTrace();
+  // GILLIAN_JOURNAL=path likewise enables the lossless execution journal
+  // and writes the binary journal file at process exit.
+  obs::journal::maybeEnableEnvJournal();
   // GILLIAN_STRATEGY=oldest|random|subtree|coverage overrides the
   // exploration order the same way — e.g. running the whole ctest tier
   // under a non-default strategy without recompiling.

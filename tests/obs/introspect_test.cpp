@@ -269,6 +269,41 @@ TEST(RateTrackerTest, FirstSampleHasNoRateThenDeltasAppear) {
   EXPECT_GT(R1.PathsPerSec, 0.0);
 }
 
+TEST(RateTrackerTest, WindowChangeTakesEffectOnNextSample) {
+  const uint64_t Default = metricsWindowMs();
+
+  // The setter clamps below 100 ms; values at or above pass through.
+  setMetricsWindowMs(10);
+  EXPECT_EQ(metricsWindowMs(), 100u);
+  setMetricsWindowMs(250);
+  EXPECT_EQ(metricsWindowMs(), 250u);
+
+  // Rates accumulate inside the window...
+  RateTracker T;
+  T.sample();
+  progressCounters().PathsFinished += 40;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  RateTracker::Rates Inside = T.sample();
+  EXPECT_GT(Inside.PathsPerSec, 0.0);
+
+  // ...then the window is shrunk below the age of every retained point:
+  // the next sample must expire them all and report no rate — the
+  // tracker re-reads the process-global window at every sample, so the
+  // change needs no new tracker.
+  setMetricsWindowMs(100);
+  std::this_thread::sleep_for(std::chrono::milliseconds(140));
+  RateTracker::Rates Expired = T.sample();
+  EXPECT_EQ(Expired.PathsPerSec, 0.0);
+  EXPECT_EQ(Expired.QueriesPerSec, 0.0);
+
+  // And rates re-accumulate under the new window.
+  progressCounters().PathsFinished += 40;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GT(T.sample().PathsPerSec, 0.0);
+
+  setMetricsWindowMs(Default);
+}
+
 //===----------------------------------------------------------------------===//
 // Heartbeat sampler
 //===----------------------------------------------------------------------===//
@@ -296,6 +331,7 @@ TEST(HeartbeatSamplerTest, WritesValidJsonlLines) {
     EXPECT_NE(Line.find("\"t_ms\":"), std::string::npos);
     EXPECT_NE(Line.find("\"paths_finished\":"), std::string::npos);
     EXPECT_NE(Line.find("\"paths_per_sec\":"), std::string::npos);
+    EXPECT_NE(Line.find("\"window_ms\":"), std::string::npos);
     EXPECT_NE(Line.find("\"coverage_total\":"), std::string::npos);
   }
   EXPECT_GE(Lines, 2u);
@@ -463,6 +499,11 @@ TEST(IntrospectServerTest, RoutesAllEndpoints) {
   EXPECT_TRUE(validateJson(Progress)) << Progress;
   EXPECT_NE(Progress.find("\"paths_finished\""), std::string::npos);
   EXPECT_NE(Progress.find("\"paths_per_sec\""), std::string::npos);
+  EXPECT_NE(Progress.find("\"window_ms\""), std::string::npos);
+  std::string Tree = body(get("/tree?depth=2"));
+  EXPECT_TRUE(validateJson(Tree)) << Tree;
+  EXPECT_NE(Tree.find("\"enabled\""), std::string::npos);
+  EXPECT_NE(Tree.find("\"roots\""), std::string::npos);
   EXPECT_NE(get("/nope").find("HTTP/1.1 404"), std::string::npos);
   S.stop();
 }
